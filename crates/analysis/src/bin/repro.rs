@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's claimed bounds.
+//!
+//! ```text
+//! repro --list              list experiments
+//! repro E08 E04             run selected experiments (quick scale)
+//! repro all                 run everything
+//! repro all --full          the sweeps recorded in EXPERIMENTS.md
+//! repro all --markdown out/ write per-experiment markdown files
+//! ```
+
+use mcp_analysis::{registry, Scale, Verdict};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+
+    let experiments = registry();
+
+    if args.iter().any(|a| a == "--list") {
+        for e in &experiments {
+            println!("{}  {}", e.id(), e.title());
+        }
+        return;
+    }
+
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let markdown_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--markdown")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let json_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let run_all = args.iter().any(|a| a == "all");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && *a != "all")
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|e| run_all || wanted.iter().any(|w| w == e.id()))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matched {wanted:?}; try --list");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &markdown_dir {
+        std::fs::create_dir_all(dir).expect("create markdown output dir");
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+
+    let mut failures = 0usize;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for e in selected {
+        let started = std::time::Instant::now();
+        let report = e.run(scale);
+        let secs = started.elapsed().as_secs_f64();
+        let _ = writeln!(out, "{}", report.to_text());
+        let _ = writeln!(out, "({secs:.2}s)\n");
+        if let Some(dir) = &markdown_dir {
+            let path = dir.join(format!("{}.md", report.id));
+            std::fs::write(&path, report.to_markdown()).expect("write markdown report");
+        }
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{}.json", report.id));
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            std::fs::write(&path, json).expect("write json report");
+        }
+        if !matches!(report.verdict, Verdict::Confirmed) {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) did not confirm their claim");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate every bound claimed in 'Paging for Multicore Processors'\n\n\
+         usage:\n  repro --list\n  repro <IDS>... [--full] [--markdown DIR] [--json DIR]\n  repro all [--full] [--markdown DIR] [--json DIR]\n\n\
+         Scales: default quick (seconds/experiment); --full matches EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,96 @@
+//! E01 — Lemma 1, lower bound: with a fixed static partition, any
+//! deterministic online eviction policy is `Ω(max_j k_j)` worse than
+//! per-part OPT on the adversarial sequence.
+
+use super::{ratio, Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use crate::stats::fmt;
+use mcp_core::{simulate, SimConfig};
+use mcp_policies::{static_partition_belady, static_partition_lru, Partition};
+use mcp_workloads::lemma1_lower;
+
+/// See module docs.
+pub struct E01;
+
+impl Experiment for E01 {
+    fn id(&self) -> &'static str {
+        "E01"
+    }
+    fn title(&self) -> &'static str {
+        "Static partition, online eviction vs per-part OPT (Lemma 1 lower bound)"
+    }
+    fn claim(&self) -> &'static str {
+        "There is a sequence with sP^B_A / sP^B_OPT = Ω(max_j k_j) for any \
+         deterministic online A and fixed static partition B"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let (ks, n_per_core) = match scale {
+            Scale::Quick => (vec![4usize, 8], 2_000usize),
+            Scale::Full => (vec![4usize, 8, 16, 32], 20_000usize),
+        };
+        let mut table = Table::new(
+            "sP^B_LRU vs sP^B_OPT on the Lemma 1 adversary (p = 2, B = [K-1, 1], tau = 0)",
+            &[
+                "K",
+                "max_k",
+                "LRU faults",
+                "OPT faults",
+                "ratio",
+                "ratio/max_k",
+            ],
+        );
+        let mut ok = true;
+        for k in ks {
+            let sizes = vec![k - 1, 1];
+            let max_k = k - 1;
+            let w = lemma1_lower(&sizes, n_per_core);
+            let cfg = SimConfig::new(k, 0);
+            let lru = simulate(
+                &w,
+                cfg,
+                static_partition_lru(Partition::from_sizes(sizes.clone())),
+            )
+            .unwrap()
+            .total_faults();
+            let opt = simulate(
+                &w,
+                cfg,
+                static_partition_belady(Partition::from_sizes(sizes.clone())),
+            )
+            .unwrap()
+            .total_faults();
+            let r = ratio(lru, opt);
+            // The adversary achieves the bound asymptotically: demand at
+            // least half of max_k, and Lemma 1's matching upper bound
+            // caps it at max_k.
+            if r < 0.5 * max_k as f64 || r > max_k as f64 + 0.01 {
+                ok = false;
+            }
+            table.row(vec![
+                k.to_string(),
+                max_k.to_string(),
+                lru.to_string(),
+                opt.to_string(),
+                fmt(r),
+                fmt(r / max_k as f64),
+            ]);
+        }
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if ok {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("some ratio fell outside [max_k/2, max_k]".into())
+            },
+            notes: vec![
+                "The largest part's core chases its own evictions over max_k + 1 pages; \
+                 per-part OPT faults once per max_k requests."
+                    .into(),
+            ],
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! E03 — Lemma 2: a *fixed* online static partition loses `Ω(n)` against
+//! the offline-chosen static partition `sP^OPT_LRU`.
+
+use super::{ratio, Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use crate::stats::{fmt, grows_linearly};
+use mcp_core::{simulate, SimConfig};
+use mcp_offline::{optimal_static_partition, PartPolicy};
+use mcp_policies::{static_partition_lru, Partition};
+use mcp_workloads::lemma2;
+
+/// See module docs.
+pub struct E03;
+
+impl Experiment for E03 {
+    fn id(&self) -> &'static str {
+        "E03"
+    }
+    fn title(&self) -> &'static str {
+        "Online static partitions are not competitive (Lemma 2)"
+    }
+    fn claim(&self) -> &'static str {
+        "For any online static partition B there is R with \
+         sP^B_A / sP^OPT_LRU = Omega(n)"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let ns: Vec<usize> = match scale {
+            Scale::Quick => vec![300, 600, 1200, 2400],
+            Scale::Full => vec![1_000, 4_000, 16_000, 64_000],
+        };
+        let sizes = vec![2usize, 2, 2];
+        let k = 6;
+        let mut table = Table::new(
+            "sP^[2,2,2]_LRU vs sP^OPT_LRU on the Lemma 2 adversary (p = 3, K = 6, tau = 0)",
+            &[
+                "n/core",
+                "sP^B faults",
+                "sP^OPT faults",
+                "opt partition",
+                "ratio",
+                "ratio/n",
+            ],
+        );
+        let mut points = Vec::new();
+        for &n in &ns {
+            let w = lemma2(&sizes, n);
+            let cfg = SimConfig::new(k, 0);
+            let fixed = simulate(
+                &w,
+                cfg,
+                static_partition_lru(Partition::from_sizes(sizes.clone())),
+            )
+            .unwrap()
+            .total_faults();
+            let opt = optimal_static_partition(&w, k, PartPolicy::Lru);
+            let r = ratio(fixed, opt.faults);
+            points.push(((3 * n) as f64, r));
+            table.row(vec![
+                n.to_string(),
+                fixed.to_string(),
+                opt.faults.to_string(),
+                opt.partition.to_string(),
+                fmt(r),
+                fmt(r / (3 * n) as f64),
+            ]);
+        }
+        let linear = grows_linearly(&points);
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if linear {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("ratio did not grow linearly in n".into())
+            },
+            notes: vec![
+                "The offline partition moves the idle core's spare cell to the thrashing core, \
+                 whose cycle then fits; the fixed partition keeps thrashing forever."
+                    .into(),
+            ],
+        }
+    }
+}

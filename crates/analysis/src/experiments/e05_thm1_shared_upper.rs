@@ -1,0 +1,90 @@
+//! E05 — Theorem 1.2: `S_LRU ≤ K · sP^OPT_OPT` for every workload — the
+//! matching upper bound for E04, checked over synthetic traffic.
+
+use super::{ratio, Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use crate::stats::fmt;
+use mcp_core::{simulate, SimConfig};
+use mcp_offline::{optimal_static_partition, PartPolicy};
+use mcp_policies::shared_lru;
+use mcp_workloads::{lemma4_cyclic, phased, uniform, zipf};
+
+/// See module docs.
+pub struct E05;
+
+impl Experiment for E05 {
+    fn id(&self) -> &'static str {
+        "E05"
+    }
+    fn title(&self) -> &'static str {
+        "Shared LRU within K of the best static partition (Theorem 1.2)"
+    }
+    fn claim(&self) -> &'static str {
+        "For all R, S_LRU / sP^OPT_OPT <= K"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let seeds: Vec<u64> = match scale {
+            Scale::Quick => (0..4).collect(),
+            Scale::Full => (0..20).collect(),
+        };
+        let n = match scale {
+            Scale::Quick => 400,
+            Scale::Full => 3_000,
+        };
+        let mut table = Table::new(
+            "worst observed S_LRU / sP^OPT_OPT",
+            &["workload", "p", "K", "tau", "worst ratio", "K", "bound met"],
+        );
+        let mut all_ok = true;
+        let cases: Vec<(&str, usize, usize, u64)> = vec![
+            ("uniform", 2, 4, 0),
+            ("uniform", 3, 6, 2),
+            ("zipf(1.0)", 2, 6, 1),
+            ("phased", 3, 6, 0),
+            ("lemma4-cycles", 2, 4, 3),
+        ];
+        for (kind, p, k, tau) in cases {
+            let mut worst: f64 = 0.0;
+            for &seed in &seeds {
+                let w = match kind {
+                    "uniform" => uniform(p, n, (2 * k) as u32, seed),
+                    "zipf(1.0)" => zipf(p, n, (3 * k) as u32, 1.0, seed),
+                    "phased" => phased(p, n, k as u32, n / 10, seed),
+                    _ => lemma4_cyclic(p, k, n),
+                };
+                let cfg = SimConfig::new(k, tau);
+                let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+                let part = optimal_static_partition(&w, k, PartPolicy::Opt);
+                worst = worst.max(ratio(lru, part.faults));
+            }
+            let ok = worst <= k as f64 + 1e-9;
+            all_ok &= ok;
+            table.row(vec![
+                kind.into(),
+                p.to_string(),
+                k.to_string(),
+                tau.to_string(),
+                fmt(worst),
+                k.to_string(),
+                ok.to_string(),
+            ]);
+        }
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if all_ok {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("a ratio exceeded K".into())
+            },
+            notes: vec![
+                "The shared-phase argument: a shared phase of S_LRU cannot end before some \
+                 per-core phase ends, so S_LRU <= K * Σ_j φ_j <= K * sP^OPT_OPT."
+                    .into(),
+            ],
+        }
+    }
+}

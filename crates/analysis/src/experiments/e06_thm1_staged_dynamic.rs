@@ -1,0 +1,110 @@
+//! E06 — Theorem 1.3: dynamic partitions that change only `O(1)` (or
+//! `o(n)`) times lose `Ω(n)` (resp. `ω(1)`) against shared LRU on the
+//! rotating distinct-period sequence.
+
+use super::{ratio, Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use crate::stats::{fmt, grows_linearly};
+use mcp_core::{simulate, SimConfig, Time};
+use mcp_policies::{shared_lru, Lru, Partition, StagedPartition};
+use mcp_workloads::thm1_rotating;
+
+/// See module docs.
+pub struct E06;
+
+fn staged(
+    stages: usize,
+    horizon: Time,
+    k: usize,
+    p: usize,
+    alternate: bool,
+) -> StagedPartition<Lru> {
+    let step = (horizon / stages as u64).max(1);
+    let plan: Vec<(Time, Partition)> = (0..stages)
+        .map(|s| {
+            let start = 1 + s as u64 * step;
+            let part = if alternate && s % 2 == 1 && k / 2 >= 2 {
+                let mut sizes = Partition::equal(k, p).sizes().to_vec();
+                sizes[0] += 1;
+                sizes[1] -= 1;
+                Partition::from_sizes(sizes)
+            } else {
+                Partition::equal(k, p)
+            };
+            (start, part)
+        })
+        .collect();
+    StagedPartition::uniform(plan, Lru::new)
+}
+
+impl Experiment for E06 {
+    fn id(&self) -> &'static str {
+        "E06"
+    }
+    fn title(&self) -> &'static str {
+        "Rarely-changing dynamic partitions lose to shared LRU (Theorem 1.3)"
+    }
+    fn claim(&self) -> &'static str {
+        "Any dynamic partition with o(n) changes has dP^D_A / S_LRU = omega(1); \
+         with O(1) stages, Omega(n)"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let (p, k, tau) = (2usize, 4usize, 1u64);
+        let xs: Vec<usize> = match scale {
+            Scale::Quick => vec![2, 4, 8, 16],
+            Scale::Full => vec![4, 16, 64, 256],
+        };
+        let mut tables = Vec::new();
+        let mut verdict_ok = true;
+        for (label, stages, alternate) in [
+            ("1 stage (static)", 1usize, false),
+            ("4 stages, alternating", 4usize, true),
+        ] {
+            let mut table = Table::new(
+                format!("dP[{label}]_LRU vs S_LRU on the rotating sequence (p=2, K=4, tau=1)"),
+                &["x", "n", "dP faults", "S_LRU faults", "ratio"],
+            );
+            let mut points = Vec::new();
+            for &x in &xs {
+                let w = thm1_rotating(p, k, tau, x);
+                let n = w.total_len();
+                let cfg = SimConfig::new(k, tau);
+                // Horizon upper bound: every request costing tau+1.
+                let horizon = (n as u64) * (tau + 1);
+                let dp = simulate(&w, cfg, staged(stages, horizon, k, p, alternate))
+                    .unwrap()
+                    .total_faults();
+                let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+                let r = ratio(dp, lru);
+                points.push((n as f64, r));
+                table.row(vec![
+                    x.to_string(),
+                    n.to_string(),
+                    dp.to_string(),
+                    lru.to_string(),
+                    fmt(r),
+                ]);
+            }
+            verdict_ok &= grows_linearly(&points);
+            tables.push(table);
+        }
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables,
+            verdict: if verdict_ok {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("some staged ratio did not grow linearly".into())
+            },
+            notes: vec![
+                "Each stage's partition caps some core at K/p cells while its distinct \
+                 period cycles K/p + 1 pages; only a partition that changes on the \
+                 rotation's own cadence could keep up."
+                    .into(),
+            ],
+        }
+    }
+}

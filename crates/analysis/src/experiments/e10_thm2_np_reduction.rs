@@ -1,0 +1,127 @@
+//! E10 — Theorem 2: PARTIAL-INDIVIDUAL-FAULTS is NP-complete, by
+//! reduction from 3-PARTITION. The experiment machine-checks the
+//! reduction: yes-instances yield PIF-feasible instances with the proof's
+//! gadget schedule meeting every bound exactly; the bounds are tight
+//! (any single decrement is infeasible per the exact DP); and the solver
+//! certifies the handcrafted no-instance.
+
+use super::{Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use mcp_hardness::{
+    known_no_3partition, planted_yes, reduce_to_pif, run_gadget, PartitionInstance,
+};
+use mcp_offline::{pif_decide, PifOptions};
+
+/// See module docs.
+pub struct E10;
+
+impl Experiment for E10 {
+    fn id(&self) -> &'static str {
+        "E10"
+    }
+    fn title(&self) -> &'static str {
+        "The 3-PARTITION -> PIF reduction, machine-checked (Theorem 2)"
+    }
+    fn claim(&self) -> &'static str {
+        "3-PARTITION has a solution iff the reduced PIF instance is feasible \
+         (K = 4p/3, t = B(tau+1)+4tau+5, b_i = B-s_i+4)"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let mut table = Table::new(
+            "reduction checks",
+            &["check", "instance", "result", "expected", "pass"],
+        );
+        let mut all_ok = true;
+        let mut check = |table: &mut Table, name: &str, inst: &str, got: String, want: String| {
+            let pass = got == want;
+            all_ok &= pass;
+            table.row(vec![name.into(), inst.into(), got, want, pass.to_string()]);
+            pass
+        };
+
+        // (⇒) + DP agreement on the smallest instance.
+        let tiny = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+        let red = reduce_to_pif(&tiny, 1);
+        let groups = tiny.solve().unwrap();
+        let faults = run_gadget(&red, &groups);
+        check(
+            &mut table,
+            "gadget meets bounds exactly",
+            "n=3, B=6, tau=1",
+            format!("{faults:?}"),
+            format!("{:?}", red.bounds),
+        );
+        let opts = PifOptions {
+            full_transitions: true,
+            max_expansions: 60_000_000,
+        };
+        let feasible =
+            pif_decide(&red.workload, red.cfg, red.checkpoint, &red.bounds, opts).unwrap();
+        check(
+            &mut table,
+            "Algorithm 2 accepts",
+            "n=3, B=6",
+            feasible.to_string(),
+            "true".into(),
+        );
+        for i in 0..3 {
+            let mut tight = red.bounds.clone();
+            tight[i] -= 1;
+            let f = pif_decide(&red.workload, red.cfg, red.checkpoint, &tight, opts).unwrap();
+            check(
+                &mut table,
+                "tightened bound rejected",
+                &format!("b_{i} - 1"),
+                f.to_string(),
+                "false".into(),
+            );
+        }
+
+        // (⇒) at larger planted sizes: the gadget stays exact.
+        let sizes: Vec<(usize, u64, u64)> = match scale {
+            Scale::Quick => vec![(2, 20, 1), (3, 25, 2)],
+            Scale::Full => vec![(2, 20, 1), (3, 25, 2), (5, 40, 3), (8, 60, 2)],
+        };
+        for (groups_n, b, tau) in sizes {
+            let inst = planted_yes(3, groups_n, b, 42 + groups_n as u64);
+            let red = reduce_to_pif(&inst, tau);
+            let solution = inst.solve().unwrap();
+            let faults = run_gadget(&red, &solution);
+            check(
+                &mut table,
+                "gadget exact on planted yes",
+                &format!("n={}, B={b}, tau={tau}", inst.len()),
+                (faults == red.bounds).to_string(),
+                "true".into(),
+            );
+        }
+
+        // No-instances: the solver certifies them.
+        let no = known_no_3partition();
+        check(
+            &mut table,
+            "solver rejects no-instance",
+            "{4,4,4,4,4,6}, B=13",
+            no.is_yes().to_string(),
+            "false".into(),
+        );
+
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if all_ok {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("a reduction check failed".into())
+            },
+            notes: vec![
+                "Full PIF-DP equivalence is checked at n = 3 (the DP is exponential in p); \
+                 larger instances are verified constructively via the gadget schedule."
+                    .into(),
+            ],
+        }
+    }
+}

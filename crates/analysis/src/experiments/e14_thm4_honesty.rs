@@ -1,0 +1,118 @@
+//! E14 — Theorem 4: on disjoint workloads, forcing faults (voluntary
+//! evictions) never reduces the optimal fault count. Checked by
+//! exhaustively enumerating tiny disjoint workloads and comparing the DP
+//! optimum over honest schedules against the DP optimum over the full
+//! transition relation (which includes every dishonest schedule).
+
+use super::{Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use mcp_core::{PageId, SimConfig, Workload};
+use mcp_offline::{ftf_dp, FtfOptions};
+
+/// See module docs.
+pub struct E14;
+
+/// Every disjoint 2-core workload where each core's sequence has length
+/// `len` over its private `alphabet`-page universe.
+pub(crate) fn enumerate_tiny(len: usize, alphabet: u32) -> Vec<Workload> {
+    let seqs_per_core: Vec<Vec<PageId>> = {
+        let mut out = Vec::new();
+        let count = (alphabet as usize).pow(len as u32);
+        for code in 0..count {
+            let mut c = code;
+            let mut seq = Vec::with_capacity(len);
+            for _ in 0..len {
+                seq.push(PageId((c % alphabet as usize) as u32));
+                c /= alphabet as usize;
+            }
+            out.push(seq);
+        }
+        out
+    };
+    let mut workloads = Vec::new();
+    for a in &seqs_per_core {
+        for b in &seqs_per_core {
+            let b_shifted: Vec<PageId> = b.iter().map(|p| PageId(p.0 + 100)).collect();
+            workloads.push(Workload::new(vec![a.clone(), b_shifted]).unwrap());
+        }
+    }
+    workloads
+}
+
+impl Experiment for E14 {
+    fn id(&self) -> &'static str {
+        "E14"
+    }
+    fn title(&self) -> &'static str {
+        "Honesty is WLOG: forcing faults never helps (Theorem 4)"
+    }
+    fn claim(&self) -> &'static str {
+        "For disjoint R there is an honest optimal algorithm: \
+         min over honest schedules == min over all schedules"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let (len, alphabet, taus, ks): (usize, u32, Vec<u64>, Vec<usize>) = match scale {
+            Scale::Quick => (3, 2, vec![0, 1], vec![2, 3]),
+            Scale::Full => (4, 2, vec![0, 1, 2], vec![2, 3]),
+        };
+        let workloads = enumerate_tiny(len, alphabet);
+        let mut table = Table::new(
+            format!(
+                "exhaustive check over all {} disjoint 2-core workloads (len {len}, {alphabet} pages/core)",
+                workloads.len()
+            ),
+            &["K", "tau", "workloads", "honest == unrestricted", "honest better", "honest worse"],
+        );
+        let mut all_equal = true;
+        for &k in &ks {
+            for &tau in &taus {
+                let cfg = SimConfig::new(k, tau);
+                let (mut eq, mut better, mut worse) = (0u64, 0u64, 0u64);
+                for w in &workloads {
+                    let honest = ftf_dp(w, cfg, FtfOptions::default()).unwrap().min_faults;
+                    let full = ftf_dp(
+                        w,
+                        cfg,
+                        FtfOptions {
+                            lazy: false,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                    .min_faults;
+                    match honest.cmp(&full) {
+                        std::cmp::Ordering::Equal => eq += 1,
+                        std::cmp::Ordering::Less => better += 1,
+                        std::cmp::Ordering::Greater => worse += 1,
+                    }
+                }
+                all_equal &= better == 0 && worse == 0;
+                table.row(vec![
+                    k.to_string(),
+                    tau.to_string(),
+                    workloads.len().to_string(),
+                    eq.to_string(),
+                    better.to_string(),
+                    worse.to_string(),
+                ]);
+            }
+        }
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if all_equal {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed("a workload separated honest from unrestricted optima".into())
+            },
+            notes: vec![
+                "\"honest better\" would indicate a bug (honest schedules are a subset); \
+                 \"honest worse\" would falsify Theorem 4."
+                    .into(),
+            ],
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The experiment registry: one module per claim of the paper (E01–E15),
+//! plus extension experiments (X01–X04) exploring questions the paper
+//! raises but does not settle.
+//!
+//! The paper is theoretical — it has no tables or figures — so each
+//! "experiment" empirically regenerates one *stated bound*: the measured
+//! ratio (or equality, or feasibility) is compared against the claim,
+//! sweeping the parameter the bound depends on.
+
+use crate::report::Report;
+
+pub mod e01_lemma1_lower;
+pub mod e02_lemma1_upper;
+pub mod e03_lemma2_static_partition;
+pub mod e04_thm1_shared_beats_partition;
+pub mod e05_thm1_shared_upper;
+pub mod e06_thm1_staged_dynamic;
+pub mod e07_lemma3_equivalence;
+pub mod e08_lemma4_lru_ratio;
+pub mod e09_fitf_not_optimal;
+pub mod e10_thm2_np_reduction;
+pub mod e11_thm3_max_pif;
+pub mod e12_thm6_ftf_scaling;
+pub mod e13_thm7_pif_scaling;
+pub mod e14_thm4_honesty;
+pub mod e15_thm5_fitf_class;
+pub mod x01_objectives_diverge;
+pub mod x02_randomized_marking;
+pub mod x03_fairness_profile;
+pub mod x04_scheduling_power;
+
+/// How big to run: `Quick` for CI/tests (seconds), `Full` for the
+/// recorded EXPERIMENTS.md numbers (minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sweeps, seconds per experiment.
+    Quick,
+    /// The sweeps recorded in EXPERIMENTS.md.
+    Full,
+}
+
+/// A runnable reproduction of one paper claim.
+pub trait Experiment: Sync + Send {
+    /// Stable id, e.g. `"E08"`.
+    fn id(&self) -> &'static str;
+    /// Short human title.
+    fn title(&self) -> &'static str;
+    /// The paper claim being reproduced.
+    fn claim(&self) -> &'static str;
+    /// Run and report.
+    fn run(&self, scale: Scale) -> Report;
+}
+
+/// All experiments, in id order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(e01_lemma1_lower::E01),
+        Box::new(e02_lemma1_upper::E02),
+        Box::new(e03_lemma2_static_partition::E03),
+        Box::new(e04_thm1_shared_beats_partition::E04),
+        Box::new(e05_thm1_shared_upper::E05),
+        Box::new(e06_thm1_staged_dynamic::E06),
+        Box::new(e07_lemma3_equivalence::E07),
+        Box::new(e08_lemma4_lru_ratio::E08),
+        Box::new(e09_fitf_not_optimal::E09),
+        Box::new(e10_thm2_np_reduction::E10),
+        Box::new(e11_thm3_max_pif::E11),
+        Box::new(e12_thm6_ftf_scaling::E12),
+        Box::new(e13_thm7_pif_scaling::E13),
+        Box::new(e14_thm4_honesty::E14),
+        Box::new(e15_thm5_fitf_class::E15),
+        Box::new(x01_objectives_diverge::X01),
+        Box::new(x02_randomized_marking::X02),
+        Box::new(x03_fairness_profile::X03),
+        Box::new(x04_scheduling_power::X04),
+    ]
+}
+
+/// Ratio helper guarding division by zero.
+pub(crate) fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den.max(1) as f64
+}

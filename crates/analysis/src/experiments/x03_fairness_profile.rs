@@ -1,0 +1,108 @@
+//! X03 (extension) — the fairness lens the paper's conclusion proposes:
+//! "perhaps other measures such as fairness or relative progress of
+//! sequences should be considered over minimizing faults globally."
+//!
+//! On the Lemma 4 workload the fault-frugal offline strategy is *maximally
+//! unfair* — it starves one core to near-stall — while thrash-everything
+//! LRU is perfectly fair. This quantifies the tension: total faults and
+//! fairness (Jain index over per-core slowdowns) pull strategies in
+//! opposite directions on contended workloads.
+
+use super::{Experiment, Scale};
+use crate::fairness;
+use crate::report::{Report, Table, Verdict};
+use crate::stats::fmt;
+use mcp_core::{simulate, SimConfig};
+use mcp_policies::{shared_lru, static_partition_lru, Partition, SacrificeOffline, SharedFitf};
+use mcp_workloads::lemma4_cyclic;
+
+/// See module docs.
+pub struct X03;
+
+impl Experiment for X03 {
+    fn id(&self) -> &'static str {
+        "X03"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: total faults and fairness pull in opposite directions"
+    }
+    fn claim(&self) -> &'static str {
+        "(Extension) On contended workloads the fault-minimizing strategy is the \
+         least fair and the fairest strategy faults the most"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let (p, k, tau) = (4usize, 16usize, 3u64);
+        let n = match scale {
+            Scale::Quick => 2_000usize,
+            Scale::Full => 20_000usize,
+        };
+        let w = lemma4_cyclic(p, k, n);
+        let cfg = SimConfig::new(k, tau);
+
+        let mut table = Table::new(
+            format!("fault count vs fairness on per-core cycles (p={p}, K={k}, tau={tau})"),
+            &[
+                "strategy",
+                "faults",
+                "Jain(slowdown)",
+                "slowdown spread",
+                "min progress@mid",
+            ],
+        );
+        let mut measured: Vec<(String, u64, f64)> = Vec::new();
+        let runs: Vec<(&str, mcp_core::SimResult)> = vec![
+            ("S_LRU", simulate(&w, cfg, shared_lru()).unwrap()),
+            (
+                "sP[equal]_LRU",
+                simulate(&w, cfg, static_partition_lru(Partition::equal(k, p))).unwrap(),
+            ),
+            ("S_FITF", simulate(&w, cfg, SharedFitf::new()).unwrap()),
+            (
+                "S_OFF (sacrifice)",
+                simulate(&w, cfg, SacrificeOffline::new(p - 1)).unwrap(),
+            ),
+        ];
+        for (name, r) in &runs {
+            let s = fairness::summarize(r);
+            let mid = r.makespan / 2;
+            let min_progress = fairness::relative_progress(r, mid)
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            measured.push((name.to_string(), r.total_faults(), s.jain_slowdown));
+            table.row(vec![
+                name.to_string(),
+                r.total_faults().to_string(),
+                fmt(s.jain_slowdown),
+                fmt(s.spread),
+                fmt(min_progress),
+            ]);
+        }
+        // The tension: the strategy with the fewest faults must have the
+        // lowest Jain index, and the fairest must fault the most.
+        let min_faults = measured.iter().min_by_key(|(_, f, _)| *f).unwrap();
+        let max_faults = measured.iter().max_by_key(|(_, f, _)| *f).unwrap();
+        let tension = min_faults.2 < max_faults.2;
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if tension {
+                Verdict::Confirmed
+            } else {
+                Verdict::Mixed(format!(
+                    "no tension: fewest-fault strategy {} is at least as fair as {}",
+                    min_faults.0, max_faults.0
+                ))
+            },
+            notes: vec![
+                "The sacrificing strategy wins on faults by starving one core (its mid-run \
+                 progress collapses); LRU loses on faults but degrades all cores equally — \
+                 exactly the tradeoff the conclusion says a better evaluation framework \
+                 must arbitrate."
+                    .into(),
+            ],
+        }
+    }
+}

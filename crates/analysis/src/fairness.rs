@@ -1,0 +1,206 @@
+//! Fairness and relative-progress metrics.
+//!
+//! The paper's conclusion argues that minimizing total faults may be the
+//! wrong lens for multicore paging and that "other measures such as
+//! fairness or relative progress of sequences should be considered". This
+//! module provides those measures over a finished [`SimResult`], derived
+//! exactly from the model's timing rules (a core's m-th request issues at
+//! `m + τ·(faults among its first m−1 requests)`).
+
+use mcp_core::{SimResult, Time};
+
+/// Completion time of core `core`'s last request: `n_j + τ · faults_j`
+/// (cores never wait on each other in this model). Returns 0 for an empty
+/// sequence.
+pub fn core_completion(result: &SimResult, core: usize) -> Time {
+    let n = (result.faults[core] + result.hits[core]) as Time;
+    if n == 0 {
+        return 0;
+    }
+    n + result.config.tau * result.faults[core]
+}
+
+/// Per-core slowdown: completion time divided by the all-hit ideal `n_j`.
+/// 1.0 means the core never faulted; `1 + τ` is the worst possible.
+pub fn slowdowns(result: &SimResult) -> Vec<f64> {
+    (0..result.faults.len())
+        .map(|core| {
+            let n = result.faults[core] + result.hits[core];
+            if n == 0 {
+                1.0
+            } else {
+                core_completion(result, core) as f64 / n as f64
+            }
+        })
+        .collect()
+}
+
+/// Number of requests core `core` has completed issuing by time `t`.
+pub fn progress_at(result: &SimResult, core: usize, t: Time) -> u64 {
+    let n = result.faults[core] + result.hits[core];
+    let tau = result.config.tau;
+    // The m-th request (1-based) issues at m + tau * (faults among the
+    // first m-1). Walk the fault times, which are exactly the issue times
+    // of the faulting requests.
+    let mut served = 0u64;
+    let mut delay = 0u64; // tau * faults so far
+    let mut fault_iter = result.fault_times[core].iter().peekable();
+    while served < n {
+        let issue = served + 1 + delay;
+        if issue > t {
+            break;
+        }
+        if let Some(&&ft) = fault_iter.peek() {
+            if ft == issue {
+                fault_iter.next();
+                delay += tau;
+            } else {
+                debug_assert!(ft > issue, "fault times must align with issue cadence");
+            }
+        }
+        served += 1;
+    }
+    served
+}
+
+/// Relative progress of every core at time `t`, as a fraction of its
+/// sequence length (1.0 = finished; empty sequences report 1.0).
+pub fn relative_progress(result: &SimResult, t: Time) -> Vec<f64> {
+    (0..result.faults.len())
+        .map(|core| {
+            let n = result.faults[core] + result.hits[core];
+            if n == 0 {
+                1.0
+            } else {
+                progress_at(result, core, t) as f64 / n as f64
+            }
+        })
+        .collect()
+}
+
+/// Jain's fairness index over a vector of nonnegative values:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`, 1 meaning perfectly equal.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// A fairness summary of a finished run.
+#[derive(Clone, Debug)]
+pub struct FairnessSummary {
+    /// Per-core slowdowns.
+    pub slowdowns: Vec<f64>,
+    /// Jain index of the slowdowns (1 = perfectly fair).
+    pub jain_slowdown: f64,
+    /// Max/min slowdown ratio (1 = perfectly fair).
+    pub spread: f64,
+    /// Completion time of the whole run (max core completion) — the
+    /// makespan objective of Hassidim's model.
+    pub makespan: Time,
+}
+
+/// Summarize the fairness of a run.
+///
+/// ```
+/// use mcp_analysis::fairness::summarize;
+/// use mcp_core::{simulate, SimConfig, Workload};
+/// use mcp_policies::shared_lru;
+///
+/// let w = Workload::from_u32([vec![1; 8], vec![7, 8, 9, 7, 8, 9, 7, 8]]).unwrap();
+/// let r = simulate(&w, SimConfig::new(4, 3), shared_lru()).unwrap();
+/// let s = summarize(&r);
+/// assert!(s.jain_slowdown <= 1.0 && s.spread >= 1.0);
+/// ```
+pub fn summarize(result: &SimResult) -> FairnessSummary {
+    let slow = slowdowns(result);
+    let max = slow.iter().copied().fold(f64::MIN, f64::max);
+    let min = slow.iter().copied().fold(f64::MAX, f64::min);
+    FairnessSummary {
+        jain_slowdown: jain_index(&slow),
+        spread: if min > 0.0 { max / min } else { f64::INFINITY },
+        slowdowns: slow,
+        makespan: result.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_core::{simulate, SimConfig, Workload};
+    use mcp_policies::shared_lru;
+
+    fn run(seqs: &[&[u32]], k: usize, tau: u64) -> SimResult {
+        let w = Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap();
+        simulate(&w, SimConfig::new(k, tau), shared_lru()).unwrap()
+    }
+
+    #[test]
+    fn completion_matches_engine_makespan() {
+        let r = run(&[&[1, 2, 3, 1], &[7, 7, 7, 7]], 3, 2);
+        let max_completion = (0..2).map(|c| core_completion(&r, c)).max().unwrap();
+        assert_eq!(max_completion, r.makespan);
+    }
+
+    #[test]
+    fn slowdown_bounds() {
+        let r = run(&[&[1, 1, 1, 1], &[7, 8, 9, 10]], 5, 3);
+        let s = slowdowns(&r);
+        // Core 0: one cold fault in 4 requests: 1 + 3/4.
+        assert!((s[0] - 1.75).abs() < 1e-9);
+        // Core 1: all faults: 1 + tau.
+        assert!((s[1] - 4.0).abs() < 1e-9);
+        for v in s {
+            assert!((1.0..=4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_and_exact() {
+        let r = run(&[&[1, 2, 1, 2, 1], &[7, 8, 7, 8, 7]], 2, 2);
+        for core in 0..2 {
+            let mut prev = 0;
+            for t in 0..=r.makespan + 2 {
+                let now = progress_at(&r, core, t);
+                assert!(now >= prev);
+                prev = now;
+            }
+            assert_eq!(
+                progress_at(&r, core, r.makespan + 2),
+                5,
+                "all requests issued"
+            );
+            assert_eq!(progress_at(&r, core, 0), 0);
+        }
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_index(&[]) == 1.0);
+    }
+
+    #[test]
+    fn summary_shapes() {
+        let r = run(&[&[1, 1, 1, 1], &[7, 8, 9, 10]], 5, 3);
+        let s = summarize(&r);
+        assert!(s.jain_slowdown < 1.0, "unequal slowdowns must show up");
+        assert!(s.spread > 2.0);
+        assert_eq!(s.makespan, r.makespan);
+    }
+
+    #[test]
+    fn relative_progress_hits_one_at_makespan_plus_tail() {
+        let r = run(&[&[1, 2, 3], &[7, 7, 7]], 4, 1);
+        let final_progress = relative_progress(&r, r.makespan + 1);
+        assert!(final_progress.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+}

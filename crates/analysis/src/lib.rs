@@ -1,0 +1,18 @@
+//! # mcp-analysis — the experiment harness
+//!
+//! The paper has no empirical section, so its "tables and figures" are the
+//! bounds it proves. Each experiment (E01–E15, see [`experiments`])
+//! regenerates one claim: it sweeps the parameter the bound depends on,
+//! compares the measured ratio/equality/feasibility against the claim, and
+//! renders a [`report::Report`] with a machine-checked verdict. The
+//! `repro` binary runs them (`repro --list`, `repro E08`, `repro all`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fairness;
+pub mod report;
+pub mod stats;
+
+pub use experiments::{registry, Experiment, Scale};
+pub use report::{Report, Table, Verdict};

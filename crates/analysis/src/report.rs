@@ -1,0 +1,222 @@
+//! Experiment reports: tables plus a pass/fail verdict against the
+//! paper's claim, renderable as aligned text, Markdown, or CSV.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One result table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned monospace text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "  {}", fmt_row(&self.columns, &widths));
+        let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "  {}", fmt_row(&underline, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "  {}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Did the measurement match the paper's claim?
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The measured shape matches the claim.
+    Confirmed,
+    /// Partially matches; the string explains the gap.
+    Mixed(String),
+    /// The claim could not be checked (explains why).
+    Skipped(String),
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `"E08"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper's claim being reproduced.
+    pub claim: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Whether the claim held.
+    pub verdict: Verdict,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Render the whole report as text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {}: {} ===", self.id, self.title);
+        let _ = writeln!(out, "claim: {}", self.claim);
+        for t in &self.tables {
+            let _ = writeln!(out, "\n{}", t.to_text());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        let _ = writeln!(out, "verdict: {:?}", self.verdict);
+        out
+    }
+
+    /// Render the whole report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}: {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Claim:* {}\n", self.claim);
+        for t in &self.tables {
+            let _ = writeln!(out, "{}", t.to_markdown());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}\n");
+        }
+        let _ = writeln!(out, "**Verdict:** {:?}\n", self.verdict);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["x", "faults"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["200".into(), "3".into()]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = sample().to_text();
+        assert!(text.contains("  x  faults"));
+        assert!(text.contains("200       3"));
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| x | faults |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 200 | 3 |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("q", &["a"]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("q", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn report_rendering() {
+        let r = Report {
+            id: "E00".into(),
+            title: "demo".into(),
+            claim: "it works".into(),
+            tables: vec![sample()],
+            verdict: Verdict::Confirmed,
+            notes: vec!["fine".into()],
+        };
+        let text = r.to_text();
+        assert!(text.contains("=== E00: demo ==="));
+        assert!(text.contains("verdict: Confirmed"));
+        let md = r.to_markdown();
+        assert!(md.contains("## E00: demo"));
+    }
+}

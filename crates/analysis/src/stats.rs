@@ -1,0 +1,103 @@
+//! Small statistics helpers for the experiment reports: growth-rate fits
+//! and summary aggregates.
+
+/// Arithmetic mean. Empty input yields `NaN`.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of positive values. Empty input yields `NaN`.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Least-squares slope of `y` against `x`.
+pub fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let my = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxy: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    sxy / sxx
+}
+
+/// Fitted exponent `e` of a power law `y ≈ c·x^e`, from the slope of the
+/// log-log regression. Requires strictly positive data.
+pub fn growth_exponent(points: &[(f64, f64)]) -> f64 {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    slope(&logged)
+}
+
+/// `true` if `ys` grows at least linearly in `xs` (fitted exponent ≥
+/// `0.9`), the check used for the paper's `Ω(n)` separations.
+pub fn grows_linearly(points: &[(f64, f64)]) -> bool {
+    growth_exponent(points) >= 0.9
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_of_square() {
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((growth_exponent(&pts) - 2.0).abs() < 1e-6);
+        assert!(grows_linearly(&pts));
+    }
+
+    #[test]
+    fn constant_does_not_grow() {
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 7.0)).collect();
+        assert!(!grows_linearly(&pts));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234"); // ties round to even
+        assert_eq!(fmt(3.17459), "3.17");
+        assert_eq!(fmt(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,54 @@
+//! Report-format integration tests: reports serialize to JSON, render to
+//! every output format, and the registry's quick runs produce
+//! well-formed tables.
+
+use mcp_analysis::{registry, Scale, Verdict};
+
+#[test]
+fn reports_serialize_to_json() {
+    // Run the three cheapest experiments and serialize their reports.
+    for e in registry()
+        .into_iter()
+        .filter(|e| ["E01", "E04", "E07"].contains(&e.id()))
+    {
+        let report = e.run(Scale::Quick);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(json.contains(&format!("\"id\":\"{}\"", e.id())));
+        assert!(json.contains("Confirmed"), "{json}");
+    }
+}
+
+#[test]
+fn every_report_renders_all_formats() {
+    for e in registry()
+        .into_iter()
+        .filter(|e| ["E02", "E05"].contains(&e.id()))
+    {
+        let report = e.run(Scale::Quick);
+        let text = report.to_text();
+        assert!(text.contains(&format!("=== {}", e.id())));
+        assert!(text.contains("claim:"));
+        let md = report.to_markdown();
+        assert!(md.contains(&format!("## {}", e.id())));
+        assert!(md.contains("**Verdict:**"));
+        for table in &report.tables {
+            let csv = table.to_csv();
+            // Header plus at least one data row.
+            assert!(csv.lines().count() >= 2, "{csv}");
+            assert_eq!(
+                csv.lines().next().unwrap().split(',').count(),
+                table.columns.len(),
+                "CSV header arity"
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_and_full_scales_agree_on_verdicts_for_cheap_experiments() {
+    // The scale changes sweep sizes, never the claim: spot-check one cheap
+    // experiment at both scales.
+    let e04 = registry().into_iter().find(|e| e.id() == "E04").unwrap();
+    assert!(matches!(e04.run(Scale::Quick).verdict, Verdict::Confirmed));
+    assert!(matches!(e04.run(Scale::Full).verdict, Verdict::Confirmed));
+}

@@ -1,0 +1,89 @@
+//! Per-claim measurement kernels: the inner measurement of each
+//! experiment (E01–E11) as a Criterion benchmark, so regressions in the
+//! reproduction pipeline itself are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcp_core::{simulate, SimConfig};
+use mcp_hardness::{reduce_to_pif, run_gadget, PartitionInstance};
+use mcp_offline::{optimal_static_partition, PartPolicy};
+use mcp_policies::{
+    shared_lru, static_partition_belady, static_partition_lru, Partition, SacrificeOffline,
+};
+use mcp_workloads::{lemma1_lower, lemma2, lemma4_cyclic, thm1_rotating};
+use std::hint::black_box;
+
+fn bench_lemma1(c: &mut Criterion) {
+    let w = lemma1_lower(&[7, 1], 4_000);
+    let cfg = SimConfig::new(8, 0);
+    c.bench_function("experiments/lemma1_pair", |b| {
+        b.iter(|| {
+            let lru = simulate(
+                &w,
+                cfg,
+                static_partition_lru(Partition::from_sizes(vec![7, 1])),
+            )
+            .unwrap()
+            .total_faults();
+            let opt = simulate(
+                &w,
+                cfg,
+                static_partition_belady(Partition::from_sizes(vec![7, 1])),
+            )
+            .unwrap()
+            .total_faults();
+            black_box((lru, opt))
+        })
+    });
+}
+
+fn bench_lemma2(c: &mut Criterion) {
+    let w = lemma2(&[2, 2, 2], 2_000);
+    c.bench_function("experiments/lemma2_partition_opt", |b| {
+        b.iter(|| black_box(optimal_static_partition(&w, 6, PartPolicy::Lru).faults))
+    });
+}
+
+fn bench_thm1(c: &mut Criterion) {
+    let w = thm1_rotating(2, 4, 1, 32);
+    let cfg = SimConfig::new(4, 1);
+    c.bench_function("experiments/thm1_shared_vs_partition", |b| {
+        b.iter(|| {
+            let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+            let part = optimal_static_partition(&w, 4, PartPolicy::Opt).faults;
+            black_box((lru, part))
+        })
+    });
+}
+
+fn bench_lemma4(c: &mut Criterion) {
+    let w = lemma4_cyclic(4, 16, 8_000);
+    let cfg = SimConfig::new(16, 3);
+    c.bench_function("experiments/lemma4_lru_vs_offline", |b| {
+        b.iter(|| {
+            let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+            let off = simulate(&w, cfg, SacrificeOffline::new(3))
+                .unwrap()
+                .total_faults();
+            black_box((lru, off))
+        })
+    });
+}
+
+fn bench_gadget(c: &mut Criterion) {
+    let inst = PartitionInstance::new(vec![5, 5, 6, 5, 5, 6, 5, 5, 6], 3, 16).unwrap();
+    let red = reduce_to_pif(&inst, 2);
+    let groups = inst.solve().unwrap();
+    c.bench_function("experiments/thm2_gadget_run", |b| {
+        b.iter(|| black_box(run_gadget(&red, &groups)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lemma1,
+    bench_lemma2,
+    bench_thm1,
+    bench_lemma4,
+    bench_gadget
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Theorem 6 bench: Algorithm 1 (FTF DP) runtime vs sequence length `n`
+//! and fault delay `τ`, at fixed `K = 2`, `p = 2`, universe 4 — the claim
+//! is polynomial growth in `n` and `(τ+1)^p` in `τ`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcp_bench::dp_family;
+use mcp_core::SimConfig;
+use mcp_offline::{ftf_dp, FtfOptions};
+use std::hint::black_box;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftf_dp/vs_n");
+    for n in [8usize, 16, 32, 64, 128] {
+        let w = dp_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = ftf_dp(black_box(&w), SimConfig::new(2, 1), FtfOptions::default()).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftf_dp/vs_tau");
+    let w = dp_family(32);
+    for tau in [0u64, 1, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let r =
+                    ftf_dp(black_box(&w), SimConfig::new(2, tau), FtfOptions::default()).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftf_dp/vs_K");
+    // Universe 6 so larger caches have configurations to explore.
+    let w = mcp_core::Workload::from_u32([
+        (0..16).map(|i| (i % 3) as u32).collect::<Vec<_>>(),
+        (0..16).map(|i| 10 + (i % 3) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap();
+    for k in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let r = ftf_dp(black_box(&w), SimConfig::new(k, 1), FtfOptions::default()).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_tau, bench_vs_cache);
+criterion_main!(benches);

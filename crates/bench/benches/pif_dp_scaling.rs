@@ -1,0 +1,87 @@
+//! Theorem 7 bench: Algorithm 2 (PIF decision) runtime vs sequence length
+//! and checkpoint horizon, on feasible and infeasible bound vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcp_bench::dp_family;
+use mcp_core::SimConfig;
+use mcp_offline::{pif_decide, PifOptions};
+use std::hint::black_box;
+
+fn opts() -> PifOptions {
+    PifOptions {
+        full_transitions: false,
+        ..Default::default()
+    }
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_dp/vs_n");
+    for n in [8usize, 16, 32, 64] {
+        let w = dp_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let ok = pif_decide(
+                    black_box(&w),
+                    SimConfig::new(2, 1),
+                    (2 * n) as u64,
+                    &[n as u64, n as u64],
+                    opts(),
+                )
+                .unwrap();
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_infeasible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_dp/infeasible");
+    for n in [8usize, 16, 32] {
+        let w = dp_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let ok = pif_decide(
+                    black_box(&w),
+                    SimConfig::new(2, 1),
+                    (2 * n) as u64,
+                    &[1, 1],
+                    opts(),
+                )
+                .unwrap();
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_vs_honest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_dp/transition_relation");
+    let w = dp_family(12);
+    let cfg = SimConfig::new(2, 1);
+    group.bench_function("honest", |b| {
+        b.iter(|| black_box(pif_decide(black_box(&w), cfg, 24, &[6, 6], opts()).unwrap()))
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            black_box(
+                pif_decide(
+                    black_box(&w),
+                    cfg,
+                    24,
+                    &[6, 6],
+                    PifOptions {
+                        full_transitions: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_infeasible, bench_full_vs_honest);
+criterion_main!(benches);

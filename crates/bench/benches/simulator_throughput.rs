@@ -1,0 +1,57 @@
+//! Engine throughput: requests served per second by the discrete-time
+//! simulator under shared LRU, across core counts, cache sizes and τ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcp_bench::throughput_workload;
+use mcp_core::{simulate, SimConfig};
+use mcp_policies::shared_lru;
+use std::hint::black_box;
+
+fn bench_cores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/cores");
+    let n_per_core = 20_000usize;
+    for p in [1usize, 2, 4, 8] {
+        let w = throughput_workload(p, n_per_core, 42);
+        group.throughput(Throughput::Elements((p * n_per_core) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let r = simulate(black_box(&w), SimConfig::new(16 * p, 2), shared_lru()).unwrap();
+                black_box(r.total_faults())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/cache_size");
+    let w = throughput_workload(4, 20_000, 7);
+    group.throughput(Throughput::Elements(80_000));
+    for k in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let r = simulate(black_box(&w), SimConfig::new(k, 2), shared_lru()).unwrap();
+                black_box(r.total_faults())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/tau");
+    let w = throughput_workload(4, 20_000, 9);
+    group.throughput(Throughput::Elements(80_000));
+    for tau in [0u64, 4, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let r = simulate(black_box(&w), SimConfig::new(64, tau), shared_lru()).unwrap();
+                black_box(r.total_faults())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cores, bench_cache_size, bench_tau);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # mcp-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The benchmark targets reproduce the paper's complexity claims
+//! (Theorems 6 and 7: the offline DPs are polynomial in `n` for fixed
+//! `K`, `p`) and measure the engineering surfaces a user cares about:
+//! simulator throughput, per-policy overhead, and the per-experiment
+//! measurement kernels.
+
+use mcp_core::Workload;
+
+/// A fixed-universe two-core family isolating DP cost's `n` dependence.
+pub fn dp_family(n: usize) -> Workload {
+    Workload::from_u32([
+        (0..n).map(|i| (i % 2) as u32).collect::<Vec<_>>(),
+        (0..n).map(|i| 10 + (i % 2) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap()
+}
+
+/// A larger mixed workload for throughput measurements.
+pub fn throughput_workload(p: usize, n_per_core: usize, seed: u64) -> Workload {
+    mcp_workloads::zipf(p, n_per_core, 256, 0.9, seed)
+}

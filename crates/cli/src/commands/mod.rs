@@ -1,0 +1,193 @@
+//! Subcommand implementations. Each command is a pure function from
+//! parsed [`crate::args::Args`] values to their stdout text, so the whole
+//! surface is unit-testable without spawning processes.
+
+pub mod compare;
+pub mod curves;
+pub mod gen;
+pub mod opt;
+pub mod partition;
+pub mod pif;
+pub mod simulate;
+pub mod stats;
+
+use crate::args::{ArgError, Args};
+use mcp_core::{CacheStrategy, SimConfig, Workload};
+use std::fmt;
+use std::path::Path;
+
+/// Errors any subcommand can raise.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failure.
+    Args(ArgError),
+    /// I/O failure reading or writing traces.
+    Io(std::io::Error),
+    /// Anything else, with a message for the user.
+    Other(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Load a workload trace: `.json` via serde, anything else as the compact
+/// text format.
+pub fn load_trace(path: &str) -> Result<Workload, CliError> {
+    let p = Path::new(path);
+    if p.extension().map(|e| e == "json").unwrap_or(false) {
+        mcp_workloads::load_json(p).map_err(CliError::Io)
+    } else {
+        let file = std::fs::File::open(p)?;
+        mcp_workloads::read_text(std::io::BufReader::new(file))
+            .map_err(|e| CliError::Other(format!("parsing {path}: {e}")))
+    }
+}
+
+/// Read `--trace`, `--k`, `--tau` into a ready instance.
+pub fn load_instance(args: &Args) -> Result<(Workload, SimConfig), CliError> {
+    let trace = args.require("trace")?;
+    let workload = load_trace(trace)?;
+    let k: usize = args.parse_required("k")?;
+    let tau: u64 = args.parse_or("tau", 0u64)?;
+    let cfg = SimConfig::new(k, tau);
+    cfg.validate(&workload)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    Ok((workload, cfg))
+}
+
+/// Build a strategy by name. Partition strategies take sizes after a
+/// colon, e.g. `partition:4,2,2`; `partition:equal` splits evenly.
+pub fn build_strategy(
+    spec: &str,
+    workload: &Workload,
+    cfg: SimConfig,
+) -> Result<Box<dyn CacheStrategy>, CliError> {
+    use mcp_policies::*;
+    let p = workload.num_cores();
+    let make_partition = |tail: &str| -> Result<Partition, CliError> {
+        if tail.is_empty() || tail == "equal" {
+            return Ok(Partition::equal(cfg.cache_size, p));
+        }
+        let sizes = tail
+            .split(',')
+            .map(|t| t.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| CliError::Other(format!("bad partition sizes {tail:?}")))?;
+        let part = Partition::from_sizes(sizes);
+        part.validate(cfg.cache_size, p)
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        Ok(part)
+    };
+    let (head, tail) = spec.split_once(':').unwrap_or((spec, ""));
+    Ok(match head {
+        "lru" => Box::new(shared_lru()),
+        "fifo" => Box::new(shared_fifo()),
+        "clock" => Box::new(Shared::new(Clock::new())),
+        "lfu" => Box::new(Shared::new(Lfu::new())),
+        "mru" => Box::new(Shared::new(Mru::new())),
+        "fwf" => Box::new(Shared::new(Fwf::new())),
+        "lru2" => Box::new(Shared::new(LruK::new(2))),
+        "rand" => Box::new(Shared::new(RandomEvict::new(tail.parse().unwrap_or(0)))),
+        "mark" => Box::new(Shared::new(Marking::new(MarkingTie::Lru))),
+        "mark-rand" => Box::new(Shared::new(Marking::new(MarkingTie::Random(
+            tail.parse().unwrap_or(0),
+        )))),
+        "fitf" => Box::new(SharedFitf::new()),
+        "mimic" => Box::new(LruMimicPartition::new()),
+        "partition" => Box::new(static_partition_lru(make_partition(tail)?)),
+        "partition-opt" => Box::new(static_partition_belady(make_partition(tail)?)),
+        "sacrifice" => {
+            let core: usize = tail.parse().unwrap_or(p - 1);
+            if core >= p {
+                return Err(CliError::Other(format!(
+                    "sacrifice core {core} out of range"
+                )));
+            }
+            Box::new(SacrificeOffline::new(core))
+        }
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown strategy {other:?}; try lru, fifo, clock, lfu, mru, fwf, lru2, rand, \
+                 mark, mark-rand, fitf, mimic, partition[:sizes], partition-opt[:sizes], \
+                 sacrifice[:core]"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> Workload {
+        Workload::from_u32([vec![1, 2, 1], vec![7, 8, 7]]).unwrap()
+    }
+
+    #[test]
+    fn strategies_resolve_by_name() {
+        let w = wl();
+        let cfg = SimConfig::new(4, 1);
+        for spec in [
+            "lru",
+            "fifo",
+            "clock",
+            "lfu",
+            "mru",
+            "fwf",
+            "lru2",
+            "rand",
+            "rand:7",
+            "mark",
+            "mark-rand:3",
+            "fitf",
+            "mimic",
+            "partition",
+            "partition:2,2",
+            "partition-opt",
+            "sacrifice",
+            "sacrifice:0",
+        ] {
+            let s = build_strategy(spec, &w, cfg);
+            assert!(
+                s.is_ok(),
+                "{spec} failed: {:?}",
+                s.err().map(|e| e.to_string())
+            );
+        }
+        assert!(build_strategy("nope", &w, cfg).is_err());
+        assert!(build_strategy("partition:9,9", &w, cfg).is_err());
+        assert!(build_strategy("sacrifice:5", &w, cfg).is_err());
+    }
+
+    #[test]
+    fn strategies_actually_run() {
+        let w = wl();
+        let cfg = SimConfig::new(4, 1);
+        for spec in ["lru", "partition:2,2", "mimic", "fitf"] {
+            let s = build_strategy(spec, &w, cfg).unwrap();
+            let r = mcp_core::simulate(&w, cfg, s).unwrap();
+            assert_eq!(r.total_faults() + r.total_hits(), 6);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! `mcp opt` — exact offline optimum via Algorithm 1 (small instances).
+//!
+//! ```text
+//! mcp opt --trace w.json --k 3 --tau 1 [--schedule] [--max-states N]
+//! ```
+
+use super::{load_instance, CliError};
+use crate::args::Args;
+use mcp_offline::{ftf_dp, FtfOptions};
+
+/// Run `mcp opt`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let (workload, cfg) = load_instance(args)?;
+    let reconstruct = args.flag("schedule");
+    let max_states: usize = args.parse_or("max-states", 4_000_000usize)?;
+    let result = ftf_dp(
+        &workload,
+        cfg,
+        FtfOptions {
+            reconstruct,
+            max_states,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| {
+        CliError::Other(format!(
+            "{e} (the DP is exponential in K and p; shrink the instance)"
+        ))
+    })?;
+
+    let mut out = format!(
+        "exact minimum total faults: {} ({} DP states)\n",
+        result.min_faults, result.states
+    );
+    if let Some(schedule) = result.schedule {
+        out.push_str(&format!(
+            "\noptimal schedule ({} placements):\n",
+            schedule.decisions.len()
+        ));
+        let mut decisions: Vec<_> = schedule.decisions.into_iter().collect();
+        decisions.sort_by_key(|((core, idx), _)| (*core, *idx));
+        for ((core, idx), decision) in decisions {
+            out.push_str(&format!("  core {core} request #{idx}: {decision:?}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use mcp_core::Workload;
+
+    #[test]
+    fn computes_the_dp_optimum() {
+        let path = std::env::temp_dir()
+            .join(format!("mcp_cli_opt_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let w = Workload::from_u32([vec![1, 2, 1, 2], vec![9, 8, 9, 8]]).unwrap();
+        mcp_workloads::save_json(&w, std::path::Path::new(&path)).unwrap();
+        let a = Args::parse(
+            format!("opt --trace {path} --k 3 --tau 1 --schedule")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("exact minimum total faults"));
+        assert!(out.contains("core 0 request #0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_cap_reports_kindly() {
+        let path = std::env::temp_dir()
+            .join(format!("mcp_cli_opt2_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let big: Vec<u32> = (0..16).map(|i| i % 8).collect();
+        let w = Workload::from_u32([big.clone(), big.iter().map(|v| v + 100).collect()]).unwrap();
+        mcp_workloads::save_json(&w, std::path::Path::new(&path)).unwrap();
+        let a = Args::parse(
+            format!("opt --trace {path} --k 6 --tau 2 --max-states 100")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let err = run(&a).unwrap_err().to_string();
+        assert!(err.contains("shrink the instance"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,84 @@
+//! # mcp-cli — the `mcp` command-line tool
+//!
+//! Generate, simulate, compare, and exactly solve multicore paging
+//! instances from the shell:
+//!
+//! ```text
+//! mcp gen zipf --cores 4 --n 2000 --universe 128 --out w.json
+//! mcp simulate --trace w.json --k 32 --tau 4 --strategy lru --fairness
+//! mcp compare  --trace w.json --k 32 --tau 4
+//! mcp curves   --trace w.json --max-k 16
+//! mcp partition --trace w.json --k 32 --policy opt
+//! mcp opt --trace small.json --k 3 --tau 1 --schedule
+//! mcp pif --trace small.json --k 3 --tau 1 --at 20 --bounds 4,5
+//! ```
+//!
+//! The library half exposes [`dispatch`] plus the testable pieces
+//! ([`args`], [`commands`]).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+use commands::CliError;
+
+/// Usage text.
+pub const USAGE: &str = "\
+mcp — multicore paging toolkit (López-Ortiz & Salinger, SPAA'11)
+
+usage: mcp <command> [options]
+
+commands:
+  gen <kind>   generate a workload (uniform|zipf|phased|cycles|graph|mixed)
+                 --cores N --n N --seed S --out FILE [--text]
+  simulate     run one strategy        --trace F --k K [--tau T]
+                 [--strategy lru|fifo|clock|lfu|mru|fwf|lru2|rand|mark|
+                  mark-rand|fitf|mimic|partition[:sizes]|partition-opt|
+                  sacrifice[:core]] [--fairness] [--at T]
+  compare      run a strategy matrix   --trace F --k K [--tau T]
+                 [--strategies a,b,c]
+  stats        workload profile        --trace F
+  curves       per-core miss curves    --trace F [--max-k K] [--core N]
+  partition    optimal static split    --trace F --k K [--policy lru|opt]
+  opt          exact min faults (DP)   --trace F --k K [--tau T] [--schedule]
+  pif          fairness feasibility    --trace F --k K --at T --bounds a,b,…
+
+Traces are JSON (.json) or the compact text format (anything else).
+The exact solvers (opt, pif) are exponential in K and p: keep instances small.
+";
+
+/// Dispatch a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_deref() {
+        None => Ok(USAGE.to_string()),
+        Some("help") => Ok(USAGE.to_string()),
+        Some("gen") => commands::gen::run(args),
+        Some("simulate") => commands::simulate::run(args),
+        Some("stats") => commands::stats::run(args),
+        Some("compare") => commands::compare::run(args),
+        Some("curves") => commands::curves::run(args),
+        Some("partition") => commands::partition::run(args),
+        Some("opt") => commands::opt::run(args),
+        Some("pif") => commands::pif::run(args),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown command {other:?}; try `mcp help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let none = Args::parse(std::iter::empty::<String>()).unwrap();
+        assert!(dispatch(&none).unwrap().contains("usage: mcp"));
+        let help = Args::parse(["help".to_string()]).unwrap();
+        assert!(dispatch(&help).unwrap().contains("commands:"));
+        let bad = Args::parse(["frobnicate".to_string()]).unwrap();
+        assert!(dispatch(&bad).is_err());
+    }
+}

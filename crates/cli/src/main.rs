@@ -1,0 +1,23 @@
+//! The `mcp` binary: thin shell over [`mcp_cli::dispatch`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match mcp_cli::args::Args::parse(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mcp: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.flag("help") {
+        print!("{}", mcp_cli::USAGE);
+        return;
+    }
+    match mcp_cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("mcp: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! True end-to-end tests: spawn the built `mcp` binary and drive a full
+//! generate → profile → compare → solve pipeline through its CLI.
+
+use std::process::Command;
+
+fn mcp(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("mcp_e2e_{}_{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn help_and_errors() {
+    let (ok, stdout, _) = mcp(&[]);
+    assert!(ok);
+    assert!(stdout.contains("usage: mcp"));
+    let (ok, _, stderr) = mcp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = mcp(&["simulate", "--k"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+}
+
+#[test]
+fn full_pipeline_over_the_shell() {
+    let trace = tmp("pipeline.json");
+
+    let (ok, stdout, stderr) = mcp(&[
+        "gen", "zipf", "--cores", "2", "--n", "200", "--universe", "24", "--out", &trace,
+    ]);
+    assert!(ok, "gen failed: {stderr}");
+    assert!(stdout.contains("wrote zipf workload"));
+
+    let (ok, stdout, _) = mcp(&["stats", "--trace", &trace]);
+    assert!(ok);
+    assert!(stdout.contains("disjoint = true"));
+
+    let (ok, stdout, _) = mcp(&["compare", "--trace", &trace, "--k", "8", "--tau", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("S_LRU"));
+
+    let (ok, stdout, _) = mcp(&["partition", "--trace", &trace, "--k", "8", "--policy", "opt"]);
+    assert!(ok);
+    assert!(stdout.contains("optimal static partition"));
+
+    let (ok, stdout, _) = mcp(&[
+        "simulate", "--trace", &trace, "--k", "8", "--tau", "2", "--strategy", "lru2",
+        "--fairness",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("S_LRU-2") && stdout.contains("Jain"));
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn exact_solvers_over_the_shell() {
+    let trace = tmp("solver.json");
+    let (ok, _, stderr) =
+        mcp(&["gen", "cycles", "--cores", "2", "--k", "4", "--n", "8", "--out", &trace]);
+    assert!(ok, "{stderr}");
+
+    let (ok, stdout, _) =
+        mcp(&["opt", "--trace", &trace, "--k", "4", "--tau", "1", "--schedule"]);
+    assert!(ok);
+    assert!(stdout.contains("exact minimum total faults"));
+
+    let (ok, stdout, _) = mcp(&[
+        "pif", "--trace", &trace, "--k", "4", "--tau", "1", "--at", "20", "--bounds", "6,6",
+        "--schedule",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("FEASIBLE") || stdout.contains("no schedule exists"));
+
+    std::fs::remove_file(&trace).ok();
+}

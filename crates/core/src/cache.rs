@@ -1,0 +1,448 @@
+//! The shared cache: `K` cells, each empty, holding a resident page, or
+//! reserved for an in-flight fetch.
+//!
+//! Following the paper's convention, when a page must be evicted to make
+//! space, the eviction happens immediately and the cell is *unused* (state
+//! [`CellState::Fetching`]) until the fetch of the new page completes; a
+//! fetching cell can never be chosen as a victim (matching the constraint
+//! in Algorithms 1 and 2 that configurations always contain in-flight
+//! pages).
+
+use crate::types::{PageId, Time};
+use std::collections::HashMap;
+
+/// State of a single cache cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CellState {
+    /// The cell holds no page.
+    Empty,
+    /// The cell holds a resident page, readable by every core.
+    Present(PageId),
+    /// The cell is reserved for `page`, which becomes resident (readable)
+    /// at time `ready_at`.
+    Fetching { page: PageId, ready_at: Time },
+}
+
+impl CellState {
+    /// The page associated with the cell, resident or in flight.
+    pub fn page(&self) -> Option<PageId> {
+        match self {
+            CellState::Empty => None,
+            CellState::Present(p) => Some(*p),
+            CellState::Fetching { page, .. } => Some(*page),
+        }
+    }
+
+    /// `true` iff the cell holds a resident page.
+    pub fn is_present(&self) -> bool {
+        matches!(self, CellState::Present(_))
+    }
+}
+
+/// Outcome of looking a page up in the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Lookup {
+    /// The page is resident in the given cell.
+    Present { cell: usize },
+    /// The page is currently being fetched into the given cell and will be
+    /// resident at `ready_at`.
+    Fetching { cell: usize, ready_at: Time },
+    /// The page is not in the cache at all.
+    Absent,
+}
+
+/// Errors raised by illegal cache manipulations (these indicate a buggy
+/// strategy, e.g. evicting a fetching cell, so the simulator surfaces them
+/// as [`crate::sim::SimError`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CacheError {
+    /// The referenced cell index is out of range.
+    BadCell { cell: usize },
+    /// Attempted to evict an empty cell.
+    EvictEmpty { cell: usize },
+    /// Attempted to evict a cell that is mid-fetch.
+    EvictFetching { cell: usize },
+    /// Attempted to evict a page that is being read in the current
+    /// parallel step (the model forbids this: Algorithms 1 and 2 require
+    /// every currently requested page to remain in the configuration).
+    EvictPinned { cell: usize },
+    /// Attempted to start a fetch into a non-empty cell.
+    FetchIntoOccupied { cell: usize },
+    /// Attempted to fetch a page that is already cached or in flight.
+    DuplicatePage { page: PageId },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::BadCell { cell } => write!(f, "cell index {cell} out of range"),
+            CacheError::EvictEmpty { cell } => write!(f, "cannot evict empty cell {cell}"),
+            CacheError::EvictFetching { cell } => {
+                write!(f, "cannot evict cell {cell}: a fetch is in flight")
+            }
+            CacheError::EvictPinned { cell } => {
+                write!(
+                    f,
+                    "cannot evict cell {cell}: its page is requested this parallel step"
+                )
+            }
+            CacheError::FetchIntoOccupied { cell } => {
+                write!(f, "cannot fetch into occupied cell {cell}")
+            }
+            CacheError::DuplicatePage { page } => {
+                write!(f, "page {page} is already cached or in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A `K`-cell shared cache with per-cell ownership bookkeeping.
+///
+/// *Ownership* records which core's request brought a page in. The engine
+/// maintains it for every strategy; shared strategies may ignore it, while
+/// partition strategies use it to account part occupancy.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cells: Vec<CellState>,
+    owner: Vec<Option<usize>>,
+    index: HashMap<PageId, usize>,
+    owned_counts: Vec<usize>,
+    in_flight: Vec<usize>,
+    pinned: Vec<bool>,
+}
+
+impl Cache {
+    /// Create an empty cache with `cache_size` cells serving `num_cores` cores.
+    pub fn new(cache_size: usize, num_cores: usize) -> Self {
+        Cache {
+            cells: vec![CellState::Empty; cache_size],
+            owner: vec![None; cache_size],
+            index: HashMap::with_capacity(cache_size),
+            owned_counts: vec![0; num_cores],
+            in_flight: Vec::with_capacity(num_cores),
+            pinned: vec![false; cache_size],
+        }
+    }
+
+    /// Pin every cell currently holding one of `pages` for the ongoing
+    /// parallel step: pinned cells cannot be evicted until
+    /// [`Cache::clear_pins`]. The engine pins all simultaneously requested
+    /// pages, mirroring the `R(x) ⊆ C'` constraint of Algorithms 1 and 2.
+    pub fn pin_pages<I: IntoIterator<Item = PageId>>(&mut self, pages: I) {
+        for page in pages {
+            if let Some(&cell) = self.index.get(&page) {
+                self.pinned[cell] = true;
+            }
+        }
+    }
+
+    /// Remove every pin (end of the parallel step).
+    pub fn clear_pins(&mut self) {
+        self.pinned.fill(false);
+    }
+
+    /// Whether `cell` is pinned for the ongoing parallel step.
+    pub fn is_pinned(&self, cell: usize) -> bool {
+        self.pinned[cell]
+    }
+
+    /// Iterate `(cell, page, owner)` over resident pages that may legally
+    /// be evicted right now (resident and not pinned).
+    pub fn evictable_cells(&self) -> impl Iterator<Item = (usize, PageId, Option<usize>)> + '_ {
+        self.present_cells()
+            .filter(|(cell, _, _)| !self.pinned[*cell])
+    }
+
+    /// Iterate `(cell, page)` over evictable resident pages owned by `core`.
+    pub fn evictable_cells_of(&self, core: usize) -> impl Iterator<Item = (usize, PageId)> + '_ {
+        self.evictable_cells()
+            .filter(move |(_, _, o)| *o == Some(core))
+            .map(|(c, p, _)| (c, p))
+    }
+
+    /// Number of cells `K`.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff the cache has no cells (never the case for a validated config).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// State of cell `cell`.
+    pub fn cell(&self, cell: usize) -> CellState {
+        self.cells[cell]
+    }
+
+    /// Core that brought the page in cell `cell`, if occupied.
+    pub fn owner(&self, cell: usize) -> Option<usize> {
+        self.owner[cell]
+    }
+
+    /// Number of cells (resident or fetching) owned by `core`.
+    pub fn owned_count(&self, core: usize) -> usize {
+        self.owned_counts[core]
+    }
+
+    /// Total number of occupied cells (resident or fetching).
+    pub fn occupied(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Look up a page. Call [`Cache::promote_due`] first so that completed
+    /// fetches read as `Present`.
+    pub fn lookup(&self, page: PageId) -> Lookup {
+        match self.index.get(&page) {
+            None => Lookup::Absent,
+            Some(&cell) => match self.cells[cell] {
+                CellState::Present(_) => Lookup::Present { cell },
+                CellState::Fetching { ready_at, .. } => Lookup::Fetching { cell, ready_at },
+                CellState::Empty => unreachable!("index points at empty cell"),
+            },
+        }
+    }
+
+    /// `true` iff `page` is resident (not merely in flight).
+    pub fn contains_resident(&self, page: PageId) -> bool {
+        matches!(self.lookup(page), Lookup::Present { .. })
+    }
+
+    /// Cell index holding `page` (resident or in flight).
+    pub fn cell_of(&self, page: PageId) -> Option<usize> {
+        self.index.get(&page).copied()
+    }
+
+    /// Convert every fetch whose `ready_at ≤ now` into a resident page.
+    pub fn promote_due(&mut self, now: Time) {
+        let cells = &mut self.cells;
+        self.in_flight.retain(|&cell| match cells[cell] {
+            CellState::Fetching { page, ready_at } if ready_at <= now => {
+                cells[cell] = CellState::Present(page);
+                false
+            }
+            CellState::Fetching { .. } => true,
+            _ => false,
+        });
+    }
+
+    /// First empty cell, if any.
+    pub fn empty_cell(&self) -> Option<usize> {
+        self.cells
+            .iter()
+            .position(|c| matches!(c, CellState::Empty))
+    }
+
+    /// Iterate `(cell, page, owner)` over resident pages, in cell order.
+    pub fn present_cells(&self) -> impl Iterator<Item = (usize, PageId, Option<usize>)> + '_ {
+        self.cells.iter().enumerate().filter_map(|(i, c)| match c {
+            CellState::Present(p) => Some((i, *p, self.owner[i])),
+            _ => None,
+        })
+    }
+
+    /// Iterate `(cell, page, owner)` over resident pages owned by `core`.
+    pub fn present_cells_of(&self, core: usize) -> impl Iterator<Item = (usize, PageId)> + '_ {
+        self.present_cells()
+            .filter(move |(_, _, o)| *o == Some(core))
+            .map(|(c, p, _)| (c, p))
+    }
+
+    /// All resident pages, in cell order.
+    pub fn present_pages(&self) -> Vec<PageId> {
+        self.present_cells().map(|(_, p, _)| p).collect()
+    }
+
+    /// Evict the resident page in `cell`, leaving it empty. Fails on
+    /// empty, fetching, or pinned cells.
+    pub fn evict(&mut self, cell: usize) -> Result<PageId, CacheError> {
+        if self.pinned.get(cell).copied().unwrap_or(false) {
+            return Err(CacheError::EvictPinned { cell });
+        }
+        match self.cells.get(cell) {
+            None => Err(CacheError::BadCell { cell }),
+            Some(CellState::Empty) => Err(CacheError::EvictEmpty { cell }),
+            Some(CellState::Fetching { .. }) => Err(CacheError::EvictFetching { cell }),
+            Some(CellState::Present(page)) => {
+                let page = *page;
+                self.index.remove(&page);
+                if let Some(core) = self.owner[cell].take() {
+                    self.owned_counts[core] -= 1;
+                }
+                self.cells[cell] = CellState::Empty;
+                Ok(page)
+            }
+        }
+    }
+
+    /// Begin fetching `page` for `core` into the empty cell `cell`; the page
+    /// becomes resident at `ready_at`.
+    pub fn start_fetch(
+        &mut self,
+        cell: usize,
+        page: PageId,
+        core: usize,
+        ready_at: Time,
+    ) -> Result<(), CacheError> {
+        match self.cells.get(cell) {
+            None => return Err(CacheError::BadCell { cell }),
+            Some(CellState::Empty) => {}
+            Some(_) => return Err(CacheError::FetchIntoOccupied { cell }),
+        }
+        if self.index.contains_key(&page) {
+            return Err(CacheError::DuplicatePage { page });
+        }
+        self.cells[cell] = CellState::Fetching { page, ready_at };
+        self.owner[cell] = Some(core);
+        self.owned_counts[core] += 1;
+        self.index.insert(page, cell);
+        self.in_flight.push(cell);
+        Ok(())
+    }
+
+    /// Number of fetches currently in flight.
+    pub fn fetches_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn fetch_then_promote_then_lookup() {
+        let mut c = Cache::new(3, 2);
+        assert_eq!(c.lookup(p(1)), Lookup::Absent);
+        c.start_fetch(0, p(1), 0, 5).unwrap();
+        assert_eq!(
+            c.lookup(p(1)),
+            Lookup::Fetching {
+                cell: 0,
+                ready_at: 5
+            }
+        );
+        assert_eq!(c.fetches_in_flight(), 1);
+        c.promote_due(4);
+        assert_eq!(
+            c.lookup(p(1)),
+            Lookup::Fetching {
+                cell: 0,
+                ready_at: 5
+            }
+        );
+        c.promote_due(5);
+        assert_eq!(c.lookup(p(1)), Lookup::Present { cell: 0 });
+        assert_eq!(c.fetches_in_flight(), 0);
+        assert!(c.contains_resident(p(1)));
+    }
+
+    #[test]
+    fn ownership_accounting() {
+        let mut c = Cache::new(3, 2);
+        c.start_fetch(0, p(1), 0, 1).unwrap();
+        c.start_fetch(1, p(2), 1, 1).unwrap();
+        c.start_fetch(2, p(3), 1, 1).unwrap();
+        c.promote_due(1);
+        assert_eq!(c.owned_count(0), 1);
+        assert_eq!(c.owned_count(1), 2);
+        assert_eq!(c.occupied(), 3);
+        assert_eq!(c.evict(1).unwrap(), p(2));
+        assert_eq!(c.owned_count(1), 1);
+        assert_eq!(c.occupied(), 2);
+        assert_eq!(c.empty_cell(), Some(1));
+        let owned: Vec<PageId> = c.present_cells_of(1).map(|(_, pg)| pg).collect();
+        assert_eq!(owned, vec![p(3)]);
+    }
+
+    #[test]
+    fn cannot_evict_fetching_or_empty() {
+        let mut c = Cache::new(2, 1);
+        c.start_fetch(0, p(1), 0, 10).unwrap();
+        assert_eq!(
+            c.evict(0).unwrap_err(),
+            CacheError::EvictFetching { cell: 0 }
+        );
+        assert_eq!(c.evict(1).unwrap_err(), CacheError::EvictEmpty { cell: 1 });
+        assert_eq!(c.evict(9).unwrap_err(), CacheError::BadCell { cell: 9 });
+    }
+
+    #[test]
+    fn cannot_double_fetch_or_fetch_into_occupied() {
+        let mut c = Cache::new(2, 1);
+        c.start_fetch(0, p(1), 0, 1).unwrap();
+        assert_eq!(
+            c.start_fetch(0, p(2), 0, 1).unwrap_err(),
+            CacheError::FetchIntoOccupied { cell: 0 }
+        );
+        assert_eq!(
+            c.start_fetch(1, p(1), 0, 1).unwrap_err(),
+            CacheError::DuplicatePage { page: p(1) }
+        );
+    }
+
+    #[test]
+    fn present_pages_in_cell_order() {
+        let mut c = Cache::new(3, 1);
+        c.start_fetch(2, p(9), 0, 1).unwrap();
+        c.start_fetch(0, p(4), 0, 1).unwrap();
+        c.promote_due(1);
+        assert_eq!(c.present_pages(), vec![p(4), p(9)]);
+    }
+
+    #[test]
+    fn pinned_pages_cannot_be_evicted() {
+        let mut c = Cache::new(3, 2);
+        c.start_fetch(0, p(1), 0, 1).unwrap();
+        c.start_fetch(1, p(2), 1, 1).unwrap();
+        c.promote_due(1);
+        c.pin_pages([p(1), p(99)]); // absent pages are ignored
+        assert!(c.is_pinned(0));
+        assert!(!c.is_pinned(1));
+        assert_eq!(c.evict(0).unwrap_err(), CacheError::EvictPinned { cell: 0 });
+        assert_eq!(c.evict(1).unwrap(), p(2));
+        let evictable: Vec<PageId> = c.evictable_cells().map(|(_, pg, _)| pg).collect();
+        assert!(evictable.is_empty());
+        c.clear_pins();
+        assert_eq!(c.evict(0).unwrap(), p(1));
+    }
+
+    #[test]
+    fn evictable_cells_filter_pins_and_fetches() {
+        let mut c = Cache::new(3, 2);
+        c.start_fetch(0, p(1), 0, 1).unwrap();
+        c.start_fetch(1, p(2), 0, 1).unwrap();
+        c.start_fetch(2, p(3), 1, 10).unwrap(); // stays in flight
+        c.promote_due(1);
+        c.pin_pages([p(2)]);
+        let evictable: Vec<PageId> = c.evictable_cells().map(|(_, pg, _)| pg).collect();
+        assert_eq!(evictable, vec![p(1)]);
+        let of0: Vec<PageId> = c.evictable_cells_of(0).map(|(_, pg)| pg).collect();
+        assert_eq!(of0, vec![p(1)]);
+    }
+
+    #[test]
+    fn cell_state_helpers() {
+        assert_eq!(CellState::Empty.page(), None);
+        assert_eq!(CellState::Present(p(3)).page(), Some(p(3)));
+        assert_eq!(
+            CellState::Fetching {
+                page: p(4),
+                ready_at: 2
+            }
+            .page(),
+            Some(p(4))
+        );
+        assert!(CellState::Present(p(1)).is_present());
+        assert!(!CellState::Empty.is_present());
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace analytics: derived views over the event stream produced by
+//! [`Simulator::run_with_trace`](crate::Simulator::run_with_trace) —
+//! per-core cache occupancy over time (the *effective partition* any
+//! strategy induces), eviction pressure per page, and outcome tallies.
+
+use crate::sim::{Outcome, StepReport};
+use crate::types::{PageId, Time};
+use std::collections::HashMap;
+
+/// Outcome tallies over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that started a fetch.
+    pub faults: u64,
+    /// Requests that joined another core's in-flight fetch.
+    pub shared_fetch_misses: u64,
+}
+
+/// Count hits, faults, and shared-fetch misses in a trace.
+pub fn outcome_counts(trace: &[StepReport]) -> OutcomeCounts {
+    let mut counts = OutcomeCounts::default();
+    for step in trace {
+        for served in &step.served {
+            match served.outcome {
+                Outcome::Hit => counts.hits += 1,
+                Outcome::Fault { .. } => counts.faults += 1,
+                Outcome::SharedFetchMiss => counts.shared_fetch_misses += 1,
+            }
+        }
+    }
+    counts
+}
+
+/// How many times each page was evicted (forced or voluntary) over a trace.
+pub fn evictions_by_page(trace: &[StepReport]) -> HashMap<PageId, u64> {
+    let mut out: HashMap<PageId, u64> = HashMap::new();
+    for step in trace {
+        for &(_, page) in &step.voluntary {
+            *out.entry(page).or_insert(0) += 1;
+        }
+        for served in &step.served {
+            if let Outcome::Fault {
+                evicted: Some(victim),
+                ..
+            } = served.outcome
+            {
+                *out.entry(victim).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The *effective partition* a strategy induced: cells owned per core
+/// after each traced timestep, reconstructed purely from the event stream
+/// (faults claim cells; evictions release them).
+///
+/// Returns `(time, owned_cells_per_core)` snapshots, one per step.
+pub fn occupancy_timeline(
+    trace: &[StepReport],
+    num_cores: usize,
+    cache_size: usize,
+) -> Vec<(Time, Vec<usize>)> {
+    let mut cell_owner: Vec<Option<usize>> = vec![None; cache_size];
+    let mut cell_page: Vec<Option<PageId>> = vec![None; cache_size];
+    let mut page_cell: HashMap<PageId, usize> = HashMap::new();
+    let mut timeline = Vec::with_capacity(trace.len());
+    for step in trace {
+        for &(cell, page) in &step.voluntary {
+            cell_owner[cell] = None;
+            cell_page[cell] = None;
+            page_cell.remove(&page);
+        }
+        for served in &step.served {
+            if let Outcome::Fault { cell, evicted } = served.outcome {
+                if let Some(victim) = evicted {
+                    page_cell.remove(&victim);
+                }
+                if let Some(old) = cell_page[cell] {
+                    page_cell.remove(&old);
+                }
+                cell_owner[cell] = Some(served.core);
+                cell_page[cell] = Some(served.page);
+                page_cell.insert(served.page, cell);
+            }
+        }
+        let mut owned = vec![0usize; num_cores];
+        for owner in cell_owner.iter().flatten() {
+            owned[*owner] += 1;
+        }
+        timeline.push((step.time, owned));
+    }
+    timeline
+}
+
+/// Gaps between consecutive fault issue times of one core (empty if the
+/// core faulted fewer than twice).
+pub fn inter_fault_times(fault_times: &[Time]) -> Vec<Time> {
+    fault_times.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::sim::Simulator;
+    use crate::strategy::CacheStrategy;
+    use crate::types::{SimConfig, Workload};
+
+    struct FirstFit;
+    impl CacheStrategy for FirstFit {
+        fn name(&self) -> String {
+            "FirstFit".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .expect("victim exists")
+        }
+    }
+
+    fn traced(seqs: &[&[u32]], k: usize, tau: u64) -> (crate::sim::SimResult, Vec<StepReport>) {
+        let w = Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap();
+        Simulator::new(&w, SimConfig::new(k, tau), FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap()
+    }
+
+    #[test]
+    fn outcome_counts_match_result() {
+        let (result, trace) = traced(&[&[1, 2, 1, 2], &[7, 7, 8, 8]], 3, 1);
+        let counts = outcome_counts(&trace);
+        assert_eq!(counts.hits, result.total_hits());
+        assert_eq!(
+            counts.faults + counts.shared_fetch_misses,
+            result.total_faults()
+        );
+    }
+
+    #[test]
+    fn eviction_pressure_identifies_the_thrashed_page() {
+        // K=1, single core cycling two pages: each page keeps evicting the
+        // other.
+        let (_, trace) = traced(&[&[1, 2, 1, 2, 1, 2]], 1, 0);
+        let ev = evictions_by_page(&trace);
+        assert_eq!(ev.get(&PageId(1)).copied().unwrap_or(0), 3);
+        assert_eq!(ev.get(&PageId(2)).copied().unwrap_or(0), 2);
+    }
+
+    #[test]
+    fn occupancy_matches_live_cache_state() {
+        // Reconstruct occupancy from events and compare with the cache's
+        // own ownership accounting at every step.
+        let w = Workload::from_u32([vec![1, 2, 3, 1, 2, 3], vec![7, 8, 7, 8, 7, 8]]).unwrap();
+        let cfg = SimConfig::new(4, 2);
+        let mut sim = Simulator::new(&w, cfg, FirstFit).unwrap();
+        let mut trace = Vec::new();
+        let mut live: Vec<Vec<usize>> = Vec::new();
+        while let Some(step) = sim.step().unwrap() {
+            trace.push(step);
+            live.push((0..2).map(|c| sim.cache().owned_count(c)).collect());
+        }
+        let reconstructed = occupancy_timeline(&trace, 2, 4);
+        assert_eq!(reconstructed.len(), live.len());
+        for ((_, owned), expected) in reconstructed.iter().zip(&live) {
+            assert_eq!(owned, expected);
+        }
+    }
+
+    #[test]
+    fn inter_fault_gaps() {
+        assert_eq!(inter_fault_times(&[1, 4, 7, 13]), vec![3, 3, 6]);
+        assert!(inter_fault_times(&[5]).is_empty());
+        assert!(inter_fault_times(&[]).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # mcp-core — the multicore paging model
+//!
+//! Executable form of the cache model of López-Ortiz & Salinger, *Paging
+//! for Multicore Processors* (UW TR CS-2011-12; SPAA'11 brief
+//! announcement): `p` request sequences served in parallel against a shared
+//! cache of `K` pages, where every request must be served on arrival, the
+//! only algorithmic freedom is the choice of victim on a fault, and each
+//! fault delays the remaining requests of its core by an additive `τ`.
+//!
+//! * [`types`] — pages, workloads, configuration.
+//! * [`cache`] — the `K`-cell cache with fetch-in-progress cells.
+//! * [`strategy`] — the [`CacheStrategy`] decision trait.
+//! * [`sim`] — the discrete-time engine, step-wise or run-to-completion.
+//! * [`events`] — analytics over event traces (effective partitions,
+//!   eviction pressure, outcome tallies).
+//!
+//! ```
+//! use mcp_core::{simulate, CacheStrategy, Cache, PageId, SimConfig, Time, Workload};
+//!
+//! /// Evict the lowest-indexed resident page (a toy policy).
+//! struct FirstFit;
+//! impl CacheStrategy for FirstFit {
+//!     fn name(&self) -> String { "FirstFit".into() }
+//!     fn choose_cell(&mut self, _core: usize, _page: PageId, _t: Time, cache: &Cache) -> usize {
+//!         cache.empty_cell()
+//!             .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+//!             .expect("victim exists")
+//!     }
+//! }
+//!
+//! let workload = Workload::from_u32([vec![1, 2, 1, 2], vec![7, 8, 7, 8]]).unwrap();
+//! let result = simulate(&workload, SimConfig::new(4, 2), FirstFit).unwrap();
+//! assert_eq!(result.total_faults(), 4); // cold misses only: everything fits
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod events;
+pub mod sim;
+pub mod strategy;
+pub mod types;
+
+pub use cache::{Cache, CacheError, CellState, Lookup};
+pub use events::{
+    evictions_by_page, inter_fault_times, occupancy_timeline, outcome_counts, OutcomeCounts,
+};
+pub use sim::{simulate, Outcome, Served, SimError, SimResult, Simulator, StepReport};
+pub use strategy::CacheStrategy;
+pub use types::{ModelError, PageId, SimConfig, Time, Workload};

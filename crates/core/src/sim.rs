@@ -1,0 +1,565 @@
+//! The discrete-time simulation engine.
+//!
+//! Semantics (Section 3 of the paper, pinned down):
+//!
+//! * Time is discrete; core `j`'s first request issues at `t = 1`.
+//! * All cores whose next request is due at `t` are served at `t`, in
+//!   increasing core order (the fixed logical order); a request served
+//!   later within the timestep observes the cache effects of earlier ones.
+//! * A **hit** completes at `t`; the core's next request issues at `t + 1`.
+//! * A **miss** evicts a victim immediately, reserves the cell for the
+//!   fetch (unusable and unevictable until done), completes at `t + τ`,
+//!   and the core's next request issues at `t + τ + 1`. Thus a miss delays
+//!   all remaining requests of that core by the additive term `τ`.
+//! * A request for a page that is mid-fetch for *another* core (possible
+//!   only for non-disjoint workloads) counts as a fault for the requesting
+//!   core and delays it by `τ`, but allocates no second cell.
+//! * All pages requested in a parallel step are read in parallel, so none
+//!   of them may be evicted during that step (they are *pinned*). This
+//!   mirrors the `R(x) ⊆ C'` constraint of the paper's Algorithms 1 and 2
+//!   and makes DP optima exactly achievable by the engine.
+//! * Strategies cannot delay or reorder requests.
+
+use crate::cache::{Cache, CacheError, Lookup};
+use crate::strategy::CacheStrategy;
+use crate::types::{ModelError, PageId, SimConfig, Time, Workload};
+
+/// Errors surfaced by a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum SimError {
+    /// The workload/config combination is malformed.
+    Model(ModelError),
+    /// The strategy performed an illegal cache manipulation.
+    Cache(CacheError),
+    /// The strategy asked to voluntarily evict a cell that is not `Present`.
+    BadVoluntaryEviction { cell: usize },
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<CacheError> for SimError {
+    fn from(e: CacheError) -> Self {
+        SimError::Cache(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Cache(e) => write!(f, "cache error: {e}"),
+            SimError::BadVoluntaryEviction { cell } => {
+                write!(f, "voluntary eviction of non-present cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// How a single request was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Outcome {
+    /// Resident page: served from cache.
+    Hit,
+    /// Absent page: fetch started into `cell`, possibly after evicting
+    /// `evicted` from it.
+    Fault {
+        cell: usize,
+        evicted: Option<PageId>,
+    },
+    /// Page was mid-fetch for another core: fault, but no cell consumed.
+    SharedFetchMiss,
+}
+
+/// One served request, for step-wise inspection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Served {
+    /// Core that issued the request.
+    pub core: usize,
+    /// Index of the request within the core's sequence (0-based).
+    pub index: usize,
+    /// The requested page.
+    pub page: PageId,
+    /// How it was served.
+    pub outcome: Outcome,
+}
+
+/// Everything that happened in one simulated timestep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepReport {
+    /// The timestep.
+    pub time: Time,
+    /// Voluntary evictions applied at the start of the step: `(cell, page)`.
+    pub voluntary: Vec<(usize, PageId)>,
+    /// Requests served this step, in logical (core) order.
+    pub served: Vec<Served>,
+}
+
+/// Aggregate result of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimResult {
+    /// Per-core fault counts.
+    pub faults: Vec<u64>,
+    /// Per-core hit counts.
+    pub hits: Vec<u64>,
+    /// Completion time of the last request (0 for an empty workload).
+    pub makespan: Time,
+    /// Issue times of each core's faults, ascending.
+    pub fault_times: Vec<Vec<Time>>,
+    /// The configuration the run used.
+    pub config: SimConfig,
+}
+
+impl SimResult {
+    /// Total faults across all cores (the FTF objective).
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Total hits across all cores.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Number of faults core `core` had incurred by time `t` (inclusive of
+    /// faults issued at `t`) — the quantity PARTIAL-INDIVIDUAL-FAULTS bounds.
+    pub fn faults_at(&self, core: usize, t: Time) -> u64 {
+        self.fault_times[core].partition_point(|&ft| ft <= t) as u64
+    }
+
+    /// The whole fault vector at time `t`.
+    pub fn fault_vector_at(&self, t: Time) -> Vec<u64> {
+        (0..self.fault_times.len())
+            .map(|c| self.faults_at(c, t))
+            .collect()
+    }
+}
+
+/// A stepping simulator: drive it with [`Simulator::step`] or run it to
+/// completion with [`Simulator::run`] / the [`simulate`] convenience.
+pub struct Simulator<'w, S: CacheStrategy> {
+    workload: &'w Workload,
+    cfg: SimConfig,
+    strategy: S,
+    cache: Cache,
+    pos: Vec<usize>,
+    ready: Vec<Time>,
+    faults: Vec<u64>,
+    hits: Vec<u64>,
+    fault_times: Vec<Vec<Time>>,
+    makespan: Time,
+}
+
+impl<'w, S: CacheStrategy> Simulator<'w, S> {
+    /// Create a simulator; calls the strategy's [`CacheStrategy::begin`].
+    pub fn new(workload: &'w Workload, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+        cfg.validate(workload)?;
+        strategy.begin(workload, &cfg);
+        let p = workload.num_cores();
+        Ok(Simulator {
+            workload,
+            cfg,
+            strategy,
+            cache: Cache::new(cfg.cache_size, p),
+            pos: vec![0; p],
+            ready: vec![1; p],
+            faults: vec![0; p],
+            hits: vec![0; p],
+            fault_times: vec![Vec::new(); p],
+            makespan: 0,
+        })
+    }
+
+    /// The shared cache, for inspection between steps.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Next request index of each core.
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// Time at which each core's next request issues.
+    pub fn ready_times(&self) -> &[Time] {
+        &self.ready
+    }
+
+    /// `true` once every sequence has been fully served.
+    pub fn finished(&self) -> bool {
+        self.pos
+            .iter()
+            .zip(self.workload.sequences())
+            .all(|(&pos, seq)| pos >= seq.len())
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        self.pos
+            .iter()
+            .zip(self.ready.iter())
+            .zip(self.workload.sequences())
+            .filter(|((&pos, _), seq)| pos < seq.len())
+            .map(|((_, &ready), _)| ready)
+            .min()
+    }
+
+    /// Serve one timestep (the next time at which any request is due).
+    /// Returns `Ok(None)` when every sequence is finished.
+    pub fn step(&mut self) -> Result<Option<StepReport>, SimError> {
+        let Some(t) = self.next_event_time() else {
+            return Ok(None);
+        };
+        self.cache.promote_due(t);
+
+        let mut voluntary = Vec::new();
+        for cell in self.strategy.voluntary_evictions(t, &self.cache) {
+            if !matches!(self.cache.cell(cell), crate::cache::CellState::Present(_)) {
+                return Err(SimError::BadVoluntaryEviction { cell });
+            }
+            let page = self.cache.evict(cell)?;
+            self.strategy.on_evict(page, cell);
+            voluntary.push((cell, page));
+        }
+
+        // Pin every page requested this parallel step: parallel reads may
+        // not be evicted by simultaneous placements.
+        let due: Vec<usize> = (0..self.workload.num_cores())
+            .filter(|&core| self.pos[core] < self.workload.len(core) && self.ready[core] == t)
+            .collect();
+        self.cache.pin_pages(
+            due.iter()
+                .map(|&core| self.workload.sequence(core)[self.pos[core]]),
+        );
+
+        let mut served = Vec::with_capacity(self.workload.num_cores());
+        for core in 0..self.workload.num_cores() {
+            let seq = self.workload.sequence(core);
+            if self.pos[core] >= seq.len() || self.ready[core] != t {
+                continue;
+            }
+            let index = self.pos[core];
+            let page = seq[index];
+            let outcome = match self.cache.lookup(page) {
+                Lookup::Present { .. } => {
+                    self.hits[core] += 1;
+                    self.strategy.on_hit(core, page, t, &self.cache);
+                    self.ready[core] = t + 1;
+                    self.makespan = self.makespan.max(t);
+                    Outcome::Hit
+                }
+                Lookup::Fetching { .. } => {
+                    // In flight for another core (same core cannot be
+                    // mid-fetch while issuing). Fault, no new cell.
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    self.strategy
+                        .on_shared_fetch_miss(core, page, t, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                    Outcome::SharedFetchMiss
+                }
+                Lookup::Absent => {
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    let cell = self.strategy.choose_cell(core, page, t, &self.cache);
+                    let evicted = match self.cache.cell(cell) {
+                        crate::cache::CellState::Present(_) => {
+                            let victim = self.cache.evict(cell)?;
+                            self.strategy.on_evict(victim, cell);
+                            Some(victim)
+                        }
+                        crate::cache::CellState::Empty => None,
+                        crate::cache::CellState::Fetching { .. } => {
+                            return Err(SimError::Cache(CacheError::EvictFetching { cell }));
+                        }
+                    };
+                    self.cache
+                        .start_fetch(cell, page, core, t + self.cfg.tau + 1)?;
+                    self.strategy.on_fault(core, page, t, cell, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                    Outcome::Fault { cell, evicted }
+                }
+            };
+            self.pos[core] += 1;
+            served.push(Served {
+                core,
+                index,
+                page,
+                outcome,
+            });
+        }
+        self.cache.clear_pins();
+        Ok(Some(StepReport {
+            time: t,
+            voluntary,
+            served,
+        }))
+    }
+
+    /// Run to completion and return the aggregate result.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        while self.step()?.is_some() {}
+        Ok(self.into_result())
+    }
+
+    /// Run to completion, additionally collecting every [`StepReport`]
+    /// (one per non-empty timestep) — the full event trace.
+    pub fn run_with_trace(mut self) -> Result<(SimResult, Vec<StepReport>), SimError> {
+        let mut trace = Vec::new();
+        while let Some(report) = self.step()? {
+            trace.push(report);
+        }
+        Ok((self.into_result(), trace))
+    }
+
+    fn into_result(self) -> SimResult {
+        SimResult {
+            faults: self.faults,
+            hits: self.hits,
+            makespan: self.makespan,
+            fault_times: self.fault_times,
+            config: self.cfg,
+        }
+    }
+}
+
+/// Run `strategy` on `workload` under `cfg` and return the result.
+pub fn simulate<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    strategy: S,
+) -> Result<SimResult, SimError> {
+    Simulator::new(workload, cfg, strategy)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evicts the lowest-indexed present cell; uses empty cells first.
+    struct FirstFit;
+    impl CacheStrategy for FirstFit {
+        fn name(&self) -> String {
+            "FirstFit".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .expect("a victim always exists when K >= p")
+        }
+    }
+
+    fn w(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn single_core_timing_with_tau() {
+        // [a, b] with K=2, tau=3: a faults at 1 (done 4), b at 5 (done 8).
+        let wl = w(&[&[1, 2]]);
+        let r = simulate(&wl, SimConfig::new(2, 3), FirstFit).unwrap();
+        assert_eq!(r.faults, vec![2]);
+        assert_eq!(r.hits, vec![0]);
+        assert_eq!(r.fault_times[0], vec![1, 5]);
+        assert_eq!(r.makespan, 8);
+    }
+
+    #[test]
+    fn refetch_becomes_hit_exactly_when_ready() {
+        // [a, a] with K=1, tau=3: fault at 1, page ready at 5; second
+        // request issues at 5 and hits.
+        let wl = w(&[&[1, 1]]);
+        let r = simulate(&wl, SimConfig::new(1, 3), FirstFit).unwrap();
+        assert_eq!(r.faults, vec![1]);
+        assert_eq!(r.hits, vec![1]);
+        assert_eq!(r.makespan, 5);
+    }
+
+    #[test]
+    fn tau_zero_means_unit_time_faults() {
+        let wl = w(&[&[1, 2, 1, 2]]);
+        let r = simulate(&wl, SimConfig::new(2, 0), FirstFit).unwrap();
+        assert_eq!(r.total_faults(), 2);
+        assert_eq!(r.total_hits(), 2);
+        assert_eq!(r.makespan, 4);
+    }
+
+    #[test]
+    fn fault_delays_accumulate() {
+        // Three distinct pages, K=3, tau=2: faults at t = 1, 4, 7.
+        let wl = w(&[&[1, 2, 3]]);
+        let r = simulate(&wl, SimConfig::new(3, 2), FirstFit).unwrap();
+        assert_eq!(r.fault_times[0], vec![1, 4, 7]);
+        assert_eq!(r.makespan, 9);
+    }
+
+    #[test]
+    fn logical_order_within_timestep() {
+        // Both cores request page 1 at t=1 (non-disjoint). Core 0 faults
+        // and starts the fetch; core 1 sees the in-flight fetch and takes a
+        // shared-fetch miss without consuming a second cell.
+        let wl = w(&[&[1], &[1]]);
+        let mut sim = Simulator::new(&wl, SimConfig::new(2, 4), FirstFit).unwrap();
+        let report = sim.step().unwrap().unwrap();
+        assert_eq!(report.served.len(), 2);
+        assert!(matches!(report.served[0].outcome, Outcome::Fault { .. }));
+        assert_eq!(report.served[1].outcome, Outcome::SharedFetchMiss);
+        assert_eq!(sim.cache().occupied(), 1);
+        let r = sim.run().unwrap();
+        assert_eq!(r.faults, vec![1, 1]);
+    }
+
+    #[test]
+    fn later_core_hits_page_fetched_long_before() {
+        // Core 0 brings page 1 in at t=1 (ready at 3, tau=2). Core 1 first
+        // requests its own page (fault, delayed to t=4), then page 1 at
+        // t=4, by which time it is resident: a hit.
+        let wl = w(&[&[1], &[2, 1]]);
+        let r = simulate(&wl, SimConfig::new(3, 2), FirstFit).unwrap();
+        assert_eq!(r.faults, vec![1, 1]);
+        assert_eq!(r.hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_service_no_cross_core_delay() {
+        // Disjoint single-page loops: each core faults once then hits.
+        // Faults on one core must not delay the other.
+        let wl = w(&[&[1, 1, 1], &[2, 2, 2]]);
+        let r = simulate(&wl, SimConfig::new(2, 5), FirstFit).unwrap();
+        assert_eq!(r.faults, vec![1, 1]);
+        assert_eq!(r.hits, vec![2, 2]);
+        // Fault at 1, hits at 7 and 8 on both cores.
+        assert_eq!(r.makespan, 8);
+    }
+
+    #[test]
+    fn faults_at_checkpoints() {
+        let wl = w(&[&[1, 2, 3]]);
+        let r = simulate(&wl, SimConfig::new(3, 2), FirstFit).unwrap();
+        // Fault issue times: 1, 4, 7.
+        assert_eq!(r.faults_at(0, 0), 0);
+        assert_eq!(r.faults_at(0, 1), 1);
+        assert_eq!(r.faults_at(0, 3), 1);
+        assert_eq!(r.faults_at(0, 4), 2);
+        assert_eq!(r.faults_at(0, 100), 3);
+        assert_eq!(r.fault_vector_at(4), vec![2]);
+    }
+
+    #[test]
+    fn empty_workload_is_trivial() {
+        let wl = w(&[&[], &[]]);
+        let r = simulate(&wl, SimConfig::new(2, 3), FirstFit).unwrap();
+        assert_eq!(r.total_faults(), 0);
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn voluntary_evictions_apply_before_service() {
+        /// Forces page 1 out right before t = 3, so the second request for
+        /// it faults again (a dishonest strategy).
+        struct Forcing;
+        impl CacheStrategy for Forcing {
+            fn name(&self) -> String {
+                "Forcing".into()
+            }
+            fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+                cache
+                    .empty_cell()
+                    .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                    .unwrap()
+            }
+            fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+                if time == 3 {
+                    cache
+                        .present_cells()
+                        .filter(|(_, p, _)| *p == PageId(1))
+                        .map(|(i, _, _)| i)
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        // [1, 2, 1] K=3 tau=0: honest would fault twice; forcing faults 3x.
+        let wl = w(&[&[1, 2, 1]]);
+        let r = simulate(&wl, SimConfig::new(3, 0), Forcing).unwrap();
+        assert_eq!(r.total_faults(), 3);
+    }
+
+    #[test]
+    fn invalid_voluntary_eviction_is_an_error() {
+        struct Bad;
+        impl CacheStrategy for Bad {
+            fn name(&self) -> String {
+                "Bad".into()
+            }
+            fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+                cache.empty_cell().unwrap()
+            }
+            fn voluntary_evictions(&mut self, _t: Time, _c: &Cache) -> Vec<usize> {
+                vec![0] // cell 0 is empty at t=1
+            }
+        }
+        let wl = w(&[&[1]]);
+        assert_eq!(
+            simulate(&wl, SimConfig::new(1, 0), Bad).unwrap_err(),
+            SimError::BadVoluntaryEviction { cell: 0 }
+        );
+    }
+
+    #[test]
+    fn choosing_a_fetching_cell_is_an_error() {
+        struct Bad;
+        impl CacheStrategy for Bad {
+            fn name(&self) -> String {
+                "Bad".into()
+            }
+            fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, _cache: &Cache) -> usize {
+                0 // always cell 0, even when it is mid-fetch
+            }
+        }
+        // Two cores fault simultaneously; core 1's placement targets the
+        // cell core 0 is fetching into.
+        let wl = w(&[&[1], &[2]]);
+        let err = simulate(&wl, SimConfig::new(2, 3), Bad).unwrap_err();
+        assert_eq!(err, SimError::Cache(CacheError::EvictFetching { cell: 0 }));
+    }
+
+    #[test]
+    fn trace_matches_aggregate_result() {
+        let wl = w(&[&[1, 2, 1, 2], &[7, 7, 8, 8]]);
+        let cfg = SimConfig::new(3, 2);
+        let sim = Simulator::new(&wl, cfg, FirstFit).unwrap();
+        let (result, trace) = sim.run_with_trace().unwrap();
+        let baseline = simulate(&wl, cfg, FirstFit).unwrap();
+        assert_eq!(result, baseline);
+        // Every served request appears exactly once in the trace.
+        let served: usize = trace.iter().map(|s| s.served.len()).sum();
+        assert_eq!(served, wl.total_len());
+        // Trace times strictly increase and faults in the trace agree.
+        assert!(trace.windows(2).all(|w| w[0].time < w[1].time));
+        let traced_faults = trace
+            .iter()
+            .flat_map(|s| &s.served)
+            .filter(|s| !matches!(s.outcome, Outcome::Hit))
+            .count() as u64;
+        assert_eq!(traced_faults, result.total_faults());
+    }
+
+    #[test]
+    fn makespan_counts_trailing_fetch() {
+        // Last request is a miss at t=1 with tau=4: completes at 5.
+        let wl = w(&[&[1]]);
+        let r = simulate(&wl, SimConfig::new(1, 4), FirstFit).unwrap();
+        assert_eq!(r.makespan, 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! The [`CacheStrategy`] trait: the full decision surface the paper grants a
+//! multicore paging algorithm.
+//!
+//! In this model the algorithm has **no scheduling power**: every active
+//! request must be served the moment it arrives. The only genuine choice is
+//! the victim on a fault. Two auxiliary hooks widen the trait just enough to
+//! express everything the paper discusses:
+//!
+//! * [`CacheStrategy::voluntary_evictions`] lets *dishonest* strategies
+//!   evict pages without a fault (used to probe Theorem 4, which proves
+//!   honesty is WLOG for disjoint sequences);
+//! * [`CacheStrategy::begin`] hands offline strategies the whole input
+//!   before the run starts (online strategies simply ignore it).
+
+use crate::cache::Cache;
+use crate::types::{PageId, SimConfig, Time, Workload};
+
+/// A cache-management strategy: the combination of a (possibly trivial)
+/// partition policy and an eviction policy, in the paper's terminology.
+///
+/// The simulator drives the strategy with callbacks in service order; within
+/// one timestep, cores are served in increasing core index (the model's
+/// fixed logical order), so a strategy that maintains its own recency
+/// counter observes a deterministic total order of events.
+pub trait CacheStrategy {
+    /// Human-readable name, e.g. `"S_LRU"` or `"sP[2,2]_FIFO"`.
+    fn name(&self) -> String;
+
+    /// Called once before the run. Online strategies must not read the
+    /// future from `workload`; offline strategies may.
+    fn begin(&mut self, workload: &Workload, cfg: &SimConfig) {
+        let _ = (workload, cfg);
+    }
+
+    /// `core` requested `page` at `time` and it was resident.
+    fn on_hit(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        let _ = (core, page, time, cache);
+    }
+
+    /// `core` requested `page` at `time` and it was absent: return the cell
+    /// to fetch into. The cell must be `Empty` or `Present`; if `Present`,
+    /// the engine evicts its page first (reporting it via
+    /// [`CacheStrategy::on_evict`]). Returning a `Fetching` cell is an error.
+    fn choose_cell(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) -> usize;
+
+    /// A fetch of `page` for `core` has started into `cell` at `time`.
+    fn on_fault(&mut self, core: usize, page: PageId, time: Time, cell: usize, cache: &Cache) {
+        let _ = (core, page, time, cell, cache);
+    }
+
+    /// `page` was evicted from `cell` (forced by a fault placement or by a
+    /// voluntary eviction). Strategies drop their metadata for `page` here.
+    fn on_evict(&mut self, page: PageId, cell: usize) {
+        let _ = (page, cell);
+    }
+
+    /// `core` requested `page` at `time` while `page` was already being
+    /// fetched for another core (non-disjoint workloads only). The request
+    /// counts as a fault for `core` and the core is delayed by `τ`, but no
+    /// new cell is consumed.
+    fn on_shared_fetch_miss(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        let _ = (core, page, time, cache);
+    }
+
+    /// Cells to evict voluntarily at the start of timestep `time`, before
+    /// any request is served. Each cell must be `Present`. Honest
+    /// strategies (everything except Theorem-4 probes) keep the default.
+    fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+        let _ = (time, cache);
+        Vec::new()
+    }
+}
+
+/// Blanket forwarding so `&mut S` and boxed strategies are strategies too.
+impl<S: CacheStrategy + ?Sized> CacheStrategy for &mut S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn begin(&mut self, workload: &Workload, cfg: &SimConfig) {
+        (**self).begin(workload, cfg)
+    }
+    fn on_hit(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        (**self).on_hit(core, page, time, cache)
+    }
+    fn choose_cell(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) -> usize {
+        (**self).choose_cell(core, page, time, cache)
+    }
+    fn on_fault(&mut self, core: usize, page: PageId, time: Time, cell: usize, cache: &Cache) {
+        (**self).on_fault(core, page, time, cell, cache)
+    }
+    fn on_evict(&mut self, page: PageId, cell: usize) {
+        (**self).on_evict(page, cell)
+    }
+    fn on_shared_fetch_miss(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        (**self).on_shared_fetch_miss(core, page, time, cache)
+    }
+    fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+        (**self).voluntary_evictions(time, cache)
+    }
+}
+
+impl<S: CacheStrategy + ?Sized> CacheStrategy for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn begin(&mut self, workload: &Workload, cfg: &SimConfig) {
+        (**self).begin(workload, cfg)
+    }
+    fn on_hit(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        (**self).on_hit(core, page, time, cache)
+    }
+    fn choose_cell(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) -> usize {
+        (**self).choose_cell(core, page, time, cache)
+    }
+    fn on_fault(&mut self, core: usize, page: PageId, time: Time, cell: usize, cache: &Cache) {
+        (**self).on_fault(core, page, time, cell, cache)
+    }
+    fn on_evict(&mut self, page: PageId, cell: usize) {
+        (**self).on_evict(page, cell)
+    }
+    fn on_shared_fetch_miss(&mut self, core: usize, page: PageId, time: Time, cache: &Cache) {
+        (**self).on_shared_fetch_miss(core, page, time, cache)
+    }
+    fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+        (**self).voluntary_evictions(time, cache)
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests of the engine: model invariants under arbitrary
+//! workloads, configurations, and (randomized but legal) victim choices.
+
+use mcp_core::{
+    simulate, Cache, CacheStrategy, Outcome, PageId, SimConfig, Simulator, Time, Workload,
+};
+use proptest::prelude::*;
+
+/// A legal strategy whose victim choice is driven by a seed: uses empty
+/// cells first, then picks the `(seed + fault#)`-th evictable cell.
+struct SeededVictim {
+    seed: u64,
+    faults: u64,
+}
+
+impl SeededVictim {
+    fn new(seed: u64) -> Self {
+        SeededVictim { seed, faults: 0 }
+    }
+}
+
+impl CacheStrategy for SeededVictim {
+    fn name(&self) -> String {
+        "SeededVictim".into()
+    }
+    fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+        self.faults += 1;
+        if let Some(cell) = cache.empty_cell() {
+            return cell;
+        }
+        let cells: Vec<usize> = cache.evictable_cells().map(|(i, _, _)| i).collect();
+        cells[(self.seed.wrapping_add(self.faults) as usize) % cells.len()]
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    // p in 1..=3, per-core length 0..=15, per-core universe 1..=4 pages,
+    // cores disjoint by construction.
+    prop::collection::vec(prop::collection::vec(0u32..4, 0..15), 1..=3).prop_map(|seqs| {
+        let shifted: Vec<Vec<PageId>> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(core, s)| {
+                s.into_iter()
+                    .map(|v| PageId(core as u32 * 100 + v))
+                    .collect()
+            })
+            .collect();
+        Workload::new(shifted).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_conservation_and_bounds(
+        w in arb_workload(),
+        extra_k in 0usize..4,
+        tau in 0u64..5,
+        seed in 0u64..1000,
+    ) {
+        let k = w.num_cores() + extra_k;
+        let cfg = SimConfig::new(k, tau);
+        let r = simulate(&w, cfg, SeededVictim::new(seed)).unwrap();
+        let n = w.total_len() as u64;
+        prop_assert_eq!(r.total_faults() + r.total_hits(), n);
+        prop_assert!(r.total_faults() >= w.universe_size() as u64 || n == 0);
+        prop_assert!(r.makespan <= n * (tau + 1));
+        prop_assert!(r.makespan >= w.max_len() as u64);
+        for core in 0..w.num_cores() {
+            prop_assert_eq!(r.faults[core] + r.hits[core], w.len(core) as u64);
+            prop_assert!(r.fault_times[core].windows(2).all(|x| x[0] < x[1]));
+            // Issue times live within the horizon.
+            if let Some(&last) = r.fault_times[core].last() {
+                prop_assert!(last <= r.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn stepping_equals_running(
+        w in arb_workload(),
+        tau in 0u64..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SimConfig::new(w.num_cores() + 1, tau);
+        let whole = simulate(&w, cfg, SeededVictim::new(seed)).unwrap();
+        let mut sim = Simulator::new(&w, cfg, SeededVictim::new(seed)).unwrap();
+        let mut steps = 0usize;
+        while sim.step().unwrap().is_some() {
+            steps += 1;
+            prop_assert!(steps <= w.total_len() * (tau as usize + 2) + 2);
+        }
+        prop_assert!(sim.finished());
+        let stepped = {
+            // Re-run via run() for an identical result object.
+            let sim2 = Simulator::new(&w, cfg, SeededVictim::new(seed)).unwrap();
+            sim2.run().unwrap()
+        };
+        prop_assert_eq!(whole, stepped);
+    }
+
+    #[test]
+    fn trace_accounts_every_request(
+        w in arb_workload(),
+        tau in 0u64..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SimConfig::new(w.num_cores() + 1, tau);
+        let sim = Simulator::new(&w, cfg, SeededVictim::new(seed)).unwrap();
+        let (result, trace) = sim.run_with_trace().unwrap();
+        let served: usize = trace.iter().map(|s| s.served.len()).sum();
+        prop_assert_eq!(served, w.total_len());
+        let faults = trace
+            .iter()
+            .flat_map(|s| &s.served)
+            .filter(|s| !matches!(s.outcome, Outcome::Hit))
+            .count() as u64;
+        prop_assert_eq!(faults, result.total_faults());
+        prop_assert!(trace.windows(2).all(|x| x[0].time < x[1].time));
+    }
+
+    #[test]
+    fn disjoint_single_page_cores_fault_once(
+        pages in prop::collection::vec(1usize..8, 1..4),
+        tau in 0u64..4,
+    ) {
+        // Each core repeats one private page: exactly one cold miss each.
+        let w = Workload::new(
+            pages
+                .iter()
+                .enumerate()
+                .map(|(c, &n)| vec![PageId(c as u32); n])
+                .collect(),
+        )
+        .unwrap();
+        let cfg = SimConfig::new(pages.len(), tau);
+        let r = simulate(&w, cfg, SeededVictim::new(0)).unwrap();
+        for core in 0..pages.len() {
+            prop_assert_eq!(r.faults[core], 1);
+        }
+    }
+
+    #[test]
+    fn larger_cache_never_hurts_seeded_victims_on_single_core(
+        seq in prop::collection::vec(0u32..5, 1..20),
+        tau in 0u64..3,
+    ) {
+        // With p=1 and the FIRST-evictable victim rule (seed 0 picks a
+        // deterministic cell), a strictly larger cache holds a superset…
+        // not guaranteed for arbitrary policies, but guaranteed when the
+        // cache is large enough to hold the whole universe: only cold
+        // misses remain.
+        let w = Workload::new(vec![seq.iter().map(|&v| PageId(v)).collect()]).unwrap();
+        let big = SimConfig::new(w.universe_size().max(1), tau);
+        let r = simulate(&w, big, SeededVictim::new(0)).unwrap();
+        prop_assert_eq!(r.total_faults(), w.universe_size() as u64);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mcp-hardness — the NP-hardness gadgets of Theorems 2 and 3
+//!
+//! PARTIAL-INDIVIDUAL-FAULTS is NP-complete (Theorem 2, reduction from
+//! 3-PARTITION) and MAX-PIF is APX-hard (Theorem 3, gap-preserving
+//! reduction from MAX-4-PARTITION). This crate makes both reductions
+//! executable:
+//!
+//! * [`numeric`] — 3-/4-PARTITION instances, exact solver, planted yes
+//!   generators and handcrafted no-instances;
+//! * [`reduction`] — the g-PARTITION → PIF instance builder with the
+//!   paper's exact parameters;
+//! * [`gadget`] — the proof's cell-rotation schedule as a runnable
+//!   [`mcp_core::CacheStrategy`], which meets every fault bound exactly on
+//!   yes-instances (machine-checking the forward direction of the proof).
+
+#![warn(missing_docs)]
+
+pub mod gadget;
+pub mod numeric;
+pub mod reduction;
+
+pub use gadget::{run_gadget, GadgetStrategy};
+pub use numeric::{
+    known_no_3partition, known_no_4partition, planted_yes, verify_grouping, InstanceError,
+    PartitionInstance,
+};
+pub use reduction::{reduce_to_pif, PifReduction};

@@ -1,0 +1,354 @@
+//! 3-PARTITION and 4-PARTITION: instances, validation, exact solvers, and
+//! planted generators. These are the NP-complete sources of the paper's
+//! Theorem 2 (3-PARTITION → PIF) and Theorem 3 (4-PARTITION → MAX-PIF)
+//! reductions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An instance of g-PARTITION (g = 3 or 4): partition `items` into groups
+/// of exactly `g` elements, each summing to `target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionInstance {
+    /// The multiset `S` of positive integers.
+    pub items: Vec<u64>,
+    /// Elements per group (3 for 3-PARTITION, 4 for 4-PARTITION).
+    pub group_size: usize,
+    /// The per-group target `B`.
+    pub target: u64,
+}
+
+/// Why an instance is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum InstanceError {
+    /// `group_size` is not 3 or 4.
+    BadGroupSize(usize),
+    /// `|items|` is not a multiple of `group_size`.
+    BadCount { items: usize, group_size: usize },
+    /// `Σ items ≠ (n/g) · B`.
+    BadTotal { total: u64, expected: u64 },
+    /// An item violates the strict window `B/(g+1) < s < B/(g−1)`.
+    ItemOutOfRange { index: usize, value: u64 },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::BadGroupSize(g) => write!(f, "group size {g} must be 3 or 4"),
+            InstanceError::BadCount { items, group_size } => {
+                write!(f, "{items} items is not a multiple of {group_size}")
+            }
+            InstanceError::BadTotal { total, expected } => {
+                write!(f, "items total {total}, expected {expected}")
+            }
+            InstanceError::ItemOutOfRange { index, value } => {
+                write!(f, "item {index} = {value} outside the strict size window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+impl PartitionInstance {
+    /// Build and validate an instance.
+    pub fn new(items: Vec<u64>, group_size: usize, target: u64) -> Result<Self, InstanceError> {
+        let inst = PartitionInstance {
+            items,
+            group_size,
+            target,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Number of items `n`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if there are no items (never valid).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of groups `n / g`.
+    pub fn num_groups(&self) -> usize {
+        self.items.len() / self.group_size
+    }
+
+    /// Check well-formedness: count, total, and the strict size window
+    /// `B/(g+1) < s_i < B/(g−1)` forcing every group to have exactly `g`
+    /// elements.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        let g = self.group_size;
+        if g != 3 && g != 4 {
+            return Err(InstanceError::BadGroupSize(g));
+        }
+        if self.items.is_empty() || !self.items.len().is_multiple_of(g) {
+            return Err(InstanceError::BadCount {
+                items: self.items.len(),
+                group_size: g,
+            });
+        }
+        let total: u64 = self.items.iter().sum();
+        let expected = (self.items.len() / g) as u64 * self.target;
+        if total != expected {
+            return Err(InstanceError::BadTotal { total, expected });
+        }
+        for (i, &s) in self.items.iter().enumerate() {
+            // Strict: B < s·(g+1) and s·(g−1) < B.
+            if s * (g as u64 + 1) <= self.target || s * (g as u64 - 1) >= self.target {
+                return Err(InstanceError::ItemOutOfRange { index: i, value: s });
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact solver: a grouping into `n/g` groups each summing to `B`, or
+    /// `None`. Backtracking over items sorted descending, anchoring each
+    /// group at the largest unused item (WLOG) and skipping symmetric
+    /// same-value branches. Exponential worst case but fast at the
+    /// unary-small sizes the reduction uses.
+    pub fn solve(&self) -> Option<Vec<Vec<usize>>> {
+        let n = self.items.len();
+        // Sort indices descending by value: large items constrain first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.items[i]));
+
+        fn dfs(
+            inst: &PartitionInstance,
+            order: &[usize],
+            used: &mut [bool],
+            groups: &mut Vec<Vec<usize>>,
+            current: &mut Vec<usize>,
+            cur_sum: u64,
+            start_pos: usize,
+        ) -> bool {
+            if current.len() == inst.group_size {
+                if cur_sum != inst.target {
+                    return false;
+                }
+                groups.push(std::mem::take(current));
+                // Anchor the next group at the largest unused item.
+                let ok = match order.iter().position(|&i| !used[i]) {
+                    None => true,
+                    Some(pos) => {
+                        let i = order[pos];
+                        used[i] = true;
+                        *current = vec![i];
+                        let ok = dfs(inst, order, used, groups, current, inst.items[i], pos + 1);
+                        if !ok {
+                            used[i] = false;
+                        }
+                        ok
+                    }
+                };
+                if !ok {
+                    *current = groups.pop().expect("pushed above");
+                }
+                return ok;
+            }
+            for pos in start_pos..order.len() {
+                let i = order[pos];
+                if used[i] {
+                    continue;
+                }
+                let s = inst.items[i];
+                if cur_sum + s > inst.target {
+                    continue;
+                }
+                // Symmetry: if the previous same-valued item is unused, we
+                // already explored (and failed) the equivalent branch.
+                if pos > start_pos {
+                    let prev = order[pos - 1];
+                    if !used[prev] && inst.items[prev] == s {
+                        continue;
+                    }
+                }
+                used[i] = true;
+                current.push(i);
+                if dfs(inst, order, used, groups, current, cur_sum + s, pos + 1) {
+                    return true;
+                }
+                current.pop();
+                used[i] = false;
+            }
+            false
+        }
+
+        let mut used = vec![false; n];
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(self.num_groups());
+        let anchor = order[0];
+        used[anchor] = true;
+        let mut current = vec![anchor];
+        if dfs(
+            self,
+            &order,
+            &mut used,
+            &mut groups,
+            &mut current,
+            self.items[anchor],
+            1,
+        ) {
+            Some(groups)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the instance is a yes-instance.
+    pub fn is_yes(&self) -> bool {
+        self.solve().is_some()
+    }
+}
+
+/// Verify a claimed grouping.
+pub fn verify_grouping(inst: &PartitionInstance, groups: &[Vec<usize>]) -> bool {
+    let n = inst.items.len();
+    if groups.len() != inst.num_groups() {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for group in groups {
+        if group.len() != inst.group_size {
+            return false;
+        }
+        let mut sum = 0;
+        for &i in group {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+            sum += inst.items[i];
+        }
+        if sum != inst.target {
+            return false;
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Generate a planted **yes** instance of g-PARTITION with `groups` groups
+/// and per-group target `target`. Every item respects the strict window.
+pub fn planted_yes(group_size: usize, groups: usize, target: u64, seed: u64) -> PartitionInstance {
+    assert!(group_size == 3 || group_size == 4);
+    let g = group_size as u64;
+    assert!(
+        target > g * (g + 1),
+        "target {target} too small for the strict window with g = {g}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = target / (g + 1) + 1; // smallest s with s(g+1) > B
+    let hi = (target - 1) / (g - 1); // largest s with s(g-1) < B
+    let hi = if hi * (g - 1) >= target { hi - 1 } else { hi };
+    assert!(lo <= hi, "empty window for target {target}, g {g}");
+
+    let mut items = Vec::with_capacity(groups * group_size);
+    for _ in 0..groups {
+        // Rejection-sample a g-tuple in [lo, hi] summing to target.
+        loop {
+            let mut tuple: Vec<u64> = (0..group_size - 1)
+                .map(|_| rng.gen_range(lo..=hi))
+                .collect();
+            let partial: u64 = tuple.iter().sum();
+            if partial + lo <= target && target <= partial + hi {
+                tuple.push(target - partial);
+                items.extend(tuple);
+                break;
+            }
+        }
+    }
+    PartitionInstance::new(items, group_size, target).expect("planted instance is valid")
+}
+
+/// A handcrafted **no** instance of 3-PARTITION: `{4,4,4,4,4,6}` with
+/// `B = 13` — every item is in `(13/4, 13/2)`, the total is `2B`, but the
+/// only triple sums available are 12 (`4+4+4`) and 14 (`4+4+6`).
+pub fn known_no_3partition() -> PartitionInstance {
+    PartitionInstance::new(vec![4, 4, 4, 4, 4, 6], 3, 13).expect("well-formed")
+}
+
+/// A handcrafted **no** instance of 4-PARTITION: `{6,6,6,4,4,4,4,4}` with
+/// `B = 19` — every item lies in `(19/5, 19/3)` and the total is `2B`,
+/// but all items are even, so no quadruple can sum to the odd target.
+pub fn known_no_4partition() -> PartitionInstance {
+    PartitionInstance::new(vec![6, 6, 6, 4, 4, 4, 4, 4], 4, 19).expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(matches!(
+            PartitionInstance::new(vec![2, 2, 2], 5, 6),
+            Err(InstanceError::BadGroupSize(5))
+        ));
+        assert!(matches!(
+            PartitionInstance::new(vec![2, 2], 3, 6),
+            Err(InstanceError::BadCount { .. })
+        ));
+        assert!(matches!(
+            PartitionInstance::new(vec![2, 2, 3], 3, 6),
+            Err(InstanceError::BadTotal { .. })
+        ));
+        // 1 * 4 <= 6: below the window.
+        assert!(matches!(
+            PartitionInstance::new(vec![1, 2, 3], 3, 6),
+            Err(InstanceError::ItemOutOfRange { .. })
+        ));
+        assert!(PartitionInstance::new(vec![2, 2, 2], 3, 6).is_ok());
+    }
+
+    #[test]
+    fn trivial_yes() {
+        let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+        let groups = inst.solve().expect("solvable");
+        assert!(verify_grouping(&inst, &groups));
+    }
+
+    #[test]
+    fn known_no_instances_are_no() {
+        let no3 = known_no_3partition();
+        assert!(no3.validate().is_ok());
+        assert!(!no3.is_yes());
+        let no4 = known_no_4partition();
+        assert!(no4.validate().is_ok());
+        assert!(!no4.is_yes());
+    }
+
+    #[test]
+    fn planted_instances_solve_and_verify() {
+        for seed in 0..5 {
+            let inst = planted_yes(3, 3, 40, seed);
+            assert_eq!(inst.len(), 9);
+            let groups = inst.solve().expect("planted yes must solve");
+            assert!(verify_grouping(&inst, &groups));
+        }
+        for seed in 0..3 {
+            let inst = planted_yes(4, 2, 50, seed);
+            assert_eq!(inst.len(), 8);
+            let groups = inst.solve().expect("planted yes must solve");
+            assert!(verify_grouping(&inst, &groups));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_bad_groupings() {
+        let inst = PartitionInstance::new(vec![2, 2, 2, 2, 2, 2], 3, 6).unwrap();
+        assert!(verify_grouping(&inst, &[vec![0, 1, 2], vec![3, 4, 5]]));
+        assert!(!verify_grouping(&inst, &[vec![0, 1, 2], vec![3, 4, 4]])); // reuse
+        assert!(!verify_grouping(&inst, &[vec![0, 1], vec![2, 3, 4]])); // sizes
+        assert!(!verify_grouping(&inst, &[vec![0, 1, 2]])); // missing group
+    }
+
+    #[test]
+    fn solver_handles_duplicates_efficiently() {
+        // 30 identical items: trivially yes, must return quickly.
+        let inst = PartitionInstance::new(vec![5; 30], 3, 15).unwrap();
+        assert!(inst.is_yes());
+    }
+}

@@ -1,0 +1,158 @@
+//! The reductions of Theorems 2 and 3: g-PARTITION → PARTIAL-INDIVIDUAL-
+//! FAULTS.
+//!
+//! Given a g-PARTITION instance (g = 3 for Theorem 2, g = 4 for Theorem 3)
+//! with items `s_1..s_n` and target `B`, build a PIF instance with:
+//!
+//! * `p = n` disjoint sequences, `R_i = α_i β_i α_i β_i …` of length
+//!   `B(τ+1) + (g+1)τ + (g+2)`;
+//! * cache size `K = (g+1)·p/g` (each group of `g` sequences shares `g+1`
+//!   cells);
+//! * checkpoint `t = B(τ+1) + (g+1)τ + (g+2)` and per-sequence fault
+//!   bounds `b_i = B − s_i + (g+1)`.
+//!
+//! For g = 3 these are exactly the paper's `|R_i| = B(τ+1)+4τ+5`,
+//! `K = 4p/3`, `b_i = B−s_i+4`; for g = 4, `|R_i| = B(τ+1)+5τ+6`,
+//! `K = 5p/4`, `b_i = B−s_i+5`.
+
+use crate::numeric::PartitionInstance;
+use mcp_core::{PageId, SimConfig, Time, Workload};
+
+/// A PIF instance produced by the reduction, bundled with its source.
+#[derive(Clone, Debug)]
+pub struct PifReduction {
+    /// The alternating two-page sequences.
+    pub workload: Workload,
+    /// Cache size `K = (g+1)p/g` and the chosen `τ ≥ 1`.
+    pub cfg: SimConfig,
+    /// The checkpoint time `t`.
+    pub checkpoint: Time,
+    /// The per-sequence fault bounds `b_i = B − s_i + (g+1)`.
+    pub bounds: Vec<u64>,
+    /// The source numeric instance.
+    pub instance: PartitionInstance,
+}
+
+impl PifReduction {
+    /// The two pages of sequence `i`: `(α_i, β_i)`.
+    pub fn pages_of(&self, core: usize) -> (PageId, PageId) {
+        (PageId(2 * core as u32), PageId(2 * core as u32 + 1))
+    }
+
+    /// Per-sequence hit quota `h_i = s_i(τ+1) + 1` from the proof.
+    pub fn hit_quota(&self, core: usize) -> u64 {
+        self.instance.items[core] * (self.cfg.tau + 1) + 1
+    }
+}
+
+/// Build the PIF instance for a (validated) g-PARTITION instance.
+///
+/// `τ ≥ 1` is required (the proof's counting needs every cell handoff to
+/// cost τ > 0 hitless timesteps).
+///
+/// ```
+/// use mcp_hardness::{reduce_to_pif, run_gadget, PartitionInstance};
+///
+/// let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+/// let red = reduce_to_pif(&inst, 1);
+/// assert_eq!(red.cfg.cache_size, 4);            // K = 4p/3
+/// assert_eq!(red.bounds, vec![8, 8, 8]);        // b_i = B - s_i + 4
+/// // The proof's schedule meets every bound exactly:
+/// let faults = run_gadget(&red, &inst.solve().unwrap());
+/// assert_eq!(faults, red.bounds);
+/// ```
+pub fn reduce_to_pif(instance: &PartitionInstance, tau: u64) -> PifReduction {
+    instance
+        .validate()
+        .expect("reduction requires a well-formed instance");
+    assert!(tau >= 1, "the reduction requires tau >= 1");
+    let g = instance.group_size as u64;
+    let p = instance.len();
+    let b_target = instance.target;
+
+    let len = (b_target * (tau + 1) + (g + 1) * tau + g + 2) as usize;
+    let sequences: Vec<Vec<PageId>> = (0..p)
+        .map(|i| {
+            (0..len)
+                .map(|j| PageId(2 * i as u32 + (j % 2) as u32))
+                .collect()
+        })
+        .collect();
+    let workload = Workload::new(sequences).expect("nonempty");
+
+    let cache_size = (g as usize + 1) * p / instance.group_size;
+    assert_eq!(
+        cache_size * instance.group_size,
+        (g as usize + 1) * p,
+        "p must be a multiple of the group size"
+    );
+
+    let bounds: Vec<u64> = instance
+        .items
+        .iter()
+        .map(|&s| b_target - s + g + 1)
+        .collect();
+
+    PifReduction {
+        workload,
+        cfg: SimConfig::new(cache_size, tau),
+        checkpoint: len as Time,
+        bounds,
+        instance: instance.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::planted_yes;
+
+    #[test]
+    fn reduction_matches_paper_parameters_g3() {
+        // 3-PARTITION, n = 3, B = 6, tau = 1.
+        let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+        let red = reduce_to_pif(&inst, 1);
+        assert_eq!(red.workload.num_cores(), 3);
+        assert_eq!(red.cfg.cache_size, 4); // (4/3) p
+                                           // |R_i| = B(tau+1) + 4 tau + 5 = 12 + 4 + 5 = 21.
+        assert_eq!(red.workload.len(0), 21);
+        assert_eq!(red.checkpoint, 21);
+        // b_i = B - s_i + 4 = 8.
+        assert_eq!(red.bounds, vec![8, 8, 8]);
+        // h_i = s_i (tau+1) + 1 = 5.
+        assert_eq!(red.hit_quota(0), 5);
+        assert!(red.workload.is_disjoint());
+    }
+
+    #[test]
+    fn reduction_matches_paper_parameters_g4() {
+        let inst = planted_yes(4, 1, 50, 7);
+        let red = reduce_to_pif(&inst, 2);
+        assert_eq!(red.workload.num_cores(), 4);
+        assert_eq!(red.cfg.cache_size, 5); // (5/4) p
+                                           // |R_i| = B(tau+1) + 5 tau + 6 = 150 + 16 = 166.
+        assert_eq!(red.workload.len(0), 166);
+        for (i, &s) in red.instance.items.iter().enumerate() {
+            assert_eq!(red.bounds[i], 50 - s + 5);
+        }
+    }
+
+    #[test]
+    fn sequences_alternate_two_private_pages() {
+        let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+        let red = reduce_to_pif(&inst, 1);
+        let (a, b) = red.pages_of(1);
+        let seq = red.workload.sequence(1);
+        assert_eq!(seq[0], a);
+        assert_eq!(seq[1], b);
+        assert_eq!(seq[2], a);
+        assert_eq!(red.workload.core_universe(1), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau >= 1")]
+    fn tau_zero_rejected() {
+        let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+        reduce_to_pif(&inst, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Machine-checks Theorem 2 in both directions at exhaustive-scale:
+//! yes-instances of 3-PARTITION reduce to feasible PIF instances (with the
+//! gadget and the DP agreeing), and the DP rejects bound vectors tighter
+//! than the reduction's (the yes-instance saturates its bounds exactly).
+
+use mcp_hardness::{reduce_to_pif, run_gadget, PartitionInstance};
+use mcp_offline::{pif_decide, pif_witness, PifOptions};
+use mcp_policies::Replay;
+
+fn opts() -> PifOptions {
+    PifOptions {
+        full_transitions: true,
+        max_expansions: 50_000_000,
+    }
+}
+
+#[test]
+fn yes_instance_is_feasible_by_dp_and_gadget() {
+    // n = 3, B = 6: the smallest well-formed 3-PARTITION instance.
+    let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+    let red = reduce_to_pif(&inst, 1);
+
+    // (⇒) constructive: the gadget schedule meets the bounds...
+    let groups = inst.solve().unwrap();
+    assert_eq!(run_gadget(&red, &groups), red.bounds);
+
+    // ...and Algorithm 2 agrees the instance is feasible.
+    let feasible = pif_decide(&red.workload, red.cfg, red.checkpoint, &red.bounds, opts()).unwrap();
+    assert!(feasible, "reduced yes-instance must be PIF-feasible");
+
+    // ...and the DP's own witness replays on the engine within bounds.
+    let schedule = pif_witness(&red.workload, red.cfg, red.checkpoint, &red.bounds, opts())
+        .unwrap()
+        .expect("feasible instance has a witness");
+    let run = mcp_core::simulate(
+        &red.workload,
+        red.cfg,
+        Replay::new(schedule.decisions).with_voluntary(schedule.voluntary),
+    )
+    .unwrap();
+    for (i, &b) in red.bounds.iter().enumerate() {
+        assert!(
+            run.faults_at(i, red.checkpoint) <= b,
+            "witness violates bound {i}: {} > {b}",
+            run.faults_at(i, red.checkpoint)
+        );
+    }
+}
+
+#[test]
+fn tightened_bounds_become_infeasible() {
+    // The gadget achieves each bound with equality, and the proof's
+    // counting argument shows the bounds are tight: lowering any single
+    // b_i by one must make the instance infeasible.
+    let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+    let red = reduce_to_pif(&inst, 1);
+    for i in 0..3 {
+        let mut tightened = red.bounds.clone();
+        tightened[i] -= 1;
+        let feasible =
+            pif_decide(&red.workload, red.cfg, red.checkpoint, &tightened, opts()).unwrap();
+        assert!(!feasible, "tightening b_{i} must break feasibility");
+    }
+}
+
+#[test]
+fn mismatched_target_is_infeasible() {
+    // Negative control: keep the same items (total 6) but build the PIF
+    // instance as if B were 5 — the serving window shrinks faster than
+    // the fault bounds relax, so the required hit volume no longer fits
+    // and the DP must reject.
+    let good = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+    let red_good = reduce_to_pif(&good, 1);
+    let tau = 1u64;
+    let b = 5u64;
+    let len = (b * (tau + 1) + 4 * tau + 5) as usize;
+    let sequences: Vec<Vec<mcp_core::PageId>> = (0..3)
+        .map(|i| {
+            (0..len)
+                .map(|j| mcp_core::PageId(2 * i as u32 + (j % 2) as u32))
+                .collect()
+        })
+        .collect();
+    let workload = mcp_core::Workload::new(sequences).unwrap();
+    let bounds: Vec<u64> = good.items.iter().map(|&s| b - s + 4).collect();
+    let feasible = pif_decide(&workload, red_good.cfg, len as u64, &bounds, opts()).unwrap();
+    assert!(
+        !feasible,
+        "deflated target leaves too little time for the required hits"
+    );
+}

@@ -1,0 +1,81 @@
+//! Property tests of the hardness pipeline: planted instances always
+//! solve and verify; the gadget schedule meets its bounds **exactly** on
+//! arbitrary planted yes-instances across group sizes and τ.
+
+use mcp_hardness::{planted_yes, reduce_to_pif, run_gadget, verify_grouping};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn planted_3partition_solves_and_verifies(
+        groups in 1usize..5,
+        target in 20u64..80,
+        seed in 0u64..10_000,
+    ) {
+        let inst = planted_yes(3, groups, target, seed);
+        prop_assert!(inst.validate().is_ok());
+        let solution = inst.solve().expect("planted yes must solve");
+        prop_assert!(verify_grouping(&inst, &solution));
+    }
+
+    #[test]
+    fn planted_4partition_solves_and_verifies(
+        groups in 1usize..4,
+        target in 30u64..80,
+        seed in 0u64..10_000,
+    ) {
+        let inst = planted_yes(4, groups, target, seed);
+        prop_assert!(inst.validate().is_ok());
+        let solution = inst.solve().expect("planted yes must solve");
+        prop_assert!(verify_grouping(&inst, &solution));
+    }
+
+    #[test]
+    fn gadget_is_exact_on_arbitrary_planted_instances(
+        groups in 1usize..4,
+        target in 20u64..50,
+        tau in 1u64..4,
+        seed in 0u64..10_000,
+    ) {
+        let inst = planted_yes(3, groups, target, seed);
+        let red = reduce_to_pif(&inst, tau);
+        let solution = inst.solve().unwrap();
+        let faults = run_gadget(&red, &solution);
+        prop_assert_eq!(&faults, &red.bounds,
+            "gadget must saturate every bound exactly (items {:?}, tau {})",
+            inst.items, tau);
+    }
+
+    #[test]
+    fn gadget_is_exact_for_group_size_four(
+        target in 30u64..60,
+        tau in 1u64..3,
+        seed in 0u64..10_000,
+    ) {
+        let inst = planted_yes(4, 2, target, seed);
+        let red = reduce_to_pif(&inst, tau);
+        let solution = inst.solve().unwrap();
+        let faults = run_gadget(&red, &solution);
+        prop_assert_eq!(&faults, &red.bounds);
+    }
+
+    #[test]
+    fn reduction_parameters_match_the_paper(
+        target in 20u64..60,
+        tau in 1u64..5,
+        seed in 0u64..10_000,
+    ) {
+        let inst = planted_yes(3, 2, target, seed);
+        let red = reduce_to_pif(&inst, tau);
+        // K = 4p/3, |R_i| = B(tau+1)+4tau+5, b_i = B - s_i + 4.
+        prop_assert_eq!(red.cfg.cache_size, 4 * inst.len() / 3);
+        let expected_len = (target * (tau + 1) + 4 * tau + 5) as usize;
+        for core in 0..inst.len() {
+            prop_assert_eq!(red.workload.len(core), expected_len);
+            prop_assert_eq!(red.bounds[core], target - inst.items[core] + 4);
+        }
+        prop_assert_eq!(red.checkpoint, expected_len as u64);
+    }
+}

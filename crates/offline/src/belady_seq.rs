@@ -1,0 +1,158 @@
+//! Classic sequential (single-sequence) Belady/OPT: the offline optimal
+//! for p = 1, used as ground truth for the DPs at p = 1 and as the
+//! per-part oracle for optimal static partitions.
+
+use mcp_core::PageId;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Number of faults OPT incurs serving `seq` with a cache of `k` pages.
+///
+/// Implemented with the standard next-use priority queue: on a fault with a
+/// full cache, evict the resident page whose next use is furthest in the
+/// future. `O(n log n)` after an `O(n)` next-use precomputation.
+pub fn belady_faults(seq: &[PageId], k: usize) -> u64 {
+    assert!(k >= 1, "cache size must be at least 1");
+    // next_use[i] = position of the next occurrence of seq[i] after i,
+    // or usize::MAX if none.
+    let mut next_use = vec![usize::MAX; seq.len()];
+    let mut last_pos: HashMap<PageId, usize> = HashMap::new();
+    for (i, &page) in seq.iter().enumerate().rev() {
+        if let Some(&later) = last_pos.get(&page) {
+            next_use[i] = later;
+        }
+        last_pos.insert(page, i);
+    }
+
+    // Max-heap of (next_use, page) for resident pages; lazily invalidated.
+    let mut heap: BinaryHeap<(usize, PageId)> = BinaryHeap::new();
+    let mut resident: HashMap<PageId, usize> = HashMap::new(); // page -> current next_use
+    let mut faults = 0u64;
+
+    for (i, &page) in seq.iter().enumerate() {
+        match resident.get(&page) {
+            Some(_) => {
+                // Hit: refresh the page's next use.
+                resident.insert(page, next_use[i]);
+                heap.push((next_use[i], page));
+            }
+            None => {
+                faults += 1;
+                if resident.len() == k {
+                    // Evict the furthest-in-future resident page.
+                    loop {
+                        let (nu, victim) = heap.pop().expect("heap tracks residents");
+                        if resident.get(&victim) == Some(&nu) {
+                            resident.remove(&victim);
+                            break;
+                        }
+                        // Stale entry: skip.
+                    }
+                }
+                resident.insert(page, next_use[i]);
+                heap.push((next_use[i], page));
+            }
+        }
+    }
+    faults
+}
+
+/// Belady fault counts for every cache size `1..=k_max` (the OPT miss
+/// curve), by direct per-size simulation.
+pub fn belady_curve(seq: &[PageId], k_max: usize) -> Vec<u64> {
+    (1..=k_max).map(|k| belady_faults(seq, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vs: &[u32]) -> Vec<PageId> {
+        vs.iter().copied().map(PageId).collect()
+    }
+
+    #[test]
+    fn classic_example() {
+        // Belady's canonical property: cycling 3 pages through 2 cells
+        // faults on 3 cold misses then every other request.
+        let s = seq(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(belady_faults(&s, 3), 3);
+        // k=2: OPT faults 3 (cold) + 3: serving 3 evicts 2 (1 sooner),
+        // pattern repeats. LRU would fault 9 times.
+        let f2 = belady_faults(&s, 2);
+        assert!((6..9).contains(&f2), "got {f2}");
+    }
+
+    #[test]
+    fn distinct_pages_all_fault() {
+        let s = seq(&[1, 2, 3, 4, 5]);
+        for k in 1..=5 {
+            assert_eq!(belady_faults(&s, k), 5);
+        }
+    }
+
+    #[test]
+    fn repeats_hit_with_one_cell() {
+        let s = seq(&[1, 1, 1, 1]);
+        assert_eq!(belady_faults(&s, 1), 1);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let s = seq(&[1, 2, 1, 3, 2, 4, 1, 2, 3, 4, 1, 5, 2, 3]);
+        let curve = belady_curve(&s, 6);
+        for w in curve.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "OPT miss curve must be nonincreasing: {curve:?}"
+            );
+        }
+        // With all 5 distinct pages cached only cold misses remain.
+        assert_eq!(curve[4], 5);
+        assert_eq!(curve[5], 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        // Exhaustive optimal by recursion over eviction choices.
+        fn brute(seq: &[PageId], k: usize, cache: &mut Vec<PageId>, i: usize) -> u64 {
+            if i == seq.len() {
+                return 0;
+            }
+            let page = seq[i];
+            if cache.contains(&page) {
+                return brute(seq, k, cache, i + 1);
+            }
+            if cache.len() < k {
+                cache.push(page);
+                let f = 1 + brute(seq, k, cache, i + 1);
+                cache.pop();
+                return f;
+            }
+            let mut best = u64::MAX;
+            for v in 0..cache.len() {
+                let old = cache[v];
+                cache[v] = page;
+                best = best.min(1 + brute(seq, k, cache, i + 1));
+                cache[v] = old;
+            }
+            best
+        }
+        let cases: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 1, 2, 3],
+            vec![1, 2, 1, 3, 1, 2, 3, 4, 1],
+            vec![4, 3, 2, 1, 1, 2, 3, 4],
+            vec![1, 1, 2, 2, 3, 3, 1, 2, 3],
+        ];
+        for vs in cases {
+            let s = seq(&vs);
+            for k in 1..=3 {
+                let mut cache = Vec::new();
+                assert_eq!(
+                    belady_faults(&s, k),
+                    brute(&s, k, &mut cache, 0),
+                    "seq {vs:?} k={k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Algorithm 1 of the paper: exact minimum total faults
+//! (FINAL-TOTAL-FAULTS) by dynamic programming over
+//! `(configuration, position-vector)` states — polynomial in the sequence
+//! lengths, exponential in `K` and `p`.
+//!
+//! States are processed in increasing order of total position (every
+//! timestep strictly advances every unfinished sequence, so position sum
+//! is a topological order). Optionally reconstructs a replayable schedule
+//! witnessing the optimum, which integration tests replay on the
+//! simulator to the same fault count.
+
+use crate::state::{for_each_successor_config, step_effect, DpError, DpInstance, StateKey};
+use mcp_core::{PageId, SimConfig, Time, Workload};
+use mcp_policies::ReplayDecision;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Options for the FTF dynamic program.
+#[derive(Clone, Copy, Debug)]
+pub struct FtfOptions {
+    /// Evict only the overflow on each transition (the honest/lazy
+    /// regime). Setting `false` explores the paper's full transition
+    /// relation including voluntary (dishonest) evictions — exponentially
+    /// more successors; used to probe Theorem 4.
+    pub lazy: bool,
+    /// Reconstruct a replayable optimal schedule.
+    pub reconstruct: bool,
+    /// Branch-and-bound pruning against the incumbent terminal value.
+    /// Disable to measure the raw state space of Algorithm 1 as published
+    /// (the Theorem 6 complexity ablation).
+    pub prune: bool,
+    /// Abort with [`DpError::TooLarge`] beyond this many states.
+    pub max_states: usize,
+}
+
+impl Default for FtfOptions {
+    fn default() -> Self {
+        FtfOptions {
+            lazy: true,
+            reconstruct: false,
+            prune: true,
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// A replayable optimal schedule: placement decisions per
+/// `(core, request_index)` plus (only in non-lazy mode) voluntary
+/// evictions per timestep.
+#[derive(Clone, Debug, Default)]
+pub struct FtfSchedule {
+    /// Placement decisions for [`mcp_policies::Replay`].
+    pub decisions: HashMap<(usize, usize), ReplayDecision>,
+    /// Voluntary evictions by timestep (empty in lazy mode).
+    pub voluntary: BTreeMap<Time, Vec<PageId>>,
+}
+
+/// Result of the FTF dynamic program.
+#[derive(Clone, Debug)]
+pub struct FtfResult {
+    /// The minimum total number of faults to serve the workload.
+    pub min_faults: u64,
+    /// Number of distinct states explored.
+    pub states: usize,
+    /// A witnessing schedule, if requested.
+    pub schedule: Option<FtfSchedule>,
+}
+
+/// Exact minimum total faults (Algorithm 1). See [`FtfOptions`].
+///
+/// ```
+/// use mcp_core::{SimConfig, Workload};
+/// use mcp_offline::{ftf_dp, FtfOptions};
+///
+/// // Two cores alternating private page pairs, K = 3, tau = 1.
+/// let w = Workload::from_u32([vec![1, 2, 1, 2], vec![7, 8, 7, 8]]).unwrap();
+/// let r = ftf_dp(&w, SimConfig::new(3, 1), FtfOptions::default()).unwrap();
+/// assert_eq!(r.min_faults, 6); // one core keeps both pages, the other thrashes
+/// ```
+pub fn ftf_dp(
+    workload: &Workload,
+    cfg: SimConfig,
+    options: FtfOptions,
+) -> Result<FtfResult, DpError> {
+    let inst = DpInstance::build(workload, &cfg)?;
+    let start: StateKey = (0u64, inst.start_positions());
+
+    // best[state] = (min faults, parent along a best path)
+    let mut best: HashMap<StateKey, (u64, Option<StateKey>)> = HashMap::new();
+    best.insert(start.clone(), (0, None));
+
+    let sum = |pos: &[u32]| -> u64 { pos.iter().map(|&x| x as u64).sum() };
+    let mut buckets: BTreeMap<u64, HashSet<StateKey>> = BTreeMap::new();
+    buckets.entry(sum(&start.1)).or_default().insert(start);
+
+    let mut best_terminal: Option<(u64, StateKey)> = None;
+
+    while let Some((&bucket_sum, _)) = buckets.iter().next() {
+        let states = buckets.remove(&bucket_sum).expect("bucket exists");
+        for state in states {
+            let (faults, _) = best[&state];
+            if inst.all_finished(&state.1) {
+                if best_terminal
+                    .as_ref()
+                    .map(|(f, _)| faults < *f)
+                    .unwrap_or(true)
+                {
+                    best_terminal = Some((faults, state.clone()));
+                }
+                continue;
+            }
+            let effect = step_effect(&inst, state.0, &state.1);
+            let next_faults = faults + u64::from(effect.fault_count());
+            // Prune paths that cannot strictly beat the incumbent
+            // terminal (fault counts only grow along a path).
+            if options.prune {
+                if let Some((incumbent, _)) = &best_terminal {
+                    if next_faults >= *incumbent {
+                        continue;
+                    }
+                }
+            }
+            for_each_successor_config(&inst, state.0, &effect, options.lazy, |next_cfg| {
+                let key: StateKey = (next_cfg, effect.next_positions.clone());
+                let improved = match best.get(&key) {
+                    None => true,
+                    Some((f, _)) => next_faults < *f,
+                };
+                if improved {
+                    best.insert(key.clone(), (next_faults, Some(state.clone())));
+                    buckets.entry(sum(&key.1)).or_default().insert(key);
+                }
+            });
+            if best.len() > options.max_states {
+                return Err(DpError::TooLarge {
+                    states: best.len(),
+                    cap: options.max_states,
+                });
+            }
+        }
+    }
+
+    let (min_faults, terminal) = best_terminal.expect("every instance reaches a terminal state");
+    let schedule = if options.reconstruct {
+        Some(reconstruct(&inst, &best, terminal))
+    } else {
+        None
+    };
+    Ok(FtfResult {
+        min_faults,
+        states: best.len(),
+        schedule,
+    })
+}
+
+/// Convenience: just the number.
+pub fn ftf_min_faults(workload: &Workload, cfg: SimConfig) -> Result<u64, DpError> {
+    ftf_dp(workload, cfg, FtfOptions::default()).map(|r| r.min_faults)
+}
+
+fn reconstruct(
+    inst: &DpInstance,
+    best: &HashMap<StateKey, (u64, Option<StateKey>)>,
+    terminal: StateKey,
+) -> FtfSchedule {
+    // Walk parents back to the start, then replay forward.
+    let mut chain = vec![terminal];
+    while let Some(parent) = best[chain.last().unwrap()].1.clone() {
+        chain.push(parent);
+    }
+    chain.reverse();
+    schedule_from_chain(inst, &chain)
+}
+
+/// Convert a chain of consecutive DP states (one transition per timestep,
+/// starting at the initial state) into a replayable schedule.
+pub(crate) fn schedule_from_chain(inst: &DpInstance, chain: &[StateKey]) -> FtfSchedule {
+    let mut schedule = FtfSchedule::default();
+    for (step_idx, pair) in chain.windows(2).enumerate() {
+        let time = step_idx as Time + 1; // transition k serves timestep k
+        let (cfg, pos) = &pair[0];
+        let (next_cfg, _) = &pair[1];
+        let effect = step_effect(inst, *cfg, pos);
+
+        // Pages leaving the configuration this step.
+        let mut evicted: Vec<u16> = (0..inst.pages.len() as u16)
+            .filter(|b| (cfg & !next_cfg) & (1u64 << b) != 0)
+            .collect();
+
+        // Faulting cores in logical order; per distinct page only the
+        // lowest core places (later cores join the fetch in flight).
+        let mut placed_pages: HashSet<u16> = HashSet::new();
+        for core in 0..inst.num_cores() {
+            if !effect.seq_faulted[core] {
+                continue;
+            }
+            let x = pos[core] as u64;
+            let page = inst.pointed_page(core, x);
+            if !placed_pages.insert(page) {
+                continue; // shared in-flight fetch: no placement decision
+            }
+            let index = inst.page_index(x);
+            let decision = match evicted.pop() {
+                Some(victim) => ReplayDecision::Evict(inst.pages[victim as usize]),
+                None => ReplayDecision::UseEmpty,
+            };
+            schedule.decisions.insert((core, index), decision);
+        }
+        // Leftover evictions are voluntary (non-lazy mode only); they take
+        // effect before the next timestep's requests.
+        if !evicted.is_empty() {
+            schedule
+                .voluntary
+                .entry(time + 1)
+                .or_default()
+                .extend(evicted.into_iter().map(|b| inst.pages[b as usize]));
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady_seq::belady_faults;
+    use mcp_core::simulate;
+    use mcp_policies::Replay;
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn single_core_matches_belady() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 1, 2, 3],
+            vec![1, 2, 1, 3, 1, 2, 3, 4, 1],
+            vec![4, 3, 2, 1, 1, 2, 3, 4],
+        ];
+        for vs in cases {
+            let w = wl(&[&vs]);
+            for k in 1..=3usize {
+                for tau in [0u64, 1, 2] {
+                    let dp = ftf_min_faults(&w, SimConfig::new(k, tau)).unwrap();
+                    let seq: Vec<PageId> = vs.iter().copied().map(PageId).collect();
+                    // With one core, delays never change the order of its
+                    // own requests: Belady is optimal for every tau.
+                    assert_eq!(dp, belady_faults(&seq, k), "seq {vs:?} k={k} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_cores_everything_fits() {
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let dp = ftf_min_faults(&w, SimConfig::new(4, 1)).unwrap();
+        assert_eq!(dp, 4); // cold misses only
+    }
+
+    #[test]
+    fn two_cores_contended() {
+        // K=2, each core alternates two private pages, perfectly aligned:
+        // every timestep demands two fresh pages with only two cells, and
+        // since every request faults, the alignment never breaks — the
+        // optimum is all-faults.
+        let w = wl(&[&[1, 2, 1, 2, 1, 2], &[7, 8, 7, 8, 7, 8]]);
+        let dp = ftf_min_faults(&w, SimConfig::new(2, 1)).unwrap();
+        assert_eq!(dp, 12);
+        // One extra cell breaks the deadlock: one core can keep both its
+        // pages while the other thrashes.
+        let dp3 = ftf_min_faults(&w, SimConfig::new(3, 1)).unwrap();
+        assert!((4..12).contains(&dp3), "got {dp3}");
+    }
+
+    #[test]
+    fn schedule_replays_to_same_fault_count() {
+        let cases: Vec<(Vec<Vec<u32>>, usize, u64)> = vec![
+            (vec![vec![1, 2, 3, 1, 2], vec![7, 8, 7, 8, 7]], 3, 1),
+            (vec![vec![1, 2, 1, 2], vec![7, 8, 7, 8]], 2, 0),
+            (vec![vec![1, 2, 3, 2, 1], vec![7, 7, 7, 7, 7]], 3, 2),
+        ];
+        for (seqs, k, tau) in cases {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            let cfg = SimConfig::new(k, tau);
+            let r = ftf_dp(
+                &w,
+                cfg,
+                FtfOptions {
+                    reconstruct: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let schedule = r.schedule.unwrap();
+            let replay = Replay::new(schedule.decisions).with_voluntary(schedule.voluntary);
+            let sim = simulate(&w, cfg, replay).unwrap();
+            assert_eq!(
+                sim.total_faults(),
+                r.min_faults,
+                "replayed schedule diverged on {seqs:?} k={k} tau={tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_equals_full_transition_relation_on_tiny_disjoint() {
+        // Theorem 4 (honesty is WLOG) in miniature: allowing voluntary
+        // evictions must not reduce the optimum on disjoint workloads.
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 2, 1, 2], vec![7, 8, 7, 8]],
+            vec![vec![1, 2, 3, 1], vec![7, 7, 7, 7]],
+            vec![vec![1, 1, 2, 2], vec![7, 8, 8, 7]],
+        ];
+        for seqs in cases {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            for tau in [0u64, 1] {
+                let cfg = SimConfig::new(2, tau);
+                let lazy = ftf_dp(&w, cfg, FtfOptions::default()).unwrap().min_faults;
+                let full = ftf_dp(
+                    &w,
+                    cfg,
+                    FtfOptions {
+                        lazy: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .min_faults;
+                assert_eq!(lazy, full, "{seqs:?} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_lower_bounds_every_online_strategy() {
+        use mcp_policies::{shared_fifo, shared_lru};
+        let w = wl(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8, 7, 8]]);
+        for k in [2usize, 3, 4] {
+            for tau in [0u64, 2] {
+                let cfg = SimConfig::new(k, tau);
+                let opt = ftf_min_faults(&w, cfg).unwrap();
+                let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+                let fifo = simulate(&w, cfg, shared_fifo()).unwrap().total_faults();
+                assert!(opt <= lru, "k={k} tau={tau}: OPT {opt} > LRU {lru}");
+                assert!(opt <= fifo, "k={k} tau={tau}: OPT {opt} > FIFO {fifo}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_an_optimization_not_a_semantic() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 2, 3, 1, 2], vec![7, 8, 7, 8, 7]],
+            vec![vec![1, 2, 1, 2], vec![7, 8, 7, 8]],
+        ];
+        for seqs in cases {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            for k in [2usize, 3] {
+                let cfg = SimConfig::new(k, 1);
+                let pruned = ftf_dp(&w, cfg, FtfOptions::default()).unwrap();
+                let raw = ftf_dp(
+                    &w,
+                    cfg,
+                    FtfOptions {
+                        prune: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(pruned.min_faults, raw.min_faults, "{seqs:?} k={k}");
+                assert!(pruned.states <= raw.states, "pruning cannot add states");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = wl(&[&[], &[]]);
+        assert_eq!(ftf_min_faults(&w, SimConfig::new(2, 1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let long: Vec<u32> = (0..12).map(|i| i % 6).collect();
+        let w = wl(&[&long, &long.iter().map(|v| v + 10).collect::<Vec<_>>()]);
+        let err = ftf_dp(
+            &w,
+            SimConfig::new(4, 2),
+            FtfOptions {
+                max_states: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpError::TooLarge { .. }));
+    }
+}

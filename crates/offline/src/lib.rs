@@ -1,0 +1,45 @@
+//! # mcp-offline — exact offline algorithms for multicore paging
+//!
+//! Section 5 of the paper, executable:
+//!
+//! * [`ftf_dp()`] — Algorithm 1: minimum total faults
+//!   (FINAL-TOTAL-FAULTS), polynomial in sequence length for fixed `K`,
+//!   `p` (Theorem 6), with optional schedule reconstruction replayable on
+//!   the simulator.
+//! * [`pif_dp`] — Algorithm 2: the PARTIAL-INDIVIDUAL-FAULTS decision
+//!   procedure (Theorem 7) and exact MAX-PIF by subset enumeration.
+//! * [`search`] — honest brute force (faults, makespan, and
+//!   lexicographic objectives) and Theorem 5's restricted sequence-FITF
+//!   search, as independent cross-checks.
+//! * [`sched_search`] — exhaustive optima in Hassidim's
+//!   *scheduling-capable* model (sequences may be stalled), quantifying
+//!   the gap between the two papers' models.
+//! * [`belady_seq`] / [`miss_curve`] — sequential OPT and LRU oracles
+//!   (stack distances, miss curves, Lemma 1 phase decompositions).
+//! * [`partition_opt`] — exact optimal static partitions (`sP^OPT_OPT`,
+//!   `sP^OPT_LRU`) for disjoint workloads from per-core miss curves.
+
+#![warn(missing_docs)]
+
+pub mod belady_seq;
+pub mod ftf_dp;
+pub mod miss_curve;
+pub mod partition_opt;
+pub mod pif_dp;
+pub mod sched_search;
+pub mod search;
+pub mod state;
+
+pub use belady_seq::{belady_curve, belady_faults};
+pub use ftf_dp::{ftf_dp, ftf_min_faults, FtfOptions, FtfResult, FtfSchedule};
+pub use miss_curve::{
+    distinct_pages, lru_curve, lru_faults, lru_stack_distances, opt_curve, phase_starts,
+};
+pub use partition_opt::{optimal_static_partition, OptimalPartition, PartPolicy};
+pub use pif_dp::{max_pif, pif_decide, pif_witness, PifOptions};
+pub use sched_search::sched_min;
+pub use search::{
+    brute_force_faults_then_makespan, brute_force_makespan_then_faults, brute_force_min_faults,
+    brute_force_min_makespan, fitf_restricted_min_faults, Objective,
+};
+pub use state::{DpError, DpInstance};

@@ -1,0 +1,192 @@
+//! Optimal static partitions.
+//!
+//! For **disjoint** workloads a static partition isolates the cores: part
+//! `j`'s fault count depends only on `R_j` and `k_j` (delays never change
+//! the order of a single core's own requests). The best static partition
+//! with per-part policy `A` is therefore `min Σ_j f^A_j(k_j)` subject to
+//! `Σ k_j = K`, `k_j ≥ 1` — a small knapsack-style DP over per-core miss
+//! curves. With `A = OPT` (per-part Belady) this computes the paper's
+//! `sP^OPT_OPT` comparator exactly; with `A = LRU` it computes
+//! `sP^OPT_LRU` (the opponent in Lemma 2).
+
+use crate::miss_curve::{lru_curve, opt_curve};
+use mcp_core::Workload;
+use mcp_policies::Partition;
+
+/// Which per-part eviction policy the partition is optimized for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartPolicy {
+    /// Per-part Belady: yields `sP^OPT_OPT`.
+    Opt,
+    /// Per-part LRU: yields `sP^OPT_LRU`.
+    Lru,
+}
+
+/// Result of partition optimization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimalPartition {
+    /// The fault-minimizing partition.
+    pub partition: Partition,
+    /// Its total fault count.
+    pub faults: u64,
+    /// Per-core fault counts under the chosen partition.
+    pub per_core: Vec<u64>,
+}
+
+/// Compute the fault-optimal static partition of `cache_size` cells for a
+/// disjoint workload under the given per-part policy.
+///
+/// ```
+/// use mcp_core::Workload;
+/// use mcp_offline::{optimal_static_partition, PartPolicy};
+///
+/// // Core 0 cycles 4 pages, core 1 reuses a single page.
+/// let w = Workload::from_u32([
+///     (0..32).map(|i| i % 4).collect::<Vec<_>>(),
+///     vec![99; 32],
+/// ]).unwrap();
+/// let best = optimal_static_partition(&w, 5, PartPolicy::Opt);
+/// assert_eq!(best.partition.sizes(), &[4, 1]);
+/// assert_eq!(best.faults, 5); // cold misses only
+/// ```
+///
+/// Panics if `cache_size < p` (every active core needs a cell). For
+/// non-disjoint workloads the result is still a valid partition but only a
+/// heuristic (per-core curves ignore sharing); callers performing exact
+/// comparisons should assert disjointness.
+pub fn optimal_static_partition(
+    workload: &Workload,
+    cache_size: usize,
+    policy: PartPolicy,
+) -> OptimalPartition {
+    let p = workload.num_cores();
+    assert!(cache_size >= p, "need at least one cell per core");
+
+    // Per-core fault curves f_j(k) for k = 1..=K-p+1 (no part can exceed
+    // K-p+1 cells while every other part keeps one).
+    let k_cap = cache_size - p + 1;
+    let curves: Vec<Vec<u64>> = workload
+        .sequences()
+        .iter()
+        .map(|seq| match policy {
+            PartPolicy::Opt => opt_curve(seq, k_cap),
+            PartPolicy::Lru => lru_curve(seq, k_cap),
+        })
+        .collect();
+
+    // dp[j][c] = min faults serving cores 0..j with c cells; parent for
+    // reconstruction.
+    const INF: u64 = u64::MAX / 2;
+    let mut dp = vec![vec![INF; cache_size + 1]; p + 1];
+    let mut choice = vec![vec![0usize; cache_size + 1]; p + 1];
+    dp[0][0] = 0;
+    for j in 0..p {
+        for c in 0..=cache_size {
+            if dp[j][c] == INF {
+                continue;
+            }
+            for k in 1..=k_cap.min(cache_size - c) {
+                let cand = dp[j][c] + curves[j][k - 1];
+                if cand < dp[j + 1][c + k] {
+                    dp[j + 1][c + k] = cand;
+                    choice[j + 1][c + k] = k;
+                }
+            }
+        }
+    }
+
+    let faults = dp[p][cache_size];
+    assert!(faults < INF, "partition DP must reach a full assignment");
+    let mut sizes = vec![0usize; p];
+    let mut c = cache_size;
+    for j in (0..p).rev() {
+        let k = choice[j + 1][c];
+        sizes[j] = k;
+        c -= k;
+    }
+    let per_core: Vec<u64> = (0..p).map(|j| curves[j][sizes[j] - 1]).collect();
+    OptimalPartition {
+        partition: Partition::from_sizes(sizes),
+        faults,
+        per_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_core::{simulate, SimConfig};
+    use mcp_policies::{static_partition_belady, static_partition_lru};
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn gives_big_part_to_big_working_set() {
+        // Core 0 cycles 4 pages, core 1 reuses 1 page. K=5: optimal is [4,1].
+        let c0: Vec<u32> = (0..40).map(|i| i % 4).collect();
+        let c1: Vec<u32> = vec![9; 40];
+        let w = wl(&[&c0, &c1]);
+        let opt = optimal_static_partition(&w, 5, PartPolicy::Opt);
+        assert_eq!(opt.partition.sizes(), &[4, 1]);
+        assert_eq!(opt.faults, 5); // 4 + 1 cold misses only
+    }
+
+    #[test]
+    fn matches_exhaustive_partition_search_with_simulation() {
+        // Cross-validate the curve DP against simulating sP^B_OPT for
+        // every feasible partition B.
+        let c0: Vec<u32> = (0..24).map(|i| i % 3).collect();
+        let c1: Vec<u32> = (0..24).map(|i| 10 + (i % 5)).collect();
+        let w = wl(&[&c0, &c1]);
+        let cache_size = 6;
+        let best = optimal_static_partition(&w, cache_size, PartPolicy::Opt);
+
+        let mut best_sim = u64::MAX;
+        for k0 in 1..cache_size {
+            let k1 = cache_size - k0;
+            let part = Partition::from_sizes(vec![k0, k1]);
+            let r = simulate(
+                &w,
+                SimConfig::new(cache_size, 2),
+                static_partition_belady(part),
+            )
+            .unwrap();
+            best_sim = best_sim.min(r.total_faults());
+        }
+        assert_eq!(best.faults, best_sim);
+    }
+
+    #[test]
+    fn lru_variant_matches_simulation() {
+        let c0: Vec<u32> = (0..20).map(|i| i % 4).collect();
+        let c1: Vec<u32> = (0..20).map(|i| 10 + (i % 2)).collect();
+        let w = wl(&[&c0, &c1]);
+        let cache_size = 5;
+        let best = optimal_static_partition(&w, cache_size, PartPolicy::Lru);
+        let r = simulate(
+            &w,
+            SimConfig::new(cache_size, 1),
+            static_partition_lru(best.partition.clone()),
+        )
+        .unwrap();
+        assert_eq!(r.total_faults(), best.faults);
+        assert_eq!(r.faults, best.per_core);
+    }
+
+    #[test]
+    fn every_core_gets_a_cell() {
+        let w = wl(&[&[1; 10], &[2; 10], &[3; 10]]);
+        let opt = optimal_static_partition(&w, 3, PartPolicy::Opt);
+        assert_eq!(opt.partition.sizes(), &[1, 1, 1]);
+        assert_eq!(opt.faults, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per core")]
+    fn rejects_too_small_cache() {
+        let w = wl(&[&[1], &[2]]);
+        optimal_static_partition(&w, 1, PartPolicy::Opt);
+    }
+}

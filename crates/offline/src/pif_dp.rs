@@ -1,0 +1,507 @@
+//! Algorithm 2 of the paper: deciding PARTIAL-INDIVIDUAL-FAULTS.
+//!
+//! Given a checkpoint time `t` and per-sequence fault bounds `b`, decide
+//! whether the workload can be served so that each sequence `R_i` has
+//! faulted at most `b_i` times by time `t` (faults are counted at their
+//! issue timestep).
+//!
+//! Implemented as a layered breadth-first search: one DP transition is one
+//! parallel timestep, so layer `s` holds every cache-configuration /
+//! position state reachable at time `s`, each carrying a Pareto set of
+//! per-sequence fault vectors. Vectors exceeding the bounds are pruned
+//! immediately (fault counts are monotone, so early pruning is sound).
+
+use crate::ftf_dp::{schedule_from_chain, FtfSchedule};
+use crate::state::{for_each_successor_config, step_effect, DpError, DpInstance, StateKey};
+use mcp_core::{SimConfig, Time, Workload};
+use std::collections::HashMap;
+
+/// Options for the PIF decision procedure.
+#[derive(Clone, Copy, Debug)]
+pub struct PifOptions {
+    /// Explore the full transition relation (including voluntary
+    /// evictions). The default is `true` for exactness — unlike FTF
+    /// (Theorem 4), the paper states no honesty WLOG for the *fairness*
+    /// objective, so the decision procedure conservatively explores all
+    /// schedules. Set to `false` for a faster honest-only search.
+    pub full_transitions: bool,
+    /// Abort with [`DpError::TooLarge`] beyond this many state-vector
+    /// expansions.
+    pub max_expansions: usize,
+}
+
+impl Default for PifOptions {
+    fn default() -> Self {
+        PifOptions {
+            full_transitions: true,
+            max_expansions: 20_000_000,
+        }
+    }
+}
+
+type FaultVec = Box<[u16]>;
+
+fn dominates(a: &[u16], b: &[u16]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Insert `v` into the Pareto set `set` (minimal vectors kept).
+fn pareto_insert(set: &mut Vec<FaultVec>, v: FaultVec) {
+    if set.iter().any(|u| dominates(u, &v)) {
+        return;
+    }
+    set.retain(|u| !dominates(&v, u));
+    set.push(v);
+}
+
+/// Decide PARTIAL-INDIVIDUAL-FAULTS: can `workload` be served with cache
+/// size/`τ` from `cfg` such that at time `checkpoint` each sequence `i`
+/// has faulted at most `bounds[i]` times?
+///
+/// ```
+/// use mcp_core::{SimConfig, Workload};
+/// use mcp_offline::{pif_decide, PifOptions};
+///
+/// let w = Workload::from_u32([vec![1, 2, 1, 2], vec![7, 7, 7, 7]]).unwrap();
+/// let cfg = SimConfig::new(3, 1);
+/// // Everything fits: one cold miss each (2 and 1) is achievable...
+/// assert!(pif_decide(&w, cfg, 20, &[2, 1], PifOptions::default()).unwrap());
+/// // ...but zero faults never is.
+/// assert!(!pif_decide(&w, cfg, 20, &[0, 0], PifOptions::default()).unwrap());
+/// ```
+pub fn pif_decide(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+) -> Result<bool, DpError> {
+    assert_eq!(bounds.len(), workload.num_cores(), "one bound per sequence");
+    let inst = DpInstance::build(workload, &cfg)?;
+    if checkpoint == 0 {
+        return Ok(true); // no request has issued yet
+    }
+    let bounds_u16: Vec<u16> = bounds
+        .iter()
+        .map(|&b| b.min(u16::MAX as u64) as u16)
+        .collect();
+
+    let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
+    let mut layer: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
+    layer.insert((0u64, inst.start_positions()), vec![zero]);
+
+    let mut expansions = 0usize;
+    for _t in 1..=checkpoint {
+        let mut next: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
+        for (state, vectors) in &layer {
+            if inst.all_finished(&state.1) {
+                // No further requests, hence no further faults: every
+                // surviving vector already satisfies the bounds.
+                return Ok(true);
+            }
+            let effect = step_effect(&inst, state.0, &state.1);
+            // Advance each surviving vector.
+            let mut advanced: Vec<FaultVec> = Vec::with_capacity(vectors.len());
+            'vecs: for v in vectors {
+                let mut nv = v.clone();
+                for i in 0..inst.num_cores() {
+                    if effect.seq_faulted[i] {
+                        nv[i] += 1;
+                        if nv[i] > bounds_u16[i] {
+                            continue 'vecs;
+                        }
+                    }
+                }
+                advanced.push(nv);
+            }
+            if advanced.is_empty() {
+                continue;
+            }
+            for_each_successor_config(
+                &inst,
+                state.0,
+                &effect,
+                !options.full_transitions,
+                |next_cfg| {
+                    let key: StateKey = (next_cfg, effect.next_positions.clone());
+                    let entry = next.entry(key).or_default();
+                    for v in &advanced {
+                        pareto_insert(entry, v.clone());
+                    }
+                    expansions += advanced.len();
+                },
+            );
+            if expansions > options.max_expansions {
+                return Err(DpError::TooLarge {
+                    states: expansions,
+                    cap: options.max_expansions,
+                });
+            }
+        }
+        if next.is_empty() {
+            return Ok(false);
+        }
+        layer = next;
+    }
+    // Survived the serving at t = checkpoint with every bound respected.
+    Ok(true)
+}
+
+type WitnessEntry = (FaultVec, Option<(StateKey, usize)>);
+
+fn pareto_insert_with_parent(set: &mut Vec<WitnessEntry>, entry: WitnessEntry) {
+    if set.iter().any(|(u, _)| dominates(u, &entry.0)) {
+        return;
+    }
+    set.retain(|(u, _)| !dominates(&entry.0, u));
+    set.push(entry);
+}
+
+/// Like [`pif_decide`], but a "yes" comes with a **witness**: a complete,
+/// replayable eviction schedule whose fault vector at `checkpoint`
+/// respects every bound. Returns `Ok(None)` when infeasible.
+///
+/// The witness prefix realizes the feasible fault vector; past the
+/// checkpoint the schedule is completed with arbitrary legal (lazy)
+/// evictions so the whole workload replays on the engine.
+pub fn pif_witness(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+) -> Result<Option<FtfSchedule>, DpError> {
+    assert_eq!(bounds.len(), workload.num_cores(), "one bound per sequence");
+    let inst = DpInstance::build(workload, &cfg)?;
+    let start: StateKey = (0u64, inst.start_positions());
+    if checkpoint == 0 {
+        // Trivially feasible: any legal schedule works.
+        let chain = complete_chain(&inst, start);
+        return Ok(Some(schedule_from_chain(&inst, &chain)));
+    }
+    let bounds_u16: Vec<u16> = bounds
+        .iter()
+        .map(|&b| b.min(u16::MAX as u64) as u16)
+        .collect();
+    let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
+
+    // layers[t] maps each state reachable at time t+1 to its Pareto set of
+    // (fault vector, parent) pairs; parent = (state at layer t-1, index).
+    let mut layers: Vec<HashMap<StateKey, Vec<WitnessEntry>>> = Vec::new();
+    let mut first: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
+    first.insert(start, vec![(zero, None)]);
+    layers.push(first);
+
+    let mut expansions = 0usize;
+    let mut terminal: Option<(usize, StateKey)> = None; // (layer, state)
+    'outer: for t in 1..=checkpoint {
+        let mut next: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
+        let current = &layers[t as usize - 1];
+        for (state, entries) in current {
+            if inst.all_finished(&state.1) {
+                terminal = Some((t as usize - 1, state.clone()));
+                break 'outer;
+            }
+            let effect = step_effect(&inst, state.0, &state.1);
+            let mut advanced: Vec<WitnessEntry> = Vec::new();
+            'vecs: for (idx, (v, _)) in entries.iter().enumerate() {
+                let mut nv = v.clone();
+                for i in 0..inst.num_cores() {
+                    if effect.seq_faulted[i] {
+                        nv[i] += 1;
+                        if nv[i] > bounds_u16[i] {
+                            continue 'vecs;
+                        }
+                    }
+                }
+                advanced.push((nv, Some((state.clone(), idx))));
+            }
+            if advanced.is_empty() {
+                continue;
+            }
+            for_each_successor_config(
+                &inst,
+                state.0,
+                &effect,
+                !options.full_transitions,
+                |next_cfg| {
+                    let key: StateKey = (next_cfg, effect.next_positions.clone());
+                    let entry = next.entry(key).or_default();
+                    for e in &advanced {
+                        pareto_insert_with_parent(entry, e.clone());
+                    }
+                    expansions += advanced.len();
+                },
+            );
+            if expansions > options.max_expansions {
+                return Err(DpError::TooLarge {
+                    states: expansions,
+                    cap: options.max_expansions,
+                });
+            }
+        }
+        if next.is_empty() {
+            return Ok(None);
+        }
+        layers.push(next);
+    }
+
+    // Pick the witness endpoint: an all-finished state found early, or any
+    // surviving state in the final layer.
+    let (end_layer, end_state) = match terminal {
+        Some(x) => x,
+        None => {
+            let last = layers.len() - 1;
+            let state = layers[last].keys().next().expect("nonempty layer").clone();
+            (last, state)
+        }
+    };
+    // Walk parents back to layer 0.
+    let mut chain: Vec<StateKey> = vec![end_state.clone()];
+    let mut cursor: Option<(StateKey, usize)> = layers[end_layer][&end_state]
+        .first()
+        .and_then(|(_, parent)| parent.clone());
+    let mut layer_idx = end_layer;
+    while let Some((state, idx)) = cursor {
+        layer_idx -= 1;
+        cursor = layers[layer_idx][&state][idx].1.clone();
+        chain.push(state);
+    }
+    chain.reverse();
+    // Extend past the checkpoint with arbitrary legal (lazy) transitions
+    // so the witness replays end-to-end.
+    let tail = complete_chain(&inst, chain.last().expect("nonempty chain").clone());
+    chain.extend(tail.into_iter().skip(1));
+    Ok(Some(schedule_from_chain(&inst, &chain)))
+}
+
+/// Drive a state to completion with the first lazy successor each step.
+fn complete_chain(inst: &DpInstance, from: StateKey) -> Vec<StateKey> {
+    let mut chain = vec![from];
+    loop {
+        let state = chain.last().expect("nonempty");
+        if inst.all_finished(&state.1) {
+            return chain;
+        }
+        let effect = step_effect(inst, state.0, &state.1);
+        let mut chosen: Option<u64> = None;
+        for_each_successor_config(inst, state.0, &effect, true, |cfg| {
+            if chosen.is_none() {
+                chosen = Some(cfg);
+            }
+        });
+        let next_cfg = chosen.expect("every state has a lazy successor");
+        chain.push((next_cfg, effect.next_positions.clone()));
+    }
+}
+
+/// MAX-PIF (Theorem 3's optimization version): the maximum number of
+/// sequences whose fault counts at `checkpoint` can be kept within their
+/// bounds. Exact, by subset enumeration over [`pif_decide`] — exponential
+/// in `p`, usable only for small instances.
+pub fn max_pif(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+) -> Result<usize, DpError> {
+    let p = workload.num_cores();
+    assert_eq!(bounds.len(), p);
+    for size in (1..=p).rev() {
+        // Enumerate subsets of exactly `size` sequences to protect.
+        let mut subset: Vec<usize> = (0..size).collect();
+        loop {
+            let mut relaxed = vec![u64::MAX; p];
+            for &i in &subset {
+                relaxed[i] = bounds[i];
+            }
+            if pif_decide(workload, cfg, checkpoint, &relaxed, options)? {
+                return Ok(size);
+            }
+            // Advance to the next lexicographic combination.
+            let mut i = size as isize - 1;
+            while i >= 0 && subset[i as usize] == i as usize + p - size {
+                i -= 1;
+            }
+            if i < 0 {
+                break;
+            }
+            let i = i as usize;
+            subset[i] += 1;
+            for j in i + 1..size {
+                subset[j] = subset[j - 1] + 1;
+            }
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftf_dp::ftf_min_faults;
+    use mcp_core::simulate;
+    use mcp_policies::shared_lru;
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn pareto_insert_keeps_minimal() {
+        let mut set: Vec<FaultVec> = Vec::new();
+        pareto_insert(&mut set, vec![2, 3].into_boxed_slice());
+        pareto_insert(&mut set, vec![3, 2].into_boxed_slice());
+        assert_eq!(set.len(), 2);
+        pareto_insert(&mut set, vec![2, 2].into_boxed_slice()); // dominates both
+        assert_eq!(set.len(), 1);
+        pareto_insert(&mut set, vec![4, 4].into_boxed_slice()); // dominated
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn trivially_feasible_with_generous_bounds() {
+        let w = wl(&[&[1, 2, 1], &[7, 8, 7]]);
+        let cfg = SimConfig::new(2, 1);
+        let ok = pif_decide(&w, cfg, 1000, &[100, 100], PifOptions::default()).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn infeasible_with_zero_bounds() {
+        // Cold misses are unavoidable: zero faults by any positive time
+        // at which a request has issued is impossible.
+        let w = wl(&[&[1], &[7]]);
+        let cfg = SimConfig::new(2, 0);
+        assert!(!pif_decide(&w, cfg, 1, &[0, 0], PifOptions::default()).unwrap());
+        // But before any request issues (t=0) it is trivially fine.
+        assert!(pif_decide(&w, cfg, 0, &[0, 0], PifOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn any_concrete_run_is_a_feasible_witness() {
+        // The fault vector of an actual S_LRU run at its makespan must be
+        // accepted by the decision procedure.
+        let w = wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]);
+        let cfg = SimConfig::new(3, 1);
+        let run = simulate(&w, cfg, shared_lru()).unwrap();
+        let t = run.makespan;
+        let b = run.fault_vector_at(t);
+        assert!(pif_decide(&w, cfg, t, &b, PifOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn total_bound_consistent_with_ftf() {
+        // If Σ b_i < FTF optimum and the checkpoint is beyond everyone's
+        // completion, PIF must be infeasible.
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(2, 1);
+        let opt = ftf_min_faults(&w, cfg).unwrap();
+        assert!(opt >= 4);
+        // Give each sequence just under half the optimum; far horizon.
+        let b = vec![(opt / 2).saturating_sub(1); 2];
+        let horizon = 200;
+        assert!(!pif_decide(&w, cfg, horizon, &b, PifOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn early_checkpoint_is_easier_than_late() {
+        let w = wl(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 9, 7, 8, 9]]);
+        let cfg = SimConfig::new(3, 1);
+        let b = vec![3, 3];
+        let early = pif_decide(&w, cfg, 3, &b, PifOptions::default()).unwrap();
+        assert!(early, "few requests issued by t=3");
+        // Monotonicity: any infeasible early checkpoint stays infeasible
+        // later with the same bounds.
+        for t in 1..20 {
+            let now = pif_decide(&w, cfg, t, &b, PifOptions::default()).unwrap();
+            let later = pif_decide(&w, cfg, t + 1, &b, PifOptions::default()).unwrap();
+            assert!(now || !later, "feasibility must be antitone in t (t={t})");
+        }
+    }
+
+    #[test]
+    fn max_pif_counts_satisfiable_sequences() {
+        // Three cores, K=3, each repeats a single page: all can be within
+        // 1 fault; with impossible bounds for one core, 2 remain.
+        let w = wl(&[&[1, 1, 1], &[2, 2, 2], &[3, 3, 3]]);
+        let cfg = SimConfig::new(3, 0);
+        let all = max_pif(&w, cfg, 10, &[1, 1, 1], PifOptions::default()).unwrap();
+        assert_eq!(all, 3);
+        let two = max_pif(&w, cfg, 10, &[0, 1, 1], PifOptions::default()).unwrap();
+        assert_eq!(two, 2);
+        let one = max_pif(&w, cfg, 10, &[0, 0, 1], PifOptions::default()).unwrap();
+        assert_eq!(one, 1);
+        let zero = max_pif(&w, cfg, 10, &[0, 0, 0], PifOptions::default()).unwrap();
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn witness_agrees_with_decide_and_replays() {
+        use mcp_policies::Replay;
+        let w = wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]);
+        let cfg = SimConfig::new(3, 1);
+        for t in [3u64, 8, 14, 20] {
+            for b in [[2u64, 2], [3, 1], [5, 5], [0, 0]] {
+                let decide = pif_decide(&w, cfg, t, &b, PifOptions::default()).unwrap();
+                let witness = pif_witness(&w, cfg, t, &b, PifOptions::default()).unwrap();
+                assert_eq!(decide, witness.is_some(), "t={t} b={b:?}");
+                if let Some(schedule) = witness {
+                    let replay = Replay::new(schedule.decisions).with_voluntary(schedule.voluntary);
+                    let run = mcp_core::simulate(&w, cfg, replay).unwrap();
+                    let at = run.fault_vector_at(t);
+                    for (i, (&f, &bound)) in at.iter().zip(&b).enumerate() {
+                        assert!(
+                            f <= bound,
+                            "witness violates bound {i}: {f} > {bound} (t={t}, b={b:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_at_time_zero_is_any_schedule() {
+        use mcp_policies::Replay;
+        let w = wl(&[&[1, 2], &[7, 8]]);
+        let cfg = SimConfig::new(2, 1);
+        let schedule = pif_witness(&w, cfg, 0, &[0, 0], PifOptions::default())
+            .unwrap()
+            .unwrap();
+        let run = mcp_core::simulate(
+            &w,
+            cfg,
+            Replay::new(schedule.decisions).with_voluntary(schedule.voluntary),
+        )
+        .unwrap();
+        assert_eq!(run.total_faults() + run.total_hits(), 4);
+    }
+
+    #[test]
+    fn honest_only_never_claims_more_than_full() {
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(2, 1);
+        for t in [2u64, 5, 9, 14] {
+            for b in [[2u64, 2], [3, 1], [1, 3]] {
+                let full = pif_decide(&w, cfg, t, &b, PifOptions::default()).unwrap();
+                let honest = pif_decide(
+                    &w,
+                    cfg,
+                    t,
+                    &b,
+                    PifOptions {
+                        full_transitions: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert!(
+                    full || !honest,
+                    "honest feasible implies full feasible (t={t})"
+                );
+            }
+        }
+    }
+}

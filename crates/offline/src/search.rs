@@ -1,0 +1,502 @@
+//! Branch-and-bound search over eviction schedules on a lightweight
+//! backtracking replica of the simulator ("micro-engine").
+//!
+//! Two instantiations:
+//!
+//! * [`brute_force_min_faults`] — honest exhaustive optimum: on each fault
+//!   with a full cache, branch over *every* resident victim. An
+//!   independent implementation cross-validating Algorithm 1.
+//! * [`fitf_restricted_min_faults`] — Theorem 5's restricted policy
+//!   class: on each fault branch only over *sequences*, evicting the
+//!   furthest-in-the-future resident page of the chosen sequence. Theorem
+//!   5 asserts this class contains an optimal algorithm for disjoint
+//!   workloads; tests assert equality with the DP optimum.
+
+use crate::state::{DpError, DpInstance};
+use mcp_core::{SimConfig, Time, Workload};
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    page: u16,
+    owner: usize,
+    ready_at: Time,
+}
+
+/// What the exhaustive search minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Objective {
+    /// Total faults — the paper's FINAL-TOTAL-FAULTS.
+    Faults,
+    /// Completion time of the last request — Hassidim's makespan.
+    Makespan,
+    /// Lexicographic: minimum faults, then minimum makespan among
+    /// fault-optimal schedules. `weight` must exceed any possible
+    /// makespan.
+    FaultsThenMakespan { weight: u64 },
+    /// Lexicographic: minimum makespan, then minimum faults among
+    /// makespan-optimal schedules. `weight` must exceed any possible
+    /// fault count.
+    MakespanThenFaults { weight: u64 },
+}
+
+struct Search<'a> {
+    inst: &'a DpInstance,
+    /// occurrences[core][dense page] = ascending request indices.
+    occurrences: Vec<std::collections::HashMap<u16, Vec<usize>>>,
+    pos: Vec<usize>,
+    ready: Vec<Time>,
+    cache: Vec<Slot>,
+    faults: u64,
+    completion: Time,
+    objective: Objective,
+    best: u64,
+    nodes: usize,
+    max_nodes: usize,
+    restricted_fitf: bool,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        inst: &'a DpInstance,
+        restricted_fitf: bool,
+        objective: Objective,
+        max_nodes: usize,
+    ) -> Self {
+        let p = inst.num_cores();
+        let occurrences = inst
+            .seqs
+            .iter()
+            .map(|seq| {
+                let mut occ: std::collections::HashMap<u16, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (i, &pg) in seq.iter().enumerate() {
+                    occ.entry(pg).or_default().push(i);
+                }
+                occ
+            })
+            .collect();
+        Search {
+            inst,
+            occurrences,
+            pos: vec![0; p],
+            ready: vec![1; p],
+            cache: Vec::with_capacity(inst.k),
+            faults: 0,
+            completion: 0,
+            objective,
+            best: u64::MAX,
+            nodes: 0,
+            max_nodes,
+            restricted_fitf,
+        }
+    }
+
+    fn score(&self) -> u64 {
+        match self.objective {
+            Objective::Faults => self.faults,
+            Objective::Makespan => self.completion,
+            Objective::FaultsThenMakespan { weight } => self.faults * weight + self.completion,
+            Objective::MakespanThenFaults { weight } => self.completion * weight + self.faults,
+        }
+    }
+
+    fn finished(&self, core: usize) -> bool {
+        self.pos[core] >= self.inst.seqs[core].len()
+    }
+
+    fn next_use(&self, core: usize, page: u16) -> usize {
+        match self.occurrences[core].get(&page) {
+            None => usize::MAX,
+            Some(positions) => {
+                let i = positions.partition_point(|&q| q < self.pos[core]);
+                positions.get(i).copied().unwrap_or(usize::MAX)
+            }
+        }
+    }
+
+    /// Victim slot candidates for a fault: resident, not requested this
+    /// parallel step (`req` is the timestep's request snapshot — the
+    /// model's pinning rule, matching `R(x) ⊆ C'` in the DPs).
+    fn candidates(&self, now: Time, req: &[u16]) -> Vec<usize> {
+        let evictable = |s: &Slot| s.ready_at <= now && !req.contains(&s.page);
+        if !self.restricted_fitf {
+            return (0..self.cache.len())
+                .filter(|&i| evictable(&self.cache[i]))
+                .collect();
+        }
+        // Per sequence, the furthest-in-the-future evictable page.
+        let mut out = Vec::new();
+        for core in 0..self.inst.num_cores() {
+            let mut best: Option<(usize, usize)> = None; // (next_use, slot)
+            for (i, s) in self.cache.iter().enumerate() {
+                if s.owner != core || !evictable(s) {
+                    continue;
+                }
+                let nu = self.next_use(core, s.page);
+                if best.map(|(b, _)| nu > b).unwrap_or(true) {
+                    best = Some((nu, i));
+                }
+            }
+            if let Some((_, slot)) = best {
+                out.push(slot);
+            }
+        }
+        out
+    }
+
+    /// Pages requested by cores due at `t` (the pin snapshot).
+    fn request_snapshot(&self, t: Time) -> Vec<u16> {
+        (0..self.inst.num_cores())
+            .filter(|&c| !self.finished(c) && self.ready[c] == t)
+            .map(|c| self.inst.seqs[c][self.pos[c]])
+            .collect()
+    }
+
+    fn lookup(&self, page: u16, now: Time) -> Option<(usize, bool)> {
+        self.cache
+            .iter()
+            .position(|s| s.page == page)
+            .map(|i| (i, self.cache[i].ready_at <= now))
+    }
+
+    /// Serve everything from time `t`, cores starting at `core`, exploring
+    /// all victim choices. `req` is the timestep's request snapshot.
+    /// Returns `Err` if the node budget is exhausted.
+    fn go(&mut self, t: Time, core: usize, req: &[u16]) -> Result<(), DpError> {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            return Err(DpError::TooLarge {
+                states: self.nodes,
+                cap: self.max_nodes,
+            });
+        }
+        // Both objectives are monotone along a path (faults only grow;
+        // completion only grows), so bound-pruning is sound for either.
+        if self.score() >= self.best {
+            return Ok(());
+        }
+        // Find the next core due at time t.
+        let mut c = core;
+        while c < self.inst.num_cores() && (self.finished(c) || self.ready[c] != t) {
+            c += 1;
+        }
+        if c == self.inst.num_cores() {
+            // Timestep done: jump to the next event.
+            let next_t = (0..self.inst.num_cores())
+                .filter(|&j| !self.finished(j))
+                .map(|j| self.ready[j])
+                .min();
+            return match next_t {
+                None => {
+                    self.best = self.best.min(self.score());
+                    Ok(())
+                }
+                Some(t2) => {
+                    debug_assert!(t2 > t);
+                    let req2 = self.request_snapshot(t2);
+                    self.go(t2, 0, &req2)
+                }
+            };
+        }
+
+        let page = self.inst.seqs[c][self.pos[c]];
+        match self.lookup(page, t) {
+            Some((_, true)) => {
+                // Hit.
+                self.pos[c] += 1;
+                self.ready[c] = t + 1;
+                let saved = self.completion;
+                self.completion = self.completion.max(t);
+                self.go(t, c + 1, req)?;
+                self.completion = saved;
+                self.pos[c] -= 1;
+                self.ready[c] = t;
+                Ok(())
+            }
+            Some((_, false)) => {
+                // In flight for another core: fault, join the fetch.
+                self.pos[c] += 1;
+                self.ready[c] = t + self.inst.tau + 1;
+                self.faults += 1;
+                let saved = self.completion;
+                self.completion = self.completion.max(t + self.inst.tau);
+                self.go(t, c + 1, req)?;
+                self.completion = saved;
+                self.faults -= 1;
+                self.pos[c] -= 1;
+                self.ready[c] = t;
+                Ok(())
+            }
+            None => {
+                // Fault: place, branching over victims when full.
+                self.pos[c] += 1;
+                self.ready[c] = t + self.inst.tau + 1;
+                self.faults += 1;
+                let saved = self.completion;
+                self.completion = self.completion.max(t + self.inst.tau);
+                let slot = Slot {
+                    page,
+                    owner: c,
+                    ready_at: t + self.inst.tau + 1,
+                };
+                if self.cache.len() < self.inst.k {
+                    self.cache.push(slot);
+                    self.go(t, c + 1, req)?;
+                    self.cache.pop();
+                } else {
+                    let cands = self.candidates(t, req);
+                    debug_assert!(!cands.is_empty(), "K >= p guarantees a victim");
+                    for i in cands {
+                        let old = self.cache[i];
+                        self.cache[i] = slot;
+                        self.go(t, c + 1, req)?;
+                        self.cache[i] = old;
+                    }
+                }
+                self.completion = saved;
+                self.faults -= 1;
+                self.pos[c] -= 1;
+                self.ready[c] = t;
+                Ok(())
+            }
+        }
+    }
+}
+
+fn run(
+    workload: &Workload,
+    cfg: SimConfig,
+    restricted: bool,
+    objective: Objective,
+    max_nodes: usize,
+) -> Result<u64, DpError> {
+    let inst = DpInstance::build(workload, &cfg)?;
+    if workload.is_empty() {
+        return Ok(0);
+    }
+    let mut search = Search::new(&inst, restricted, objective, max_nodes);
+    let req = search.request_snapshot(1);
+    search.go(1, 0, &req)?;
+    Ok(search.best)
+}
+
+/// Honest exhaustive minimum total faults: branch over every resident
+/// victim on every fault. Exponential; tiny instances only.
+pub fn brute_force_min_faults(
+    workload: &Workload,
+    cfg: SimConfig,
+    max_nodes: usize,
+) -> Result<u64, DpError> {
+    run(workload, cfg, false, Objective::Faults, max_nodes)
+}
+
+/// Honest exhaustive minimum *makespan* (Hassidim's objective, but within
+/// this paper's no-scheduling model): the earliest possible completion
+/// time of the last request. Exponential; tiny instances only.
+pub fn brute_force_min_makespan(
+    workload: &Workload,
+    cfg: SimConfig,
+    max_nodes: usize,
+) -> Result<u64, DpError> {
+    run(workload, cfg, false, Objective::Makespan, max_nodes)
+}
+
+fn lex_weight(workload: &Workload, cfg: SimConfig) -> u64 {
+    workload.total_len() as u64 * (cfg.tau + 1) + 2
+}
+
+/// Honest exhaustive lexicographic optimum `(faults, makespan)`: the best
+/// makespan achievable by any *fault-optimal* schedule.
+pub fn brute_force_faults_then_makespan(
+    workload: &Workload,
+    cfg: SimConfig,
+    max_nodes: usize,
+) -> Result<(u64, u64), DpError> {
+    let weight = lex_weight(workload, cfg);
+    let score = run(
+        workload,
+        cfg,
+        false,
+        Objective::FaultsThenMakespan { weight },
+        max_nodes,
+    )?;
+    Ok((score / weight, score % weight))
+}
+
+/// Honest exhaustive lexicographic optimum `(makespan, faults)`: the best
+/// fault count achievable by any *makespan-optimal* schedule.
+pub fn brute_force_makespan_then_faults(
+    workload: &Workload,
+    cfg: SimConfig,
+    max_nodes: usize,
+) -> Result<(u64, u64), DpError> {
+    let weight = lex_weight(workload, cfg);
+    let score = run(
+        workload,
+        cfg,
+        false,
+        Objective::MakespanThenFaults { weight },
+        max_nodes,
+    )?;
+    Ok((score / weight, score % weight))
+}
+
+/// Minimum total faults achievable by Theorem 5's restricted class: on
+/// each fault choose a sequence and evict its furthest-in-the-future
+/// resident page. Exponential in the number of faults; tiny instances.
+pub fn fitf_restricted_min_faults(
+    workload: &Workload,
+    cfg: SimConfig,
+    max_nodes: usize,
+) -> Result<u64, DpError> {
+    run(workload, cfg, true, Objective::Faults, max_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady_seq::belady_faults;
+    use crate::ftf_dp::ftf_min_faults;
+    use mcp_core::PageId;
+
+    const NODES: usize = 50_000_000;
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn brute_force_matches_belady_single_core() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 1, 2, 3],
+            vec![1, 2, 1, 3, 1, 2],
+            vec![3, 2, 1, 1, 2, 3],
+        ];
+        for vs in cases {
+            let w = wl(&[&vs]);
+            let seq: Vec<PageId> = vs.iter().copied().map(PageId).collect();
+            for k in 1..=3usize {
+                for tau in [0u64, 2] {
+                    let bf = brute_force_min_faults(&w, SimConfig::new(k, tau), NODES).unwrap();
+                    assert_eq!(bf, belady_faults(&seq, k), "{vs:?} k={k} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_dp_two_cores() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 2, 1, 2], vec![7, 8, 7, 8]],
+            vec![vec![1, 2, 3, 1], vec![7, 7, 7, 7]],
+            vec![vec![1, 1, 2, 2], vec![7, 8, 8, 7]],
+            vec![vec![1, 2, 3], vec![7, 8, 9]],
+        ];
+        for seqs in cases {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            for k in [2usize, 3] {
+                for tau in [0u64, 1, 2] {
+                    let cfg = SimConfig::new(k, tau);
+                    let bf = brute_force_min_faults(&w, cfg, NODES).unwrap();
+                    let dp = ftf_min_faults(&w, cfg).unwrap();
+                    assert_eq!(bf, dp, "{seqs:?} k={k} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem5_restricted_class_is_optimal_on_disjoint() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 2, 1, 2], vec![7, 8, 7, 8]],
+            vec![vec![1, 2, 3, 1, 2], vec![7, 7, 7, 7, 7]],
+            vec![vec![1, 2, 1], vec![7, 8, 9]],
+        ];
+        for seqs in cases {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            for k in [2usize, 3] {
+                for tau in [0u64, 1] {
+                    let cfg = SimConfig::new(k, tau);
+                    let restricted = fitf_restricted_min_faults(&w, cfg, NODES).unwrap();
+                    let dp = ftf_min_faults(&w, cfg).unwrap();
+                    assert_eq!(restricted, dp, "{seqs:?} k={k} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_objective_lower_bounds_and_diverges() {
+        // Completion can never beat the all-hit bound max_j n_j, and with
+        // an ample cache it equals (cold miss + hits) timing.
+        let w = wl(&[&[1, 1, 1, 1]]);
+        let ms = brute_force_min_makespan(&w, SimConfig::new(1, 3), NODES).unwrap();
+        // Fault at t=1 completes at 4; hits at 5, 6, 7.
+        assert_eq!(ms, 7);
+        // Makespan optimum <= makespan of any fault-optimal schedule, and
+        // fault optimum <= faults of any makespan-optimal schedule: the
+        // objectives genuinely order schedules differently, but both are
+        // bounded by the model.
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(3, 2);
+        let ms = brute_force_min_makespan(&w, cfg, NODES).unwrap();
+        assert!(ms >= 4, "at least one step per request of the longest core");
+        assert!(ms <= 4 * 3 + 3, "bounded by the all-fault horizon");
+    }
+
+    #[test]
+    fn makespan_matches_engine_for_forced_schedules() {
+        use mcp_policies::{Replay, ReplayDecision};
+        use std::collections::HashMap;
+        // One core, K = 1: every request faults; the only schedule is
+        // forced, so min makespan equals the engine's makespan.
+        let w = wl(&[&[1, 2, 3]]);
+        let cfg = SimConfig::new(1, 2);
+        let ms = brute_force_min_makespan(&w, cfg, NODES).unwrap();
+        let mut d = HashMap::new();
+        d.insert((0usize, 0usize), ReplayDecision::UseEmpty);
+        d.insert((0, 1), ReplayDecision::Evict(PageId(1)));
+        d.insert((0, 2), ReplayDecision::Evict(PageId(2)));
+        let r = mcp_core::simulate(&w, cfg, Replay::new(d)).unwrap();
+        assert_eq!(ms, r.makespan);
+    }
+
+    #[test]
+    fn lexicographic_objectives_decompose_consistently() {
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        for (k, tau) in [(2usize, 1u64), (3, 1), (3, 2)] {
+            let cfg = SimConfig::new(k, tau);
+            let min_f = brute_force_min_faults(&w, cfg, NODES).unwrap();
+            let min_m = brute_force_min_makespan(&w, cfg, NODES).unwrap();
+            let (f1, m_of_f) = brute_force_faults_then_makespan(&w, cfg, NODES).unwrap();
+            let (m1, f_of_m) = brute_force_makespan_then_faults(&w, cfg, NODES).unwrap();
+            // Primary components equal the single-objective optima.
+            assert_eq!(f1, min_f, "k={k} tau={tau}");
+            assert_eq!(m1, min_m, "k={k} tau={tau}");
+            // Secondary components are feasible values, so bounded below
+            // by their own optima.
+            assert!(m_of_f >= min_m);
+            assert!(f_of_m >= min_f);
+            // And a fault-optimal schedule's makespan is a real makespan:
+            // at most the all-fault horizon.
+            assert!(m_of_f <= w.total_len() as u64 * (tau + 1));
+        }
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let w = wl(&[&[1, 2, 3, 4, 1, 2, 3, 4], &[5, 6, 7, 8, 5, 6, 7, 8]]);
+        let err = brute_force_min_faults(&w, SimConfig::new(3, 1), 10).unwrap_err();
+        assert!(matches!(err, DpError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let w = wl(&[&[], &[]]);
+        assert_eq!(
+            brute_force_min_faults(&w, SimConfig::new(2, 1), NODES).unwrap(),
+            0
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! Shared state machinery for the offline dynamic programs (Algorithms 1
+//! and 2 of the paper).
+//!
+//! A DP state is a cache *configuration* `C` (a set of pages, represented
+//! as a bitmask over the dense page universe) plus a *position vector*
+//! `x`: each `x_i ∈ 1..=n_i(τ+1)+1` indexes a virtual per-sequence
+//! timeline in which every page occupies `τ+1` slots — the page boundary
+//! followed by `τ` fetch-period slots. A hit jumps `τ+1` slots in one
+//! timestep; a fault steps through its fetch period one slot per timestep.
+//! One DP transition is exactly one parallel timestep.
+
+use mcp_core::{PageId, SimConfig, Time, Workload};
+use std::fmt;
+
+/// Errors from DP construction or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum DpError {
+    /// More than 64 distinct pages (the configuration bitmask is a `u64`).
+    UniverseTooLarge { pages: usize },
+    /// The state space exceeded the configured cap.
+    TooLarge { states: usize, cap: usize },
+    /// The workload/config combination is malformed.
+    Model(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::UniverseTooLarge { pages } => {
+                write!(
+                    f,
+                    "page universe has {pages} pages; the DP supports at most 64"
+                )
+            }
+            DpError::TooLarge { states, cap } => {
+                write!(f, "DP state space exceeded {cap} states (reached {states})")
+            }
+            DpError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// A workload compiled for DP execution: dense page ids, precomputed
+/// per-sequence virtual-timeline lengths.
+#[derive(Clone, Debug)]
+pub struct DpInstance {
+    /// Per-core sequences as dense page indices (bit positions).
+    pub seqs: Vec<Vec<u16>>,
+    /// Dense index → original page.
+    pub pages: Vec<PageId>,
+    /// Cache size `K`.
+    pub k: usize,
+    /// Fault delay `τ`.
+    pub tau: u64,
+}
+
+impl DpInstance {
+    /// Compile a workload. Fails if the page universe exceeds 64 pages.
+    pub fn build(workload: &Workload, cfg: &SimConfig) -> Result<Self, DpError> {
+        cfg.validate(workload)
+            .map_err(|e| DpError::Model(e.to_string()))?;
+        let pages = workload.universe();
+        if pages.len() > 64 {
+            return Err(DpError::UniverseTooLarge { pages: pages.len() });
+        }
+        let dense: std::collections::HashMap<PageId, u16> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u16))
+            .collect();
+        let seqs = workload
+            .sequences()
+            .iter()
+            .map(|seq| seq.iter().map(|p| dense[p]).collect())
+            .collect();
+        Ok(DpInstance {
+            seqs,
+            pages: pages.clone(),
+            k: cfg.cache_size,
+            tau: cfg.tau,
+        })
+    }
+
+    /// `τ + 1`, the virtual slots per page.
+    pub fn period(&self) -> u64 {
+        self.tau + 1
+    }
+
+    /// Number of sequences `p`.
+    pub fn num_cores(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Final (finished) position of sequence `i`: `n_i(τ+1) + 1`.
+    pub fn end_pos(&self, i: usize) -> u64 {
+        self.seqs[i].len() as u64 * self.period() + 1
+    }
+
+    /// Whether position `x` of any sequence is a page boundary.
+    pub fn at_boundary(&self, x: u64) -> bool {
+        (x - 1).is_multiple_of(self.period())
+    }
+
+    /// The 0-based request index position `x` points at (page boundary or
+    /// its fetch period).
+    pub fn page_index(&self, x: u64) -> usize {
+        ((x - 1) / self.period()) as usize
+    }
+
+    /// Dense page pointed at by sequence `i` at position `x` (which must
+    /// not be the end position).
+    pub fn pointed_page(&self, i: usize, x: u64) -> u16 {
+        self.seqs[i][self.page_index(x)]
+    }
+
+    /// The initial position vector (all sequences at their first page).
+    pub fn start_positions(&self) -> Box<[u32]> {
+        vec![1u32; self.seqs.len()].into_boxed_slice()
+    }
+
+    /// Whether `positions` is fully finished.
+    pub fn all_finished(&self, positions: &[u32]) -> bool {
+        positions
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x as u64 == self.end_pos(i))
+    }
+}
+
+/// The effect of one parallel timestep from `(config, positions)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepEffect {
+    /// Union of pages pointed at by unfinished sequences (boundary pages
+    /// and in-flight fetch-period pages) — must be contained in every
+    /// successor configuration.
+    pub rx: u64,
+    /// Mask of pages newly faulted this step (boundary pages absent from
+    /// the configuration), as a set.
+    pub fault_mask: u64,
+    /// Per-sequence flag: sequence `i` faulted this step.
+    pub seq_faulted: Vec<bool>,
+    /// Position vector after the step.
+    pub next_positions: Box<[u32]>,
+}
+
+impl StepEffect {
+    /// Number of faults counted as a set (the `|R(x) \ C|` of Algorithm 1).
+    pub fn fault_count(&self) -> u32 {
+        self.fault_mask.count_ones()
+    }
+}
+
+/// Compute the (deterministic) per-sequence advances and fault set for one
+/// timestep from `(config, positions)`.
+pub fn step_effect(inst: &DpInstance, config: u64, positions: &[u32]) -> StepEffect {
+    let period = inst.period();
+    let mut rx = 0u64;
+    let mut fault_mask = 0u64;
+    let mut seq_faulted = vec![false; inst.num_cores()];
+    let mut next = positions.to_vec();
+    for i in 0..inst.num_cores() {
+        let x = positions[i] as u64;
+        if x == inst.end_pos(i) {
+            continue; // finished
+        }
+        let page = inst.pointed_page(i, x);
+        let bit = 1u64 << page;
+        rx |= bit;
+        if inst.at_boundary(x) {
+            if config & bit != 0 {
+                // Hit: jump to the next page boundary.
+                next[i] = (x + period) as u32;
+            } else {
+                // Fault: enter (or with τ = 0, complete) the fetch period.
+                fault_mask |= bit;
+                seq_faulted[i] = true;
+                next[i] = (x + 1) as u32;
+            }
+        } else {
+            // Mid-fetch: advance one slot.
+            next[i] = (x + 1) as u32;
+        }
+    }
+    StepEffect {
+        rx,
+        fault_mask,
+        seq_faulted,
+        next_positions: next.into_boxed_slice(),
+    }
+}
+
+/// Enumerate successor configurations `C'` for a step: `rx ⊆ C' ⊆ C ∪ rx`,
+/// `|C'| ≤ K`, calling `f(C')` for each.
+///
+/// * `lazy = true`: evict exactly the overflow (only as many pages as
+///   needed) — the honest, no-extra-evictions regime.
+/// * `lazy = false`: additionally enumerate every larger eviction set (the
+///   paper's full transition relation, which admits dishonest voluntary
+///   evictions; used to probe Theorem 4).
+pub fn for_each_successor_config(
+    inst: &DpInstance,
+    config: u64,
+    effect: &StepEffect,
+    lazy: bool,
+    mut f: impl FnMut(u64),
+) {
+    let base = config | effect.rx;
+    let keep_mask = effect.rx;
+    let free: Vec<u16> = (0..inst.pages.len() as u16)
+        .filter(|b| (base & !keep_mask) & (1u64 << b) != 0)
+        .collect();
+    let occupancy = base.count_ones() as usize;
+    let min_evict = occupancy.saturating_sub(inst.k);
+    debug_assert!(min_evict <= free.len(), "rx alone must fit in the cache");
+    let max_evict = if lazy { min_evict } else { free.len() };
+
+    // Enumerate subsets of `free` of each size in [min_evict, max_evict].
+    let mut chosen: Vec<u16> = Vec::with_capacity(max_evict);
+    fn combos(
+        free: &[u16],
+        start: usize,
+        remaining: usize,
+        chosen: &mut Vec<u16>,
+        base: u64,
+        f: &mut impl FnMut(u64),
+    ) {
+        if remaining == 0 {
+            let mut cfg = base;
+            for &b in chosen.iter() {
+                cfg &= !(1u64 << b);
+            }
+            f(cfg);
+            return;
+        }
+        for i in start..=free.len().saturating_sub(remaining) {
+            chosen.push(free[i]);
+            combos(free, i + 1, remaining - 1, chosen, base, f);
+            chosen.pop();
+        }
+    }
+    for e in min_evict..=max_evict {
+        combos(&free, 0, e, &mut chosen, base, &mut f);
+    }
+}
+
+/// A fully identified DP state.
+pub type StateKey = (u64, Box<[u32]>);
+
+/// Timestep type re-exported for DP callers.
+pub type DpTime = Time;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_core::SimConfig;
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn instance_compiles_dense_pages() {
+        let w = wl(&[&[5, 7], &[9]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(2, 1)).unwrap();
+        assert_eq!(inst.pages, vec![PageId(5), PageId(7), PageId(9)]);
+        assert_eq!(inst.seqs, vec![vec![0, 1], vec![2]]);
+        assert_eq!(inst.period(), 2);
+        assert_eq!(inst.end_pos(0), 5); // 2 pages * 2 + 1
+        assert_eq!(inst.end_pos(1), 3);
+    }
+
+    #[test]
+    fn boundaries_and_page_indices() {
+        let w = wl(&[&[1, 2, 3]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(1, 2)).unwrap();
+        // period 3: boundaries at x = 1, 4, 7; end at 10.
+        assert!(inst.at_boundary(1));
+        assert!(!inst.at_boundary(2));
+        assert!(!inst.at_boundary(3));
+        assert!(inst.at_boundary(4));
+        assert_eq!(inst.page_index(1), 0);
+        assert_eq!(inst.page_index(3), 0);
+        assert_eq!(inst.page_index(4), 1);
+    }
+
+    #[test]
+    fn step_hit_jumps_fault_crawls() {
+        let w = wl(&[&[1, 2]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(1, 2)).unwrap();
+        let x0 = inst.start_positions();
+        // Empty config: fault on page 1 (bit 0).
+        let e = step_effect(&inst, 0, &x0);
+        assert_eq!(e.fault_mask, 0b01);
+        assert_eq!(e.next_positions.as_ref(), &[2]);
+        assert!(e.seq_faulted[0]);
+        // Config contains page 1: hit, jump to boundary 4.
+        let e = step_effect(&inst, 0b01, &x0);
+        assert_eq!(e.fault_mask, 0);
+        assert_eq!(e.next_positions.as_ref(), &[4]);
+        // Mid-fetch position advances by one and registers no fault.
+        let e = step_effect(&inst, 0b01, &[2]);
+        assert_eq!(e.fault_mask, 0);
+        assert_eq!(e.rx, 0b01);
+        assert_eq!(e.next_positions.as_ref(), &[3]);
+    }
+
+    #[test]
+    fn simultaneous_same_page_faults_count_once() {
+        let w = wl(&[&[1], &[1]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(2, 0)).unwrap();
+        let e = step_effect(&inst, 0, &inst.start_positions());
+        assert_eq!(e.fault_count(), 1);
+        assert!(e.seq_faulted[0] && e.seq_faulted[1]);
+    }
+
+    #[test]
+    fn successor_configs_lazy_exact_overflow() {
+        // K=2, config {A,B} full, rx={C} new fault: must evict exactly one
+        // of A, B -> two successors.
+        let w = wl(&[&[1, 2, 3]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(2, 0)).unwrap();
+        let effect = StepEffect {
+            rx: 0b100,
+            fault_mask: 0b100,
+            seq_faulted: vec![true],
+            next_positions: vec![4].into_boxed_slice(),
+        };
+        let mut succ = Vec::new();
+        for_each_successor_config(&inst, 0b011, &effect, true, |c| succ.push(c));
+        succ.sort_unstable();
+        assert_eq!(succ, vec![0b101, 0b110]);
+    }
+
+    #[test]
+    fn successor_configs_all_subsets_include_voluntary() {
+        // K=3, config {A,B}, rx={C}: lazy keeps everything (1 successor);
+        // full mode may also drop A, B, or both (4 successors).
+        let w = wl(&[&[1, 2, 3]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(3, 0)).unwrap();
+        let effect = StepEffect {
+            rx: 0b100,
+            fault_mask: 0b100,
+            seq_faulted: vec![true],
+            next_positions: vec![4].into_boxed_slice(),
+        };
+        let mut lazy = Vec::new();
+        for_each_successor_config(&inst, 0b011, &effect, true, |c| lazy.push(c));
+        assert_eq!(lazy, vec![0b111]);
+        let mut all = Vec::new();
+        for_each_successor_config(&inst, 0b011, &effect, false, |c| all.push(c));
+        all.sort_unstable();
+        assert_eq!(all, vec![0b100, 0b101, 0b110, 0b111]);
+    }
+
+    #[test]
+    fn universe_cap_enforced() {
+        let big: Vec<u32> = (0..65).collect();
+        let w = wl(&[&big]);
+        assert!(matches!(
+            DpInstance::build(&w, &SimConfig::new(4, 0)),
+            Err(DpError::UniverseTooLarge { pages: 65 })
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! The [`EvictionPolicy`] trait: a victim-selection rule over a managed set
+//! of pages.
+//!
+//! An eviction policy is the per-part (or whole-cache) rule `A` in the
+//! paper's strategy notation `S_A`, `sP^B_A`, `dP^D_A`. It is driven with
+//! *stamps* — a strictly increasing event counter supplied by the strategy
+//! wrapper in service order — so policies never read wall-clock simulation
+//! time and remain deterministic under simultaneous requests.
+//!
+//! `choose_victim` receives an explicit candidate slice because the
+//! strategy may only permit evictions from a subset of the managed pages
+//! (e.g. the resident pages of one part, excluding in-flight fetches).
+
+use mcp_core::PageId;
+
+/// A victim-selection rule over a dynamically managed set of pages.
+pub trait EvictionPolicy {
+    /// Short name, e.g. `"LRU"`.
+    fn name(&self) -> String;
+
+    /// `page` entered the managed set (its fetch started), as event `stamp`.
+    fn on_insert(&mut self, page: PageId, stamp: u64);
+
+    /// `page` (already managed) was accessed, as event `stamp`.
+    fn on_access(&mut self, page: PageId, stamp: u64);
+
+    /// `page` left the managed set.
+    fn on_remove(&mut self, page: PageId);
+
+    /// Choose a victim among `candidates` (nonempty; each is managed).
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId;
+}
+
+impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        (**self).on_insert(page, stamp)
+    }
+    fn on_access(&mut self, page: PageId, stamp: u64) {
+        (**self).on_access(page, stamp)
+    }
+    fn on_remove(&mut self, page: PageId) {
+        (**self).on_remove(page)
+    }
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        (**self).choose_victim(candidates)
+    }
+}

@@ -1,0 +1,192 @@
+//! Cache partitions: an assignment `k : P → {0..K}` with `Σ_j k_j = K`.
+
+use std::fmt;
+
+/// A (static) cache partition: `sizes[j]` cells are reserved for core `j`.
+///
+/// The paper requires every processor with active requests to hold at
+/// least one cell; [`Partition::validate`] enforces `k_j ≥ 1` for all `j`
+/// and `Σ_j k_j = K`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    sizes: Vec<usize>,
+}
+
+/// Errors in partition construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum PartitionError {
+    /// Sizes do not sum to the cache size.
+    WrongTotal { total: usize, cache_size: usize },
+    /// A core was assigned zero cells.
+    EmptyPart { core: usize },
+    /// Number of parts does not match the number of cores.
+    WrongCores { parts: usize, cores: usize },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::WrongTotal { total, cache_size } => {
+                write!(f, "partition sums to {total}, cache size is {cache_size}")
+            }
+            PartitionError::EmptyPart { core } => {
+                write!(f, "core {core} was assigned an empty part")
+            }
+            PartitionError::WrongCores { parts, cores } => {
+                write!(f, "partition has {parts} parts for {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl Partition {
+    /// Build from explicit part sizes (unvalidated until
+    /// [`Partition::validate`]).
+    pub fn from_sizes(sizes: Vec<usize>) -> Self {
+        Partition { sizes }
+    }
+
+    /// An equal split of `cache_size` among `cores`, earlier cores taking
+    /// the remainder.
+    ///
+    /// ```
+    /// use mcp_policies::Partition;
+    /// assert_eq!(Partition::equal(8, 3).sizes(), &[3, 3, 2]);
+    /// ```
+    pub fn equal(cache_size: usize, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let base = cache_size / cores;
+        let extra = cache_size % cores;
+        Partition {
+            sizes: (0..cores).map(|j| base + usize::from(j < extra)).collect(),
+        }
+    }
+
+    /// A split proportional to `weights` (each part at least one cell).
+    /// The remainder after flooring goes to the largest-weight parts.
+    pub fn proportional(cache_size: usize, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        assert!(cache_size >= weights.len(), "need one cell per core");
+        let total: f64 = weights.iter().sum();
+        let spare = cache_size - weights.len();
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| 1 + ((w / total) * spare as f64).floor() as usize)
+            .collect();
+        let mut assigned: usize = sizes.iter().sum();
+        // Distribute the flooring remainder to the heaviest parts.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+        let mut i = 0;
+        while assigned < cache_size {
+            sizes[order[i % order.len()]] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        Partition { sizes }
+    }
+
+    /// The part sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of core `j`'s part.
+    pub fn size(&self, core: usize) -> usize {
+        self.sizes[core]
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The largest part, `max_j k_j` (the quantity in Lemma 1's bound).
+    pub fn max_part(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Check the partition against a cache size and core count.
+    pub fn validate(&self, cache_size: usize, cores: usize) -> Result<(), PartitionError> {
+        if self.sizes.len() != cores {
+            return Err(PartitionError::WrongCores {
+                parts: self.sizes.len(),
+                cores,
+            });
+        }
+        if let Some(core) = self.sizes.iter().position(|&k| k == 0) {
+            return Err(PartitionError::EmptyPart { core });
+        }
+        let total: usize = self.sizes.iter().sum();
+        if total != cache_size {
+            return Err(PartitionError::WrongTotal { total, cache_size });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Partition {
+    /// Writes `[k_1,k_2,...]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, k) in self.sizes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_distributes_remainder() {
+        assert_eq!(Partition::equal(8, 3).sizes(), &[3, 3, 2]);
+        assert_eq!(Partition::equal(9, 3).sizes(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn proportional_split() {
+        let p = Partition::proportional(10, &[1.0, 1.0, 2.0]);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 10);
+        assert!(p.size(2) >= p.size(0));
+        assert!(p.sizes().iter().all(|&k| k >= 1));
+    }
+
+    #[test]
+    fn validation() {
+        let p = Partition::from_sizes(vec![2, 2]);
+        assert!(p.validate(4, 2).is_ok());
+        assert_eq!(
+            p.validate(5, 2).unwrap_err(),
+            PartitionError::WrongTotal {
+                total: 4,
+                cache_size: 5
+            }
+        );
+        assert_eq!(
+            p.validate(4, 3).unwrap_err(),
+            PartitionError::WrongCores { parts: 2, cores: 3 }
+        );
+        let z = Partition::from_sizes(vec![4, 0]);
+        assert_eq!(
+            z.validate(4, 2).unwrap_err(),
+            PartitionError::EmptyPart { core: 1 }
+        );
+    }
+
+    #[test]
+    fn display_and_max() {
+        let p = Partition::from_sizes(vec![1, 3, 2]);
+        assert_eq!(p.to_string(), "[1,3,2]");
+        assert_eq!(p.max_part(), 3);
+        assert_eq!(p.num_parts(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! First-In-First-Out eviction.
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::PageId;
+use std::collections::HashMap;
+
+/// Evicts the candidate that entered the managed set earliest.
+///
+/// FIFO is conservative (though not marking), so Lemma 1's static-partition
+/// upper bound applies to it as well.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    inserted: HashMap<PageId, u64>,
+}
+
+impl Fifo {
+    /// New, empty FIFO state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for Fifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        self.inserted.insert(page, stamp);
+    }
+
+    fn on_access(&mut self, _page: PageId, _stamp: u64) {
+        // FIFO ignores accesses.
+    }
+
+    fn on_remove(&mut self, page: PageId) {
+        self.inserted.remove(&page);
+    }
+
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        *candidates
+            .iter()
+            .min_by_key(|p| {
+                self.inserted
+                    .get(p)
+                    .copied()
+                    .expect("candidate must be managed")
+            })
+            .expect("candidates nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn evicts_oldest_insertion_ignoring_accesses() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(p(1), 1);
+        fifo.on_insert(p(2), 2);
+        fifo.on_access(p(1), 3); // must not refresh
+        assert_eq!(fifo.choose_victim(&[p(1), p(2)]), p(1));
+    }
+
+    #[test]
+    fn reinsertion_refreshes() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(p(1), 1);
+        fifo.on_insert(p(2), 2);
+        fifo.on_remove(p(1));
+        fifo.on_insert(p(1), 3);
+        assert_eq!(fifo.choose_victim(&[p(1), p(2)]), p(2));
+    }
+}

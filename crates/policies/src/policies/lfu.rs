@@ -1,0 +1,79 @@
+//! Least-Frequently-Used eviction.
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::PageId;
+use std::collections::HashMap;
+
+/// Evicts the candidate with the fewest recorded uses; ties broken by the
+/// older insertion.
+#[derive(Clone, Debug, Default)]
+pub struct Lfu {
+    uses: HashMap<PageId, (u64, u64)>, // (count, insert stamp)
+}
+
+impl Lfu {
+    /// New, empty LFU state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".into()
+    }
+
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        self.uses.insert(page, (1, stamp));
+    }
+
+    fn on_access(&mut self, page: PageId, _stamp: u64) {
+        if let Some((count, _)) = self.uses.get_mut(&page) {
+            *count += 1;
+        }
+    }
+
+    fn on_remove(&mut self, page: PageId) {
+        self.uses.remove(&page);
+    }
+
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        *candidates
+            .iter()
+            .min_by_key(|p| {
+                self.uses
+                    .get(p)
+                    .copied()
+                    .expect("candidate must be managed")
+            })
+            .expect("candidates nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(p(1), 1);
+        lfu.on_insert(p(2), 2);
+        lfu.on_access(p(1), 3);
+        lfu.on_access(p(1), 4);
+        lfu.on_access(p(2), 5);
+        assert_eq!(lfu.choose_victim(&[p(1), p(2)]), p(2));
+    }
+
+    #[test]
+    fn ties_broken_by_age() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(p(1), 1);
+        lfu.on_insert(p(2), 2);
+        assert_eq!(lfu.choose_victim(&[p(1), p(2)]), p(1));
+    }
+}

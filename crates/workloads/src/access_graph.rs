@@ -1,0 +1,212 @@
+//! Access-graph workloads (Borodin et al.; Fiat & Karlin's multi-pointer
+//! extension, discussed in the paper's related work): request sequences
+//! are walks on a graph whose vertices are pages, modeling structured
+//! locality — program loops, trees, grids. Each core walks its own
+//! component (disjoint pages), which is exactly Fiat–Karlin's
+//! "several applications" reading of the multi-pointer model.
+
+use mcp_core::{PageId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Page-id stride separating the cores' disjoint universes.
+pub const CORE_STRIDE: u32 = 1 << 20;
+
+/// An undirected access graph over pages `0..n` (local ids).
+#[derive(Clone, Debug)]
+pub struct AccessGraph {
+    n: u32,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl AccessGraph {
+    /// Build from an edge list over `0..n`. Isolated vertices self-loop.
+    pub fn new(n: u32, edges: &[(u32, u32)]) -> Self {
+        assert!(n >= 1);
+        let mut adjacency = vec![Vec::new(); n as usize];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+        for (v, adj) in adjacency.iter_mut().enumerate() {
+            if adj.is_empty() {
+                adj.push(v as u32); // self-loop so walks never strand
+            }
+        }
+        AccessGraph { n, adjacency }
+    }
+
+    /// A cycle of `n` pages — the loop access pattern.
+    pub fn cycle(n: u32) -> Self {
+        assert!(n >= 1);
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        AccessGraph::new(n, &edges)
+    }
+
+    /// A path of `n` pages — a sequential data structure walked back and
+    /// forth.
+    pub fn path(n: u32) -> Self {
+        assert!(n >= 1);
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        AccessGraph::new(n, &edges)
+    }
+
+    /// A complete binary tree with `n` nodes — pointer-chasing descent
+    /// patterns.
+    pub fn binary_tree(n: u32) -> Self {
+        assert!(n >= 1);
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((i, (i - 1) / 2));
+        }
+        AccessGraph::new(n, &edges)
+    }
+
+    /// A `rows × cols` grid — stencil/array traversal locality.
+    pub fn grid(rows: u32, cols: u32) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols));
+                }
+            }
+        }
+        AccessGraph::new(n, &edges)
+    }
+
+    /// Number of vertices (pages).
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// `true` iff the graph has no vertices (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// A random walk of `len` requests starting at vertex 0. With
+    /// probability `stay`, the walk re-requests the current page
+    /// (temporal locality); otherwise it moves to a uniform neighbour.
+    pub fn walk(&self, len: usize, stay: f64, rng: &mut StdRng) -> Vec<u32> {
+        let mut out = Vec::with_capacity(len);
+        let mut at = 0u32;
+        for _ in 0..len {
+            out.push(at);
+            if !rng.gen_bool(stay.clamp(0.0, 1.0)) {
+                let adj = &self.adjacency[at as usize];
+                at = adj[rng.gen_range(0..adj.len())];
+            }
+        }
+        out
+    }
+}
+
+/// Build a multicore workload where core `j` random-walks its own copy of
+/// `graphs[j]` (disjoint page ranges), `n_per_core` requests each.
+pub fn graph_walks(graphs: &[AccessGraph], n_per_core: usize, stay: f64, seed: u64) -> Workload {
+    assert!(!graphs.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences = graphs
+        .iter()
+        .enumerate()
+        .map(|(core, g)| {
+            g.walk(n_per_core, stay, &mut rng)
+                .into_iter()
+                .map(|v| PageId(core as u32 * CORE_STRIDE + v))
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_expected_shapes() {
+        assert_eq!(AccessGraph::cycle(5).len(), 5);
+        assert_eq!(AccessGraph::path(4).len(), 4);
+        assert_eq!(AccessGraph::binary_tree(7).len(), 7);
+        assert_eq!(AccessGraph::grid(3, 4).len(), 12);
+        // Cycle: every vertex has degree 2 (n >= 3).
+        let c = AccessGraph::cycle(6);
+        assert!(c.adjacency.iter().all(|a| a.len() == 2));
+        // Tree: root has 2 children, leaves have 1 edge.
+        let t = AccessGraph::binary_tree(7);
+        assert_eq!(t.adjacency[0].len(), 2);
+        assert_eq!(t.adjacency[6].len(), 1);
+    }
+
+    #[test]
+    fn walks_respect_adjacency() {
+        let g = AccessGraph::cycle(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let walk = g.walk(200, 0.2, &mut rng);
+        assert_eq!(walk.len(), 200);
+        for w in walk.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let diff = (a as i64 - b as i64).rem_euclid(8);
+            assert!(
+                diff == 0 || diff == 1 || diff == 7,
+                "non-edge step {a}->{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn stay_probability_one_never_moves() {
+        let g = AccessGraph::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let walk = g.walk(50, 1.0, &mut rng);
+        assert!(walk.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn single_vertex_graph_self_loops() {
+        let g = AccessGraph::new(1, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let walk = g.walk(10, 0.0, &mut rng);
+        assert!(walk.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn multicore_walks_are_disjoint_and_deterministic() {
+        let graphs = vec![AccessGraph::cycle(6), AccessGraph::binary_tree(7)];
+        let a = graph_walks(&graphs, 100, 0.3, 9);
+        let b = graph_walks(&graphs, 100, 0.3, 9);
+        assert_eq!(a, b);
+        assert!(a.is_disjoint());
+        assert_eq!(a.num_cores(), 2);
+        assert!(a.core_universe(0).len() <= 6);
+        assert!(a.core_universe(1).len() <= 7);
+    }
+
+    #[test]
+    fn graph_locality_beats_uniform_for_lru() {
+        // A random walk on a path has far more locality than uniform
+        // traffic over the same universe: LRU should fault much less.
+        use mcp_core::{simulate, SimConfig};
+        use mcp_policies::shared_lru;
+        let graphs = vec![AccessGraph::path(32)];
+        let walky = graph_walks(&graphs, 2_000, 0.3, 5);
+        let uniform = crate::synthetic::uniform(1, 2_000, 32, 5);
+        let cfg = SimConfig::new(8, 0);
+        let f_walk = simulate(&walky, cfg, shared_lru()).unwrap().total_faults();
+        let f_uni = simulate(&uniform, cfg, shared_lru())
+            .unwrap()
+            .total_faults();
+        assert!(
+            f_walk * 2 < f_uni,
+            "walk locality should halve faults: walk {f_walk} vs uniform {f_uni}"
+        );
+    }
+}

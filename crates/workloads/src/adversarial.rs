@@ -1,0 +1,195 @@
+//! The adversarial request sequences constructed inside the paper's
+//! proofs, as parameterized generators. Page numbering keeps all cores
+//! disjoint: core `j` draws from `[j·STRIDE, (j+1)·STRIDE)`.
+
+use mcp_core::{PageId, Workload};
+
+/// Page-id stride separating the cores' disjoint universes.
+pub const CORE_STRIDE: u32 = 1 << 20;
+
+fn page(core: usize, local: u32) -> PageId {
+    PageId(core as u32 * CORE_STRIDE + local)
+}
+
+/// Lemma 1 (lower bound): under a fixed static partition `B = {k_j}`,
+/// every core except the one with the largest part repeats a single page,
+/// while the largest part's core cycles `k_{j*} + 1` distinct pages —
+/// thrashing any deterministic online policy in its own part while
+/// per-part OPT faults only once per `k_{j*}` requests.
+///
+/// Every core issues `n_per_core` requests.
+pub fn lemma1_lower(partition: &[usize], n_per_core: usize) -> Workload {
+    assert!(!partition.is_empty());
+    let j_star = partition
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &k)| k)
+        .map(|(j, _)| j)
+        .expect("nonempty");
+    let cycle = partition[j_star] as u32 + 1;
+    let sequences = partition
+        .iter()
+        .enumerate()
+        .map(|(j, _)| {
+            (0..n_per_core)
+                .map(|i| {
+                    if j == j_star {
+                        page(j, i as u32 % cycle)
+                    } else {
+                        page(j, 0)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// Lemma 2: against a *fixed* online static partition `B`, cores in the
+/// set `P'` (the largest parts) cycle `k_j + 1` pages (thrashing their
+/// parts), other cores cycle exactly `k_j` pages (fitting), and the
+/// smallest part of size ≥ 2 (core `j*`) repeats one page — an offline
+/// partition reassigns `j*`'s spare cells to `P'` and faults only `O(K)`
+/// times, while `sP^B` faults on `Ω(n)` requests.
+pub fn lemma2(partition: &[usize], n_per_core: usize) -> Workload {
+    let p = partition.len();
+    let j_star = partition
+        .iter()
+        .enumerate()
+        .filter(|(_, &k)| k >= 2)
+        .min_by_key(|(_, &k)| k)
+        .map(|(j, _)| j)
+        .expect("some part must have at least 2 cells");
+    let k_star = partition[j_star];
+
+    // P = the first min(k*, p) processors in decreasing part order.
+    let mut by_size: Vec<usize> = (0..p).collect();
+    by_size.sort_by_key(|&j| std::cmp::Reverse(partition[j]));
+    let p_set: Vec<usize> = by_size.into_iter().take(k_star.min(p)).collect();
+    let p_prime: Vec<usize> = p_set.iter().copied().filter(|&j| j != j_star).collect();
+
+    let sequences = (0..p)
+        .map(|j| {
+            let cycle: u32 = if j == j_star {
+                1
+            } else if p_prime.contains(&j) {
+                partition[j] as u32 + 1 // thrash
+            } else {
+                partition[j] as u32 // fits exactly
+            };
+            (0..n_per_core).map(|i| page(j, i as u32 % cycle)).collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// Theorem 1.1: the rotating "distinct period" sequence on which a shared
+/// LRU cache faults only `K + p` times but *every* static partition —
+/// even offline-optimal with per-part OPT — faults `Ω(n)` times.
+///
+/// Core `j` (0-indexed) issues, in order:
+/// `(σ^j_1)^{j·(K/p+1)(τ+x)}`, then `(σ^j_1 … σ^j_{K/p+1})^x`, then
+/// `(σ^j_1)^{(K+p−(j+1)(K/p+1))(τ+x)}`. The idle repetitions (one
+/// timestep per hit under `S_LRU`) exactly tile the other cores' distinct
+/// periods, so at most one core is in its distinct period at any time.
+///
+/// Requires `K` divisible by `p`.
+pub fn thm1_rotating(p: usize, cache_size: usize, tau: u64, x: usize) -> Workload {
+    assert!(
+        p >= 1 && cache_size.is_multiple_of(p),
+        "K must be divisible by p"
+    );
+    assert!(x >= 1);
+    let c = cache_size / p + 1; // K/p + 1 distinct pages per core
+    let period = (tau as usize + x) * c; // timesteps one distinct period occupies
+    let sequences = (0..p)
+        .map(|j| {
+            let prefix = j * period;
+            let suffix = (cache_size + p - (j + 1) * c) * (tau as usize + x);
+            let mut seq = Vec::with_capacity(prefix + c * x + suffix);
+            seq.extend(std::iter::repeat_n(page(j, 0), prefix));
+            for _ in 0..x {
+                seq.extend((0..c as u32).map(|i| page(j, i)));
+            }
+            seq.extend(std::iter::repeat_n(page(j, 0), suffix));
+            seq
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// Lemma 4: each core cycles `K/p + 1` disjoint pages for `n_per_core`
+/// requests. `S_LRU` faults on every request; the offline strategy
+/// sacrificing one core (`SacrificeOffline`) faults `O(n/(p(τ+1)))`
+/// times, exhibiting the `Ω(p(τ+1))` lower bound on LRU's competitive
+/// ratio. The same workload shows `S_FITF` suboptimal once `τ > K/p`.
+///
+/// Requires `K` divisible by `p` (the paper additionally assumes
+/// `K ≥ p²`).
+pub fn lemma4_cyclic(p: usize, cache_size: usize, n_per_core: usize) -> Workload {
+    assert!(
+        p >= 1 && cache_size.is_multiple_of(p),
+        "K must be divisible by p"
+    );
+    let c = cache_size as u32 / p as u32 + 1;
+    let sequences = (0..p)
+        .map(|j| (0..n_per_core).map(|i| page(j, i as u32 % c)).collect())
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_shape() {
+        let w = lemma1_lower(&[2, 4, 1], 8);
+        assert_eq!(w.num_cores(), 3);
+        // Core 1 has the largest part (4): it cycles 5 distinct pages.
+        assert_eq!(w.core_universe(1).len(), 5);
+        assert_eq!(w.core_universe(0).len(), 1);
+        assert_eq!(w.core_universe(2).len(), 1);
+        assert!(w.is_disjoint());
+    }
+
+    #[test]
+    fn lemma2_shape() {
+        // Partition [3, 2, 3]: j* is core 1 (smallest part >= 2, k* = 2);
+        // P = 2 largest-part cores = {0, 2}; both thrash with k_j + 1.
+        let w = lemma2(&[3, 2, 3], 12);
+        assert_eq!(w.core_universe(1).len(), 1);
+        assert_eq!(w.core_universe(0).len(), 4);
+        assert_eq!(w.core_universe(2).len(), 4);
+        assert!(w.is_disjoint());
+    }
+
+    #[test]
+    fn thm1_rotating_shape_and_lengths() {
+        let (p, k, tau, x) = (2usize, 4usize, 1u64, 3usize);
+        let w = thm1_rotating(p, k, tau, x);
+        let c = k / p + 1; // 3
+        let period = (tau as usize + x) * c; // 12
+                                             // Core 0: no prefix, distinct 9, suffix (K+p-c)(tau+x) = 3*4 = 12.
+        assert_eq!(w.len(0), c * x + (k + p - c) * (tau as usize + x));
+        // Core 1: prefix 12, distinct 9, suffix (K+p-2c)(tau+x) = 0.
+        assert_eq!(w.len(1), period + c * x);
+        assert_eq!(w.core_universe(0).len(), c);
+        assert!(w.is_disjoint());
+    }
+
+    #[test]
+    fn lemma4_shape() {
+        let w = lemma4_cyclic(2, 4, 10);
+        assert_eq!(w.num_cores(), 2);
+        assert_eq!(w.core_universe(0).len(), 3); // K/p + 1
+        assert_eq!(w.len(0), 10);
+        assert!(w.is_disjoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rotating_requires_divisibility() {
+        thm1_rotating(3, 4, 1, 2);
+    }
+}

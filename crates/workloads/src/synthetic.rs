@@ -1,0 +1,280 @@
+//! Synthetic multiprogrammed workload generators: the realistic scenarios
+//! (uniform, Zipf, phased working sets, scans, loops) used by the
+//! examples, upper-bound experiments, and property tests.
+
+use mcp_core::{PageId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Page-id stride separating the cores' disjoint universes.
+pub const CORE_STRIDE: u32 = 1 << 20;
+
+fn page(core: usize, local: u32) -> PageId {
+    PageId(core as u32 * CORE_STRIDE + local)
+}
+
+/// Specification of one core's request pattern.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CorePattern {
+    /// Uniformly random over `universe` pages.
+    Uniform { universe: u32 },
+    /// Zipf-distributed over `universe` pages with exponent `alpha`
+    /// (`alpha = 0` is uniform; realistic request skew is `0.6..1.2`).
+    Zipf { universe: u32, alpha: f64 },
+    /// Sequential scan over fresh pages, wrapping at `universe`.
+    Scan { universe: u32 },
+    /// Cyclic loop of `len` pages.
+    Loop { len: u32 },
+    /// Phased working sets: each phase draws uniformly from `set_size`
+    /// fresh-ish pages for `phase_len` requests, then shifts by `shift`.
+    Phased {
+        set_size: u32,
+        phase_len: usize,
+        shift: u32,
+    },
+    /// A single hot page.
+    Constant,
+}
+
+impl CorePattern {
+    fn generate(&self, core: usize, n: usize, rng: &mut StdRng) -> Vec<PageId> {
+        match *self {
+            CorePattern::Uniform { universe } => (0..n)
+                .map(|_| page(core, rng.gen_range(0..universe.max(1))))
+                .collect(),
+            CorePattern::Zipf { universe, alpha } => {
+                let universe = universe.max(1);
+                // Precompute the CDF of p(r) ∝ 1/(r+1)^alpha.
+                let weights: Vec<f64> = (0..universe)
+                    .map(|r| 1.0 / ((r + 1) as f64).powf(alpha))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(universe as usize);
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        let r = cdf.partition_point(|&c| c < u) as u32;
+                        page(core, r.min(universe - 1))
+                    })
+                    .collect()
+            }
+            CorePattern::Scan { universe } => (0..n)
+                .map(|i| page(core, i as u32 % universe.max(1)))
+                .collect(),
+            CorePattern::Loop { len } => {
+                (0..n).map(|i| page(core, i as u32 % len.max(1))).collect()
+            }
+            CorePattern::Phased {
+                set_size,
+                phase_len,
+                shift,
+            } => {
+                let set_size = set_size.max(1);
+                let phase_len = phase_len.max(1);
+                (0..n)
+                    .map(|i| {
+                        let phase = (i / phase_len) as u32;
+                        page(core, phase * shift + rng.gen_range(0..set_size))
+                    })
+                    .collect()
+            }
+            CorePattern::Constant => (0..n).map(|_| page(core, 0)).collect(),
+        }
+    }
+}
+
+/// Build a disjoint multiprogrammed workload: one pattern per core, each
+/// core issuing `n_per_core` requests from its private page range.
+pub fn multiprogrammed(patterns: &[CorePattern], n_per_core: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences = patterns
+        .iter()
+        .enumerate()
+        .map(|(core, pat)| pat.generate(core, n_per_core, &mut rng))
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// `p` cores of uniform traffic over `universe` private pages each.
+pub fn uniform(p: usize, n_per_core: usize, universe: u32, seed: u64) -> Workload {
+    multiprogrammed(
+        &vec![CorePattern::Uniform { universe }; p],
+        n_per_core,
+        seed,
+    )
+}
+
+/// `p` cores of Zipf traffic (`alpha`) over `universe` private pages each.
+///
+/// ```
+/// let w = mcp_workloads::zipf(2, 100, 32, 0.9, 7);
+/// assert_eq!(w.num_cores(), 2);
+/// assert!(w.is_disjoint());
+/// ```
+pub fn zipf(p: usize, n_per_core: usize, universe: u32, alpha: f64, seed: u64) -> Workload {
+    multiprogrammed(
+        &vec![CorePattern::Zipf { universe, alpha }; p],
+        n_per_core,
+        seed,
+    )
+}
+
+/// `p` cores with phased working sets (the classic locality model).
+pub fn phased(p: usize, n_per_core: usize, set_size: u32, phase_len: usize, seed: u64) -> Workload {
+    multiprogrammed(
+        &vec![
+            CorePattern::Phased {
+                set_size,
+                phase_len,
+                shift: set_size / 2 + 1
+            };
+            p
+        ],
+        n_per_core,
+        seed,
+    )
+}
+
+/// A non-disjoint multiprogrammed workload: each core mixes its private
+/// Zipf traffic with reads from a `shared` hot region common to all cores
+/// (think shared libraries or a shared read-only table). `shared_fraction`
+/// is the probability a request targets the shared region.
+pub fn shared_hotset(
+    p: usize,
+    n_per_core: usize,
+    private_universe: u32,
+    shared_universe: u32,
+    shared_fraction: f64,
+    seed: u64,
+) -> Workload {
+    assert!(p >= 1 && shared_universe >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shared_base = u32::MAX - shared_universe; // outside every private range
+    let sequences = (0..p)
+        .map(|core| {
+            (0..n_per_core)
+                .map(|_| {
+                    if rng.gen_bool(shared_fraction.clamp(0.0, 1.0)) {
+                        PageId(shared_base + rng.gen_range(0..shared_universe))
+                    } else {
+                        page(core, rng.gen_range(0..private_universe.max(1)))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// A random disjoint workload for property tests: every parameter drawn
+/// from `seed`, guaranteed `K ≥ p`-compatible shapes.
+pub fn random_disjoint(seed: u64, max_cores: usize, max_len: usize, max_universe: u32) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = rng.gen_range(1..=max_cores.max(1));
+    let sequences = (0..p)
+        .map(|core| {
+            let n = rng.gen_range(1..=max_len.max(1));
+            let u = rng.gen_range(1..=max_universe.max(1));
+            (0..n).map(|_| page(core, rng.gen_range(0..u))).collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = uniform(3, 50, 10, 42);
+        let b = uniform(3, 50, 10, 42);
+        assert_eq!(a, b);
+        let c = uniform(3, 50, 10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cores_are_disjoint() {
+        for w in [
+            uniform(4, 100, 20, 1),
+            zipf(3, 100, 30, 0.9, 2),
+            phased(2, 100, 8, 25, 3),
+        ] {
+            assert!(w.is_disjoint());
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let w = zipf(1, 10_000, 100, 1.2, 7);
+        let seq = w.sequence(0);
+        let hot = seq.iter().filter(|p| p.0 % CORE_STRIDE == 0).count();
+        let cold = seq.iter().filter(|p| p.0 % CORE_STRIDE == 99).count();
+        assert!(
+            hot > 10 * cold.max(1),
+            "rank 0 ({hot}) must dwarf rank 99 ({cold})"
+        );
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_roughly_uniform() {
+        let w = zipf(1, 20_000, 10, 0.0, 11);
+        let seq = w.sequence(0);
+        for r in 0..10u32 {
+            let count = seq.iter().filter(|p| p.0 % CORE_STRIDE == r).count();
+            assert!((1500..2600).contains(&count), "rank {r}: {count}");
+        }
+    }
+
+    #[test]
+    fn phased_shifts_working_sets() {
+        let w = phased(1, 100, 4, 25, 5);
+        let seq = w.sequence(0);
+        let first: std::collections::HashSet<_> = seq[..25].iter().collect();
+        let last: std::collections::HashSet<_> = seq[75..].iter().collect();
+        assert!(first.is_disjoint(&last) || first.intersection(&last).count() <= 1);
+    }
+
+    #[test]
+    fn scan_and_loop_shapes() {
+        let w = multiprogrammed(
+            &[
+                CorePattern::Scan { universe: 50 },
+                CorePattern::Loop { len: 3 },
+            ],
+            60,
+            0,
+        );
+        assert_eq!(w.core_universe(0).len(), 50);
+        assert_eq!(w.core_universe(1).len(), 3);
+    }
+
+    #[test]
+    fn shared_hotset_is_actually_shared() {
+        let w = shared_hotset(3, 400, 16, 4, 0.5, 5);
+        assert!(!w.is_disjoint(), "shared region must overlap across cores");
+        // Shared pages live at the top of the id space.
+        let shared_pages = w.universe().iter().filter(|p| p.0 >= u32::MAX - 4).count();
+        assert!((1..=4).contains(&shared_pages));
+        // Zero fraction degenerates to disjoint.
+        let d = shared_hotset(3, 200, 16, 4, 0.0, 5);
+        assert!(d.is_disjoint());
+    }
+
+    #[test]
+    fn random_disjoint_respects_limits() {
+        for seed in 0..20 {
+            let w = random_disjoint(seed, 4, 30, 8);
+            assert!(w.num_cores() <= 4);
+            assert!(w.max_len() <= 30);
+            assert!(w.is_disjoint());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload trace I/O: JSON (via serde) and a compact line-oriented text
+//! format (`core_index: page page page …`), for sharing instances between
+//! runs and external tools.
+
+use mcp_core::{PageId, Workload};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Serialize a workload as pretty JSON.
+pub fn to_json(workload: &Workload) -> String {
+    serde_json::to_string_pretty(workload).expect("workload serializes")
+}
+
+/// Parse a workload from JSON.
+pub fn from_json(json: &str) -> Result<Workload, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Save a workload to a JSON file.
+pub fn save_json(workload: &Workload, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_json(workload))
+}
+
+/// Load a workload from a JSON file.
+pub fn load_json(path: &Path) -> io::Result<Workload> {
+    let data = std::fs::read_to_string(path)?;
+    from_json(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Write the compact text format: one line per core,
+/// `<core>: <page> <page> …`.
+pub fn write_text<W: Write>(workload: &Workload, mut out: W) -> io::Result<()> {
+    for (core, seq) in workload.sequences().iter().enumerate() {
+        write!(out, "{core}:")?;
+        for p in seq {
+            write!(out, " {}", p.0)?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Errors from the text parser.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum TextError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (bad core index or page number).
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::Io(e) => write!(f, "io error: {e}"),
+            TextError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<io::Error> for TextError {
+    fn from(e: io::Error) -> Self {
+        TextError::Io(e)
+    }
+}
+
+/// Parse the compact text format. Core lines may appear in any order;
+/// missing cores get empty sequences.
+pub fn read_text<R: BufRead>(input: R) -> Result<Workload, TextError> {
+    let mut sequences: Vec<(usize, Vec<PageId>)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, rest) = line.split_once(':').ok_or_else(|| TextError::Parse {
+            line: lineno + 1,
+            message: "expected `<core>: <pages…>`".into(),
+        })?;
+        let core: usize = head.trim().parse().map_err(|_| TextError::Parse {
+            line: lineno + 1,
+            message: format!("bad core index {head:?}"),
+        })?;
+        let pages = rest
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<u32>()
+                    .map(PageId)
+                    .map_err(|_| TextError::Parse {
+                        line: lineno + 1,
+                        message: format!("bad page number {tok:?}"),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        sequences.push((core, pages));
+    }
+    let max_core = sequences
+        .iter()
+        .map(|(c, _)| *c)
+        .max()
+        .ok_or(TextError::Parse {
+            line: 0,
+            message: "no core lines found".into(),
+        })?;
+    let mut table = vec![Vec::new(); max_core + 1];
+    for (core, pages) in sequences {
+        table[core] = pages;
+    }
+    Workload::new(table).map_err(|e| TextError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        Workload::from_u32([vec![1, 2, 3, 1], vec![9, 9], vec![]]).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let w = sample();
+        let json = to_json(&w);
+        assert_eq!(from_json(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let w = sample();
+        let dir = std::env::temp_dir().join(format!("mcp_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_json(&w, &path).unwrap();
+        assert_eq!(load_json(&path).unwrap(), w);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let w = sample();
+        let mut buf = Vec::new();
+        write_text(&w, &mut buf).unwrap();
+        let parsed = read_text(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn text_parses_comments_and_order() {
+        let text = "# a comment\n1: 5 6\n0: 7\n";
+        let w = read_text(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(w.sequence(0), &[PageId(7)]);
+        assert_eq!(w.sequence(1), &[PageId(5), PageId(6)]);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text(std::io::Cursor::new(b"nonsense" as &[u8])).is_err());
+        assert!(read_text(std::io::Cursor::new(b"0: 1 x 3" as &[u8])).is_err());
+        assert!(read_text(std::io::Cursor::new(b"z: 1" as &[u8])).is_err());
+        assert!(read_text(std::io::Cursor::new(b"" as &[u8])).is_err());
+    }
+}

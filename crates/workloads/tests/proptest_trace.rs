@@ -1,0 +1,80 @@
+//! Property tests: trace formats round-trip arbitrary workloads, and the
+//! generators honour their advertised shapes.
+
+use mcp_core::{PageId, Workload};
+use mcp_workloads::{from_json, lemma1_lower, lemma4_cyclic, read_text, to_json, write_text};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(prop::collection::vec(0u32..1000, 0..30), 1..=4)
+        .prop_map(|seqs| Workload::from_u32(seqs).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_roundtrip(w in arb_workload()) {
+        let json = to_json(&w);
+        prop_assert_eq!(from_json(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn text_roundtrip(w in arb_workload()) {
+        let mut buf = Vec::new();
+        write_text(&w, &mut buf).unwrap();
+        let parsed = read_text(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn lemma1_generator_shape(
+        sizes in prop::collection::vec(1usize..6, 1..5),
+        n in 1usize..40,
+    ) {
+        let w = lemma1_lower(&sizes, n);
+        prop_assert_eq!(w.num_cores(), sizes.len());
+        prop_assert!(w.is_disjoint());
+        let j_star = (0..sizes.len()).max_by_key(|&j| sizes[j]).unwrap();
+        for core in 0..sizes.len() {
+            prop_assert_eq!(w.len(core), n);
+            let distinct = w.core_universe(core).len();
+            if core == j_star {
+                prop_assert_eq!(distinct, (sizes[j_star] + 1).min(n));
+            } else {
+                prop_assert_eq!(distinct, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_generator_shape(
+        p in 1usize..5,
+        k_mult in 1usize..4,
+        n in 1usize..50,
+    ) {
+        let k = p * k_mult * p; // divisible by p
+        let w = lemma4_cyclic(p, k, n);
+        prop_assert_eq!(w.num_cores(), p);
+        prop_assert!(w.is_disjoint());
+        for core in 0..p {
+            prop_assert_eq!(w.core_universe(core).len(), (k / p + 1).min(n));
+        }
+    }
+
+    #[test]
+    fn generators_never_collide_across_cores(
+        seed in 0u64..500,
+    ) {
+        let w = mcp_workloads::random_disjoint(seed, 4, 40, 8);
+        prop_assert!(w.is_disjoint());
+    }
+}
+
+#[test]
+fn text_format_tolerates_blank_lines_and_comments() {
+    let text = "\n# header\n0: 1 2 3\n\n# middle\n1: 9\n";
+    let w = read_text(std::io::Cursor::new(text.as_bytes())).unwrap();
+    assert_eq!(w.sequence(0), &[PageId(1), PageId(2), PageId(3)]);
+    assert_eq!(w.sequence(1), &[PageId(9)]);
+}

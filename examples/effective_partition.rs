@@ -1,0 +1,77 @@
+//! Watch the *effective partition*: Lemma 3's insight is that a shared
+//! cache under LRU **is** a dynamic partition — one cell migrates to the
+//! faulting core on each fault. This example reconstructs that implicit
+//! partition from the event trace while cores with phased working sets
+//! expand and contract, and shows eviction pressure concentrating on the
+//! scanning core's pages.
+//!
+//! ```text
+//! cargo run --release --example effective_partition
+//! ```
+
+use multicore_paging::core::events::{evictions_by_page, occupancy_timeline, outcome_counts};
+use multicore_paging::core::Simulator;
+use multicore_paging::workloads::{multiprogrammed, CorePattern};
+use multicore_paging::{shared_lru, SimConfig};
+
+fn main() {
+    // Three personalities: a loop (steady need), phased working sets
+    // (bursty need), and a scan (infinite appetite, zero reuse).
+    let patterns = [
+        CorePattern::Loop { len: 5 },
+        CorePattern::Phased {
+            set_size: 14,
+            phase_len: 120,
+            shift: 10,
+        },
+        CorePattern::Scan { universe: 600 },
+    ];
+    let workload = multiprogrammed(&patterns, 600, 23);
+    let (k, tau) = (24usize, 2u64);
+    let cfg = SimConfig::new(k, tau);
+
+    let sim = Simulator::new(&workload, cfg, shared_lru()).unwrap();
+    let (result, trace) = sim.run_with_trace().unwrap();
+
+    println!(
+        "S_LRU on loop(5) + phased(14) + scan(600), K = {k}, tau = {tau}: {} faults\n",
+        result.total_faults()
+    );
+
+    // Sample the implicit partition every ~60 steps and render it.
+    let timeline = occupancy_timeline(&trace, workload.num_cores(), k);
+    println!("effective partition over time (cells owned per core):");
+    println!(
+        "{:>6}  {:<26} bar (#=loop, +=phased, .=scan)",
+        "t", "loop | phased | scan"
+    );
+    for (time, owned) in timeline.iter().step_by(timeline.len() / 14 + 1) {
+        let bar: String = "#".repeat(owned[0]) + &"+".repeat(owned[1]) + &".".repeat(owned[2]);
+        println!(
+            "{:>6}  {:<26} {}",
+            time,
+            format!("{:>4} | {:>6} | {:>4}", owned[0], owned[1], owned[2]),
+            bar
+        );
+    }
+
+    // Eviction pressure: whose pages keep getting thrown out?
+    let evictions = evictions_by_page(&trace);
+    let mut per_core = [0u64; 3];
+    for (page, count) in &evictions {
+        // Pages are core-striped by the generator.
+        let core = (page.0 >> 20) as usize;
+        per_core[core] += count;
+    }
+    let counts = outcome_counts(&trace);
+    println!(
+        "\nevictions absorbed per core: loop {} | phased {} | scan {}",
+        per_core[0], per_core[1], per_core[2]
+    );
+    println!("outcomes: {} hits, {} faults", counts.hits, counts.faults);
+    println!(
+        "\nThe loop's 5 cells never move; the phased core's share breathes with its \
+         working set; the scan soaks up whatever is left and its pages absorb most \
+         evictions — a dynamic partition nobody programmed, exactly as Lemma 3 predicts."
+    );
+}

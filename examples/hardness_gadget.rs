@@ -1,0 +1,85 @@
+//! Watch Theorem 2's NP-completeness gadget run: a 3-PARTITION instance
+//! is reduced to PARTIAL-INDIVIDUAL-FAULTS, the proof's cell-rotation
+//! schedule is executed step by step, and every sequence lands exactly on
+//! its fault bound at the checkpoint.
+//!
+//! ```text
+//! cargo run --release --example hardness_gadget
+//! ```
+
+use multicore_paging::core::Simulator;
+use multicore_paging::hardness::{reduce_to_pif, GadgetStrategy, PartitionInstance};
+
+fn main() {
+    // S = {4, 4, 6, 5, 5, 4}, B = 14: two triples (4,4,6) and (5,5,4).
+    let instance = PartitionInstance::new(vec![4, 4, 6, 5, 5, 4], 3, 14).unwrap();
+    println!(
+        "3-PARTITION instance: S = {:?}, B = {}",
+        instance.items, instance.target
+    );
+    let solution = instance.solve().expect("a planted yes-instance");
+    println!("solver grouping: {solution:?}\n");
+
+    let tau = 1;
+    let reduction = reduce_to_pif(&instance, tau);
+    println!(
+        "reduced PIF instance: p = {}, K = {}, tau = {}, |R_i| = {}, checkpoint t = {}",
+        reduction.workload.num_cores(),
+        reduction.cfg.cache_size,
+        tau,
+        reduction.workload.len(0),
+        reduction.checkpoint
+    );
+    println!("fault bounds b_i = B - s_i + 4 = {:?}", reduction.bounds);
+    println!(
+        "hit quotas  h_i = s_i(tau+1) + 1 = {:?}\n",
+        (0..6).map(|i| reduction.hit_quota(i)).collect::<Vec<_>>()
+    );
+
+    // Drive the gadget step by step, reporting cache occupancy per group.
+    let strategy = GadgetStrategy::new(&reduction, &solution);
+    let mut sim = Simulator::new(&reduction.workload, reduction.cfg, strategy).unwrap();
+    let mut faults_by_core = vec![0u64; 6];
+    let mut timeline = Vec::new();
+    while let Some(report) = sim.step().unwrap() {
+        for served in &report.served {
+            if !matches!(served.outcome, multicore_paging::Outcome::Hit) {
+                faults_by_core[served.core] += 1;
+            }
+        }
+        if report.time <= reduction.checkpoint && report.time % 5 == 1 {
+            let owned: Vec<usize> = (0..6).map(|c| sim.cache().owned_count(c)).collect();
+            timeline.push((report.time, owned, faults_by_core.clone()));
+        }
+        if report.time >= reduction.checkpoint {
+            break;
+        }
+    }
+
+    println!("timeline (cells owned per sequence; two cells = currently privileged):");
+    println!("{:>5}  {:<20} faults/core", "t", "cells/core");
+    for (t, owned, faults) in timeline.iter().step_by(4) {
+        println!("{:>5}  {:<20} {:?}", t, format!("{owned:?}"), faults);
+    }
+
+    println!("\nfaults at the checkpoint vs bounds:");
+    let mut all_exact = true;
+    for (core, &faults) in faults_by_core.iter().enumerate() {
+        let ok = faults == reduction.bounds[core];
+        all_exact &= ok;
+        println!(
+            "  R_{core}: {} / {}  {}",
+            faults,
+            reduction.bounds[core],
+            if ok { "== bound, exact" } else { "MISMATCH" }
+        );
+    }
+    assert!(
+        all_exact,
+        "the gadget schedule must meet every bound exactly"
+    );
+    println!(
+        "\nEvery sequence saturates its bound exactly — the timing coincidences the \
+         proof asserts (handoffs landing on request boundaries) all hold."
+    );
+}

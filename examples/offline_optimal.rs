@@ -1,0 +1,101 @@
+//! The offline optimum, exactly: run Algorithm 1 on a small instance,
+//! reconstruct its eviction schedule, replay it on the simulator, and
+//! compare against the online strategies.
+//!
+//! ```text
+//! cargo run --release --example offline_optimal
+//! ```
+
+use multicore_paging::offline::{brute_force_min_faults, ftf_dp, FtfOptions};
+use multicore_paging::policies::{Replay, SacrificeOffline};
+use multicore_paging::{shared_fifo, shared_lru, simulate, SharedFitf, SimConfig, Workload};
+
+fn main() {
+    // Two cores, disjoint, with overlapping demand periods; K = 3, τ = 2.
+    let workload = Workload::from_u32([
+        vec![1, 2, 3, 1, 2, 3, 1, 2],
+        vec![11, 12, 11, 12, 11, 12, 11, 12],
+    ])
+    .unwrap();
+    let cfg = SimConfig::new(3, 2);
+
+    println!(
+        "instance: p = 2, K = {}, tau = {}, n = {}\n",
+        cfg.cache_size,
+        cfg.tau,
+        workload.total_len()
+    );
+
+    let result = ftf_dp(
+        &workload,
+        cfg,
+        FtfOptions {
+            reconstruct: true,
+            ..Default::default()
+        },
+    )
+    .expect("small instance solves");
+    println!(
+        "Algorithm 1 (exact DP): OPT = {} faults ({} states)",
+        result.min_faults, result.states
+    );
+
+    let brute = brute_force_min_faults(&workload, cfg, 100_000_000).unwrap();
+    println!("honest brute force agrees: {brute}");
+    assert_eq!(brute, result.min_faults);
+
+    // Replay the reconstructed schedule through the real engine.
+    let schedule = result.schedule.unwrap();
+    println!(
+        "\nreconstructed schedule ({} placement decisions):",
+        schedule.decisions.len()
+    );
+    let mut decisions: Vec<_> = schedule.decisions.iter().collect();
+    decisions.sort_by_key(|((core, idx), _)| (*core, *idx));
+    for ((core, idx), decision) in decisions {
+        println!("  core {core}, request #{idx}: {decision:?}");
+    }
+    let replay = Replay::new(schedule.decisions).with_voluntary(schedule.voluntary);
+    let replayed = simulate(&workload, cfg, replay).unwrap();
+    assert_eq!(replayed.total_faults(), result.min_faults);
+    println!(
+        "replayed on the simulator: {} faults (exact match)",
+        replayed.total_faults()
+    );
+
+    println!("\nonline strategies on the same instance:");
+    println!("{:<28} {:>7} {:>12}", "strategy", "faults", "vs OPT");
+    for (name, faults) in [
+        (
+            "S_LRU",
+            simulate(&workload, cfg, shared_lru())
+                .unwrap()
+                .total_faults(),
+        ),
+        (
+            "S_FIFO",
+            simulate(&workload, cfg, shared_fifo())
+                .unwrap()
+                .total_faults(),
+        ),
+        (
+            "S_FITF (offline heuristic)",
+            simulate(&workload, cfg, SharedFitf::new())
+                .unwrap()
+                .total_faults(),
+        ),
+        (
+            "S_OFF (sacrifice core 1)",
+            simulate(&workload, cfg, SacrificeOffline::new(1))
+                .unwrap()
+                .total_faults(),
+        ),
+    ] {
+        println!(
+            "{:<28} {:>7} {:>11.2}x",
+            name,
+            faults,
+            faults as f64 / result.min_faults as f64
+        );
+    }
+}

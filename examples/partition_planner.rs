@@ -1,0 +1,90 @@
+//! Partition planner: use per-core miss curves to choose the optimal
+//! static cache partition for a multiprogrammed workload, then compare it
+//! against an equal split and against sharing.
+//!
+//! This is the practical face of the paper's partition-vs-shared
+//! dichotomy (Section 4): static partitions isolate cores (no thrashing
+//! interference) but waste cells; shared caches adapt but let one core
+//! pollute everyone.
+//!
+//! ```text
+//! cargo run --release --example partition_planner
+//! ```
+
+use multicore_paging::offline::{lru_curve, opt_curve, optimal_static_partition, PartPolicy};
+use multicore_paging::workloads::{multiprogrammed, CorePattern};
+use multicore_paging::{shared_lru, simulate, static_partition_lru, Partition, SimConfig};
+
+fn main() {
+    let k = 24usize;
+    let patterns = [
+        CorePattern::Loop { len: 4 }, // tiny hot loop
+        CorePattern::Zipf {
+            universe: 40,
+            alpha: 1.1,
+        }, // skewed reuse
+        CorePattern::Scan { universe: 500 }, // cache-hostile stream
+        CorePattern::Phased {
+            set_size: 10,
+            phase_len: 150,
+            shift: 6,
+        },
+    ];
+    let names = ["loop(4)", "zipf(40)", "scan(500)", "phased(10)"];
+    let workload = multiprogrammed(&patterns, 1_500, 11);
+    let cfg = SimConfig::new(k, 3);
+
+    println!("per-core miss curves (faults at cache sizes 1..8):\n");
+    println!("{:<12} {:>7} k = 1  2  3  4  5  6  7  8", "core", "policy");
+    for (core, name) in names.iter().enumerate() {
+        let seq = workload.sequence(core);
+        let lru: Vec<String> = lru_curve(seq, 8).iter().map(|f| f.to_string()).collect();
+        let opt: Vec<String> = opt_curve(seq, 8).iter().map(|f| f.to_string()).collect();
+        println!("{:<12} {:>7} {}", name, "LRU", lru.join("  "));
+        println!("{:<12} {:>7} {}", "", "OPT", opt.join("  "));
+    }
+
+    let planned = optimal_static_partition(&workload, k, PartPolicy::Lru);
+    println!(
+        "\noptimal static partition (per-part LRU): {}",
+        planned.partition
+    );
+    println!(
+        "predicted faults: {} ({:?} per core)",
+        planned.faults, planned.per_core
+    );
+
+    let equal = Partition::equal(k, workload.num_cores());
+    let r_equal = simulate(&workload, cfg, static_partition_lru(equal.clone())).unwrap();
+    let r_planned = simulate(
+        &workload,
+        cfg,
+        static_partition_lru(planned.partition.clone()),
+    )
+    .unwrap();
+    let r_shared = simulate(&workload, cfg, shared_lru()).unwrap();
+
+    println!("\n{:<26} {:>8} {:>12}", "strategy", "faults", "vs planned");
+    for (name, r) in [
+        (format!("sP{}_LRU (equal)", equal), &r_equal),
+        (format!("sP{}_LRU (planned)", planned.partition), &r_planned),
+        ("S_LRU (shared)".to_string(), &r_shared),
+    ] {
+        println!(
+            "{:<26} {:>8} {:>11.2}x",
+            name,
+            r.total_faults(),
+            r.total_faults() as f64 / r_planned.total_faults() as f64
+        );
+    }
+    assert_eq!(
+        r_planned.total_faults(),
+        planned.faults,
+        "the miss-curve prediction is exact for disjoint workloads"
+    );
+    println!(
+        "\nThe planner confines the scan to a single cell and gives the reusable \
+         working sets what they need — and its miss-curve prediction matched the \
+         simulation exactly."
+    );
+}

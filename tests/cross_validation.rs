@@ -1,0 +1,125 @@
+//! Cross-crate validation: the offline DPs, the brute-force searches, and
+//! the discrete-time engine must all tell one consistent story.
+
+use multicore_paging::offline::{
+    brute_force_min_faults, fitf_restricted_min_faults, ftf_dp, ftf_min_faults, pif_decide,
+    FtfOptions, PifOptions,
+};
+use multicore_paging::policies::{Replay, Shared};
+use multicore_paging::workloads::random_disjoint;
+use multicore_paging::{shared_lru, simulate, SimConfig};
+
+fn small_cases() -> Vec<(multicore_paging::Workload, SimConfig)> {
+    let mut cases = Vec::new();
+    for seed in 0..30u64 {
+        let w = random_disjoint(seed, 2, 6, 3);
+        let p = w.num_cores();
+        for k in [p.max(2), p + 1] {
+            for tau in [0u64, 1, 2] {
+                cases.push((w.clone(), SimConfig::new(k, tau)));
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn dp_equals_brute_force_and_restricted_fitf() {
+    for (w, cfg) in small_cases() {
+        let dp = ftf_min_faults(&w, cfg).unwrap();
+        let brute = brute_force_min_faults(&w, cfg, 50_000_000).unwrap();
+        assert_eq!(dp, brute, "DP vs brute force on {w:?} {cfg:?}");
+        let restricted = fitf_restricted_min_faults(&w, cfg, 50_000_000).unwrap();
+        assert_eq!(dp, restricted, "Theorem 5 class on {w:?} {cfg:?}");
+    }
+}
+
+#[test]
+fn reconstructed_schedules_replay_exactly() {
+    for (w, cfg) in small_cases().into_iter().step_by(3) {
+        let r = ftf_dp(
+            &w,
+            cfg,
+            FtfOptions {
+                reconstruct: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let schedule = r.schedule.unwrap();
+        let replay = Replay::new(schedule.decisions).with_voluntary(schedule.voluntary);
+        let sim = simulate(&w, cfg, replay).unwrap();
+        assert_eq!(
+            sim.total_faults(),
+            r.min_faults,
+            "replay diverged on {w:?} {cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn online_strategies_never_beat_the_dp() {
+    use multicore_paging::policies::{Clock, Fifo, Lfu, Mru};
+    for (w, cfg) in small_cases().into_iter().step_by(2) {
+        let opt = ftf_min_faults(&w, cfg).unwrap();
+        let runs = [
+            simulate(&w, cfg, shared_lru()).unwrap().total_faults(),
+            simulate(&w, cfg, Shared::new(Fifo::new()))
+                .unwrap()
+                .total_faults(),
+            simulate(&w, cfg, Shared::new(Clock::new()))
+                .unwrap()
+                .total_faults(),
+            simulate(&w, cfg, Shared::new(Lfu::new()))
+                .unwrap()
+                .total_faults(),
+            simulate(&w, cfg, Shared::new(Mru::new()))
+                .unwrap()
+                .total_faults(),
+        ];
+        for faults in runs {
+            assert!(
+                faults >= opt,
+                "an online run beat OPT ({faults} < {opt}) on {w:?} {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_concrete_run_is_a_pif_witness() {
+    // The fault vector of any real execution, at any checkpoint, must be
+    // accepted by Algorithm 2.
+    for seed in 0..10u64 {
+        let w = random_disjoint(seed, 2, 6, 3);
+        let cfg = SimConfig::new(w.num_cores().max(2), 1);
+        let run = simulate(&w, cfg, shared_lru()).unwrap();
+        for t in [1, run.makespan / 2, run.makespan] {
+            let bounds = run.fault_vector_at(t);
+            let feasible = pif_decide(&w, cfg, t, &bounds, PifOptions::default()).unwrap();
+            assert!(feasible, "simulated witness rejected at t={t} on {w:?}");
+        }
+    }
+}
+
+#[test]
+fn dp_total_faults_lower_bounds_pif_sums() {
+    // If PIF accepts bounds b at a horizon past everyone's completion,
+    // then Σ b_i >= FTF optimum.
+    for seed in 0..8u64 {
+        let w = random_disjoint(seed + 100, 2, 5, 2);
+        let cfg = SimConfig::new(2, 1);
+        let opt = ftf_min_faults(&w, cfg).unwrap();
+        let horizon = (w.total_len() as u64 + 2) * (cfg.tau + 1) + 2;
+        // A bound vector summing below OPT must be rejected.
+        if opt >= 2 {
+            let lo = (opt - 1) / 2;
+            let hi = opt - 1 - lo;
+            let feasible = pif_decide(&w, cfg, horizon, &[lo, hi], PifOptions::default()).unwrap();
+            assert!(
+                !feasible,
+                "sum-below-OPT bounds accepted on {w:?} (opt={opt})"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Differential sanity: every *scripted* offline strategy (the proof
+//! constructions) is a legal schedule, so its fault count can never beat
+//! the exact DP optimum — and on its home workload it should be close.
+
+use multicore_paging::hardness::{reduce_to_pif, GadgetStrategy, PartitionInstance};
+use multicore_paging::offline::ftf_min_faults;
+use multicore_paging::policies::SacrificeOffline;
+use multicore_paging::workloads::lemma4_cyclic;
+use multicore_paging::{simulate, SimConfig};
+
+#[test]
+fn sacrifice_offline_never_beats_the_dp() {
+    for tau in [0u64, 1, 2, 3] {
+        let w = lemma4_cyclic(2, 4, 8);
+        let cfg = SimConfig::new(4, tau);
+        let opt = ftf_min_faults(&w, cfg).unwrap();
+        let off = simulate(&w, cfg, SacrificeOffline::new(1))
+            .unwrap()
+            .total_faults();
+        assert!(
+            off >= opt,
+            "tau={tau}: scripted strategy {off} beat OPT {opt}"
+        );
+        // On its home workload the sacrifice heuristic should be within a
+        // small factor of optimal.
+        assert!(
+            off <= 3 * opt,
+            "tau={tau}: sacrifice strategy far from OPT ({off} vs {opt})"
+        );
+    }
+}
+
+#[test]
+fn gadget_total_faults_respect_the_dp_bound() {
+    // The Theorem 2 gadget meets per-sequence bounds exactly; its *total*
+    // fault count is still a legal schedule's and must dominate the FTF
+    // optimum on the same (truncated) instance.
+    let inst = PartitionInstance::new(vec![2, 2, 2], 3, 6).unwrap();
+    let red = reduce_to_pif(&inst, 1);
+    let solution = inst.solve().unwrap();
+    let strategy = GadgetStrategy::new(&red, &solution);
+    let run = simulate(&red.workload, red.cfg, strategy).unwrap();
+    let gadget_total = run.total_faults();
+    let opt = ftf_min_faults(&red.workload, red.cfg).unwrap();
+    assert!(gadget_total >= opt, "gadget {gadget_total} beat OPT {opt}");
+    // The gadget trades total faults for per-sequence fairness: on this
+    // instance it must be strictly above the unfair optimum.
+    assert!(
+        gadget_total > opt,
+        "expected the fairness constraint to cost faults ({gadget_total} vs {opt})"
+    );
+}

@@ -1,0 +1,40 @@
+//! End-to-end: every experiment in the registry must confirm its paper
+//! claim at quick scale. This is the repository's headline test — if the
+//! reproduction drifts from the paper, it fails here.
+
+use multicore_paging::analysis::{registry, Scale, Verdict};
+
+#[test]
+fn every_paper_claim_confirms_at_quick_scale() {
+    let mut failures = Vec::new();
+    for experiment in registry() {
+        let report = experiment.run(Scale::Quick);
+        if !matches!(report.verdict, Verdict::Confirmed) {
+            failures.push(format!("{}: {:?}", report.id, report.verdict));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "unconfirmed claims:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn registry_is_complete_and_well_formed() {
+    let experiments = registry();
+    assert_eq!(experiments.len(), 19, "E01..E15 plus X01..X04");
+    let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+    let sorted = {
+        let mut s = ids.clone();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(ids, sorted, "registry must be in id order");
+    ids.dedup();
+    assert_eq!(ids.len(), 19, "ids must be unique");
+    for e in &experiments {
+        assert!(!e.title().is_empty());
+        assert!(!e.claim().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Every strategy × several workload shapes: sanity invariants that any
+//! legal cache strategy must satisfy under the model.
+
+use multicore_paging::policies::{
+    Clock, Fifo, Lfu, LruMimicPartition, Marking, MarkingTie, Mru, RandomEvict, SacrificeOffline,
+    Shared,
+};
+use multicore_paging::workloads::{lemma4_cyclic, multiprogrammed, uniform, zipf, CorePattern};
+use multicore_paging::{
+    shared_lru, simulate, static_partition_belady, static_partition_lru, Partition, SharedFitf,
+    SimConfig, SimResult, Workload,
+};
+
+fn workload_zoo() -> Vec<(String, Workload, SimConfig)> {
+    vec![
+        (
+            "uniform".into(),
+            uniform(3, 300, 12, 1),
+            SimConfig::new(6, 2),
+        ),
+        (
+            "zipf".into(),
+            zipf(2, 300, 20, 1.0, 2),
+            SimConfig::new(4, 0),
+        ),
+        (
+            "cycles".into(),
+            lemma4_cyclic(2, 4, 200),
+            SimConfig::new(4, 3),
+        ),
+        (
+            "mixed".into(),
+            multiprogrammed(
+                &[
+                    CorePattern::Scan { universe: 40 },
+                    CorePattern::Loop { len: 3 },
+                ],
+                200,
+                3,
+            ),
+            SimConfig::new(4, 1),
+        ),
+    ]
+}
+
+fn check_invariants(name: &str, w: &Workload, r: &SimResult) {
+    let n = w.total_len() as u64;
+    assert_eq!(
+        r.total_faults() + r.total_hits(),
+        n,
+        "{name}: every request served once"
+    );
+    assert!(r.total_faults() <= n, "{name}: faults bounded by requests");
+    // Cold misses are unavoidable: at least one fault per distinct page
+    // that is ever requested (shared fetch misses can only add).
+    assert!(
+        r.total_faults() >= w.universe_size() as u64,
+        "{name}: fewer faults than distinct pages"
+    );
+    // Makespan is at least the longest sequence (one step per request)
+    // and at most every request faulting.
+    assert!(
+        r.makespan >= w.max_len() as u64,
+        "{name}: makespan too small"
+    );
+    assert!(
+        r.makespan <= n * (r.config.tau + 1),
+        "{name}: makespan exceeds all-fault horizon"
+    );
+    for core in 0..w.num_cores() {
+        assert_eq!(
+            r.faults[core] + r.hits[core],
+            w.len(core) as u64,
+            "{name}: per-core request conservation"
+        );
+        assert!(
+            r.fault_times[core].windows(2).all(|x| x[0] < x[1]),
+            "{name}: fault times strictly increase per core"
+        );
+    }
+}
+
+#[test]
+fn all_strategies_satisfy_model_invariants() {
+    for (wname, w, cfg) in workload_zoo() {
+        let p = w.num_cores();
+        let part = Partition::equal(cfg.cache_size, p);
+        let runs: Vec<(String, SimResult)> = vec![
+            ("S_LRU".into(), simulate(&w, cfg, shared_lru()).unwrap()),
+            (
+                "S_FIFO".into(),
+                simulate(&w, cfg, Shared::new(Fifo::new())).unwrap(),
+            ),
+            (
+                "S_CLOCK".into(),
+                simulate(&w, cfg, Shared::new(Clock::new())).unwrap(),
+            ),
+            (
+                "S_LFU".into(),
+                simulate(&w, cfg, Shared::new(Lfu::new())).unwrap(),
+            ),
+            (
+                "S_MRU".into(),
+                simulate(&w, cfg, Shared::new(Mru::new())).unwrap(),
+            ),
+            (
+                "S_RAND".into(),
+                simulate(&w, cfg, Shared::new(RandomEvict::new(9))).unwrap(),
+            ),
+            (
+                "S_MARK".into(),
+                simulate(&w, cfg, Shared::new(Marking::new(MarkingTie::Lru))).unwrap(),
+            ),
+            (
+                "S_MARK_RAND".into(),
+                simulate(&w, cfg, Shared::new(Marking::new(MarkingTie::Random(4)))).unwrap(),
+            ),
+            (
+                "S_FITF".into(),
+                simulate(&w, cfg, SharedFitf::new()).unwrap(),
+            ),
+            (
+                "sP_LRU".into(),
+                simulate(&w, cfg, static_partition_lru(part.clone())).unwrap(),
+            ),
+            (
+                "sP_OPT".into(),
+                simulate(&w, cfg, static_partition_belady(part.clone())).unwrap(),
+            ),
+            (
+                "dP_mimic".into(),
+                simulate(&w, cfg, LruMimicPartition::new()).unwrap(),
+            ),
+            (
+                "S_OFF".into(),
+                simulate(&w, cfg, SacrificeOffline::new(p - 1)).unwrap(),
+            ),
+        ];
+        for (sname, r) in &runs {
+            check_invariants(&format!("{wname}/{sname}"), &w, r);
+        }
+    }
+}
+
+#[test]
+fn strategies_are_deterministic() {
+    let (_, w, cfg) = workload_zoo().remove(0);
+    let a = simulate(&w, cfg, shared_lru()).unwrap();
+    let b = simulate(&w, cfg, shared_lru()).unwrap();
+    assert_eq!(a, b);
+    // Randomized policies are deterministic per seed.
+    let a = simulate(&w, cfg, Shared::new(RandomEvict::new(5))).unwrap();
+    let b = simulate(&w, cfg, Shared::new(RandomEvict::new(5))).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn marking_respects_lemma1_phase_bound_per_part() {
+    // sP^B_MARK faults at most k_j per phase of each core's sequence
+    // (Lemma 1's upper-bound skeleton), checked against the phase count.
+    use multicore_paging::offline::phase_starts;
+    let w = zipf(2, 400, 10, 0.8, 7);
+    let k = 4;
+    let part = Partition::equal(k, 2);
+    let r = simulate(
+        &w,
+        SimConfig::new(k, 1),
+        multicore_paging::StaticPartition::uniform(part.clone(), || Marking::new(MarkingTie::Lru)),
+    )
+    .unwrap();
+    for core in 0..2 {
+        let phases = phase_starts(w.sequence(core), part.size(core)).len() as u64;
+        assert!(
+            r.faults[core] <= part.size(core) as u64 * phases,
+            "core {core}: {} faults > k*phases = {}",
+            r.faults[core],
+            part.size(core) as u64 * phases
+        );
+    }
+}
