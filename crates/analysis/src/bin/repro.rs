@@ -80,8 +80,7 @@ fn main() {
         }
         if let Some(dir) = &json_dir {
             let path = dir.join(format!("{}.json", report.id));
-            let json = serde_json::to_string_pretty(&report).expect("report serializes");
-            std::fs::write(&path, json).expect("write json report");
+            std::fs::write(&path, report.to_json_pretty()).expect("write json report");
         }
         if !matches!(report.verdict, Verdict::Confirmed) {
             failures += 1;

@@ -1,11 +1,10 @@
 //! Experiment reports: tables plus a pass/fail verdict against the
 //! paper's claim, renderable as aligned text, Markdown, or CSV.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -101,7 +100,7 @@ impl Table {
 }
 
 /// Did the measurement match the paper's claim?
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The measured shape matches the claim.
     Confirmed,
@@ -112,7 +111,7 @@ pub enum Verdict {
 }
 
 /// A complete experiment report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id, e.g. `"E08"`.
     pub id: String,
@@ -144,6 +143,68 @@ impl Report {
         out
     }
 
+    /// Render the whole report as compact JSON, mirroring the layout a
+    /// `serde` derive would produce (`Verdict::Confirmed` → `"Confirmed"`,
+    /// `Verdict::Mixed(s)` → `{"Mixed": s}`).
+    pub fn to_json(&self) -> String {
+        self.render_json(None)
+    }
+
+    /// Render the whole report as indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        self.render_json(Some(2))
+    }
+
+    fn render_json(&self, indent: Option<usize>) -> String {
+        let mut w = JsonWriter::new(indent);
+        w.begin_object();
+        w.key("id");
+        w.string(&self.id);
+        w.key("title");
+        w.string(&self.title);
+        w.key("claim");
+        w.string(&self.claim);
+        w.key("tables");
+        w.begin_array();
+        for t in &self.tables {
+            w.value_slot();
+            w.begin_object();
+            w.key("title");
+            w.string(&t.title);
+            w.key("columns");
+            w.string_array(&t.columns);
+            w.key("rows");
+            w.begin_array();
+            for row in &t.rows {
+                w.value_slot();
+                w.string_array(row);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("verdict");
+        match &self.verdict {
+            Verdict::Confirmed => w.string("Confirmed"),
+            Verdict::Mixed(s) => {
+                w.begin_object();
+                w.key("Mixed");
+                w.string(s);
+                w.end_object();
+            }
+            Verdict::Skipped(s) => {
+                w.begin_object();
+                w.key("Skipped");
+                w.string(s);
+                w.end_object();
+            }
+        }
+        w.key("notes");
+        w.string_array(&self.notes);
+        w.end_object();
+        w.out
+    }
+
     /// Render the whole report as Markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -157,6 +218,114 @@ impl Report {
         }
         let _ = writeln!(out, "**Verdict:** {:?}\n", self.verdict);
         out
+    }
+}
+
+/// Tiny structural JSON writer used by [`Report::to_json`]; comma and
+/// indent bookkeeping only, since the report schema is fixed.
+struct JsonWriter {
+    out: String,
+    indent: Option<usize>,
+    depth: usize,
+    has_items: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new(indent: Option<usize>) -> Self {
+        JsonWriter {
+            out: String::new(),
+            indent,
+            depth: 0,
+            has_items: Vec::new(),
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(n) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.depth * n {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    /// Open a slot for the next element of the enclosing container.
+    fn value_slot(&mut self) {
+        if let Some(filled) = self.has_items.last_mut() {
+            if *filled {
+                self.out.push(',');
+            }
+            *filled = true;
+            self.newline_indent();
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.value_slot();
+        self.raw_string(k);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+    }
+
+    fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_items.push(false);
+    }
+
+    fn end_object(&mut self) {
+        self.depth -= 1;
+        if self.has_items.pop() == Some(true) {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_items.push(false);
+    }
+
+    fn end_array(&mut self) {
+        self.depth -= 1;
+        if self.has_items.pop() == Some(true) {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    fn string(&mut self, s: &str) {
+        self.raw_string(s);
+    }
+
+    fn string_array(&mut self, items: &[String]) {
+        self.begin_array();
+        for item in items {
+            self.value_slot();
+            self.raw_string(item);
+        }
+        self.end_array();
+    }
+
+    fn raw_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
     }
 }
 

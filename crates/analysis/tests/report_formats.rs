@@ -12,7 +12,7 @@ fn reports_serialize_to_json() {
         .filter(|e| ["E01", "E04", "E07"].contains(&e.id()))
     {
         let report = e.run(Scale::Quick);
-        let json = serde_json::to_string(&report).expect("report serializes");
+        let json = report.to_json();
         assert!(json.contains(&format!("\"id\":\"{}\"", e.id())));
         assert!(json.contains("Confirmed"), "{json}");
     }

@@ -2,7 +2,7 @@
 //! policy and strategy wrapper.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mcp_bench::throughput_workload;
+use mcp_bench::{large_k_workload, throughput_workload};
 use mcp_core::{simulate, SimConfig};
 use mcp_policies::{
     static_partition_belady, static_partition_lru, Clock, Fifo, Lfu, LruMimicPartition, Marking,
@@ -128,5 +128,59 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_strategies);
+fn bench_policies_large_k(c: &mut Criterion) {
+    // Victim selection under a 1024-cell cache: the intrusive policy
+    // structures (and FITF's next-occurrence arrays) versus O(K) scans.
+    let mut group = c.benchmark_group("policy/shared_large_k");
+    let w = large_k_workload(4, 10_000, 13);
+    let cfg = SimConfig::new(1024, 2);
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&w, cfg, mcp_policies::shared_lru())
+                    .unwrap()
+                    .total_faults(),
+            )
+        })
+    });
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&w, cfg, Shared::new(Fifo::new()))
+                    .unwrap()
+                    .total_faults(),
+            )
+        })
+    });
+    group.bench_function("clock", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&w, cfg, Shared::new(Clock::new()))
+                    .unwrap()
+                    .total_faults(),
+            )
+        })
+    });
+    group.bench_function("lfu", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&w, cfg, Shared::new(Lfu::new()))
+                    .unwrap()
+                    .total_faults(),
+            )
+        })
+    });
+    group.bench_function("fitf_offline", |b| {
+        b.iter(|| black_box(simulate(&w, cfg, SharedFitf::new()).unwrap().total_faults()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_strategies,
+    bench_policies_large_k
+);
 criterion_main!(benches);

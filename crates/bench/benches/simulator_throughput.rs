@@ -2,7 +2,7 @@
 //! simulator under shared LRU, across core counts, cache sizes and τ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcp_bench::throughput_workload;
+use mcp_bench::{large_k_workload, throughput_workload};
 use mcp_core::{simulate, SimConfig};
 use mcp_policies::shared_lru;
 use std::hint::black_box;
@@ -53,5 +53,28 @@ fn bench_tau(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cores, bench_cache_size, bench_tau);
+fn bench_large_k(c: &mut Criterion) {
+    // Eviction pressure at cache sizes where any O(K) work per fault
+    // dominates: 8 cores × 1024-page universes against K in the thousands.
+    let mut group = c.benchmark_group("simulator/large_k");
+    let w = large_k_workload(8, 10_000, 11);
+    group.throughput(Throughput::Elements(80_000));
+    for k in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let r = simulate(black_box(&w), SimConfig::new(k, 2), shared_lru()).unwrap();
+                black_box(r.total_faults())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cores,
+    bench_cache_size,
+    bench_tau,
+    bench_large_k
+);
 criterion_main!(benches);

@@ -17,7 +17,14 @@ pub fn dp_family(n: usize) -> Workload {
     .unwrap()
 }
 
-/// A larger mixed workload for throughput measurements.
+/// A wide-universe Zipf workload (1024 pages per core, α = 0.7) whose
+/// working set overflows even multi-thousand-cell caches: the fixture for
+/// the large-`K` eviction-pressure benchmarks.
+pub fn large_k_workload(p: usize, n_per_core: usize, seed: u64) -> Workload {
+    mcp_workloads::zipf(p, n_per_core, 1024, 0.7, seed)
+}
+
+/// Shared Zipf throughput workload used across the engine benches.
 pub fn throughput_workload(p: usize, n_per_core: usize, seed: u64) -> Workload {
     mcp_workloads::zipf(p, n_per_core, 256, 0.9, seed)
 }

@@ -40,7 +40,16 @@ fn full_pipeline_over_the_shell() {
     let trace = tmp("pipeline.json");
 
     let (ok, stdout, stderr) = mcp(&[
-        "gen", "zipf", "--cores", "2", "--n", "200", "--universe", "24", "--out", &trace,
+        "gen",
+        "zipf",
+        "--cores",
+        "2",
+        "--n",
+        "200",
+        "--universe",
+        "24",
+        "--out",
+        &trace,
     ]);
     assert!(ok, "gen failed: {stderr}");
     assert!(stdout.contains("wrote zipf workload"));
@@ -53,12 +62,28 @@ fn full_pipeline_over_the_shell() {
     assert!(ok);
     assert!(stdout.contains("S_LRU"));
 
-    let (ok, stdout, _) = mcp(&["partition", "--trace", &trace, "--k", "8", "--policy", "opt"]);
+    let (ok, stdout, _) = mcp(&[
+        "partition",
+        "--trace",
+        &trace,
+        "--k",
+        "8",
+        "--policy",
+        "opt",
+    ]);
     assert!(ok);
     assert!(stdout.contains("optimal static partition"));
 
     let (ok, stdout, _) = mcp(&[
-        "simulate", "--trace", &trace, "--k", "8", "--tau", "2", "--strategy", "lru2",
+        "simulate",
+        "--trace",
+        &trace,
+        "--k",
+        "8",
+        "--tau",
+        "2",
+        "--strategy",
+        "lru2",
         "--fairness",
     ]);
     assert!(ok);
@@ -70,17 +95,36 @@ fn full_pipeline_over_the_shell() {
 #[test]
 fn exact_solvers_over_the_shell() {
     let trace = tmp("solver.json");
-    let (ok, _, stderr) =
-        mcp(&["gen", "cycles", "--cores", "2", "--k", "4", "--n", "8", "--out", &trace]);
+    let (ok, _, stderr) = mcp(&[
+        "gen", "cycles", "--cores", "2", "--k", "4", "--n", "8", "--out", &trace,
+    ]);
     assert!(ok, "{stderr}");
 
-    let (ok, stdout, _) =
-        mcp(&["opt", "--trace", &trace, "--k", "4", "--tau", "1", "--schedule"]);
+    let (ok, stdout, _) = mcp(&[
+        "opt",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--tau",
+        "1",
+        "--schedule",
+    ]);
     assert!(ok);
     assert!(stdout.contains("exact minimum total faults"));
 
     let (ok, stdout, _) = mcp(&[
-        "pif", "--trace", &trace, "--k", "4", "--tau", "1", "--at", "20", "--bounds", "6,6",
+        "pif",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--tau",
+        "1",
+        "--at",
+        "20",
+        "--bounds",
+        "6,6",
         "--schedule",
     ]);
     assert!(ok);

@@ -114,11 +114,29 @@ pub struct Cache {
     owned_counts: Vec<usize>,
     in_flight: Vec<usize>,
     pinned: Vec<bool>,
+    /// Cells pinned in the current parallel step, so [`Cache::clear_pins`]
+    /// resets exactly those instead of an O(K) fill.
+    pinned_cells: Vec<usize>,
+    /// Bitset of empty cells, one bit per cell; bit set ⇔ cell empty.
+    /// [`Cache::empty_cell`] takes the lowest set bit, preserving the
+    /// historical lowest-index-first placement order.
+    free: Vec<u64>,
 }
 
 impl Cache {
     /// Create an empty cache with `cache_size` cells serving `num_cores` cores.
     pub fn new(cache_size: usize, num_cores: usize) -> Self {
+        let words = cache_size.div_ceil(64);
+        let mut free = vec![u64::MAX; words];
+        if let Some(last) = free.last_mut() {
+            let tail = cache_size % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        if cache_size == 0 {
+            free.clear();
+        }
         Cache {
             cells: vec![CellState::Empty; cache_size],
             owner: vec![None; cache_size],
@@ -126,7 +144,19 @@ impl Cache {
             owned_counts: vec![0; num_cores],
             in_flight: Vec::with_capacity(num_cores),
             pinned: vec![false; cache_size],
+            pinned_cells: Vec::with_capacity(num_cores),
+            free,
         }
+    }
+
+    #[inline]
+    fn mark_free(&mut self, cell: usize) {
+        self.free[cell / 64] |= 1u64 << (cell % 64);
+    }
+
+    #[inline]
+    fn mark_used(&mut self, cell: usize) {
+        self.free[cell / 64] &= !(1u64 << (cell % 64));
     }
 
     /// Pin every cell currently holding one of `pages` for the ongoing
@@ -135,15 +165,26 @@ impl Cache {
     /// pages, mirroring the `R(x) ⊆ C'` constraint of Algorithms 1 and 2.
     pub fn pin_pages<I: IntoIterator<Item = PageId>>(&mut self, pages: I) {
         for page in pages {
-            if let Some(&cell) = self.index.get(&page) {
+            self.pin_page(page);
+        }
+    }
+
+    /// Pin the cell holding `page` (resident or in flight), if any.
+    /// See [`Cache::pin_pages`].
+    pub fn pin_page(&mut self, page: PageId) {
+        if let Some(&cell) = self.index.get(&page) {
+            if !self.pinned[cell] {
                 self.pinned[cell] = true;
+                self.pinned_cells.push(cell);
             }
         }
     }
 
-    /// Remove every pin (end of the parallel step).
+    /// Remove every pin (end of the parallel step). O(pins), not O(K).
     pub fn clear_pins(&mut self) {
-        self.pinned.fill(false);
+        for cell in self.pinned_cells.drain(..) {
+            self.pinned[cell] = false;
+        }
     }
 
     /// Whether `cell` is pinned for the ongoing parallel step.
@@ -231,11 +272,15 @@ impl Cache {
         });
     }
 
-    /// First empty cell, if any.
+    /// First empty cell, if any. O(K/64) via the free-cell bitset rather
+    /// than an O(K) cell scan.
     pub fn empty_cell(&self) -> Option<usize> {
-        self.cells
-            .iter()
-            .position(|c| matches!(c, CellState::Empty))
+        for (i, &word) in self.free.iter().enumerate() {
+            if word != 0 {
+                return Some(i * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Iterate `(cell, page, owner)` over resident pages, in cell order.
@@ -275,6 +320,7 @@ impl Cache {
                     self.owned_counts[core] -= 1;
                 }
                 self.cells[cell] = CellState::Empty;
+                self.mark_free(cell);
                 Ok(page)
             }
         }
@@ -302,12 +348,97 @@ impl Cache {
         self.owned_counts[core] += 1;
         self.index.insert(page, cell);
         self.in_flight.push(cell);
+        self.mark_used(cell);
         Ok(())
     }
 
     /// Number of fetches currently in flight.
     pub fn fetches_in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// `true` iff `page` is resident and not pinned, i.e. a legal victim
+    /// for the current parallel step.
+    pub fn is_evictable_page(&self, page: PageId) -> bool {
+        match self.index.get(&page) {
+            Some(&cell) => self.cells[cell].is_present() && !self.pinned[cell],
+            None => false,
+        }
+    }
+
+    /// Exhaustively check the internal invariants that the incremental
+    /// bookkeeping (index, ownership counts, free bitset, in-flight list,
+    /// pin dirty-list) must preserve. Returns a description of the first
+    /// violation found. Intended for tests and the property suite; O(K).
+    pub fn debug_validate(&self) -> Result<(), String> {
+        let k = self.cells.len();
+        if self.owner.len() != k || self.pinned.len() != k {
+            return Err("owner/pinned length mismatch".into());
+        }
+        let mut occupied = 0usize;
+        let mut fetching = 0usize;
+        let mut counts = vec![0usize; self.owned_counts.len()];
+        for (cell, state) in self.cells.iter().enumerate() {
+            let free_bit = self.free[cell / 64] >> (cell % 64) & 1 == 1;
+            match state {
+                CellState::Empty => {
+                    if !free_bit {
+                        return Err(format!("empty cell {cell} not in free bitset"));
+                    }
+                    if self.owner[cell].is_some() {
+                        return Err(format!("empty cell {cell} has an owner"));
+                    }
+                }
+                CellState::Present(page) | CellState::Fetching { page, .. } => {
+                    if free_bit {
+                        return Err(format!("occupied cell {cell} in free bitset"));
+                    }
+                    occupied += 1;
+                    if matches!(state, CellState::Fetching { .. }) {
+                        fetching += 1;
+                        if !self.in_flight.contains(&cell) {
+                            return Err(format!("fetching cell {cell} not in in-flight list"));
+                        }
+                    }
+                    match self.index.get(page) {
+                        Some(&c) if c == cell => {}
+                        other => {
+                            return Err(format!(
+                                "index maps page {page} to {other:?}, cells say cell {cell}"
+                            ))
+                        }
+                    }
+                    match self.owner[cell] {
+                        Some(core) if core < counts.len() => counts[core] += 1,
+                        other => return Err(format!("occupied cell {cell} has owner {other:?}")),
+                    }
+                }
+            }
+            if self.pinned[cell] && !self.pinned_cells.contains(&cell) {
+                return Err(format!("pinned cell {cell} missing from pin dirty-list"));
+            }
+        }
+        if self.index.len() != occupied {
+            return Err(format!(
+                "index has {} entries but {} cells are occupied",
+                self.index.len(),
+                occupied
+            ));
+        }
+        if self.in_flight.len() != fetching {
+            return Err(format!(
+                "in-flight list has {} entries but {} cells are fetching",
+                self.in_flight.len(),
+                fetching
+            ));
+        }
+        if counts != self.owned_counts {
+            return Err(format!(
+                "owned_counts {:?} disagree with recount {:?}",
+                self.owned_counts, counts
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -428,6 +559,55 @@ mod tests {
         assert_eq!(evictable, vec![p(1)]);
         let of0: Vec<PageId> = c.evictable_cells_of(0).map(|(_, pg)| pg).collect();
         assert_eq!(of0, vec![p(1)]);
+    }
+
+    #[test]
+    fn free_bitset_tracks_empties_across_words() {
+        // >64 cells exercises multi-word bitset boundaries.
+        let mut c = Cache::new(130, 1);
+        assert_eq!(c.empty_cell(), Some(0));
+        for i in 0..130u32 {
+            c.start_fetch(i as usize, p(i), 0, 1).unwrap();
+        }
+        c.promote_due(1);
+        assert_eq!(c.empty_cell(), None);
+        c.evict(127).unwrap();
+        assert_eq!(c.empty_cell(), Some(127));
+        c.evict(64).unwrap();
+        assert_eq!(c.empty_cell(), Some(64));
+        c.evict(0).unwrap();
+        assert_eq!(c.empty_cell(), Some(0));
+        c.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn is_evictable_page_tracks_residency_and_pins() {
+        let mut c = Cache::new(3, 1);
+        c.start_fetch(0, p(1), 0, 1).unwrap();
+        c.start_fetch(1, p(2), 0, 10).unwrap(); // still in flight
+        c.promote_due(1);
+        assert!(c.is_evictable_page(p(1)));
+        assert!(!c.is_evictable_page(p(2)));
+        assert!(!c.is_evictable_page(p(9)));
+        c.pin_pages([p(1)]);
+        assert!(!c.is_evictable_page(p(1)));
+        c.clear_pins();
+        assert!(c.is_evictable_page(p(1)));
+        c.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn debug_validate_passes_through_a_mutation_sequence() {
+        let mut c = Cache::new(5, 2);
+        c.debug_validate().unwrap();
+        c.start_fetch(3, p(7), 1, 4).unwrap();
+        c.debug_validate().unwrap();
+        c.promote_due(4);
+        c.pin_pages([p(7)]);
+        c.debug_validate().unwrap();
+        c.clear_pins();
+        c.evict(3).unwrap();
+        c.debug_validate().unwrap();
     }
 
     #[test]

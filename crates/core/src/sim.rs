@@ -17,8 +17,15 @@
 //! * All pages requested in a parallel step are read in parallel, so none
 //!   of them may be evicted during that step (they are *pinned*). This
 //!   mirrors the `R(x) ⊆ C'` constraint of the paper's Algorithms 1 and 2
-//!   and makes DP optima exactly achievable by the engine.
+//!   and makes DP optima exactly achievable by the engine. Pins are placed
+//!   before the strategy's voluntary evictions run, so a voluntary
+//!   eviction of a currently requested page is rejected too.
 //! * Strategies cannot delay or reorder requests.
+//! * The engine fast-forwards over timesteps at which no request is due,
+//!   except those a strategy declares via
+//!   [`crate::CacheStrategy::next_voluntary_time`]: the paper's model
+//!   permits voluntary evictions at any timestep, including ones where
+//!   every core is mid-fetch.
 
 use crate::cache::{Cache, CacheError, Lookup};
 use crate::strategy::CacheStrategy;
@@ -155,6 +162,11 @@ pub struct Simulator<'w, S: CacheStrategy> {
     hits: Vec<u64>,
     fault_times: Vec<Vec<Time>>,
     makespan: Time,
+    last_time: Time,
+    // Persistent per-step buffers so the hot path ([`Simulator::run`])
+    // allocates nothing per timestep.
+    voluntary_buf: Vec<(usize, PageId)>,
+    served_buf: Vec<Served>,
 }
 
 impl<'w, S: CacheStrategy> Simulator<'w, S> {
@@ -174,6 +186,9 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             hits: vec![0; p],
             fault_times: vec![Vec::new(); p],
             makespan: 0,
+            last_time: 0,
+            voluntary_buf: Vec::new(),
+            served_buf: Vec::with_capacity(p),
         })
     }
 
@@ -201,44 +216,72 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
     }
 
     fn next_event_time(&self) -> Option<Time> {
-        self.pos
+        let next_request = self
+            .pos
             .iter()
             .zip(self.ready.iter())
             .zip(self.workload.sequences())
             .filter(|((&pos, _), seq)| pos < seq.len())
             .map(|((_, &ready), _)| ready)
-            .min()
+            .min()?;
+        // A strategy may want to evict voluntarily at a timestep where
+        // every core is mid-fetch (legal in the paper's model); honor such
+        // declared times instead of fast-forwarding past them. Stale
+        // declarations (at or before the last served timestep) are ignored,
+        // so each step strictly advances time and the run still terminates.
+        match self.strategy.next_voluntary_time() {
+            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
+            _ => Some(next_request),
+        }
     }
 
     /// Serve one timestep (the next time at which any request is due).
     /// Returns `Ok(None)` when every sequence is finished.
     pub fn step(&mut self) -> Result<Option<StepReport>, SimError> {
+        match self.step_inner()? {
+            None => Ok(None),
+            Some(t) => Ok(Some(StepReport {
+                time: t,
+                voluntary: std::mem::take(&mut self.voluntary_buf),
+                served: std::mem::take(&mut self.served_buf),
+            })),
+        }
+    }
+
+    /// Serve one timestep into the persistent buffers, returning the time
+    /// served (`None` once every sequence is finished). [`Simulator::run`]
+    /// drives this directly, so the hot path performs no per-step
+    /// allocation; [`Simulator::step`] wraps the buffers into a
+    /// [`StepReport`] for callers that want the trace.
+    fn step_inner(&mut self) -> Result<Option<Time>, SimError> {
         let Some(t) = self.next_event_time() else {
             return Ok(None);
         };
+        self.last_time = t;
         self.cache.promote_due(t);
+        self.voluntary_buf.clear();
+        self.served_buf.clear();
 
-        let mut voluntary = Vec::new();
+        // Pin every page requested this parallel step *before* the strategy
+        // gets to evict voluntarily: parallel reads require `R(x) ⊆ C'`
+        // (Algorithms 1 and 2), so evicting a page that is requested at `t`
+        // must fail even when the eviction is voluntary.
+        for core in 0..self.workload.num_cores() {
+            if self.pos[core] < self.workload.len(core) && self.ready[core] == t {
+                self.cache
+                    .pin_page(self.workload.sequence(core)[self.pos[core]]);
+            }
+        }
+
         for cell in self.strategy.voluntary_evictions(t, &self.cache) {
             if !matches!(self.cache.cell(cell), crate::cache::CellState::Present(_)) {
                 return Err(SimError::BadVoluntaryEviction { cell });
             }
             let page = self.cache.evict(cell)?;
             self.strategy.on_evict(page, cell);
-            voluntary.push((cell, page));
+            self.voluntary_buf.push((cell, page));
         }
 
-        // Pin every page requested this parallel step: parallel reads may
-        // not be evicted by simultaneous placements.
-        let due: Vec<usize> = (0..self.workload.num_cores())
-            .filter(|&core| self.pos[core] < self.workload.len(core) && self.ready[core] == t)
-            .collect();
-        self.cache.pin_pages(
-            due.iter()
-                .map(|&core| self.workload.sequence(core)[self.pos[core]]),
-        );
-
-        let mut served = Vec::with_capacity(self.workload.num_cores());
         for core in 0..self.workload.num_cores() {
             let seq = self.workload.sequence(core);
             if self.pos[core] >= seq.len() || self.ready[core] != t {
@@ -289,7 +332,7 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
                 }
             };
             self.pos[core] += 1;
-            served.push(Served {
+            self.served_buf.push(Served {
                 core,
                 index,
                 page,
@@ -297,16 +340,12 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             });
         }
         self.cache.clear_pins();
-        Ok(Some(StepReport {
-            time: t,
-            voluntary,
-            served,
-        }))
+        Ok(Some(t))
     }
 
     /// Run to completion and return the aggregate result.
     pub fn run(mut self) -> Result<SimResult, SimError> {
-        while self.step()?.is_some() {}
+        while self.step_inner()?.is_some() {}
         Ok(self.into_result())
     }
 
@@ -462,37 +501,51 @@ mod tests {
         assert_eq!(r.makespan, 0);
     }
 
-    #[test]
-    fn voluntary_evictions_apply_before_service() {
-        /// Forces page 1 out right before t = 3, so the second request for
-        /// it faults again (a dishonest strategy).
-        struct Forcing;
-        impl CacheStrategy for Forcing {
-            fn name(&self) -> String {
-                "Forcing".into()
-            }
-            fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+    /// Voluntarily evicts page 1 at `at`, wherever it is resident (a
+    /// dishonest strategy used to probe voluntary-eviction semantics).
+    struct ForcingEvict {
+        at: Time,
+    }
+    impl CacheStrategy for ForcingEvict {
+        fn name(&self) -> String {
+            "ForcingEvict".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .unwrap()
+        }
+        fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+            if time == self.at {
                 cache
-                    .empty_cell()
-                    .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
-                    .unwrap()
-            }
-            fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
-                if time == 3 {
-                    cache
-                        .present_cells()
-                        .filter(|(_, p, _)| *p == PageId(1))
-                        .map(|(i, _, _)| i)
-                        .collect()
-                } else {
-                    Vec::new()
-                }
+                    .present_cells()
+                    .filter(|(_, p, _)| *p == PageId(1))
+                    .map(|(i, _, _)| i)
+                    .collect()
+            } else {
+                Vec::new()
             }
         }
-        // [1, 2, 1] K=3 tau=0: honest would fault twice; forcing faults 3x.
+    }
+
+    #[test]
+    fn voluntary_evictions_apply_before_service() {
+        // [1, 2, 1] K=3 tau=0: honest would fault twice; evicting page 1
+        // at t=2 (while page 2 is being served) forces a third fault at t=3.
         let wl = w(&[&[1, 2, 1]]);
-        let r = simulate(&wl, SimConfig::new(3, 0), Forcing).unwrap();
+        let r = simulate(&wl, SimConfig::new(3, 0), ForcingEvict { at: 2 }).unwrap();
         assert_eq!(r.total_faults(), 3);
+    }
+
+    #[test]
+    fn same_step_voluntary_eviction_of_requested_page_is_rejected() {
+        // Page 1 is requested again at t=3; a voluntary eviction of it in
+        // that very step would violate R(x) ⊆ C', so the engine pins due
+        // pages first and surfaces the attempt as EvictPinned.
+        let wl = w(&[&[1, 2, 1]]);
+        let err = simulate(&wl, SimConfig::new(3, 0), ForcingEvict { at: 3 }).unwrap_err();
+        assert_eq!(err, SimError::Cache(CacheError::EvictPinned { cell: 0 }));
     }
 
     #[test]

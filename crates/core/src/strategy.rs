@@ -69,6 +69,19 @@ pub trait CacheStrategy {
         let _ = (time, cache);
         Vec::new()
     }
+
+    /// The earliest future timestep at which the strategy wants
+    /// [`CacheStrategy::voluntary_evictions`] consulted even if no request
+    /// is due then. The engine normally fast-forwards over timesteps where
+    /// every core is mid-fetch or finished; in the paper's model a
+    /// (dishonest) strategy may still evict at such a timestep, so
+    /// schedules that do — e.g. witnesses reconstructed from the full
+    /// transition relation of Algorithm 2 — declare those timesteps here.
+    /// Times at or before the last served timestep are ignored, as is any
+    /// declared time once every sequence is finished.
+    fn next_voluntary_time(&self) -> Option<Time> {
+        None
+    }
 }
 
 /// Blanket forwarding so `&mut S` and boxed strategies are strategies too.
@@ -97,6 +110,9 @@ impl<S: CacheStrategy + ?Sized> CacheStrategy for &mut S {
     fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
         (**self).voluntary_evictions(time, cache)
     }
+    fn next_voluntary_time(&self) -> Option<Time> {
+        (**self).next_voluntary_time()
+    }
 }
 
 impl<S: CacheStrategy + ?Sized> CacheStrategy for Box<S> {
@@ -123,5 +139,8 @@ impl<S: CacheStrategy + ?Sized> CacheStrategy for Box<S> {
     }
     fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
         (**self).voluntary_evictions(time, cache)
+    }
+    fn next_voluntary_time(&self) -> Option<Time> {
+        (**self).next_voluntary_time()
     }
 }

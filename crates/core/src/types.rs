@@ -6,7 +6,6 @@
 //! parallel request is served in one parallel step; a miss delays the
 //! remaining requests of the faulting core by an additive `τ`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -18,7 +17,7 @@ pub type Time = u64;
 /// Pages are plain opaque identifiers; two requests refer to the same page
 /// iff their `PageId`s are equal. The universe size `N` of an instance is
 /// simply the number of distinct identifiers appearing in its workload.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 impl fmt::Debug for PageId {
@@ -40,7 +39,7 @@ impl From<u32> for PageId {
 }
 
 /// Parameters of the shared-cache model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Cache size `K`, in pages (cells).
     pub cache_size: usize,
@@ -107,7 +106,7 @@ impl std::error::Error for ModelError {}
 ///
 /// Core `j`'s sequence is `sequences()[j]`; cores are indexed from 0. Empty
 /// per-core sequences are permitted (such cores simply never issue).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Workload {
     sequences: Vec<Vec<PageId>>,
 }

@@ -205,12 +205,21 @@ pub(crate) fn schedule_from_chain(inst: &DpInstance, chain: &[StateKey]) -> FtfS
             };
             schedule.decisions.insert((core, index), decision);
         }
-        // Leftover evictions are voluntary (non-lazy mode only); they take
-        // effect before the next timestep's requests.
+        // Leftover evictions are voluntary (non-lazy mode only). The DP
+        // removed these pages in the transition serving `time`, and its
+        // `rx ⊆ C'` constraint guarantees none of them is requested (or
+        // mid-fetch) at `time`, so replaying the eviction at the start of
+        // `time` is equivalent and never collides with the engine's pin of
+        // currently requested pages. (Scheduling it at `time + 1` would:
+        // the page may be requested — and so pinned — then.) `time` may
+        // also be a timestep at which no request is due (every core
+        // mid-fetch); `Replay` declares those times via
+        // `next_voluntary_time` so the engine steps there instead of
+        // fast-forwarding past the eviction.
         if !evicted.is_empty() {
             schedule
                 .voluntary
-                .entry(time + 1)
+                .entry(time)
                 .or_default()
                 .extend(evicted.into_iter().map(|b| inst.pages[b as usize]));
         }

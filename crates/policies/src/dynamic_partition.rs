@@ -178,15 +178,16 @@ impl<P: EvictionPolicy> CacheStrategy for StagedPartition<P> {
             }
             let mut excess = owned - target.size(core);
             let mut candidates: Vec<PageId> =
-                cache.present_cells_of(core).map(|(_, p)| p).collect();
+                cache.evictable_cells_of(core).map(|(_, p)| p).collect();
             while excess > 0 && !candidates.is_empty() {
                 let victim = self.policies[core].choose_victim(&candidates);
                 candidates.retain(|&p| p != victim);
                 evictions.push(cache.cell_of(victim).expect("victim resident"));
                 excess -= 1;
             }
-            // Any remaining excess is held by in-flight fetches; it will
-            // be collected on a later timestep.
+            // Any remaining excess is held by in-flight fetches or pages
+            // pinned by this step's requests; it will be collected on a
+            // later timestep.
         }
         evictions
     }
@@ -198,20 +199,33 @@ impl<P: EvictionPolicy> CacheStrategy for StagedPartition<P> {
     }
 
     fn choose_cell(&mut self, core: usize, _page: PageId, time: Time, cache: &Cache) -> usize {
-        if let Some(cell) = cache.empty_cell() {
-            return cell;
-        }
         let target = self.partition_at(time);
+        // Only fill an empty cell while below the current quota — taking
+        // any empty cell unconditionally would let a part over-fill past
+        // its stage's size, silently growing the partition.
+        if cache.owned_count(core) < target.size(core) {
+            if let Some(cell) = cache.empty_cell() {
+                return cell;
+            }
+        }
         // Prefer reclaiming from a core that exceeds its current quota
         // (possible right after a shrink while its fetch was in flight).
         let over = (0..target.num_parts())
             .filter(|&j| j != core && cache.owned_count(j) > target.size(j))
             .max_by_key(|&j| cache.owned_count(j) - target.size(j));
         let part = over.unwrap_or(core);
-        let candidates: Vec<PageId> = cache.present_cells_of(part).map(|(_, p)| p).collect();
+        let mut candidates: Vec<PageId> = cache.evictable_cells_of(part).map(|(_, p)| p).collect();
+        let part = if candidates.is_empty() && part != core {
+            // The over-quota part is fully pinned or in flight: fall back
+            // to the faulting core's own part.
+            candidates = cache.evictable_cells_of(core).map(|(_, p)| p).collect();
+            core
+        } else {
+            part
+        };
         assert!(
             !candidates.is_empty(),
-            "full part must have a resident page"
+            "full part must have an evictable page"
         );
         let victim = self.policies[part].choose_victim(&candidates);
         cache.cell_of(victim).expect("victim resident")

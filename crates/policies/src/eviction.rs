@@ -29,6 +29,26 @@ pub trait EvictionPolicy {
 
     /// Choose a victim among `candidates` (nonempty; each is managed).
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId;
+
+    /// Choose a victim from a *streamed* candidate set: `candidates`
+    /// yields every legal victim (nonempty; each is managed) and
+    /// `eligible` answers membership for any managed page.
+    ///
+    /// Strategy wrappers on the fault hot path call this instead of
+    /// [`EvictionPolicy::choose_victim`], so policies that maintain an
+    /// intrusive ordered structure (LRU, FIFO, LFU, CLOCK) can walk it and
+    /// probe `eligible`, selecting in O(log K)-or-better without anyone
+    /// materialising a `Vec` of all candidates. The default collects the
+    /// iterator and delegates, so the two entry points always agree.
+    fn choose_victim_from(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        let _ = eligible;
+        let collected: Vec<PageId> = candidates.collect();
+        self.choose_victim(&collected)
+    }
 }
 
 impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
@@ -46,5 +66,12 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
         (**self).choose_victim(candidates)
+    }
+    fn choose_victim_from(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        (**self).choose_victim_from(candidates, eligible)
     }
 }

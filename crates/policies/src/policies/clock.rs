@@ -19,6 +19,29 @@ impl Clock {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The hand sweep, parameterised over the candidate-membership test so
+    /// the slice and streamed entry points behave identically. Returns
+    /// `None` only in the (unreachable with a sequential driver) case that
+    /// two sweeps find no clear-bit candidate.
+    fn sweep(&mut self, is_candidate: &dyn Fn(PageId) -> bool) -> Option<PageId> {
+        // Two full sweeps suffice: the first clears every set bit we pass,
+        // so by the second every candidate we reach has a clear bit.
+        for _ in 0..2 * self.ring.len().max(1) {
+            let page = self.ring[self.hand];
+            let bit = self.refbit.get_mut(&page).expect("ring page has a bit");
+            if *bit {
+                *bit = false;
+                self.hand = (self.hand + 1) % self.ring.len();
+            } else if is_candidate(page) {
+                self.hand = (self.hand + 1) % self.ring.len();
+                return Some(page);
+            } else {
+                self.hand = (self.hand + 1) % self.ring.len();
+            }
+        }
+        None
+    }
 }
 
 impl EvictionPolicy for Clock {
@@ -54,26 +77,24 @@ impl EvictionPolicy for Clock {
 
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
         debug_assert!(!candidates.is_empty());
-        let is_candidate = |p: &PageId| -> bool { candidates.contains(p) };
-        // Two full sweeps suffice: the first clears every set bit we pass,
-        // so by the second every candidate we reach has a clear bit.
-        for _ in 0..2 * self.ring.len().max(1) {
-            let page = self.ring[self.hand];
-            let bit = self.refbit.get_mut(&page).expect("ring page has a bit");
-            if *bit {
-                *bit = false;
-                self.hand = (self.hand + 1) % self.ring.len();
-            } else if is_candidate(&page) {
-                self.hand = (self.hand + 1) % self.ring.len();
-                return page;
-            } else {
-                self.hand = (self.hand + 1) % self.ring.len();
-            }
-        }
-        // All candidates kept their bits via concurrent accesses that raced
+        // All candidates keeping their bits would require accesses racing
         // the sweep — cannot happen with the sequential driver, but fall
         // back safely.
-        candidates[0]
+        self.sweep(&|p| candidates.contains(&p))
+            .unwrap_or(candidates[0])
+    }
+
+    fn choose_victim_from(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        // The sweep probes `eligible` per ring entry — O(1) per step
+        // instead of a scan of a collected candidate slice.
+        match self.sweep(eligible) {
+            Some(page) => page,
+            None => candidates.next().expect("candidates nonempty"),
+        }
     }
 }
 

@@ -2,15 +2,20 @@
 
 use crate::eviction::EvictionPolicy;
 use mcp_core::PageId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Evicts the candidate that entered the managed set earliest.
 ///
 /// FIFO is conservative (though not marking), so Lemma 1's static-partition
 /// upper bound applies to it as well.
+///
+/// An ordered `(insert stamp, page)` set backs the streamed entry point:
+/// the queue-front eligible page is found in O(log K) plus a short walk,
+/// with no per-fault candidate collection.
 #[derive(Clone, Debug, Default)]
 pub struct Fifo {
     inserted: HashMap<PageId, u64>,
+    by_stamp: BTreeSet<(u64, PageId)>,
 }
 
 impl Fifo {
@@ -26,7 +31,10 @@ impl EvictionPolicy for Fifo {
     }
 
     fn on_insert(&mut self, page: PageId, stamp: u64) {
-        self.inserted.insert(page, stamp);
+        if let Some(old) = self.inserted.insert(page, stamp) {
+            self.by_stamp.remove(&(old, page));
+        }
+        self.by_stamp.insert((stamp, page));
     }
 
     fn on_access(&mut self, _page: PageId, _stamp: u64) {
@@ -34,7 +42,9 @@ impl EvictionPolicy for Fifo {
     }
 
     fn on_remove(&mut self, page: PageId) {
-        self.inserted.remove(&page);
+        if let Some(old) = self.inserted.remove(&page) {
+            self.by_stamp.remove(&(old, page));
+        }
     }
 
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
@@ -46,6 +56,20 @@ impl EvictionPolicy for Fifo {
                     .copied()
                     .expect("candidate must be managed")
             })
+            .expect("candidates nonempty")
+    }
+
+    fn choose_victim_from(
+        &mut self,
+        _candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        // Insert stamps are unique: the first eligible entry in stamp
+        // order is the minimum `choose_victim` would report.
+        self.by_stamp
+            .iter()
+            .map(|&(_, page)| page)
+            .find(|&page| eligible(page))
             .expect("candidates nonempty")
     }
 }

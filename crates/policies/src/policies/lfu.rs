@@ -2,13 +2,18 @@
 
 use crate::eviction::EvictionPolicy;
 use mcp_core::PageId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Evicts the candidate with the fewest recorded uses; ties broken by the
 /// older insertion.
+///
+/// An ordered `(count, insert stamp, page)` set backs the streamed entry
+/// point: each access re-ranks one page in O(log K), and victim selection
+/// walks from the frequency-minimal end instead of scanning candidates.
 #[derive(Clone, Debug, Default)]
 pub struct Lfu {
     uses: HashMap<PageId, (u64, u64)>, // (count, insert stamp)
+    by_rank: BTreeSet<(u64, u64, PageId)>,
 }
 
 impl Lfu {
@@ -24,17 +29,24 @@ impl EvictionPolicy for Lfu {
     }
 
     fn on_insert(&mut self, page: PageId, stamp: u64) {
-        self.uses.insert(page, (1, stamp));
+        if let Some((count, old)) = self.uses.insert(page, (1, stamp)) {
+            self.by_rank.remove(&(count, old, page));
+        }
+        self.by_rank.insert((1, stamp, page));
     }
 
     fn on_access(&mut self, page: PageId, _stamp: u64) {
-        if let Some((count, _)) = self.uses.get_mut(&page) {
+        if let Some((count, inserted)) = self.uses.get_mut(&page) {
+            self.by_rank.remove(&(*count, *inserted, page));
             *count += 1;
+            self.by_rank.insert((*count, *inserted, page));
         }
     }
 
     fn on_remove(&mut self, page: PageId) {
-        self.uses.remove(&page);
+        if let Some((count, stamp)) = self.uses.remove(&page) {
+            self.by_rank.remove(&(count, stamp, page));
+        }
     }
 
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
@@ -46,6 +58,20 @@ impl EvictionPolicy for Lfu {
                     .copied()
                     .expect("candidate must be managed")
             })
+            .expect("candidates nonempty")
+    }
+
+    fn choose_victim_from(
+        &mut self,
+        _candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        // `(count, insert stamp)` pairs are unique (stamps are), so the
+        // first eligible entry in rank order matches `choose_victim`.
+        self.by_rank
+            .iter()
+            .map(|&(_, _, page)| page)
+            .find(|&page| eligible(page))
             .expect("candidates nonempty")
     }
 }

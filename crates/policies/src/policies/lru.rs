@@ -2,15 +2,21 @@
 
 use crate::eviction::EvictionPolicy;
 use mcp_core::PageId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Evicts the candidate whose last access (or insertion) is oldest.
 ///
 /// LRU is a *marking* and *conservative* algorithm, so Lemma 1's
 /// `max_j k_j` upper bound applies to it under any fixed static partition.
+///
+/// Alongside the per-page stamp map, an ordered `(stamp, page)` set is
+/// maintained so the streamed entry point finds the recency-minimal
+/// eligible page in O(log K) plus a short walk over ineligible (pinned or
+/// in-flight) prefix entries, instead of scanning all candidates.
 #[derive(Clone, Debug, Default)]
 pub struct Lru {
     last_use: HashMap<PageId, u64>,
+    by_stamp: BTreeSet<(u64, PageId)>,
 }
 
 impl Lru {
@@ -31,15 +37,20 @@ impl EvictionPolicy for Lru {
     }
 
     fn on_insert(&mut self, page: PageId, stamp: u64) {
-        self.last_use.insert(page, stamp);
+        if let Some(old) = self.last_use.insert(page, stamp) {
+            self.by_stamp.remove(&(old, page));
+        }
+        self.by_stamp.insert((stamp, page));
     }
 
     fn on_access(&mut self, page: PageId, stamp: u64) {
-        self.last_use.insert(page, stamp);
+        self.on_insert(page, stamp);
     }
 
     fn on_remove(&mut self, page: PageId) {
-        self.last_use.remove(&page);
+        if let Some(old) = self.last_use.remove(&page) {
+            self.by_stamp.remove(&(old, page));
+        }
     }
 
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
@@ -51,6 +62,20 @@ impl EvictionPolicy for Lru {
                     .copied()
                     .expect("candidate must be managed")
             })
+            .expect("candidates nonempty")
+    }
+
+    fn choose_victim_from(
+        &mut self,
+        _candidates: &mut dyn Iterator<Item = PageId>,
+        eligible: &dyn Fn(PageId) -> bool,
+    ) -> PageId {
+        // Stamps are unique, so the first eligible entry in stamp order is
+        // exactly the minimum `choose_victim` would report.
+        self.by_stamp
+            .iter()
+            .map(|&(_, page)| page)
+            .find(|&page| eligible(page))
             .expect("candidates nonempty")
     }
 }

@@ -177,17 +177,24 @@ impl CacheStrategy for Replay {
     }
 
     fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
-        match self.voluntary.get(&time) {
-            None => Vec::new(),
-            Some(pages) => pages
-                .iter()
-                .map(|p| {
-                    cache.cell_of(*p).unwrap_or_else(|| {
-                        panic!("voluntary eviction of absent page {p} at t={time}")
-                    })
-                })
-                .collect(),
-        }
+        // Consume every entry scheduled at or before `time`. The engine
+        // steps at each scheduled time (see `next_voluntary_time`), so in
+        // practice entries are consumed exactly on time; draining by `<=`
+        // keeps the replay robust should a schedule start before t = 1.
+        let rest = self.voluntary.split_off(&(time + 1));
+        let due = std::mem::replace(&mut self.voluntary, rest);
+        due.iter()
+            .flat_map(|(at, pages)| pages.iter().map(move |p| (*at, p)))
+            .map(|(at, p)| {
+                cache
+                    .cell_of(*p)
+                    .unwrap_or_else(|| panic!("voluntary eviction of absent page {p} at t={at}"))
+            })
+            .collect()
+    }
+
+    fn next_voluntary_time(&self) -> Option<Time> {
+        self.voluntary.keys().next().copied()
     }
 
     fn on_hit(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
@@ -250,14 +257,34 @@ mod tests {
 
     #[test]
     fn replay_voluntary_evictions_force_faults() {
+        // Evict page 1 at the start of t=2 (while page 2 is the request),
+        // so the re-request of 1 at t=3 faults again.
+        let w = wl(&[&[1, 2, 1]]);
+        let mut d = HashMap::new();
+        d.insert((0, 0), ReplayDecision::UseEmpty);
+        d.insert((0, 1), ReplayDecision::UseEmpty);
+        d.insert((0, 2), ReplayDecision::UseEmpty);
+        let mut v = BTreeMap::new();
+        v.insert(2u64, vec![PageId(1)]);
+        let r = simulate(&w, SimConfig::new(2, 0), Replay::new(d).with_voluntary(v)).unwrap();
+        assert_eq!(r.total_faults(), 3); // the forced eviction costs a refault
+    }
+
+    #[test]
+    fn replay_voluntary_eviction_of_due_page_is_rejected() {
+        // Page 1 is requested again at t=2; evicting it in that same step
+        // violates R(x) ⊆ C' and must surface as EvictPinned.
         let w = wl(&[&[1, 1]]);
         let mut d = HashMap::new();
         d.insert((0, 0), ReplayDecision::UseEmpty);
         d.insert((0, 1), ReplayDecision::UseEmpty);
         let mut v = BTreeMap::new();
         v.insert(2u64, vec![PageId(1)]);
-        let r = simulate(&w, SimConfig::new(2, 0), Replay::new(d).with_voluntary(v)).unwrap();
-        assert_eq!(r.total_faults(), 2); // the forced eviction costs a refault
+        let err = simulate(&w, SimConfig::new(2, 0), Replay::new(d).with_voluntary(v)).unwrap_err();
+        assert_eq!(
+            err,
+            mcp_core::SimError::Cache(mcp_core::CacheError::EvictPinned { cell: 0 })
+        );
     }
 
     #[test]

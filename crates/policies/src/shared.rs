@@ -44,14 +44,27 @@ impl<P: EvictionPolicy> CacheStrategy for Shared<P> {
         if let Some(cell) = cache.empty_cell() {
             return cell;
         }
-        let candidates: Vec<PageId> = cache.evictable_cells().map(|(_, p, _)| p).collect();
-        let victim = self.policy.choose_victim(&candidates);
+        // Stream the candidates: intrusive policies walk their own ordered
+        // structure and only probe the eligibility test, so no per-fault
+        // `Vec` of all evictable pages is materialised.
+        let mut candidates = cache.evictable_cells().map(|(_, p, _)| p);
+        let victim = self
+            .policy
+            .choose_victim_from(&mut candidates, &|p| cache.is_evictable_page(p));
         cache.cell_of(victim).expect("victim is resident")
     }
 
     fn on_fault(&mut self, _core: usize, page: PageId, _time: Time, _cell: usize, _cache: &Cache) {
         let stamp = self.next_stamp();
         self.policy.on_insert(page, stamp);
+    }
+
+    fn on_shared_fetch_miss(&mut self, _core: usize, page: PageId, _time: Time, _cache: &Cache) {
+        // The page is mid-fetch for another core but this request *is* an
+        // access to it: refresh the policy's recency/frequency state, as a
+        // hit would. (Only reachable on non-disjoint workloads.)
+        let stamp = self.next_stamp();
+        self.policy.on_access(page, stamp);
     }
 
     fn on_evict(&mut self, page: PageId, _cell: usize) {
@@ -68,10 +81,25 @@ impl<P: EvictionPolicy> CacheStrategy for Shared<P> {
 /// with the largest estimate is evicted. For p = 1 this is exactly Belady.
 /// The paper (end of Section 4) shows this strategy is *not* optimal in
 /// the multicore setting once τ > K/p — experiment E09 reproduces that.
+///
+/// Distances are answered from precomputed next-occurrence arrays (the
+/// standard Belady trick, cf. the offline `belady_seq` module): `begin`
+/// assigns every page a dense index and backward-scans each sequence once,
+/// and each served request updates one `upcoming` slot in O(1). A distance
+/// query is then `p` array reads — no per-core hash probing or binary
+/// search per resident page per fault.
 #[derive(Clone, Debug, Default)]
 pub struct SharedFitf {
-    /// occurrences[core][page] = ascending positions in that core's sequence.
-    occurrences: Vec<std::collections::HashMap<PageId, Vec<usize>>>,
+    /// Dense index of every page occurring in the workload.
+    page_index: std::collections::HashMap<PageId, u32>,
+    /// seq_ids[core][pos] = dense page index of that core's request.
+    seq_ids: Vec<Vec<u32>>,
+    /// next_pos[core][pos] = next position of the same page strictly after
+    /// `pos` in that core's sequence (`usize::MAX` if none).
+    next_pos: Vec<Vec<usize>>,
+    /// upcoming[core][page_idx] = first position `>= cursor[core]` at which
+    /// the page occurs in that core's sequence (`usize::MAX` if none).
+    upcoming: Vec<Vec<usize>>,
     /// Requests served so far, per core.
     cursor: Vec<usize>,
 }
@@ -83,17 +111,26 @@ impl SharedFitf {
     }
 
     fn distance(&self, page: PageId) -> u64 {
+        let Some(&pid) = self.page_index.get(&page) else {
+            return u64::MAX; // never requested anywhere
+        };
         let mut best = u64::MAX;
-        for (core, occ) in self.occurrences.iter().enumerate() {
-            if let Some(positions) = occ.get(&page) {
-                let cur = self.cursor[core];
-                let i = positions.partition_point(|&pos| pos < cur);
-                if let Some(&pos) = positions.get(i) {
-                    best = best.min((pos - cur) as u64);
-                }
+        for (core, upcoming) in self.upcoming.iter().enumerate() {
+            let pos = upcoming[pid as usize];
+            if pos != usize::MAX {
+                best = best.min((pos - self.cursor[core]) as u64);
             }
         }
         best
+    }
+
+    /// Account the request at `cursor[core]` as served: its page's next
+    /// occurrence advances, and the cursor moves on. O(1).
+    fn advance(&mut self, core: usize) {
+        let pos = self.cursor[core];
+        let pid = self.seq_ids[core][pos] as usize;
+        self.upcoming[core][pid] = self.next_pos[core][pos];
+        self.cursor[core] = pos + 1;
     }
 }
 
@@ -103,28 +140,45 @@ impl CacheStrategy for SharedFitf {
     }
 
     fn begin(&mut self, workload: &Workload, _cfg: &SimConfig) {
-        self.occurrences = workload
+        self.page_index.clear();
+        for seq in workload.sequences() {
+            for &p in seq {
+                let next = self.page_index.len() as u32;
+                self.page_index.entry(p).or_insert(next);
+            }
+        }
+        let num_pages = self.page_index.len();
+        self.seq_ids = workload
             .sequences()
             .iter()
-            .map(|seq| {
-                let mut occ: std::collections::HashMap<PageId, Vec<usize>> =
-                    std::collections::HashMap::new();
-                for (i, &p) in seq.iter().enumerate() {
-                    occ.entry(p).or_default().push(i);
-                }
-                occ
-            })
+            .map(|seq| seq.iter().map(|p| self.page_index[p]).collect())
             .collect();
+        // Backward scan: next occurrence of each position's page, and (once
+        // the scan completes) each page's first occurrence overall.
+        self.next_pos = Vec::with_capacity(self.seq_ids.len());
+        self.upcoming = Vec::with_capacity(self.seq_ids.len());
+        for ids in &self.seq_ids {
+            let mut next = vec![usize::MAX; ids.len()];
+            let mut first = vec![usize::MAX; num_pages];
+            for (pos, &pid) in ids.iter().enumerate().rev() {
+                next[pos] = first[pid as usize];
+                first[pid as usize] = pos;
+            }
+            self.next_pos.push(next);
+            self.upcoming.push(first);
+        }
         self.cursor = vec![0; workload.num_cores()];
     }
 
     fn on_hit(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
-        self.cursor[core] += 1;
+        self.advance(core);
     }
 
     fn choose_cell(&mut self, core: usize, _page: PageId, _time: Time, cache: &Cache) -> usize {
         // The faulting request is still unserved while we choose; count it
-        // as served for distance queries so "next use" looks strictly ahead.
+        // as served for distance queries so "next use" looks strictly
+        // ahead. (The faulting page itself is absent, so only the cursor
+        // offset matters — `upcoming` needs no adjustment.)
         self.cursor[core] += 1;
         let victim_cell = if let Some(cell) = cache.empty_cell() {
             cell
@@ -140,11 +194,11 @@ impl CacheStrategy for SharedFitf {
     }
 
     fn on_fault(&mut self, core: usize, _page: PageId, _time: Time, _cell: usize, _cache: &Cache) {
-        self.cursor[core] += 1;
+        self.advance(core);
     }
 
     fn on_shared_fetch_miss(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
-        self.cursor[core] += 1;
+        self.advance(core);
     }
 }
 
@@ -186,6 +240,26 @@ mod tests {
         let r = simulate(&w, SimConfig::new(3, 0), Shared::new(Lru::new())).unwrap();
         assert_eq!(r.faults[0], 4);
         assert_eq!(r.faults[1], 1);
+    }
+
+    #[test]
+    fn shared_fetch_miss_refreshes_recency() {
+        // Regression test: a request for a page mid-fetch by another core
+        // is an access to that page and must reach the wrapped policy.
+        // K=3, τ=2, three cores:
+        //   t=1: core0 faults on 1 (LRU stamp 1), core1 faults on 2
+        //        (stamp 2), core2 requests 1 mid-fetch → shared-fetch miss
+        //        (stamp 3, with the forwarding in place).
+        //   t=4: core0 faults on 3 into the last empty cell; core2 then
+        //        faults on 5 with no cell free. With the shared-fetch
+        //        access recorded, page 2 is least recent and is evicted,
+        //        so core0's re-request of 1 at t=7 hits. Without the
+        //        forwarding, 1 still carries stamp 1, gets evicted
+        //        instead, and the re-request faults.
+        let w = wl(&[&[1, 3, 1], &[2], &[1, 5]]);
+        let r = simulate(&w, SimConfig::new(3, 2), Shared::new(Lru::new())).unwrap();
+        assert_eq!(r.faults, vec![2, 1, 2]);
+        assert_eq!(r.hits, vec![1, 0, 0]);
     }
 
     #[test]

@@ -1,19 +1,173 @@
-//! Workload trace I/O: JSON (via serde) and a compact line-oriented text
-//! format (`core_index: page page page …`), for sharing instances between
-//! runs and external tools.
+//! Workload trace I/O: JSON (`{"sequences": [[…], …]}`) and a compact
+//! line-oriented text format (`core_index: page page page …`), for sharing
+//! instances between runs and external tools.
 
 use mcp_core::{PageId, Workload};
+use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 
-/// Serialize a workload as pretty JSON.
+/// Serialize a workload as pretty JSON: `{"sequences": [[1, 2], [9]]}`
+/// with one core sequence per line.
 pub fn to_json(workload: &Workload) -> String {
-    serde_json::to_string_pretty(workload).expect("workload serializes")
+    let seqs = workload.sequences();
+    let mut out = String::from("{\n  \"sequences\": [\n");
+    for (i, seq) in seqs.iter().enumerate() {
+        out.push_str("    [");
+        for (j, p) in seq.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", p.0);
+        }
+        out.push(']');
+        if i + 1 < seqs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
 }
 
-/// Parse a workload from JSON.
-pub fn from_json(json: &str) -> Result<Workload, serde_json::Error> {
-    serde_json::from_str(json)
+/// Errors from the JSON workload parser.
+#[derive(Debug)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            pos: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.fail(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.fail(format!("expected {lit}"))
+        }
+    }
+
+    fn parse_u32(&mut self) -> Result<u32, JsonError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.fail("expected a page number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or_else(|| self.fail("page number out of range"), Ok)
+    }
+
+    fn parse_page_array(&mut self) -> Result<Vec<PageId>, JsonError> {
+        self.expect(b'[')?;
+        let mut pages = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(pages);
+        }
+        loop {
+            self.skip_ws();
+            pages.push(PageId(self.parse_u32()?));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(pages);
+        }
+    }
+}
+
+/// Parse a workload from JSON of the shape `{"sequences": [[…], …]}`.
+pub fn from_json(json: &str) -> Result<Workload, JsonError> {
+    let mut p = JsonParser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    p.skip_ws();
+    p.expect_literal("\"sequences\"")?;
+    p.skip_ws();
+    p.expect(b':')?;
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut sequences = Vec::new();
+    p.skip_ws();
+    if !p.eat(b']') {
+        loop {
+            p.skip_ws();
+            sequences.push(p.parse_page_array()?);
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.expect(b']')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.fail("trailing characters after workload");
+    }
+    Workload::new(sequences).map_err(|e| JsonError {
+        pos: 0,
+        message: e.to_string(),
+    })
 }
 
 /// Save a workload to a JSON file.

@@ -1,0 +1,113 @@
+//! Engine fingerprint: run a fixed battery of workloads × strategies and
+//! print per-run fault counts, a checksum of every fault time, and the
+//! makespan. Diffing this output across engine changes proves (or
+//! disproves) bit-identical behavior.
+//!
+//! Usage: `cargo run --release --example engine_fingerprint > fp.txt`
+
+use multicore_paging::policies::{
+    shared_fifo, shared_lru, static_partition_belady, static_partition_lru, Clock, Fwf, Lfu, LruK,
+    LruMimicPartition, Marking, MarkingTie, Mru, Partition, RandomEvict, Shared, SharedFitf,
+};
+use multicore_paging::workloads::{random_disjoint, zipf};
+use multicore_paging::{simulate, CacheStrategy, SimConfig, SimResult, Workload};
+
+fn checksum(result: &SimResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (core, times) in result.fault_times.iter().enumerate() {
+        mix(core as u64 + 1);
+        for &t in times {
+            mix(t);
+        }
+    }
+    mix(result.makespan);
+    h
+}
+
+fn report<S: CacheStrategy>(tag: &str, w: &Workload, cfg: SimConfig, strategy: S) {
+    match simulate(w, cfg, strategy) {
+        Ok(r) => println!(
+            "{tag} faults={:?} hits={} mk={} sum={:016x}",
+            r.faults,
+            r.total_hits(),
+            r.makespan,
+            checksum(&r)
+        ),
+        Err(e) => println!("{tag} error={e}"),
+    }
+}
+
+fn battery(label: &str, w: &Workload, cfg: SimConfig) {
+    let p = w.num_cores();
+    let k = cfg.cache_size;
+    report(&format!("{label}/lru"), w, cfg, shared_lru());
+    report(&format!("{label}/fifo"), w, cfg, shared_fifo());
+    report(&format!("{label}/clock"), w, cfg, Shared::new(Clock::new()));
+    report(&format!("{label}/lfu"), w, cfg, Shared::new(Lfu::new()));
+    report(&format!("{label}/mru"), w, cfg, Shared::new(Mru::new()));
+    report(
+        &format!("{label}/random"),
+        w,
+        cfg,
+        Shared::new(RandomEvict::new(7)),
+    );
+    report(
+        &format!("{label}/marking_lru"),
+        w,
+        cfg,
+        Shared::new(Marking::new(MarkingTie::Lru)),
+    );
+    report(
+        &format!("{label}/marking_rand"),
+        w,
+        cfg,
+        Shared::new(Marking::new(MarkingTie::Random(5))),
+    );
+    report(&format!("{label}/fwf"), w, cfg, Shared::new(Fwf::new()));
+    report(&format!("{label}/lru2"), w, cfg, Shared::new(LruK::new(2)));
+    report(&format!("{label}/fitf"), w, cfg, SharedFitf::new());
+    if k >= p && p > 0 {
+        report(
+            &format!("{label}/sp_lru"),
+            w,
+            cfg,
+            static_partition_lru(Partition::equal(k, p)),
+        );
+        report(
+            &format!("{label}/sp_belady"),
+            w,
+            cfg,
+            static_partition_belady(Partition::equal(k, p)),
+        );
+    }
+    report(
+        &format!("{label}/lru_mimic"),
+        w,
+        cfg,
+        LruMimicPartition::new(),
+    );
+}
+
+fn main() {
+    for seed in 0..12u64 {
+        let w = random_disjoint(seed, 3, 40, 6);
+        for k in [3usize, 4, 8] {
+            for tau in [0u64, 1, 3] {
+                battery(&format!("rd{seed}/K{k}/t{tau}"), &w, SimConfig::new(k, tau));
+            }
+        }
+    }
+    for seed in [1u64, 2] {
+        let w = zipf(4, 600, 64, 0.8, seed);
+        for k in [8usize, 32, 96] {
+            battery(&format!("zipf{seed}/K{k}/t2"), &w, SimConfig::new(k, 2));
+        }
+    }
+    // Large-K shared-LRU spot check (the tentpole perf configuration).
+    let w = zipf(4, 2_000, 512, 0.7, 3);
+    battery("large/K1024/t2", &w, SimConfig::new(1024, 2));
+}

@@ -1,0 +1,135 @@
+//! Engine invariants under random workloads and random legal strategies.
+//!
+//! Every strategy family the crate ships is driven step-by-step through
+//! random (possibly non-disjoint) workloads; after every step the cache
+//! must satisfy its structural invariants ([`Cache::debug_validate`]
+//! cross-checks the free-cell bitset, the page index, the pin list and the
+//! per-core ownership counts against the cell array), and the stepped run
+//! must agree exactly with [`Simulator::run`] and
+//! [`Simulator::run_with_trace`].
+//!
+//! [`Cache::debug_validate`]: multicore_paging::Cache::debug_validate
+
+use multicore_paging::policies::{
+    Clock, Fifo, Lfu, LruMimicPartition, Marking, MarkingTie, Mru, Partition, RandomEvict, Shared,
+    SharedFitf,
+};
+use multicore_paging::{
+    shared_lru, simulate, static_partition_lru, CacheStrategy, PageId, SimConfig, Simulator,
+    Workload,
+};
+use proptest::prelude::*;
+
+/// Instantiate the `idx`-th strategy family. Returns the strategy and
+/// whether it requires a disjoint workload (the partition families own
+/// pages per-core; cross-core sharing is outside their contract).
+fn make_strategy(
+    idx: usize,
+    seed: u64,
+    cache_size: usize,
+    cores: usize,
+) -> (Box<dyn CacheStrategy>, bool) {
+    match idx {
+        0 => (Box::new(shared_lru()), false),
+        1 => (Box::new(Shared::new(Fifo::new())), false),
+        2 => (Box::new(Shared::new(Clock::new())), false),
+        3 => (Box::new(Shared::new(Lfu::new())), false),
+        4 => (Box::new(Shared::new(Mru::new())), false),
+        5 => (Box::new(Shared::new(RandomEvict::new(seed))), false),
+        6 => (
+            Box::new(Shared::new(Marking::new(MarkingTie::Random(seed)))),
+            false,
+        ),
+        7 => (Box::new(SharedFitf::new()), false),
+        8 => (Box::new(LruMimicPartition::new()), true),
+        _ => (
+            Box::new(static_partition_lru(Partition::equal(cache_size, cores))),
+            true,
+        ),
+    }
+}
+
+fn arb_sequences() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    // 1..=3 cores, lengths 0..=12, universe 0..6 — deliberately shared
+    // across cores, so shared-fetch misses and cross-core evictions occur.
+    prop::collection::vec(prop::collection::vec(0u32..6, 0..12), 1..=3)
+}
+
+/// Build a workload from the raw sequences, giving each core a private
+/// page range when the strategy demands disjointness.
+fn build_workload(raw: &[Vec<u32>], disjoint: bool) -> Workload {
+    let offset = if disjoint { 100 } else { 0 };
+    Workload::new(
+        raw.iter()
+            .enumerate()
+            .map(|(core, s)| {
+                s.iter()
+                    .map(|&v| PageId(core as u32 * offset + v))
+                    .collect()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn every_strategy_preserves_engine_invariants(
+        raw in arb_sequences(),
+        strategy_idx in 0usize..10,
+        extra_k in 0usize..3,
+        tau in 0u64..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let cores = raw.len();
+        let cache_size = cores + extra_k;
+        let cfg = SimConfig::new(cache_size, tau);
+        let (strategy, disjoint) = make_strategy(strategy_idx, seed, cache_size, cores);
+        let w = build_workload(&raw, disjoint);
+
+        // Step-wise run: validate the cache after every single step.
+        let mut sim = Simulator::new(&w, cfg, strategy).unwrap();
+        let mut steps = 0usize;
+        loop {
+            let report = sim.step().unwrap();
+            prop_assert!(sim.cache().occupied() <= cache_size);
+            let validated = sim.cache().debug_validate();
+            prop_assert!(
+                validated.is_ok(),
+                "cache invariant broken after step {steps}: {validated:?}"
+            );
+            if report.is_none() {
+                break;
+            }
+            steps += 1;
+            prop_assert!(steps <= w.total_len() * (tau as usize + 2) + 2);
+        }
+        prop_assert!(sim.finished());
+        let stepped = sim.run().unwrap(); // already finished: collects the result
+
+        // The stepped run, the plain run, and the traced run agree exactly.
+        let (strategy, _) = make_strategy(strategy_idx, seed, cache_size, cores);
+        let plain = simulate(&w, cfg, strategy).unwrap();
+        prop_assert_eq!(&stepped, &plain);
+        let (strategy, _) = make_strategy(strategy_idx, seed, cache_size, cores);
+        let (traced, trace) = Simulator::new(&w, cfg, strategy)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        prop_assert_eq!(&traced, &plain);
+        let served: usize = trace.iter().map(|s| s.served.len()).sum();
+        prop_assert_eq!(served, w.total_len());
+
+        // Aggregate bookkeeping: counts match times, times strictly
+        // increase, every request is accounted for.
+        let n: u64 = w.total_len() as u64;
+        prop_assert_eq!(plain.total_faults() + plain.total_hits(), n);
+        for core in 0..cores {
+            prop_assert_eq!(plain.faults[core], plain.fault_times[core].len() as u64);
+            prop_assert_eq!(plain.faults[core] + plain.hits[core], w.len(core) as u64);
+            prop_assert!(plain.fault_times[core].windows(2).all(|t| t[0] < t[1]));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Minimal offline stand-in for the parts of the `criterion` API this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The runner calibrates an iteration count against a warm-up budget,
+//! takes one measured batch, prints a per-benchmark summary line, and
+//! writes a `BENCH_<binary>.json` baseline next to the working directory.
+//!
+//! CLI flags understood: `--bench` (ignored, passed by cargo), `--quick`
+//! (short budgets for CI smoke runs), `--test` (run every benchmark for
+//! exactly one iteration, no file output), and a positional substring
+//! filter.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, for deriving throughput rates.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier inside a group, e.g. `K = 512`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<(&'static str, f64)>,
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    test_mode: bool,
+    results: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Build a runner from the process arguments (see crate docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--quick" => c.quick = true,
+                "--test" => c.test_mode = true,
+                other if !other.starts_with('-') && c.filter.is_none() => {
+                    c.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        if std::env::var_os("CRITERION_QUICK").is_some() {
+            c.quick = true;
+        }
+        c
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run_bench(id.into(), None, &mut f);
+        self
+    }
+
+    fn run_bench(
+        &mut self,
+        id: String,
+        throughput: Option<&Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        let (warmup, measure) = if self.quick {
+            (Duration::from_millis(40), Duration::from_millis(120))
+        } else {
+            (Duration::from_millis(300), Duration::from_millis(1000))
+        };
+
+        // Calibration: grow the batch until the warm-up budget is spent.
+        let mut iters: u64 = 1;
+        let mut spent = Duration::ZERO;
+        let ns_per_iter = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            spent += b.elapsed;
+            if spent >= warmup || iters >= u64::MAX / 4 {
+                let batch = b.elapsed.max(Duration::from_nanos(1));
+                break (batch.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            iters = iters.saturating_mul(2);
+        };
+        let target_iters = ((measure.as_nanos() as f64 / ns_per_iter) as u64).max(1);
+
+        let mut b = Bencher {
+            iters: target_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = b.elapsed.as_nanos() as f64 / target_iters as f64;
+
+        let throughput = throughput.map(|t| match t {
+            Throughput::Elements(n) => ("elem/s", *n as f64 / (mean_ns / 1e9)),
+            Throughput::Bytes(n) => ("B/s", *n as f64 / (mean_ns / 1e9)),
+        });
+        let mut line = format!(
+            "{id:<48} {:>12}/iter ({target_iters} iters)",
+            fmt_ns(mean_ns)
+        );
+        if let Some((unit, rate)) = throughput {
+            let _ = write!(line, "  {:>12} {unit}", fmt_rate(rate));
+        }
+        println!("{line}");
+        self.results.push(BenchRecord {
+            id,
+            mean_ns,
+            iters: target_iters,
+            throughput,
+        });
+    }
+
+    /// Write the JSON baseline for every benchmark that ran.
+    pub fn final_summary(&self) {
+        if self.test_mode || self.results.is_empty() {
+            return;
+        }
+        let binary = std::env::args()
+            .next()
+            .map(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "bench".to_string())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // Strip the `-<hash>` suffix cargo appends to target names.
+        let stem = match binary.rfind('-') {
+            Some(pos) if binary[pos + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+                binary[..pos].to_string()
+            }
+            _ => binary,
+        };
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"binary\": \"{}\",", escape(&stem));
+        json.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}",
+                escape(&r.id),
+                r.mean_ns,
+                r.iters
+            );
+            if let Some((unit, rate)) = &r.throughput {
+                let _ = write!(json, ", \"rate\": {rate:.1}, \"rate_unit\": \"{unit}\"");
+            }
+            json.push('}');
+            if i + 1 < self.results.len() {
+                json.push(',');
+            }
+            json.push('\n');
+        }
+        json.push_str("  ]\n}\n");
+        let path = format!("BENCH_{stem}.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work, enabling rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` under `<group>/<id>`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion
+            .run_bench(full, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value under `<group>/<id>`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_bench(full, self.throughput.as_ref(), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (drop; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the calibrated number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut c = Criterion {
+            quick: true,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("work", |b| b.iter(|| black_box(3u64).pow(7)));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/work");
+        assert_eq!(c.results[1].id, "g/5");
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[0].throughput.unwrap().0, "elem/s");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("nope".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("g/skipped", |b| b.iter(|| 1u32 + 1));
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("K", 512).id, "K/512");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

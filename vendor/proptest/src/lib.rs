@@ -1,0 +1,313 @@
+//! Minimal offline stand-in for the parts of the `proptest` API this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*!`, integer-range
+//! and `prop::collection::vec` strategies, `prop_map`, tuple composition,
+//! and [`ProptestConfig::with_cases`].
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test's name and the case index), so failures reproduce exactly across
+//! runs. Unlike upstream proptest there is no shrinking: a failing case
+//! panics with the case index so it can be replayed under a debugger.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset: number of cases per property).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::*;
+
+    /// Bounds on a generated collection's length.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate a `Vec` whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Drive `body` through `config.cases` deterministic random cases.
+///
+/// Used by the [`proptest!`] macro; not intended to be called directly.
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut StdRng)) {
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // independent across properties.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        name_hash ^= b as u64;
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(name_hash ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
+    }
+}
+
+/// Assert a condition inside a property, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a property, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a property, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            $crate::run_cases(&__pt_config, stringify!($name), |__pt_rng| {
+                $(let $p = $crate::Strategy::gen_value(&($strat), __pt_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+}
+
+/// Declare property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(0u32..4, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// The conventional proptest import surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+
+    /// Namespace mirror so `prop::collection::vec(…)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+        prop::collection::vec((0u32..5, 10u32..20), 1..=4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 0u32..10,
+            y in 5u64..=9,
+            v in prop::collection::vec(0usize..3, 0..6),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((5..=9).contains(&y));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn mapped_and_tuple_strategies(pairs in arb_pairs()) {
+            prop_assert!(!pairs.is_empty() && pairs.len() <= 4);
+            for (a, b) in pairs {
+                prop_assert!(a < 5, "a = {}", a);
+                prop_assert!((10..20).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            first.push((0u32..100).gen_value(rng));
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            second.push((0u32..100).gen_value(rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&x| x != first[0]), "cases should vary");
+    }
+}
