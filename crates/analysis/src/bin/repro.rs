@@ -5,8 +5,14 @@
 //! repro E08 E04             run selected experiments (quick scale)
 //! repro all                 run everything
 //! repro all --full          the sweeps recorded in EXPERIMENTS.md
+//! repro all --jobs 4        run experiments on 4 worker threads
 //! repro all --markdown out/ write per-experiment markdown files
 //! ```
+//!
+//! Experiments run concurrently on the [`mcp_exec`] pool; finished
+//! reports print in ID order as each ordered prefix completes, and the
+//! output is bit-identical for every `--jobs` value (add `--no-timing`
+//! to also zero the measured-milliseconds table cells in E12/E13).
 
 use mcp_analysis::{registry, Scale, Verdict};
 use std::io::Write;
@@ -32,21 +38,25 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let markdown_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--markdown")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
-    let json_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    if args.iter().any(|a| a == "--no-timing") {
+        mcp_analysis::timing::set_deterministic(true);
+    }
+    let jobs: usize = match option_value(&args, "--jobs") {
+        Ok(v) => match v.map(|s| s.parse::<usize>()) {
+            None => mcp_exec::resolved_jobs(),
+            Some(Ok(n)) if n >= 1 => n,
+            Some(_) => usage_error("--jobs needs a positive integer"),
+        },
+        Err(msg) => usage_error(&msg),
+    };
+    mcp_exec::set_jobs(Some(jobs));
+    let markdown_dir = dir_option(&args, "--markdown");
+    let json_dir = dir_option(&args, "--json");
 
     let run_all = args.iter().any(|a| a == "all");
     let wanted: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && *a != "all")
+        .filter(|a| !a.starts_with("--") && *a != "all" && !is_option_value(&args, a))
         .map(|a| a.to_uppercase())
         .collect();
 
@@ -65,37 +75,95 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
 
-    let mut failures = 0usize;
+    // Fan the experiment fleet out over the pool. Workers write the
+    // per-experiment report files (independent paths); the caller thread
+    // prints each finished report in ID order as soon as every earlier
+    // report is also done.
+    let wall = mcp_analysis::timing::Stopwatch::start();
+    let pool = mcp_exec::Pool::new(jobs);
     let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for e in selected {
-        let started = std::time::Instant::now();
-        let report = e.run(scale);
-        let secs = started.elapsed().as_secs_f64();
-        let _ = writeln!(out, "{}", report.to_text());
-        let _ = writeln!(out, "({secs:.2}s)\n");
-        if let Some(dir) = &markdown_dir {
-            let path = dir.join(format!("{}.md", report.id));
-            std::fs::write(&path, report.to_markdown()).expect("write markdown report");
-        }
-        if let Some(dir) = &json_dir {
-            let path = dir.join(format!("{}.json", report.id));
-            std::fs::write(&path, report.to_json_pretty()).expect("write json report");
-        }
-        if !matches!(report.verdict, Verdict::Confirmed) {
-            failures += 1;
-        }
-    }
+    let results = pool.par_map_emit(
+        &selected,
+        |_, e| {
+            let sw = mcp_analysis::timing::Stopwatch::start();
+            let report = e.run(scale);
+            let secs = sw.secs();
+            if let Some(dir) = &markdown_dir {
+                let path = dir.join(format!("{}.md", report.id));
+                std::fs::write(&path, report.to_markdown()).expect("write markdown report");
+            }
+            if let Some(dir) = &json_dir {
+                let path = dir.join(format!("{}.json", report.id));
+                std::fs::write(&path, report.to_json_pretty()).expect("write json report");
+            }
+            let confirmed = matches!(report.verdict, Verdict::Confirmed);
+            (report.to_text(), secs, confirmed)
+        },
+        |_, (text, secs, _)| {
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{text}");
+            let _ = writeln!(out, "({secs:.2}s)\n");
+        },
+    );
+
+    let confirmed = results.iter().filter(|(_, _, ok)| *ok).count();
+    let failures = results.len() - confirmed;
+    let cpu: f64 = results.iter().map(|(_, secs, _)| *secs).sum();
+    println!(
+        "total: {confirmed}/{} confirmed · wall-clock {:.2}s (cpu {cpu:.2}s) · jobs={jobs}",
+        results.len(),
+        wall.secs(),
+    );
     if failures > 0 {
         eprintln!("{failures} experiment(s) did not confirm their claim");
         std::process::exit(1);
     }
 }
 
+/// The value following `--<name>`, or an error if the option is present
+/// with no value (or with another option where its value belongs).
+fn option_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{name} needs a value")),
+        },
+    }
+}
+
+/// Whether `token` is the value slot of some `--option value` pair.
+fn is_option_value(args: &[String], token: &String) -> bool {
+    args.iter()
+        .position(|a| std::ptr::eq(a, token))
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .map(|prev| matches!(prev.as_str(), "--markdown" | "--json" | "--jobs"))
+        .unwrap_or(false)
+}
+
+fn dir_option(args: &[String], name: &str) -> Option<std::path::PathBuf> {
+    match option_value(args, name) {
+        Ok(v) => v.map(std::path::PathBuf::from),
+        Err(_) => usage_error(&format!("{name} needs a directory argument")),
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!(
+        "usage: repro <IDS>|all [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]"
+    );
+    std::process::exit(2);
+}
+
 fn print_help() {
     println!(
         "repro — regenerate every bound claimed in 'Paging for Multicore Processors'\n\n\
-         usage:\n  repro --list\n  repro <IDS>... [--full] [--markdown DIR] [--json DIR]\n  repro all [--full] [--markdown DIR] [--json DIR]\n\n\
-         Scales: default quick (seconds/experiment); --full matches EXPERIMENTS.md."
+         usage:\n  repro --list\n  repro <IDS>... [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]\n  repro all [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]\n\n\
+         Scales: default quick (seconds/experiment); --full matches EXPERIMENTS.md.\n\
+         Parallelism: --jobs N (default MCP_JOBS or the hardware); reports still\n\
+         print in ID order and are bit-identical for every jobs value.\n\
+         --no-timing zeroes measured-time table cells for byte-comparable output."
     );
 }

@@ -41,7 +41,7 @@ impl Experiment for E01 {
             ],
         );
         let mut ok = true;
-        for k in ks {
+        let rows = mcp_exec::Pool::global().par_map(&ks, |_, &k| {
             let sizes = vec![k - 1, 1];
             let max_k = k - 1;
             let w = lemma1_lower(&sizes, n_per_core);
@@ -60,7 +60,9 @@ impl Experiment for E01 {
             )
             .unwrap()
             .total_faults();
-            let r = ratio(lru, opt);
+            (max_k, lru, opt, ratio(lru, opt))
+        });
+        for (&k, &(max_k, lru, opt, r)) in ks.iter().zip(&rows) {
             // The adversary achieves the bound asymptotically: demand at
             // least half of max_k, and Lemma 1's matching upper bound
             // caps it at max_k.

@@ -43,7 +43,7 @@ impl Experiment for E03 {
             ],
         );
         let mut points = Vec::new();
-        for &n in &ns {
+        let rows = mcp_exec::Pool::global().par_map(&ns, |_, &n| {
             let w = lemma2(&sizes, n);
             let cfg = SimConfig::new(k, 0);
             let fixed = simulate(
@@ -54,7 +54,10 @@ impl Experiment for E03 {
             .unwrap()
             .total_faults();
             let opt = optimal_static_partition(&w, k, PartPolicy::Lru);
-            let r = ratio(fixed, opt.faults);
+            (fixed, opt)
+        });
+        for (&n, (fixed, opt)) in ns.iter().zip(&rows) {
+            let r = ratio(*fixed, opt.faults);
             points.push(((3 * n) as f64, r));
             table.row(vec![
                 n.to_string(),

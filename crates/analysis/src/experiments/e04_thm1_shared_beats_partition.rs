@@ -43,20 +43,23 @@ impl Experiment for E04 {
         );
         let mut points = Vec::new();
         let mut lru_always_cold = true;
-        for &x in &xs {
+        let rows = mcp_exec::Pool::global().par_map(&xs, |_, &x| {
             let w = thm1_rotating(p, k, tau, x);
             let n = w.total_len();
             let cfg = SimConfig::new(k, tau);
             let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
             let part = optimal_static_partition(&w, k, PartPolicy::Opt);
-            let r = ratio(part.faults, lru);
+            (n, lru, part.faults)
+        });
+        for (&x, &(n, lru, part_faults)) in xs.iter().zip(&rows) {
+            let r = ratio(part_faults, lru);
             points.push((n as f64, r));
             lru_always_cold &= lru <= (k + p) as u64;
             table.row(vec![
                 x.to_string(),
                 n.to_string(),
                 lru.to_string(),
-                part.faults.to_string(),
+                part_faults.to_string(),
                 (k + p).to_string(),
                 fmt(r),
             ]);

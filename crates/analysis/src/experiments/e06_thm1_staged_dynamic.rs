@@ -66,7 +66,7 @@ impl Experiment for E06 {
                 &["x", "n", "dP faults", "S_LRU faults", "ratio"],
             );
             let mut points = Vec::new();
-            for &x in &xs {
+            let rows = mcp_exec::Pool::global().par_map(&xs, |_, &x| {
                 let w = thm1_rotating(p, k, tau, x);
                 let n = w.total_len();
                 let cfg = SimConfig::new(k, tau);
@@ -76,6 +76,9 @@ impl Experiment for E06 {
                     .unwrap()
                     .total_faults();
                 let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+                (n, dp, lru)
+            });
+            for (&x, &(n, dp, lru)) in xs.iter().zip(&rows) {
                 let r = ratio(dp, lru);
                 points.push((n as f64, r));
                 table.row(vec![

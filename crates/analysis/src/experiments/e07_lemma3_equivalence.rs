@@ -40,25 +40,23 @@ impl Experiment for E07 {
         let mut all_equal = true;
         type KRule = fn(usize) -> usize;
         let k_rules: [(&str, KRule); 2] = [("K = p", |p| p), ("K = 2p + 1", |p| 2 * p + 1)];
+        let seed_ids: Vec<u64> = (0..seeds).collect();
         for tau in [0u64, 1, 3] {
             for (k_rule, k_of) in k_rules {
-                let mut cases = 0u64;
-                let mut eq_counts = 0u64;
-                let mut eq_times = 0u64;
-                for seed in 0..seeds {
+                let outcomes = mcp_exec::Pool::global().par_map(&seed_ids, |_, &seed| {
                     let w = random_disjoint(seed * 7 + tau, 4, 40, 6);
                     let k = k_of(w.num_cores());
                     let cfg = SimConfig::new(k, tau);
                     let shared = simulate(&w, cfg, shared_lru()).unwrap();
                     let mimic = simulate(&w, cfg, LruMimicPartition::new()).unwrap();
-                    cases += 1;
-                    if shared.faults == mimic.faults {
-                        eq_counts += 1;
-                    }
-                    if shared.fault_times == mimic.fault_times {
-                        eq_times += 1;
-                    }
-                }
+                    (
+                        shared.faults == mimic.faults,
+                        shared.fault_times == mimic.fault_times,
+                    )
+                });
+                let cases = outcomes.len() as u64;
+                let eq_counts = outcomes.iter().filter(|(c, _)| *c).count() as u64;
+                let eq_times = outcomes.iter().filter(|(_, t)| *t).count() as u64;
                 all_equal &= cases == eq_counts && cases == eq_times;
                 table.row(vec![
                     tau.to_string(),

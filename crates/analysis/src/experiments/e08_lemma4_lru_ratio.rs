@@ -44,30 +44,36 @@ impl Experiment for E08 {
         );
         let mut normalized = Vec::new();
         let mut lru_thrashes = true;
-        for p in [2usize, 4] {
+        let sweep: Vec<(usize, u64)> = [2usize, 4]
+            .iter()
+            .flat_map(|&p| [0u64, 1, 3, 7].iter().map(move |&tau| (p, tau)))
+            .collect();
+        let rows = mcp_exec::Pool::global().par_map(&sweep, |_, &(p, tau)| {
             let k = p * p;
-            for tau in [0u64, 1, 3, 7] {
-                let w = lemma4_cyclic(p, k, n_per_core);
-                let cfg = SimConfig::new(k, tau);
-                let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
-                let off = simulate(&w, cfg, SacrificeOffline::new(p - 1))
-                    .unwrap()
-                    .total_faults();
-                let r = ratio(lru, off);
-                let bound = (p as u64 * (tau + 1)) as f64;
-                normalized.push(r / bound);
-                lru_thrashes &= lru == (p * n_per_core) as u64;
-                table.row(vec![
-                    p.to_string(),
-                    k.to_string(),
-                    tau.to_string(),
-                    lru.to_string(),
-                    off.to_string(),
-                    fmt(r),
-                    fmt(bound),
-                    fmt(r / bound),
-                ]);
-            }
+            let w = lemma4_cyclic(p, k, n_per_core);
+            let cfg = SimConfig::new(k, tau);
+            let lru = simulate(&w, cfg, shared_lru()).unwrap().total_faults();
+            let off = simulate(&w, cfg, SacrificeOffline::new(p - 1))
+                .unwrap()
+                .total_faults();
+            (lru, off)
+        });
+        for (&(p, tau), &(lru, off)) in sweep.iter().zip(&rows) {
+            let k = p * p;
+            let r = ratio(lru, off);
+            let bound = (p as u64 * (tau + 1)) as f64;
+            normalized.push(r / bound);
+            lru_thrashes &= lru == (p * n_per_core) as u64;
+            table.row(vec![
+                p.to_string(),
+                k.to_string(),
+                tau.to_string(),
+                lru.to_string(),
+                off.to_string(),
+                fmt(r),
+                fmt(bound),
+                fmt(r / bound),
+            ]);
         }
         // The Omega(p(tau+1)) shape: the normalized ratio stays bounded
         // away from zero across the whole sweep.

@@ -55,6 +55,7 @@ impl Experiment for E10 {
         let opts = PifOptions {
             full_transitions: true,
             max_expansions: 60_000_000,
+            ..Default::default()
         };
         let feasible =
             pif_decide(&red.workload, red.cfg, red.checkpoint, &red.bounds, opts).unwrap();

@@ -91,6 +91,7 @@ impl Experiment for E11 {
             let opts = PifOptions {
                 full_transitions: false,
                 max_expansions: 80_000_000,
+                ..Default::default()
             };
             match max_pif(&red.workload, red.cfg, red.checkpoint, &red.bounds, opts) {
                 Ok(m) => {

@@ -7,9 +7,9 @@
 use super::{Experiment, Scale};
 use crate::report::{Report, Table, Verdict};
 use crate::stats::{fmt, growth_exponent};
+use crate::timing::Stopwatch;
 use mcp_core::{SimConfig, Workload};
 use mcp_offline::{ftf_dp, FtfOptions};
-use std::time::Instant;
 
 /// See module docs.
 pub struct E12;
@@ -54,10 +54,10 @@ impl Experiment for E12 {
                 ],
             );
             let mut points = Vec::new();
-            for &n in &ns {
+            let rows = mcp_exec::Pool::global().par_map(&ns, |_, &n| {
                 let w = family(n);
                 let cfg = SimConfig::new(2, 1);
-                let start = Instant::now();
+                let sw = Stopwatch::start();
                 let raw = ftf_dp(
                     &w,
                     cfg,
@@ -67,17 +67,20 @@ impl Experiment for E12 {
                     },
                 )
                 .unwrap();
-                let ms = start.elapsed().as_secs_f64() * 1e3;
+                let ms = sw.ms();
                 let pruned = ftf_dp(&w, cfg, FtfOptions::default()).unwrap();
                 assert_eq!(raw.min_faults, pruned.min_faults);
+                (raw.min_faults, raw.states, pruned.states, ms)
+            });
+            for (&n, &(min_faults, raw_states, pruned_states, ms)) in ns.iter().zip(&rows) {
                 // Fit the exponent on the *raw* DP — the object Theorem 6
                 // bounds; pruning is our engineering ablation on top.
-                points.push((n as f64, raw.states as f64));
+                points.push((n as f64, raw_states as f64));
                 table.row(vec![
                     n.to_string(),
-                    raw.min_faults.to_string(),
-                    raw.states.to_string(),
-                    pruned.states.to_string(),
+                    min_faults.to_string(),
+                    raw_states.to_string(),
+                    pruned_states.to_string(),
                     fmt(ms),
                 ]);
             }
@@ -89,12 +92,15 @@ impl Experiment for E12 {
                 "DP states vs tau (p=2, K=2, w=4, n=16)",
                 &["tau", "states", "time (ms)"],
             );
-            for tau in [0u64, 1, 2, 4, 8] {
+            let taus = [0u64, 1, 2, 4, 8];
+            let rows = mcp_exec::Pool::global().par_map(&taus, |_, &tau| {
                 let w = family(16);
-                let start = Instant::now();
+                let sw = Stopwatch::start();
                 let r = ftf_dp(&w, SimConfig::new(2, tau), FtfOptions::default()).unwrap();
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                table.row(vec![tau.to_string(), r.states.to_string(), fmt(ms)]);
+                (r.states, sw.ms())
+            });
+            for (&tau, &(states, ms)) in taus.iter().zip(&rows) {
+                table.row(vec![tau.to_string(), states.to_string(), fmt(ms)]);
             }
             tables.push(table);
         }

@@ -5,9 +5,9 @@
 use super::{Experiment, Scale};
 use crate::report::{Report, Table, Verdict};
 use crate::stats::{fmt, growth_exponent};
+use crate::timing::Stopwatch;
 use mcp_core::{SimConfig, Workload};
 use mcp_offline::{pif_decide, PifOptions};
-use std::time::Instant;
 
 /// See module docs.
 pub struct E13;
@@ -51,19 +51,22 @@ impl Experiment for E13 {
             ],
         );
         let mut points = Vec::new();
-        for &n in &ns {
+        let rows = mcp_exec::Pool::global().par_map(&ns, |_, &n| {
             let w = family(n);
             let cfg = SimConfig::new(2, 1);
             let horizon = (2 * n) as u64;
 
-            let start = Instant::now();
+            let sw = Stopwatch::start();
             let generous = pif_decide(&w, cfg, horizon, &[n as u64, n as u64], opts).unwrap();
-            let t1 = start.elapsed().as_secs_f64() * 1e3;
+            let t1 = sw.ms();
 
-            let start = Instant::now();
+            let sw = Stopwatch::start();
             let tight = pif_decide(&w, cfg, horizon, &[1, 1], opts).unwrap();
-            let t2 = start.elapsed().as_secs_f64() * 1e3;
+            let t2 = sw.ms();
 
+            (generous, t1, tight, t2)
+        });
+        for (&n, &(generous, t1, tight, t2)) in ns.iter().zip(&rows) {
             points.push((n as f64, (t1 + t2).max(1e-3)));
             table.row(vec![
                 n.to_string(),

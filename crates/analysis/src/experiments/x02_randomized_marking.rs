@@ -42,9 +42,8 @@ impl Experiment for X02 {
             &["K", "max_k", "LRU ratio", "MARK(rand) ratio (mean)", "2·H_k", "rand << det"],
         );
         let mut all_separated = true;
-        for k in ks {
+        let per_k = mcp_exec::Pool::global().par_map(&ks, |_, &k| {
             let sizes = vec![k - 1, 1];
-            let max_k = k - 1;
             let w = lemma1_lower(&sizes, n_per_core);
             let cfg = SimConfig::new(k, 0);
             let part = Partition::from_sizes(sizes.clone());
@@ -54,7 +53,6 @@ impl Experiment for X02 {
             let lru = simulate(&w, cfg, static_partition_lru(part.clone()))
                 .unwrap()
                 .total_faults();
-            let lru_ratio = ratio(lru, opt);
             let mut rand_ratios = Vec::new();
             for seed in 0..trials {
                 let strat = StaticPartition::uniform(part.clone(), move || {
@@ -63,7 +61,10 @@ impl Experiment for X02 {
                 let faults = simulate(&w, cfg, strat).unwrap().total_faults();
                 rand_ratios.push(ratio(faults, opt));
             }
-            let rand_mean = crate::stats::mean(&rand_ratios);
+            (ratio(lru, opt), crate::stats::mean(&rand_ratios))
+        });
+        for (&k, &(lru_ratio, rand_mean)) in ks.iter().zip(&per_k) {
+            let max_k = k - 1;
             let bound = 2.0 * harmonic(max_k);
             // The deterministic adversary is tuned for LRU; randomized
             // marking must beat it decisively (strictly below half the

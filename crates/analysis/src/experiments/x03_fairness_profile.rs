@@ -51,18 +51,15 @@ impl Experiment for X03 {
             ],
         );
         let mut measured: Vec<(String, u64, f64)> = Vec::new();
-        let runs: Vec<(&str, mcp_core::SimResult)> = vec![
-            ("S_LRU", simulate(&w, cfg, shared_lru()).unwrap()),
-            (
-                "sP[equal]_LRU",
-                simulate(&w, cfg, static_partition_lru(Partition::equal(k, p))).unwrap(),
-            ),
-            ("S_FITF", simulate(&w, cfg, SharedFitf::new()).unwrap()),
-            (
-                "S_OFF (sacrifice)",
-                simulate(&w, cfg, SacrificeOffline::new(p - 1)).unwrap(),
-            ),
-        ];
+        let names = ["S_LRU", "sP[equal]_LRU", "S_FITF", "S_OFF (sacrifice)"];
+        let strategy_ids: Vec<usize> = (0..names.len()).collect();
+        let results = mcp_exec::Pool::global().par_map(&strategy_ids, |_, &i| match i {
+            0 => simulate(&w, cfg, shared_lru()).unwrap(),
+            1 => simulate(&w, cfg, static_partition_lru(Partition::equal(k, p))).unwrap(),
+            2 => simulate(&w, cfg, SharedFitf::new()).unwrap(),
+            _ => simulate(&w, cfg, SacrificeOffline::new(p - 1)).unwrap(),
+        });
+        let runs: Vec<(&str, mcp_core::SimResult)> = names.iter().copied().zip(results).collect();
         for (name, r) in &runs {
             let s = fairness::summarize(r);
             let mid = r.makespan / 2;

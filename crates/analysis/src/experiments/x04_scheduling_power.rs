@@ -72,17 +72,20 @@ impl Experiment for X04 {
         };
         let mut saw_gap = false;
         let mut sound = true;
-        for (name, seqs, k, tau) in cases {
-            let w = Workload::from_u32(seqs).unwrap();
-            let cfg = SimConfig::new(k, tau);
+        let optima = mcp_exec::Pool::global().par_map(&cases, |_, (_, seqs, k, tau)| {
+            let w = Workload::from_u32(seqs.clone()).unwrap();
+            let cfg = SimConfig::new(*k, *tau);
             let plain = brute_force_min_faults(&w, cfg, nodes).unwrap();
             let horizon = (w.total_len() as u64 + 4) * (tau + 1) + 10;
             let sched = sched_min(&w, cfg, Objective::Faults, horizon, Some(plain), nodes).unwrap();
+            (plain, sched)
+        });
+        for ((name, _, k, tau), &(plain, sched)) in cases.iter().zip(&optima) {
             sound &= sched <= plain;
             let helps = sched < plain;
             saw_gap |= helps;
             table.row(vec![
-                name.into(),
+                (*name).into(),
                 k.to_string(),
                 tau.to_string(),
                 plain.to_string(),

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod fairness;
 pub mod report;
 pub mod stats;
+pub mod timing;
 
 pub use experiments::{registry, Experiment, Scale};
 pub use report::{Report, Table, Verdict};

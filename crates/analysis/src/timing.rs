@@ -1,0 +1,74 @@
+//! Wall-clock measurement for experiment reports, with a process-wide
+//! deterministic mode.
+//!
+//! Scaling experiments (E12, E13) put measured milliseconds in their
+//! tables, which makes two otherwise-identical runs differ byte-for-byte.
+//! The `repro --no-timing` flag flips [`set_deterministic`], after which
+//! every [`Stopwatch`] reports exactly `0` — so `--json` reports become
+//! bit-comparable across runs and `--jobs` settings (the determinism
+//! gate in `tests/repro_determinism.rs` relies on this).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static DETERMINISTIC: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable deterministic timing (every stopwatch reads 0).
+pub fn set_deterministic(on: bool) {
+    DETERMINISTIC.store(on, Ordering::Relaxed);
+}
+
+/// Whether deterministic timing is on.
+pub fn is_deterministic() -> bool {
+    DETERMINISTIC.load(Ordering::Relaxed)
+}
+
+/// A start-to-read wall-clock timer honoring the deterministic mode.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed milliseconds (0 in deterministic mode).
+    pub fn ms(&self) -> f64 {
+        if is_deterministic() {
+            0.0
+        } else {
+            self.started.elapsed().as_secs_f64() * 1e3
+        }
+    }
+
+    /// Elapsed seconds (0 in deterministic mode).
+    pub fn secs(&self) -> f64 {
+        if is_deterministic() {
+            0.0
+        } else {
+            self.started.elapsed().as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_mode_zeroes_readings() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.ms() > 0.0);
+        set_deterministic(true);
+        assert_eq!(sw.ms(), 0.0);
+        assert_eq!(sw.secs(), 0.0);
+        set_deterministic(false);
+        assert!(sw.secs() > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The tentpole guarantee of the exec layer, checked end-to-end on the
+//! built `repro` binary: the quick-scale battery produces bit-identical
+//! per-experiment JSON for every `--jobs` value, and the argument-parsing
+//! fixes (trailing `--markdown`/`--json`, bad `--jobs`) exit 2 instead of
+//! silently misbehaving.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_det_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn read_all_json(dir: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("json dir exists") {
+        let path = entry.unwrap().path();
+        out.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read_to_string(&path).unwrap(),
+        );
+    }
+    out
+}
+
+#[test]
+fn json_reports_are_bit_identical_across_jobs() {
+    let d1 = tmp_dir("j1");
+    let d4 = tmp_dir("j4");
+    for (dir, jobs) in [(&d1, "1"), (&d4, "4")] {
+        let out = repro()
+            .args([
+                "all",
+                "--no-timing",
+                "--jobs",
+                jobs,
+                "--json",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "repro --jobs {jobs} failed");
+    }
+    let j1 = read_all_json(&d1);
+    let j4 = read_all_json(&d4);
+    assert_eq!(j1.len(), 19, "one JSON report per experiment");
+    assert_eq!(j1, j4, "per-experiment JSON must not depend on --jobs");
+    std::fs::remove_dir_all(&d1).ok();
+    std::fs::remove_dir_all(&d4).ok();
+}
+
+#[test]
+fn reports_stream_in_id_order_with_a_summary_line() {
+    let out = repro()
+        .args(["E01", "E04", "E03", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let positions: Vec<usize> = ["E01", "E03", "E04"]
+        .iter()
+        .map(|id| stdout.find(&format!("=== {id}: ")).expect("report printed"))
+        .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "reports must print in ID order:\n{stdout}"
+    );
+    let summary = stdout.lines().rev().find(|l| !l.is_empty()).unwrap();
+    assert!(
+        summary.starts_with("total: 3/3 confirmed") && summary.contains("jobs=2"),
+        "missing summary line, got: {summary}"
+    );
+}
+
+#[test]
+fn trailing_markdown_or_json_without_dir_exits_2() {
+    for args in [
+        &["all", "--markdown"][..],
+        &["all", "--json"][..],
+        &["all", "--markdown", "--json", "d"][..],
+        &["E01", "--json", "--full"][..],
+    ] {
+        let out = repro().args(args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected exit 2 for {args:?}, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("needs a"),
+            "stderr must explain the missing value for {args:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_jobs_values_exit_2() {
+    for args in [
+        &["all", "--jobs"][..],
+        &["all", "--jobs", "0"][..],
+        &["all", "--jobs", "many"][..],
+    ] {
+        let out = repro().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "expected exit 2 for {args:?}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Wall-clock for the full quick-scale experiment battery — the thing
+//! `repro all` does — at `jobs = 1` versus every available worker. The
+//! committed `BENCH_repro_wall.json` records the measured speedup on the
+//! benchmark machine (on a single-core container both cases coincide;
+//! the pool falls back to inline sequential execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcp_analysis::{registry, Scale, Verdict};
+use std::hint::black_box;
+
+/// One quick-scale `repro all` pass, exactly as the binary runs it: the
+/// experiment fleet fans out over a pool of `jobs` workers (and the
+/// sweeps inside each experiment inherit the same setting).
+fn run_all(jobs: usize) -> usize {
+    mcp_exec::set_jobs(Some(jobs));
+    let experiments = registry();
+    let selected: Vec<_> = experiments.iter().collect();
+    let reports = mcp_exec::Pool::new(jobs).par_map(&selected, |_, e| e.run(Scale::Quick));
+    let confirmed = reports
+        .iter()
+        .filter(|r| matches!(r.verdict, Verdict::Confirmed))
+        .count();
+    assert_eq!(confirmed, reports.len(), "an experiment failed to confirm");
+    confirmed
+}
+
+fn bench_repro_wall(c: &mut Criterion) {
+    // Zero the measured-time table cells so E12/E13 don't time themselves
+    // while being timed.
+    mcp_analysis::timing::set_deterministic(true);
+    let available = mcp_exec::resolved_jobs();
+    let mut group = c.benchmark_group("repro_wall/quick");
+    group.bench_with_input(BenchmarkId::from_parameter("jobs=1"), &1usize, |b, &j| {
+        b.iter(|| black_box(run_all(j)))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("jobs={available}(available)")),
+        &available,
+        |b, &j| b.iter(|| black_box(run_all(j))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_repro_wall);
+criterion_main!(benches);

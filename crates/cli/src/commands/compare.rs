@@ -46,15 +46,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             "Jain(slowdown)",
         ],
     );
-    let mut rows: Vec<(u64, Vec<String>)> = Vec::new();
-    for spec in &specs {
+    // Strategies are independent: run the matrix on the pool. Errors
+    // surface in spec order, as they would sequentially.
+    let outcomes = mcp_exec::Pool::global().par_map(&specs, |_, spec| {
         let mut strategy = build_strategy(spec, &workload, cfg)?;
         mcp_core::CacheStrategy::begin(&mut strategy, &workload, &cfg);
         let name = strategy.name();
         let result = mcp_core::simulate(&workload, cfg, strategy)
             .map_err(|e| CliError::Other(format!("{spec}: {e}")))?;
         let s = fairness::summarize(&result);
-        rows.push((
+        Ok::<_, CliError>((
             result.total_faults(),
             vec![
                 name,
@@ -66,7 +67,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 result.makespan.to_string(),
                 format!("{:.3}", s.jain_slowdown),
             ],
-        ));
+        ))
+    });
+    let mut rows: Vec<(u64, Vec<String>)> = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        rows.push(outcome?);
     }
     rows.sort_by_key(|(faults, _)| *faults);
     for (_, row) in rows {

@@ -24,16 +24,19 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     columns.extend((1..=max_k).map(|k| format!("k={k}")));
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new("per-core miss curves (fault counts)", &col_refs);
-    for core in 0..workload.num_cores() {
-        if only.map(|c| c != core).unwrap_or(false) {
-            continue;
-        }
+    let cores: Vec<usize> = (0..workload.num_cores())
+        .filter(|&core| only.map(|c| c == core).unwrap_or(true))
+        .collect();
+    let curves = mcp_exec::Pool::global().par_map(&cores, |_, &core| {
         let seq = workload.sequence(core);
+        (lru_curve(seq, max_k), opt_curve(seq, max_k))
+    });
+    for (&core, (lru, opt)) in cores.iter().zip(&curves) {
         let mut lru_row = vec![core.to_string(), "LRU".to_string()];
-        lru_row.extend(lru_curve(seq, max_k).iter().map(|f| f.to_string()));
+        lru_row.extend(lru.iter().map(|f| f.to_string()));
         table.row(lru_row);
         let mut opt_row = vec![String::new(), "OPT".to_string()];
-        opt_row.extend(opt_curve(seq, max_k).iter().map(|f| f.to_string()));
+        opt_row.extend(opt.iter().map(|f| f.to_string()));
         table.row(opt_row);
     }
     Ok(table.to_text())

@@ -30,6 +30,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let opts = PifOptions {
         full_transitions: !honest_only,
         max_expansions,
+        ..Default::default()
     };
     let mut out;
     if args.flag("schedule") {

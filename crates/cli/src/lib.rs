@@ -45,12 +45,21 @@ commands:
   opt          exact min faults (DP)   --trace F --k K [--tau T] [--schedule]
   pif          fairness feasibility    --trace F --k K --at T --bounds a,b,…
 
+global options:
+  --jobs N     worker threads for compare, curves and the exact solvers
+               (default: MCP_JOBS or all hardware threads; results are
+               identical for every N)
+
 Traces are JSON (.json) or the compact text format (anything else).
 The exact solvers (opt, pif) are exponential in K and p: keep instances small.
 ";
 
 /// Dispatch a parsed command line to its implementation.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    let jobs: usize = args.parse_or("jobs", 0usize)?;
+    if jobs > 0 {
+        mcp_exec::set_jobs(Some(jobs));
+    }
     match args.command.as_deref() {
         None => Ok(USAGE.to_string()),
         Some("help") => Ok(USAGE.to_string()),

@@ -1,0 +1,345 @@
+//! # mcp-exec — the deterministic parallel execution layer
+//!
+//! Every compute surface in this workspace — the `repro` experiment
+//! fleet, per-experiment parameter sweeps, the offline DP layer
+//! expansions, the CLI strategy matrix — is embarrassingly parallel, and
+//! all of it must stay **bit-identical** across thread counts so that
+//! reproduction outputs and `engine_fingerprint` checksums never depend
+//! on the machine. This crate provides that contract:
+//!
+//! * [`Pool::par_map`] fans a slice out over scoped worker threads with
+//!   **chunked work-stealing** (workers claim index ranges from a shared
+//!   atomic cursor) and returns results **in input order**, whatever the
+//!   interleaving was.
+//! * [`derive_seed`] gives task `i` of a master-seeded batch its own
+//!   statistically independent seed as a pure function of
+//!   `(master, index)`, so randomized tasks produce the same stream no
+//!   matter which worker runs them.
+//! * The pool size resolves from, in priority order: an explicit
+//!   [`Pool::new`], the process-wide [`set_jobs`] (the `--jobs` flag of
+//!   the binaries), the `MCP_JOBS` environment variable, and finally
+//!   [`std::thread::available_parallelism`].
+//!
+//! Nesting rule: a `par_map` issued from *inside* a pool worker runs
+//! sequentially on that worker (depth-1 parallelism). The top-level
+//! fan-out already owns every core; nested fan-outs would only
+//! oversubscribe the machine, and the sequential fallback is
+//! result-identical by construction.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Unset sentinel for the process-wide jobs override.
+const JOBS_UNSET: usize = 0;
+
+/// Process-wide jobs override (0 = unset). Set once by binaries from
+/// `--jobs`; read by [`Pool::global`].
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(JOBS_UNSET);
+
+thread_local! {
+    /// Whether the current thread is a pool worker (depth-1 guard).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide worker count used by [`Pool::global`] (the
+/// `--jobs N` flag). `None` clears the override back to the
+/// `MCP_JOBS`-or-hardware default.
+pub fn set_jobs(jobs: Option<usize>) {
+    GLOBAL_JOBS.store(jobs.unwrap_or(JOBS_UNSET), Ordering::Relaxed);
+}
+
+/// Resolve the effective worker count: [`set_jobs`] override, then the
+/// `MCP_JOBS` environment variable, then the hardware parallelism.
+/// Always at least 1.
+pub fn resolved_jobs() -> usize {
+    let explicit = GLOBAL_JOBS.load(Ordering::Relaxed);
+    if explicit != JOBS_UNSET {
+        return explicit.max(1);
+    }
+    if let Ok(v) = std::env::var("MCP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derive the seed for task `index` of a batch with the given master
+/// seed: `splitmix64(master ⊕ golden·(index+1))`. A pure function, so a
+/// task's random stream is fixed by its *position*, not by the worker or
+/// the order in which it ran.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A worker pool of a fixed size. Creating a `Pool` is free — threads
+/// are scoped to each [`Pool::par_map`] call, so a `Pool` is just the
+/// parallelism decision, not a resource.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The pool configured for this process (see [`resolved_jobs`]).
+    pub fn global() -> Self {
+        Pool::new(resolved_jobs())
+    }
+
+    /// The worker count this pool was built with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Map `f` over `items` in parallel, returning results in input
+    /// order. `f` receives `(index, &item)`. Bit-identical to the
+    /// sequential `items.iter().enumerate().map(..)` for every pool
+    /// size; panics in `f` propagate to the caller.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_emit(items, f, |_, _| {})
+    }
+
+    /// Like [`Pool::par_map`], with a streaming sink: `emit(index, &result)`
+    /// is called on the **caller's thread, in input order**, as each
+    /// ordered prefix of results completes. This is how `repro` prints
+    /// finished experiment reports in ID order while later experiments
+    /// are still running.
+    pub fn par_map_emit<T, R, F, E>(&self, items: &[T], f: F, mut emit: E) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        E: FnMut(usize, &R),
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        let nested = IN_WORKER.with(Cell::get);
+        if workers <= 1 || nested {
+            // Sequential reference semantics (also the nested fallback).
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                let r = f(i, item);
+                emit(i, &r);
+                out.push(r);
+            }
+            return out;
+        }
+
+        // Chunked work-stealing: workers claim `chunk`-sized index
+        // ranges from a shared cursor. The chunk size splits the input
+        // into ~4 claims per worker so late stragglers rebalance, while
+        // keeping cursor traffic negligible.
+        let cursor = AtomicUsize::new(0);
+        let chunk = (n / (workers * 4)).max(1);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let panic = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    // On panic the sender drops, the receive loop below
+                    // comes up short, and join propagates the payload.
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let i = start + i;
+                            if tx.send((i, f(i, item))).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // Receive out-of-order completions; emit the ordered prefix.
+            let mut next_emit = 0usize;
+            let mut received = 0usize;
+            while received < n {
+                match rx.recv() {
+                    Ok((i, r)) => {
+                        slots[i] = Some(r);
+                        received += 1;
+                        while next_emit < n {
+                            match &slots[next_emit] {
+                                Some(r) => {
+                                    // A panicking `emit` must not abort via
+                                    // double-panic while workers unwind.
+                                    if let Err(p) =
+                                        catch_unwind(AssertUnwindSafe(|| emit(next_emit, r)))
+                                    {
+                                        drop(rx);
+                                        return Some(p);
+                                    }
+                                    next_emit += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    // Every sender dropped with results missing: a
+                    // worker panicked. Joining (at scope exit) resumes
+                    // that panic; no payload of our own to carry.
+                    Err(mpsc::RecvError) => return None,
+                }
+            }
+            None
+        });
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("all results received"))
+            .collect()
+    }
+
+    /// Map a seeded batch: task `i` runs `f(derive_seed(master, i), i,
+    /// &items[i])`. The standard shape for randomized sweeps — the
+    /// random stream of each task depends only on `(master, i)`.
+    pub fn par_map_seeded<T, R, F>(&self, master: u64, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(u64, usize, &T) -> R + Sync,
+    {
+        self.par_map(items, |i, item| f(derive_seed(master, i as u64), i, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for jobs in 1..=8 {
+            let items: Vec<usize> = (0..97).collect();
+            let got = Pool::new(jobs).par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.par_map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(pool.par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_index() {
+        // n deliberately not divisible by workers * 4.
+        let items: Vec<usize> = (0..101).collect();
+        let got = Pool::new(3).par_map(&items, |_, &x| x);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn emit_runs_in_input_order_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..64).collect();
+        let mut emitted = Vec::new();
+        Pool::new(4).par_map_emit(
+            &items,
+            |_, &x| x,
+            |i, &r| {
+                assert_eq!(std::thread::current().id(), caller);
+                assert_eq!(i, r);
+                emitted.push(i);
+            },
+        );
+        assert_eq!(emitted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_par_map_degrades_to_sequential() {
+        let outer: Vec<usize> = (0..8).collect();
+        let got = Pool::new(4).par_map(&outer, |_, &x| {
+            // Inside a worker: must still be correct (and sequential).
+            let inner: Vec<usize> = (0..5).collect();
+            Pool::new(4)
+                .par_map(&inner, |_, &y| x * 10 + y)
+                .iter()
+                .sum::<usize>()
+        });
+        let want: Vec<usize> = outer.iter().map(|&x| 5 * x * 10 + 10).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).par_map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("task 13 failed");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_spreads() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| derive_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "seed collisions within one batch");
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn par_map_seeded_matches_sequential_derivation() {
+        let items: Vec<u32> = (0..40).collect();
+        for jobs in [1usize, 3, 8] {
+            let got =
+                Pool::new(jobs).par_map_seeded(99, &items, |seed, i, &x| (seed, i as u32 + x));
+            for (i, &(seed, v)) in got.iter().enumerate() {
+                assert_eq!(seed, derive_seed(99, i as u64));
+                assert_eq!(v, 2 * i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_resolution_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+        assert!(resolved_jobs() >= 1);
+    }
+}

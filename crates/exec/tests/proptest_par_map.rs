@@ -1,0 +1,71 @@
+//! Property tests of the determinism contract: for arbitrary workloads
+//! and every pool size 1..8, `par_map` must equal the sequential map,
+//! element for element and in order — thread count is never observable
+//! in the results.
+
+use mcp_exec::{derive_seed, Pool};
+use proptest::prelude::*;
+
+/// A cheap but order-sensitive per-task computation: hash of (value,
+/// index, derived seed), plus variable spin so task durations differ
+/// and the work-stealing interleavings actually vary.
+fn task(seed: u64, index: usize, value: u64) -> u64 {
+    let mut h = value ^ derive_seed(seed, index as u64);
+    for _ in 0..(value % 17) {
+        h = h.wrapping_mul(0x100_0000_01b3).rotate_left(9) ^ index as u64;
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn par_map_equals_sequential_for_every_pool_size(
+        values in prop::collection::vec(0u64..1000, 0..120),
+        master in 0u64..u64::MAX,
+    ) {
+        let reference: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| task(master, i, v))
+            .collect();
+        for jobs in 1..=8usize {
+            let got = Pool::new(jobs).par_map(&values, |i, &v| task(master, i, v));
+            prop_assert_eq!(&got, &reference, "pool size {} diverged", jobs);
+        }
+    }
+
+    #[test]
+    fn emit_order_is_the_input_order_for_every_pool_size(
+        values in prop::collection::vec(0u64..1000, 1..80),
+    ) {
+        for jobs in 1..=8usize {
+            let mut order = Vec::new();
+            Pool::new(jobs).par_map_emit(
+                &values,
+                |i, &v| task(7, i, v),
+                |i, _| order.push(i),
+            );
+            let want: Vec<usize> = (0..values.len()).collect();
+            prop_assert_eq!(&order, &want, "pool size {} emitted out of order", jobs);
+        }
+    }
+
+    #[test]
+    fn seeded_map_is_thread_count_invariant(
+        values in prop::collection::vec(0u64..100, 0..60),
+        master in 0u64..u64::MAX,
+    ) {
+        let reference = Pool::new(1).par_map_seeded(master, &values, |seed, i, &v| {
+            // A task-local "RNG": mix the derived seed into the value.
+            seed.rotate_left((v % 63) as u32) ^ (i as u64)
+        });
+        for jobs in [2usize, 5, 8] {
+            let got = Pool::new(jobs).par_map_seeded(master, &values, |seed, i, &v| {
+                seed.rotate_left((v % 63) as u32) ^ (i as u64)
+            });
+            prop_assert_eq!(&got, &reference);
+        }
+    }
+}

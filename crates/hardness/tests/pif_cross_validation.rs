@@ -11,6 +11,7 @@ fn opts() -> PifOptions {
     PifOptions {
         full_transitions: true,
         max_expansions: 50_000_000,
+        ..Default::default()
     }
 }
 

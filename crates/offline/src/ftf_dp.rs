@@ -8,8 +8,19 @@
 //! is a topological order). Optionally reconstructs a replayable schedule
 //! witnessing the optimum, which integration tests replay on the
 //! simulator to the same fault count.
+//!
+//! Successor expansion within a bucket fans out over the [`mcp_exec`]
+//! pool. The result is deterministic and identical for every worker
+//! count: states expand against a per-bucket incumbent snapshot (all
+//! terminals in the bucket are scanned first, in canonical [`StateKey`]
+//! order), and the expansions merge back sequentially in that same
+//! canonical order. A successor's position sum strictly exceeds its
+//! parent's, so no expansion in a bucket can affect another state of the
+//! same bucket — the parallel fan-out is dependency-free by construction.
 
-use crate::state::{for_each_successor_config, step_effect, DpError, DpInstance, StateKey};
+use crate::state::{
+    for_each_successor_config, pool_for, step_effect, DpError, DpInstance, StateKey,
+};
 use mcp_core::{PageId, SimConfig, Time, Workload};
 use mcp_policies::ReplayDecision;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -30,6 +41,10 @@ pub struct FtfOptions {
     pub prune: bool,
     /// Abort with [`DpError::TooLarge`] beyond this many states.
     pub max_states: usize,
+    /// Worker threads for successor expansion (0 = the process-wide
+    /// setting, see [`mcp_exec::resolved_jobs`]). Any value yields the
+    /// same result, states count included.
+    pub jobs: usize,
 }
 
 impl Default for FtfOptions {
@@ -39,6 +54,7 @@ impl Default for FtfOptions {
             reconstruct: false,
             prune: true,
             max_states: 4_000_000,
+            jobs: 0,
         }
     }
 }
@@ -96,31 +112,60 @@ pub fn ftf_dp(
 
     while let Some((&bucket_sum, _)) = buckets.iter().next() {
         let states = buckets.remove(&bucket_sum).expect("bucket exists");
-        for state in states {
-            let (faults, _) = best[&state];
-            if inst.all_finished(&state.1) {
-                if best_terminal
-                    .as_ref()
-                    .map(|(f, _)| faults < *f)
-                    .unwrap_or(true)
-                {
-                    best_terminal = Some((faults, state.clone()));
-                }
+        let mut states: Vec<StateKey> = states.into_iter().collect();
+        states.sort_unstable();
+
+        // Terminals first, in canonical order: a deterministic per-bucket
+        // incumbent snapshot independent of hash order and worker count.
+        for state in &states {
+            if !inst.all_finished(&state.1) {
                 continue;
             }
-            let effect = step_effect(&inst, state.0, &state.1);
-            let next_faults = faults + u64::from(effect.fault_count());
-            // Prune paths that cannot strictly beat the incumbent
-            // terminal (fault counts only grow along a path).
-            if options.prune {
-                if let Some((incumbent, _)) = &best_terminal {
-                    if next_faults >= *incumbent {
-                        continue;
-                    }
-                }
+            let (faults, _) = best[state];
+            if best_terminal
+                .as_ref()
+                .map(|(f, _)| faults < *f)
+                .unwrap_or(true)
+            {
+                best_terminal = Some((faults, state.clone()));
             }
-            for_each_successor_config(&inst, state.0, &effect, options.lazy, |next_cfg| {
-                let key: StateKey = (next_cfg, effect.next_positions.clone());
+        }
+        let incumbent = best_terminal.as_ref().map(|(f, _)| *f);
+
+        let expandable: Vec<(StateKey, u64)> = states
+            .into_iter()
+            .filter(|s| !inst.all_finished(&s.1))
+            .map(|s| {
+                let faults = best[&s].0;
+                (s, faults)
+            })
+            .collect();
+
+        // Successors live in strictly later buckets, so the expansions are
+        // mutually independent and can fan out over the pool.
+        let expansions =
+            pool_for(options.jobs, expandable.len()).par_map(&expandable, |_, (state, faults)| {
+                let effect = step_effect(&inst, state.0, &state.1);
+                let next_faults = faults + u64::from(effect.fault_count());
+                // Prune paths that cannot strictly beat the incumbent
+                // terminal (fault counts only grow along a path).
+                if options.prune && incumbent.map(|i| next_faults >= i).unwrap_or(false) {
+                    return None;
+                }
+                let mut cfgs = Vec::new();
+                for_each_successor_config(&inst, state.0, &effect, options.lazy, |next_cfg| {
+                    cfgs.push(next_cfg);
+                });
+                Some((next_faults, effect.next_positions, cfgs))
+            });
+
+        // Merge sequentially, in the same canonical order.
+        for ((state, _), expansion) in expandable.iter().zip(expansions) {
+            let Some((next_faults, next_positions, cfgs)) = expansion else {
+                continue;
+            };
+            for next_cfg in cfgs {
+                let key: StateKey = (next_cfg, next_positions.clone());
                 let improved = match best.get(&key) {
                     None => true,
                     Some((f, _)) => next_faults < *f,
@@ -129,7 +174,7 @@ pub fn ftf_dp(
                     best.insert(key.clone(), (next_faults, Some(state.clone())));
                     buckets.entry(sum(&key.1)).or_default().insert(key);
                 }
-            });
+            }
             if best.len() > options.max_states {
                 return Err(DpError::TooLarge {
                     states: best.len(),

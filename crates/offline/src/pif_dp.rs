@@ -10,9 +10,17 @@
 //! position state reachable at time `s`, each carrying a Pareto set of
 //! per-sequence fault vectors. Vectors exceeding the bounds are pruned
 //! immediately (fault counts are monotone, so early pruning is sound).
+//!
+//! States within a layer never feed each other (one transition is one
+//! timestep), so each layer expands in parallel on the [`mcp_exec`] pool;
+//! the expansions merge back sequentially in canonical [`StateKey`] order,
+//! making every Pareto set — and hence the decision, witness and expansion
+//! counts — identical for every worker count.
 
 use crate::ftf_dp::{schedule_from_chain, FtfSchedule};
-use crate::state::{for_each_successor_config, step_effect, DpError, DpInstance, StateKey};
+use crate::state::{
+    for_each_successor_config, pool_for, step_effect, DpError, DpInstance, StateKey,
+};
 use mcp_core::{SimConfig, Time, Workload};
 use std::collections::HashMap;
 
@@ -28,6 +36,9 @@ pub struct PifOptions {
     /// Abort with [`DpError::TooLarge`] beyond this many state-vector
     /// expansions.
     pub max_expansions: usize,
+    /// Worker threads for layer expansion (0 = the process-wide setting,
+    /// see [`mcp_exec::resolved_jobs`]). Any value yields the same result.
+    pub jobs: usize,
 }
 
 impl Default for PifOptions {
@@ -35,6 +46,7 @@ impl Default for PifOptions {
         PifOptions {
             full_transitions: true,
             max_expansions: 20_000_000,
+            jobs: 0,
         }
     }
 }
@@ -92,45 +104,57 @@ pub fn pif_decide(
 
     let mut expansions = 0usize;
     for _t in 1..=checkpoint {
-        let mut next: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
-        for (state, vectors) in &layer {
-            if inst.all_finished(&state.1) {
-                // No further requests, hence no further faults: every
-                // surviving vector already satisfies the bounds.
-                return Ok(true);
-            }
-            let effect = step_effect(&inst, state.0, &state.1);
-            // Advance each surviving vector.
-            let mut advanced: Vec<FaultVec> = Vec::with_capacity(vectors.len());
-            'vecs: for v in vectors {
-                let mut nv = v.clone();
-                for i in 0..inst.num_cores() {
-                    if effect.seq_faulted[i] {
-                        nv[i] += 1;
-                        if nv[i] > bounds_u16[i] {
-                            continue 'vecs;
+        // Canonical order: Pareto-set contents (and their order) come out
+        // identical for every worker count.
+        let mut states: Vec<(StateKey, Vec<FaultVec>)> = layer.into_iter().collect();
+        states.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if states.iter().any(|(s, _)| inst.all_finished(&s.1)) {
+            // No further requests, hence no further faults: every
+            // surviving vector already satisfies the bounds.
+            return Ok(true);
+        }
+        // One layer is one timestep: states within it never feed each
+        // other, so the expansion fans out over the pool.
+        let expanded =
+            pool_for(options.jobs, states.len()).par_map(&states, |_, (state, vectors)| {
+                let effect = step_effect(&inst, state.0, &state.1);
+                // Advance each surviving vector.
+                let mut advanced: Vec<FaultVec> = Vec::with_capacity(vectors.len());
+                'vecs: for v in vectors {
+                    let mut nv = v.clone();
+                    for i in 0..inst.num_cores() {
+                        if effect.seq_faulted[i] {
+                            nv[i] += 1;
+                            if nv[i] > bounds_u16[i] {
+                                continue 'vecs;
+                            }
                         }
                     }
+                    advanced.push(nv);
                 }
-                advanced.push(nv);
+                if advanced.is_empty() {
+                    return None;
+                }
+                let mut cfgs = Vec::new();
+                for_each_successor_config(
+                    &inst,
+                    state.0,
+                    &effect,
+                    !options.full_transitions,
+                    |next_cfg| cfgs.push(next_cfg),
+                );
+                Some((advanced, effect.next_positions, cfgs))
+            });
+        let mut next: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
+        for (advanced, next_positions, cfgs) in expanded.into_iter().flatten() {
+            for next_cfg in cfgs {
+                let key: StateKey = (next_cfg, next_positions.clone());
+                let entry = next.entry(key).or_default();
+                for v in &advanced {
+                    pareto_insert(entry, v.clone());
+                }
+                expansions += advanced.len();
             }
-            if advanced.is_empty() {
-                continue;
-            }
-            for_each_successor_config(
-                &inst,
-                state.0,
-                &effect,
-                !options.full_transitions,
-                |next_cfg| {
-                    let key: StateKey = (next_cfg, effect.next_positions.clone());
-                    let entry = next.entry(key).or_default();
-                    for v in &advanced {
-                        pareto_insert(entry, v.clone());
-                    }
-                    expansions += advanced.len();
-                },
-            );
             if expansions > options.max_expansions {
                 return Err(DpError::TooLarge {
                     states: expansions,
@@ -195,44 +219,54 @@ pub fn pif_witness(
     let mut expansions = 0usize;
     let mut terminal: Option<(usize, StateKey)> = None; // (layer, state)
     'outer: for t in 1..=checkpoint {
-        let mut next: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
         let current = &layers[t as usize - 1];
-        for (state, entries) in current {
-            if inst.all_finished(&state.1) {
-                terminal = Some((t as usize - 1, state.clone()));
-                break 'outer;
-            }
-            let effect = step_effect(&inst, state.0, &state.1);
-            let mut advanced: Vec<WitnessEntry> = Vec::new();
-            'vecs: for (idx, (v, _)) in entries.iter().enumerate() {
-                let mut nv = v.clone();
-                for i in 0..inst.num_cores() {
-                    if effect.seq_faulted[i] {
-                        nv[i] += 1;
-                        if nv[i] > bounds_u16[i] {
-                            continue 'vecs;
+        let mut states: Vec<(&StateKey, &Vec<WitnessEntry>)> = current.iter().collect();
+        states.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        // The canonically smallest finished state, so the witness endpoint
+        // does not depend on hash order.
+        if let Some((state, _)) = states.iter().find(|(s, _)| inst.all_finished(&s.1)) {
+            terminal = Some((t as usize - 1, (*state).clone()));
+            break 'outer;
+        }
+        let expanded =
+            pool_for(options.jobs, states.len()).par_map(&states, |_, &(state, entries)| {
+                let effect = step_effect(&inst, state.0, &state.1);
+                let mut advanced: Vec<WitnessEntry> = Vec::new();
+                'vecs: for (idx, (v, _)) in entries.iter().enumerate() {
+                    let mut nv = v.clone();
+                    for i in 0..inst.num_cores() {
+                        if effect.seq_faulted[i] {
+                            nv[i] += 1;
+                            if nv[i] > bounds_u16[i] {
+                                continue 'vecs;
+                            }
                         }
                     }
+                    advanced.push((nv, Some((state.clone(), idx))));
                 }
-                advanced.push((nv, Some((state.clone(), idx))));
+                if advanced.is_empty() {
+                    return None;
+                }
+                let mut cfgs = Vec::new();
+                for_each_successor_config(
+                    &inst,
+                    state.0,
+                    &effect,
+                    !options.full_transitions,
+                    |next_cfg| cfgs.push(next_cfg),
+                );
+                Some((advanced, effect.next_positions, cfgs))
+            });
+        let mut next: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
+        for (advanced, next_positions, cfgs) in expanded.into_iter().flatten() {
+            for next_cfg in cfgs {
+                let key: StateKey = (next_cfg, next_positions.clone());
+                let entry = next.entry(key).or_default();
+                for e in &advanced {
+                    pareto_insert_with_parent(entry, e.clone());
+                }
+                expansions += advanced.len();
             }
-            if advanced.is_empty() {
-                continue;
-            }
-            for_each_successor_config(
-                &inst,
-                state.0,
-                &effect,
-                !options.full_transitions,
-                |next_cfg| {
-                    let key: StateKey = (next_cfg, effect.next_positions.clone());
-                    let entry = next.entry(key).or_default();
-                    for e in &advanced {
-                        pareto_insert_with_parent(entry, e.clone());
-                    }
-                    expansions += advanced.len();
-                },
-            );
             if expansions > options.max_expansions {
                 return Err(DpError::TooLarge {
                     states: expansions,
@@ -252,7 +286,7 @@ pub fn pif_witness(
         Some(x) => x,
         None => {
             let last = layers.len() - 1;
-            let state = layers[last].keys().next().expect("nonempty layer").clone();
+            let state = layers[last].keys().min().expect("nonempty layer").clone();
             (last, state)
         }
     };

@@ -12,6 +12,22 @@
 use mcp_core::{PageId, SimConfig, Time, Workload};
 use std::fmt;
 
+/// The pool both DPs expand layers on: `jobs == 0` defers to the
+/// process-wide setting, and batches smaller than one chunk per worker
+/// stay sequential (the scoped-thread round trip costs more than the
+/// expansion itself on tiny layers). The choice never affects results —
+/// expansions are merged in canonical order either way.
+pub(crate) fn pool_for(jobs: usize, tasks: usize) -> mcp_exec::Pool {
+    const MIN_PARALLEL_TASKS: usize = 32;
+    if tasks < MIN_PARALLEL_TASKS {
+        mcp_exec::Pool::new(1)
+    } else if jobs == 0 {
+        mcp_exec::Pool::global()
+    } else {
+        mcp_exec::Pool::new(jobs)
+    }
+}
+
 /// Errors from DP construction or execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[allow(missing_docs)] // variant fields are self-describing

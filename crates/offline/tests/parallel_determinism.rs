@@ -1,0 +1,164 @@
+//! The DP contract the exec layer must not break: every result — fault
+//! counts, state/expansion counts, witnesses — is identical for every
+//! worker count. These tests pin the options-level `jobs` knob rather
+//! than the process-wide setting so they stay independent of test-runner
+//! threading.
+
+use mcp_core::{SimConfig, Workload};
+use mcp_offline::{ftf_dp, pif_decide, pif_witness, FtfOptions, PifOptions};
+use mcp_policies::Replay;
+
+fn wl(seqs: &[&[u32]]) -> Workload {
+    Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+}
+
+/// Long enough to clear the sequential-fallback threshold in at least the
+/// busiest buckets, so worker threads genuinely run.
+fn contended(n: usize) -> Workload {
+    Workload::from_u32([
+        (0..n).map(|i| (i % 3) as u32).collect::<Vec<_>>(),
+        (0..n).map(|i| 10 + (i % 3) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn ftf_results_are_worker_count_invariant() {
+    let workloads = [
+        contended(24),
+        wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]),
+        wl(&[&[1, 2, 1, 2, 1, 2], &[7, 8, 7, 8, 7, 8]]),
+    ];
+    for w in &workloads {
+        for k in [2usize, 3] {
+            for prune in [true, false] {
+                let cfg = SimConfig::new(k, 1);
+                let base = ftf_dp(
+                    w,
+                    cfg,
+                    FtfOptions {
+                        prune,
+                        jobs: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                for jobs in [2usize, 4, 7] {
+                    let r = ftf_dp(
+                        w,
+                        cfg,
+                        FtfOptions {
+                            prune,
+                            jobs,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        r.min_faults, base.min_faults,
+                        "k={k} prune={prune} jobs={jobs}"
+                    );
+                    assert_eq!(r.states, base.states, "k={k} prune={prune} jobs={jobs}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ftf_schedules_replay_identically_across_worker_counts() {
+    let w = contended(16);
+    let cfg = SimConfig::new(3, 1);
+    let run = |jobs: usize| {
+        let r = ftf_dp(
+            &w,
+            cfg,
+            FtfOptions {
+                reconstruct: true,
+                jobs,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = r.schedule.unwrap();
+        let sim = mcp_core::simulate(
+            &w,
+            cfg,
+            Replay::new(s.decisions).with_voluntary(s.voluntary),
+        )
+        .unwrap();
+        (r.min_faults, sim.total_faults(), sim.fault_times.clone())
+    };
+    let base = run(1);
+    assert_eq!(base.0, base.1, "witness must replay to the optimum");
+    for jobs in [2usize, 4] {
+        assert_eq!(run(jobs), base, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn pif_decisions_are_worker_count_invariant() {
+    let w = contended(18);
+    let cfg = SimConfig::new(2, 1);
+    let horizon = 60u64;
+    for bounds in [[20u64, 20], [9, 9], [2, 2], [0, 0]] {
+        for full in [true, false] {
+            let base = pif_decide(
+                &w,
+                cfg,
+                horizon,
+                &bounds,
+                PifOptions {
+                    full_transitions: full,
+                    jobs: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for jobs in [2usize, 4] {
+                let got = pif_decide(
+                    &w,
+                    cfg,
+                    horizon,
+                    &bounds,
+                    PifOptions {
+                        full_transitions: full,
+                        jobs,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, base, "bounds={bounds:?} full={full} jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pif_witness_is_worker_count_invariant() {
+    let w = contended(12);
+    let cfg = SimConfig::new(2, 1);
+    let run = |jobs: usize| {
+        pif_witness(
+            &w,
+            cfg,
+            30,
+            &[12, 12],
+            PifOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .map(|s| {
+            let mut d: Vec<_> = s.decisions.into_iter().collect();
+            d.sort_unstable_by_key(|(k, _)| *k);
+            (format!("{d:?}"), format!("{:?}", s.voluntary))
+        })
+    };
+    let base = run(1);
+    assert!(base.is_some(), "witness must exist for generous bounds");
+    for jobs in [2usize, 4] {
+        assert_eq!(run(jobs), base, "jobs={jobs}");
+    }
+}
