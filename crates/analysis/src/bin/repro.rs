@@ -7,15 +7,27 @@
 //! repro all --full          the sweeps recorded in EXPERIMENTS.md
 //! repro all --jobs 4        run experiments on 4 worker threads
 //! repro all --markdown out/ write per-experiment markdown files
+//! repro all --deadline 60s  stop starting new experiments after 60s
 //! ```
 //!
 //! Experiments run concurrently on the [`mcp_exec`] pool; finished
 //! reports print in ID order as each ordered prefix completes, and the
 //! output is bit-identical for every `--jobs` value (add `--no-timing`
 //! to also zero the measured-milliseconds table cells in E12/E13).
+//!
+//! Robustness contract: a panicking experiment is contained to its own
+//! slot (reported FAILED with the panic message; the rest of the fleet
+//! completes). Past `--deadline`, or after Ctrl-C, experiments not yet
+//! started report `Truncated` instead of running. Exit codes: 0 all
+//! confirmed, 1 any failure, 2 usage error, 3 partial (truncations but
+//! no failures).
 
-use mcp_analysis::{registry, Scale, Verdict};
+use mcp_analysis::{registry, Report, Scale, Verdict};
 use std::io::Write;
+use std::time::Instant;
+
+/// Exit code for "ran with truncations but nothing failed".
+const EXIT_PARTIAL: i32 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +62,14 @@ fn main() {
         Err(msg) => usage_error(&msg),
     };
     mcp_exec::set_jobs(Some(jobs));
+    let deadline: Option<Instant> = match option_value(&args, "--deadline") {
+        Ok(None) => None,
+        Ok(Some(v)) => match mcp_core::budget::parse_duration(&v) {
+            Ok(d) => Some(Instant::now() + d),
+            Err(e) => usage_error(&format!("--deadline: {e}")),
+        },
+        Err(msg) => usage_error(&msg),
+    };
     let markdown_dir = dir_option(&args, "--markdown");
     let json_dir = dir_option(&args, "--json");
 
@@ -75,18 +95,40 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
 
+    // A Ctrl-C flips the process-wide cancel flag; experiments that have
+    // not started yet report Truncated instead of running.
+    mcp_core::budget::install_ctrlc_handler();
+    // Test hook: force the named experiment's worker to panic, exercising
+    // the fault-containment path from the outside.
+    let force_panic = std::env::var("MCP_REPRO_PANIC").ok();
+
     // Fan the experiment fleet out over the pool. Workers write the
     // per-experiment report files (independent paths); the caller thread
     // prints each finished report in ID order as soon as every earlier
-    // report is also done.
+    // report is also done. A panic inside one experiment is contained to
+    // its slot: the rest of the fleet still completes and the panic is
+    // reported as a FAILED entry.
     let wall = mcp_analysis::timing::Stopwatch::start();
     let pool = mcp_exec::Pool::new(jobs);
     let stdout = std::io::stdout();
-    let results = pool.par_map_emit(
+    let results = pool.par_try_map_emit(
         &selected,
         |_, e| {
+            if force_panic.as_deref() == Some(e.id()) {
+                panic!("MCP_REPRO_PANIC: injected fault in {}", e.id());
+            }
+            let truncation = if mcp_core::budget::cancel_requested() {
+                Some("cancelled before start (Ctrl-C)".to_string())
+            } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                Some("deadline reached before start".to_string())
+            } else {
+                None
+            };
             let sw = mcp_analysis::timing::Stopwatch::start();
-            let report = e.run(scale);
+            let report = match truncation {
+                Some(reason) => truncated_report(e.id(), e.title(), e.claim(), reason),
+                None => e.run(scale),
+            };
             let secs = sw.secs();
             if let Some(dir) = &markdown_dir {
                 let path = dir.join(format!("{}.md", report.id));
@@ -96,27 +138,78 @@ fn main() {
                 let path = dir.join(format!("{}.json", report.id));
                 std::fs::write(&path, report.to_json_pretty()).expect("write json report");
             }
-            let confirmed = matches!(report.verdict, Verdict::Confirmed);
-            (report.to_text(), secs, confirmed)
+            let status = match report.verdict {
+                Verdict::Confirmed => Status::Confirmed,
+                Verdict::Truncated(_) => Status::Truncated,
+                _ => Status::NotConfirmed,
+            };
+            (report.to_text(), secs, status)
         },
-        |_, (text, secs, _)| {
+        |i, slot| {
             let mut out = stdout.lock();
-            let _ = writeln!(out, "{text}");
-            let _ = writeln!(out, "({secs:.2}s)\n");
+            match slot {
+                Ok((text, secs, _)) => {
+                    let _ = writeln!(out, "{text}");
+                    let _ = writeln!(out, "({secs:.2}s)\n");
+                }
+                Err(panic) => {
+                    let _ = writeln!(out, "=== {}: FAILED ===", selected[i].id());
+                    let _ = writeln!(out, "{panic}\n");
+                }
+            }
         },
     );
 
-    let confirmed = results.iter().filter(|(_, _, ok)| *ok).count();
-    let failures = results.len() - confirmed;
-    let cpu: f64 = results.iter().map(|(_, secs, _)| *secs).sum();
+    let confirmed = results
+        .iter()
+        .filter(|r| matches!(r, Ok((_, _, Status::Confirmed))))
+        .count();
+    let truncated = results
+        .iter()
+        .filter(|r| matches!(r, Ok((_, _, Status::Truncated))))
+        .count();
+    let failures = results.len() - confirmed - truncated;
+    let cpu: f64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|(_, secs, _)| *secs))
+        .sum();
+    let breakdown = if failures > 0 || truncated > 0 {
+        format!(" ({failures} failed, {truncated} truncated)")
+    } else {
+        String::new()
+    };
     println!(
-        "total: {confirmed}/{} confirmed · wall-clock {:.2}s (cpu {cpu:.2}s) · jobs={jobs}",
+        "total: {confirmed}/{} confirmed{breakdown} · wall-clock {:.2}s (cpu {cpu:.2}s) · jobs={jobs}",
         results.len(),
         wall.secs(),
     );
     if failures > 0 {
         eprintln!("{failures} experiment(s) did not confirm their claim");
         std::process::exit(1);
+    }
+    if truncated > 0 {
+        eprintln!("{truncated} experiment(s) truncated by the deadline or Ctrl-C (partial run)");
+        std::process::exit(EXIT_PARTIAL);
+    }
+}
+
+/// How one experiment slot ended, for the summary line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Confirmed,
+    NotConfirmed,
+    Truncated,
+}
+
+/// Stub report for an experiment skipped by the deadline or a Ctrl-C.
+fn truncated_report(id: &str, title: &str, claim: &str, reason: String) -> Report {
+    Report {
+        id: id.into(),
+        title: title.into(),
+        claim: claim.into(),
+        tables: Vec::new(),
+        verdict: Verdict::Truncated(reason),
+        notes: vec!["not run; re-run without --deadline for the full evaluation".into()],
     }
 }
 
@@ -138,7 +231,12 @@ fn is_option_value(args: &[String], token: &String) -> bool {
         .position(|a| std::ptr::eq(a, token))
         .and_then(|i| i.checked_sub(1))
         .and_then(|i| args.get(i))
-        .map(|prev| matches!(prev.as_str(), "--markdown" | "--json" | "--jobs"))
+        .map(|prev| {
+            matches!(
+                prev.as_str(),
+                "--markdown" | "--json" | "--jobs" | "--deadline"
+            )
+        })
         .unwrap_or(false)
 }
 
@@ -152,7 +250,7 @@ fn dir_option(args: &[String], name: &str) -> Option<std::path::PathBuf> {
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro <IDS>|all [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]"
+        "usage: repro <IDS>|all [--full] [--jobs N] [--no-timing] [--deadline DUR] [--markdown DIR] [--json DIR]"
     );
     std::process::exit(2);
 }
@@ -160,10 +258,14 @@ fn usage_error(msg: &str) -> ! {
 fn print_help() {
     println!(
         "repro — regenerate every bound claimed in 'Paging for Multicore Processors'\n\n\
-         usage:\n  repro --list\n  repro <IDS>... [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]\n  repro all [--full] [--jobs N] [--no-timing] [--markdown DIR] [--json DIR]\n\n\
+         usage:\n  repro --list\n  repro <IDS>... [--full] [--jobs N] [--no-timing] [--deadline DUR] [--markdown DIR] [--json DIR]\n  repro all [--full] [--jobs N] [--no-timing] [--deadline DUR] [--markdown DIR] [--json DIR]\n\n\
          Scales: default quick (seconds/experiment); --full matches EXPERIMENTS.md.\n\
          Parallelism: --jobs N (default MCP_JOBS or the hardware); reports still\n\
          print in ID order and are bit-identical for every jobs value.\n\
-         --no-timing zeroes measured-time table cells for byte-comparable output."
+         --no-timing zeroes measured-time table cells for byte-comparable output.\n\
+         --deadline DUR (30s, 500ms, 2m): experiments not started before the\n\
+         deadline (or after a Ctrl-C) report Truncated instead of running.\n\n\
+         exit codes: 0 all confirmed · 1 any failure · 2 usage error ·\n\
+         3 partial (truncated experiments, no failures)."
     );
 }

@@ -108,6 +108,10 @@ pub enum Verdict {
     Mixed(String),
     /// The claim could not be checked (explains why).
     Skipped(String),
+    /// The run was cut short by a resource budget (deadline, Ctrl-C);
+    /// the string names the trip. Not a failure: what *was* measured is
+    /// still valid, the claim is simply not fully evaluated.
+    Truncated(String),
 }
 
 /// A complete experiment report.
@@ -195,6 +199,12 @@ impl Report {
             Verdict::Skipped(s) => {
                 w.begin_object();
                 w.key("Skipped");
+                w.string(s);
+                w.end_object();
+            }
+            Verdict::Truncated(s) => {
+                w.begin_object();
+                w.key("Truncated");
                 w.string(s);
                 w.end_object();
             }

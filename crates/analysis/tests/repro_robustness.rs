@@ -1,0 +1,90 @@
+//! Resource-governance contract of the `repro` binary, end-to-end:
+//! a panicking experiment is contained to its own slot (exit 1, fleet
+//! completes), an expired `--deadline` truncates not-yet-started
+//! experiments (exit 3), and malformed `--deadline` values exit 2.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn injected_panic_is_contained_to_its_slot() {
+    let out = repro()
+        .args(["E01", "E02", "E03", "--jobs", "2"])
+        .env("MCP_REPRO_PANIC", "E02")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "a failed experiment exits 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("=== E02: FAILED ==="),
+        "panicking experiment must be reported FAILED:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("injected fault in E02"),
+        "panic message must be surfaced:\n{stdout}"
+    );
+    // The siblings still ran to completion.
+    for id in ["E01", "E03"] {
+        assert!(
+            stdout.contains(&format!("=== {id}: ")) && !stdout.contains(&format!("{id}: FAILED")),
+            "{id} must complete despite E02 panicking:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("total: 2/3 confirmed (1 failed, 0 truncated)"),
+        "summary must count the failure:\n{stdout}"
+    );
+}
+
+#[test]
+fn expired_deadline_truncates_with_partial_exit_code() {
+    let out = repro()
+        .args(["E01", "E02", "--deadline", "0s", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "truncated-only run exits 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout
+            .matches("Truncated(\"deadline reached before start\")")
+            .count(),
+        2,
+        "both experiments must report Truncated:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("total: 0/2 confirmed (0 failed, 2 truncated)"),
+        "summary must count the truncations:\n{stdout}"
+    );
+}
+
+#[test]
+fn truncated_verdict_round_trips_through_json_reports() {
+    let dir = std::env::temp_dir().join(format!("repro_trunc_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = repro()
+        .args(["E01", "--deadline", "0s", "--json", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let json = std::fs::read_to_string(dir.join("E01.json")).expect("truncated report written");
+    assert!(
+        json.contains("\"Truncated\": \"deadline reached before start\""),
+        "JSON must carry the Truncated verdict:\n{json}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_deadline_exits_2() {
+    for args in [
+        &["all", "--deadline"][..],
+        &["all", "--deadline", "soon"][..],
+        &["all", "--deadline", "-5s"][..],
+    ] {
+        let out = repro().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "expected exit 2 for {args:?}");
+    }
+}

@@ -21,17 +21,37 @@ use std::path::Path;
 pub enum CliError {
     /// Argument parsing/validation failure.
     Args(ArgError),
+    /// A malformed trace file (typed parse error, never a panic).
+    Trace(String),
     /// I/O failure reading or writing traces.
     Io(std::io::Error),
+    /// A governed run tripped its budget: the message carries the anytime
+    /// result and where the checkpoint was saved. Exit code 3.
+    Partial(String),
     /// Anything else, with a message for the user.
     Other(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: 2 for user input problems
+    /// (bad arguments, malformed traces), 3 for budget-truncated partial
+    /// runs, 1 for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Args(_) | CliError::Trace(_) => 2,
+            CliError::Partial(_) => 3,
+            CliError::Io(_) | CliError::Other(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
+            CliError::Trace(m) => write!(f, "{m}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Partial(m) => write!(f, "{m}"),
             CliError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -52,16 +72,43 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Load a workload trace: `.json` via serde, anything else as the compact
-/// text format.
+/// text format. Malformed files surface as [`CliError::Trace`] (exit 2);
+/// only genuine I/O failures (missing file, permissions) are
+/// [`CliError::Io`]. Neither parser panics on corrupt bytes.
 pub fn load_trace(path: &str) -> Result<Workload, CliError> {
     let p = Path::new(path);
     if p.extension().map(|e| e == "json").unwrap_or(false) {
-        mcp_workloads::load_json(p).map_err(CliError::Io)
+        mcp_workloads::load_json(p).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                CliError::Trace(format!("malformed trace {path}: {e}"))
+            } else {
+                CliError::Io(e)
+            }
+        })
     } else {
         let file = std::fs::File::open(p)?;
-        mcp_workloads::read_text(std::io::BufReader::new(file))
-            .map_err(|e| CliError::Other(format!("parsing {path}: {e}")))
+        mcp_workloads::read_text(std::io::BufReader::new(file)).map_err(|e| match e {
+            mcp_workloads::TextError::Io(io) => CliError::Io(io),
+            parse => CliError::Trace(format!("malformed trace {path}: {parse}")),
+        })
     }
+}
+
+/// Parse `--deadline DUR` (e.g. `30s`, `500ms`, `2m`) into a [`Budget`];
+/// Ctrl-C cancellation is always honoured by governed runs.
+pub fn budget_from(args: &Args) -> Result<mcp_core::Budget, CliError> {
+    let mut budget = mcp_core::Budget::unlimited().with_global_cancel();
+    if let Some(spec) = args.get("deadline") {
+        let d = mcp_core::budget::parse_duration(spec).map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                key: "deadline".to_string(),
+                value: spec.to_string(),
+                expected: "a duration like 30s, 500ms, 2m",
+            })
+        })?;
+        budget = budget.with_deadline(d);
+    }
+    Ok(budget)
 }
 
 /// Read `--trace`, `--k`, `--tau` into a ready instance.

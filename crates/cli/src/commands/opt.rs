@@ -2,31 +2,81 @@
 //!
 //! ```text
 //! mcp opt --trace w.json --k 3 --tau 1 [--schedule] [--max-states N]
+//!         [--deadline DUR] [--checkpoint FILE]
 //! ```
+//!
+//! With `--deadline`, a run that exceeds the budget exits 3 after
+//! printing the anytime bracket `[lower_bound, incumbent]`; with
+//! `--checkpoint FILE` the truncated frontier is also saved there, and
+//! re-running the same command resumes from the snapshot (the file is
+//! removed on completion).
 
-use super::{load_instance, CliError};
+use super::{budget_from, load_instance, CliError};
 use crate::args::Args;
-use mcp_offline::{ftf_dp, FtfOptions};
+use mcp_offline::{ftf_dp, ftf_dp_governed, FtfCheckpoint, FtfOptions, FtfOutcome, FtfResult};
 
 /// Run `mcp opt`.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let (workload, cfg) = load_instance(args)?;
     let reconstruct = args.flag("schedule");
     let max_states: usize = args.parse_or("max-states", 4_000_000usize)?;
-    let result = ftf_dp(
-        &workload,
-        cfg,
-        FtfOptions {
-            reconstruct,
-            max_states,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| {
+    let options = FtfOptions {
+        reconstruct,
+        max_states,
+        ..Default::default()
+    };
+    let too_large = |e: mcp_offline::DpError| {
         CliError::Other(format!(
             "{e} (the DP is exponential in K and p; shrink the instance)"
         ))
-    })?;
+    };
+
+    let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+    let result: FtfResult = if args.get("deadline").is_some() || checkpoint_path.is_some() {
+        let budget = budget_from(args)?.with_max_states(max_states);
+        let resume: Option<FtfCheckpoint> = match &checkpoint_path {
+            Some(p) if p.exists() => Some(
+                FtfCheckpoint::load(p)
+                    .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
+            ),
+            _ => None,
+        };
+        let resumed = resume.is_some();
+        match ftf_dp_governed(&workload, cfg, options, &budget, resume.as_ref())
+            .map_err(too_large)?
+        {
+            FtfOutcome::Complete(r) => {
+                if let Some(p) = &checkpoint_path {
+                    if resumed {
+                        std::fs::remove_file(p).ok();
+                    }
+                }
+                r
+            }
+            FtfOutcome::Truncated(t) => {
+                let mut msg = format!(
+                    "opt truncated ({:?}) after {} states; anytime bracket: \
+                     {} <= optimum <= {}",
+                    t.reason, t.states, t.lower_bound, t.incumbent
+                );
+                match &checkpoint_path {
+                    Some(p) => {
+                        t.checkpoint
+                            .save(p)
+                            .map_err(|e| CliError::Other(format!("saving checkpoint: {e}")))?;
+                        msg.push_str(&format!(
+                            "; checkpoint saved to {} (re-run the same command to resume)",
+                            p.display()
+                        ));
+                    }
+                    None => msg.push_str("; pass --checkpoint FILE to make the run resumable"),
+                }
+                return Err(CliError::Partial(msg));
+            }
+        }
+    } else {
+        ftf_dp(&workload, cfg, options).map_err(too_large)?
+    };
 
     let mut out = format!(
         "exact minimum total faults: {} ({} DP states)\n",

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! mcp pif --trace w.json --k 3 --tau 1 --at 20 --bounds 4,5
+//!         [--deadline DUR] [--checkpoint FILE]
 //! ```
+//!
+//! With `--deadline`, a run that exceeds the budget exits 3 reporting how
+//! many timesteps were decided; with `--checkpoint FILE` the live layer
+//! is also saved there, and re-running the same command resumes from the
+//! snapshot (the file is removed on completion).
 
-use super::{load_instance, CliError};
+use super::{budget_from, load_instance, CliError};
 use crate::args::Args;
-use mcp_offline::{pif_decide, pif_witness, PifOptions};
+use mcp_offline::{
+    pif_decide, pif_decide_governed, pif_witness, PifCheckpoint, PifOptions, PifOutcome,
+};
 
 /// Run `mcp pif`.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -53,8 +61,63 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             }
         }
     } else {
-        let feasible = pif_decide(&workload, cfg, checkpoint, &bounds, opts)
-            .map_err(|e| CliError::Other(format!("{e} (the DP is exponential in K and p)")))?;
+        let too_large = |e: mcp_offline::DpError| {
+            CliError::Other(format!("{e} (the DP is exponential in K and p)"))
+        };
+        let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+        let feasible = if args.get("deadline").is_some() || checkpoint_path.is_some() {
+            let budget = budget_from(args)?.with_max_states(opts.max_expansions);
+            let resume: Option<PifCheckpoint> = match &checkpoint_path {
+                Some(p) if p.exists() => Some(
+                    PifCheckpoint::load(p)
+                        .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
+                ),
+                _ => None,
+            };
+            let resumed = resume.is_some();
+            match pif_decide_governed(
+                &workload,
+                cfg,
+                checkpoint,
+                &bounds,
+                opts,
+                &budget,
+                resume.as_ref(),
+            )
+            .map_err(too_large)?
+            {
+                PifOutcome::Decided(ans) => {
+                    if resumed {
+                        if let Some(p) = &checkpoint_path {
+                            std::fs::remove_file(p).ok();
+                        }
+                    }
+                    ans
+                }
+                PifOutcome::Truncated(t) => {
+                    let mut msg = format!(
+                        "pif truncated ({:?}) after serving {} of {checkpoint} timesteps \
+                         ({} live states); feasibility still open",
+                        t.reason, t.t_done, t.live_states
+                    );
+                    match &checkpoint_path {
+                        Some(p) => {
+                            t.checkpoint
+                                .save(p)
+                                .map_err(|e| CliError::Other(format!("saving checkpoint: {e}")))?;
+                            msg.push_str(&format!(
+                                "; checkpoint saved to {} (re-run the same command to resume)",
+                                p.display()
+                            ));
+                        }
+                        None => msg.push_str("; pass --checkpoint FILE to make the run resumable"),
+                    }
+                    return Err(CliError::Partial(msg));
+                }
+            }
+        } else {
+            pif_decide(&workload, cfg, checkpoint, &bounds, opts).map_err(too_large)?
+        };
         out = format!(
             "PIF(t = {checkpoint}, b = {bounds:?}) on p = {}, K = {}, tau = {}: {}\n",
             workload.num_cores(),

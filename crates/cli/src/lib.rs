@@ -43,15 +43,25 @@ commands:
   curves       per-core miss curves    --trace F [--max-k K] [--core N]
   partition    optimal static split    --trace F --k K [--policy lru|opt]
   opt          exact min faults (DP)   --trace F --k K [--tau T] [--schedule]
+                 [--deadline DUR] [--checkpoint FILE]
   pif          fairness feasibility    --trace F --k K --at T --bounds a,b,…
+                 [--deadline DUR] [--checkpoint FILE]
 
 global options:
   --jobs N     worker threads for compare, curves and the exact solvers
                (default: MCP_JOBS or all hardware threads; results are
                identical for every N)
 
+resource governance (opt, pif):
+  --deadline DUR    stop at a wall-clock budget (30s, 500ms, 2m); a
+                    truncated opt prints its anytime bracket
+                    [lower_bound, incumbent] and exits 3
+  --checkpoint FILE save the DP frontier on truncation (also on Ctrl-C)
+                    and resume from FILE when re-run; removed on completion
+
 Traces are JSON (.json) or the compact text format (anything else).
 The exact solvers (opt, pif) are exponential in K and p: keep instances small.
+exit codes: 0 ok · 1 error · 2 bad arguments or malformed trace · 3 partial
 ";
 
 /// Dispatch a parsed command line to its implementation.

@@ -1,6 +1,10 @@
 //! The `mcp` binary: thin shell over [`mcp_cli::dispatch`].
 
 fn main() {
+    // Ctrl-C flips the process-wide cancel flag; governed solvers (opt,
+    // pif) notice it at the next layer boundary, save their checkpoint,
+    // and exit 3 with the anytime result instead of dying mid-run.
+    mcp_core::budget::install_ctrlc_handler();
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     let args = match mcp_cli::args::Args::parse(tokens) {
         Ok(a) => a,
@@ -17,7 +21,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("mcp: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

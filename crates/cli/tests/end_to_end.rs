@@ -4,12 +4,17 @@
 use std::process::Command;
 
 fn mcp(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = mcp_code(args);
+    (code == Some(0), stdout, stderr)
+}
+
+fn mcp_code(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_mcp"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -129,6 +134,148 @@ fn exact_solvers_over_the_shell() {
     ]);
     assert!(ok);
     assert!(stdout.contains("FEASIBLE") || stdout.contains("no schedule exists"));
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn corrupt_traces_exit_2_without_panicking() {
+    // Corrupt JSON: truncated mid-array.
+    let bad_json = tmp("corrupt.json");
+    std::fs::write(&bad_json, "{\"sequences\": [[1, 2, ").unwrap();
+    // Corrupt text: a line with a non-numeric page.
+    let bad_text = tmp("corrupt.trace");
+    std::fs::write(&bad_text, "0: 1 2 three\n").unwrap();
+
+    for trace in [&bad_json, &bad_text] {
+        for cmd in [
+            &[
+                "simulate",
+                "--trace",
+                trace,
+                "--k",
+                "4",
+                "--strategy",
+                "lru",
+            ][..],
+            &["opt", "--trace", trace, "--k", "3", "--tau", "1"][..],
+            &["stats", "--trace", trace][..],
+        ] {
+            let (code, _, stderr) = mcp_code(cmd);
+            assert_eq!(code, Some(2), "{cmd:?} on {trace}: {stderr}");
+            assert!(
+                stderr.contains("malformed trace"),
+                "{cmd:?} must name the parse failure: {stderr}"
+            );
+            assert!(
+                !stderr.contains("panicked"),
+                "{cmd:?} must not panic: {stderr}"
+            );
+        }
+    }
+    std::fs::remove_file(&bad_json).ok();
+    std::fs::remove_file(&bad_text).ok();
+
+    // A genuinely missing file is an I/O error, not a parse error: exit 1.
+    let (code, _, _) = mcp_code(&["stats", "--trace", &tmp("nonexistent.json")]);
+    assert_eq!(code, Some(1));
+}
+
+#[test]
+fn opt_deadline_truncates_with_bracket_then_resumes_to_the_exact_answer() {
+    let trace = tmp("anytime.json");
+    let (ok, _, stderr) = mcp(&[
+        "gen", "cycles", "--cores", "2", "--k", "4", "--n", "10", "--out", &trace,
+    ]);
+    assert!(ok, "{stderr}");
+
+    // The reference answer from an ungoverned run.
+    let (ok, full, _) = mcp(&["opt", "--trace", &trace, "--k", "4", "--tau", "1"]);
+    assert!(ok);
+    assert!(full.contains("exact minimum total faults"));
+
+    // A zero deadline trips at the first bucket boundary: exit 3, a
+    // bracket on stderr, and a checkpoint on disk.
+    let ckpt = tmp("anytime.ckpt");
+    let (code, _, stderr) = mcp_code(&[
+        "opt",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--tau",
+        "1",
+        "--deadline",
+        "0s",
+        "--checkpoint",
+        &ckpt,
+    ]);
+    assert_eq!(code, Some(3), "truncated run must exit 3: {stderr}");
+    assert!(
+        stderr.contains("anytime bracket") && stderr.contains("<= optimum <="),
+        "stderr must print the bracket: {stderr}"
+    );
+    assert!(
+        stderr.contains("checkpoint saved"),
+        "stderr must point at the checkpoint: {stderr}"
+    );
+    assert!(std::path::Path::new(&ckpt).exists());
+
+    // Re-running the same command with a generous deadline resumes from
+    // the snapshot, reproduces the exact answer, and removes the file.
+    let (code, resumed, stderr) = mcp_code(&[
+        "opt",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--tau",
+        "1",
+        "--deadline",
+        "5m",
+        "--checkpoint",
+        &ckpt,
+    ]);
+    assert_eq!(code, Some(0), "resume must complete: {stderr}");
+    assert_eq!(resumed, full, "resumed answer must match the full run");
+    assert!(
+        !std::path::Path::new(&ckpt).exists(),
+        "checkpoint must be removed on completion"
+    );
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn pif_deadline_truncates_then_resumes_to_the_same_decision() {
+    let trace = tmp("pif_anytime.json");
+    let (ok, _, stderr) = mcp(&[
+        "gen", "cycles", "--cores", "2", "--k", "4", "--n", "10", "--out", &trace,
+    ]);
+    assert!(ok, "{stderr}");
+
+    let base = [
+        "pif", "--trace", &trace, "--k", "4", "--tau", "1", "--at", "16", "--bounds", "5,5",
+    ];
+    let (ok, full, _) = mcp(&base);
+    assert!(ok);
+
+    let ckpt = tmp("pif_anytime.ckpt");
+    let mut truncated = base.to_vec();
+    truncated.extend(["--deadline", "0s", "--checkpoint", &ckpt]);
+    let (code, _, stderr) = mcp_code(&truncated);
+    assert_eq!(code, Some(3), "truncated pif must exit 3: {stderr}");
+    assert!(
+        stderr.contains("feasibility still open") && stderr.contains("checkpoint saved"),
+        "{stderr}"
+    );
+
+    let mut resume = base.to_vec();
+    resume.extend(["--deadline", "5m", "--checkpoint", &ckpt]);
+    let (code, resumed, stderr) = mcp_code(&resume);
+    assert_eq!(code, Some(0), "pif resume must complete: {stderr}");
+    assert_eq!(resumed, full, "resumed decision must match the full run");
+    assert!(!std::path::Path::new(&ckpt).exists());
 
     std::fs::remove_file(&trace).ok();
 }

@@ -1,0 +1,324 @@
+//! Resource governance: budgets, cooperative cancellation, and the
+//! process-wide Ctrl-C flag.
+//!
+//! The offline solvers are polynomial in the sequence lengths but
+//! exponential in `K` and `p`, so any serious instance can blow past
+//! wall-clock or memory limits. A [`Budget`] bounds a computation along
+//! four axes — wall-clock deadline, explored-state count, approximate
+//! peak memory, and a cooperative cancellation flag — and is checked at
+//! cheap, deterministic points (DP layer boundaries, search-node
+//! expansion batches). When a budget trips, governed solvers return an
+//! *anytime* truncated outcome (incumbent upper bound plus frontier
+//! lower bound) instead of discarding the work done so far.
+//!
+//! Cancellation is cooperative: the [`cancel_flag`] static is flipped by
+//! the CLI's Ctrl-C handler (see [`install_ctrlc_handler`]) and observed
+//! by any in-flight solver carrying a [`Budget`] built with
+//! [`Budget::with_global_cancel`]. The handler resets itself after the
+//! first signal, so a second Ctrl-C kills the process the default way.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a governed computation stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TripReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cooperative cancellation flag was set (e.g. Ctrl-C).
+    Cancelled,
+    /// The explored state/node count exceeded the cap.
+    StateCap {
+        /// States explored when the cap tripped.
+        states: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The approximate memory watermark exceeded the cap.
+    MemoryCap {
+        /// Approximate bytes in use when the cap tripped.
+        bytes: usize,
+        /// The configured cap in bytes.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for TripReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripReason::Deadline => write!(f, "wall-clock deadline exceeded"),
+            TripReason::Cancelled => write!(f, "cancelled"),
+            TripReason::StateCap { states, cap } => {
+                write!(f, "state cap exceeded ({states} > {cap})")
+            }
+            TripReason::MemoryCap { bytes, cap } => {
+                write!(f, "memory watermark exceeded ({bytes} > {cap} bytes)")
+            }
+        }
+    }
+}
+
+/// A resource envelope for one governed computation. The default budget
+/// is unlimited; builder methods add limits. Checks are designed to be
+/// called at layer boundaries / expansion batches — they cost one
+/// `Instant::now()` plus a few loads.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_states: Option<usize>,
+    max_mem_bytes: Option<usize>,
+    use_global_cancel: bool,
+}
+
+impl Budget {
+    /// An unlimited budget (never trips).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Trip once `duration` has elapsed from now.
+    pub fn with_deadline(mut self, duration: Duration) -> Self {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Trip at an absolute instant.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Trip once the explored state/node count exceeds `cap`.
+    pub fn with_max_states(mut self, cap: usize) -> Self {
+        self.max_states = Some(cap);
+        self
+    }
+
+    /// Trip once the caller-estimated memory watermark exceeds `cap`
+    /// bytes. The estimate is the caller's (e.g. `states × bytes/state`);
+    /// this is a guard rail, not an allocator hook.
+    pub fn with_memory_cap(mut self, cap: usize) -> Self {
+        self.max_mem_bytes = Some(cap);
+        self
+    }
+
+    /// Also trip when the process-wide [`cancel_flag`] is set (the
+    /// Ctrl-C path).
+    pub fn with_global_cancel(mut self) -> Self {
+        self.use_global_cancel = true;
+        self
+    }
+
+    /// Whether this budget can ever trip. Ungoverned fast paths skip
+    /// bookkeeping entirely when this is `false`.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some()
+            || self.max_states.is_some()
+            || self.max_mem_bytes.is_some()
+            || self.use_global_cancel
+    }
+
+    /// The configured state cap, if any.
+    pub fn max_states(&self) -> Option<usize> {
+        self.max_states
+    }
+
+    /// Check the budget against the caller's progress counters.
+    /// Precedence when several limits are violated at once:
+    /// cancellation, deadline, state cap, memory cap.
+    pub fn check(&self, states: usize, approx_mem_bytes: usize) -> Result<(), TripReason> {
+        if self.use_global_cancel && cancel_requested() {
+            return Err(TripReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(TripReason::Deadline);
+            }
+        }
+        if let Some(cap) = self.max_states {
+            if states > cap {
+                return Err(TripReason::StateCap { states, cap });
+            }
+        }
+        if let Some(cap) = self.max_mem_bytes {
+            if approx_mem_bytes > cap {
+                return Err(TripReason::MemoryCap {
+                    bytes: approx_mem_bytes,
+                    cap,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The process-wide cooperative cancellation flag.
+static CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide cancellation flag (set by Ctrl-C or
+/// [`request_cancel`]; observed by budgets built with
+/// [`Budget::with_global_cancel`]).
+pub fn cancel_flag() -> &'static AtomicBool {
+    &CANCEL
+}
+
+/// Request cooperative cancellation of every governed computation in
+/// the process.
+pub fn request_cancel() {
+    CANCEL.store(true, Ordering::Relaxed);
+}
+
+/// Whether cancellation has been requested.
+pub fn cancel_requested() -> bool {
+    CANCEL.load(Ordering::Relaxed)
+}
+
+/// Clear the cancellation flag (tests, or a REPL reusing the process).
+pub fn reset_cancel() {
+    CANCEL.store(false, Ordering::Relaxed);
+}
+
+/// Parse a human duration: bare seconds (`"60"`), or a number with a
+/// `ms`/`s`/`m`/`h` suffix (`"500ms"`, `"60s"`, `"2m"`, `"1h"`).
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, unit): (&str, &str) = match s.find(|c: char| !c.is_ascii_digit()) {
+        None => (s, "s"),
+        Some(i) => (&s[..i], s[i..].trim()),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration {s:?}: expected e.g. 500ms, 60s, 2m, 1h"))?;
+    match unit {
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        "m" => Ok(Duration::from_secs(n * 60)),
+        "h" => Ok(Duration::from_secs(n * 3600)),
+        other => Err(format!("bad duration unit {other:?}: use ms, s, m or h")),
+    }
+}
+
+/// Install a SIGINT (Ctrl-C) handler that flips the process-wide
+/// [`cancel_flag`] so in-flight governed solvers checkpoint and report
+/// their anytime bracket. The handler resets itself to the OS default
+/// after the first signal, so a second Ctrl-C terminates immediately.
+/// No-op on non-Unix platforms.
+pub fn install_ctrlc_handler() {
+    #[cfg(unix)]
+    unsafe {
+        sigint::install();
+    }
+}
+
+#[cfg(unix)]
+mod sigint {
+    //! Raw `signal(2)` binding — the only libc surface we need, declared
+    //! directly to avoid a dependency. Both `signal()` and an atomic
+    //! store are async-signal-safe.
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        super::CANCEL.store(true, Ordering::Relaxed);
+        // Second Ctrl-C falls through to the default (terminate).
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub(super) unsafe fn install() {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.check(usize::MAX, usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn state_cap_trips_past_cap() {
+        let b = Budget::unlimited().with_max_states(100);
+        assert!(b.is_limited());
+        assert!(b.check(100, 0).is_ok());
+        assert_eq!(
+            b.check(101, 0),
+            Err(TripReason::StateCap {
+                states: 101,
+                cap: 100
+            })
+        );
+    }
+
+    #[test]
+    fn memory_cap_trips_past_cap() {
+        let b = Budget::unlimited().with_memory_cap(1 << 20);
+        assert!(b.check(0, 1 << 20).is_ok());
+        assert!(matches!(
+            b.check(0, (1 << 20) + 1),
+            Err(TripReason::MemoryCap { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.check(0, 0), Err(TripReason::Deadline));
+    }
+
+    #[test]
+    fn far_deadline_does_not_trip() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert!(b.check(0, 0).is_ok());
+    }
+
+    #[test]
+    fn cancellation_has_highest_precedence() {
+        reset_cancel();
+        let b = Budget::unlimited()
+            .with_global_cancel()
+            .with_deadline(Duration::ZERO)
+            .with_max_states(0);
+        assert_eq!(b.check(10, 0), Err(TripReason::Deadline));
+        request_cancel();
+        assert_eq!(b.check(10, 0), Err(TripReason::Cancelled));
+        reset_cancel();
+        assert_eq!(b.check(10, 0), Err(TripReason::Deadline));
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert_eq!(parse_duration("7").unwrap(), Duration::from_secs(7));
+        assert_eq!(parse_duration(" 3s ").unwrap(), Duration::from_secs(3));
+        assert!(parse_duration("").is_err());
+        assert!(parse_duration("fast").is_err());
+        assert!(parse_duration("3days").is_err());
+        assert!(parse_duration("-1s").is_err());
+    }
+
+    #[test]
+    fn trip_reasons_render() {
+        assert!(TripReason::Deadline.to_string().contains("deadline"));
+        assert!(TripReason::Cancelled.to_string().contains("cancelled"));
+        assert!(TripReason::StateCap { states: 5, cap: 4 }
+            .to_string()
+            .contains("5 > 4"));
+    }
+}

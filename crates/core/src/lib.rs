@@ -13,6 +13,8 @@
 //! * [`sim`] — the discrete-time engine, step-wise or run-to-completion.
 //! * [`events`] — analytics over event traces (effective partitions,
 //!   eviction pressure, outcome tallies).
+//! * [`budget`] — resource governance: budgets (deadline / state cap /
+//!   memory watermark / cancellation) for the anytime offline solvers.
 //!
 //! ```
 //! use mcp_core::{simulate, CacheStrategy, Cache, PageId, SimConfig, Time, Workload};
@@ -35,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod events;
 pub mod sim;
 pub mod strategy;
 pub mod types;
 
+pub use budget::{Budget, TripReason};
 pub use cache::{Cache, CacheError, CellState, Lookup};
 pub use events::{
     evictions_by_page, inter_fault_times, occupancy_timeline, outcome_counts, OutcomeCounts,

@@ -11,6 +11,10 @@
 //!   **chunked work-stealing** (workers claim index ranges from a shared
 //!   atomic cursor) and returns results **in input order**, whatever the
 //!   interleaving was.
+//! * [`Pool::par_try_map`] is the fault-contained variant: a panicking
+//!   task becomes a per-item [`TaskPanic`] error in its slot while the
+//!   rest of the batch completes — one bad experiment cannot abort a
+//!   sweep.
 //! * [`derive_seed`] gives task `i` of a master-seeded batch its own
 //!   statistically independent seed as a pure function of
 //!   `(master, index)`, so randomized tasks produce the same stream no
@@ -28,10 +32,42 @@
 
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A task that panicked inside a [`Pool::par_try_map`] batch: the panic
+/// was contained to its item instead of aborting the whole fan-out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the task that panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// carried verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Render a caught panic payload as text.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Unset sentinel for the process-wide jobs override.
 const JOBS_UNSET: usize = 0;
@@ -225,6 +261,51 @@ impl Pool {
             .collect()
     }
 
+    /// Fault-contained [`Pool::par_map`]: each task runs under
+    /// `catch_unwind`, so a panicking task becomes `Err(TaskPanic)` in
+    /// its own slot while every other task still completes and returns
+    /// in input order. Use this when one bad item must not abort the
+    /// batch (e.g. the `repro` experiment fleet).
+    pub fn par_try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_try_map_emit(items, f, |_, _| {})
+    }
+
+    /// [`Pool::par_try_map`] with the ordered streaming sink of
+    /// [`Pool::par_map_emit`]: `emit` observes each slot — `Ok` result
+    /// or contained panic — on the caller's thread, in input order.
+    ///
+    /// The default panic hook still runs for contained panics (so the
+    /// message also appears on stderr); install a quieter hook if that
+    /// is unwanted.
+    pub fn par_try_map_emit<T, R, F, E>(
+        &self,
+        items: &[T],
+        f: F,
+        emit: E,
+    ) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        E: FnMut(usize, &Result<R, TaskPanic>),
+    {
+        self.par_map_emit(
+            items,
+            |i, item| {
+                catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| TaskPanic {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                })
+            },
+            emit,
+        )
+    }
+
     /// Map a seeded batch: task `i` runs `f(derive_seed(master, i), i,
     /// &items[i])`. The standard shape for randomized sweeps — the
     /// random stream of each task depends only on `(master, i)`.
@@ -314,6 +395,70 @@ mod tests {
             })
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_try_map_contains_panics_at_every_pool_size() {
+        let items: Vec<usize> = (0..33).collect();
+        let poison = [0usize, 7, 13, 14, 32]; // ends, middle, adjacent pair
+        for jobs in 1..=8 {
+            let got = Pool::new(jobs).par_try_map(&items, |_, &x| {
+                if poison.contains(&x) {
+                    panic!("boom {x}");
+                }
+                x * 2
+            });
+            assert_eq!(got.len(), items.len(), "jobs={jobs}: no slot lost");
+            for (i, slot) in got.iter().enumerate() {
+                if poison.contains(&i) {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(err.index, i, "jobs={jobs}");
+                    assert_eq!(err.message, format!("boom {i}"), "jobs={jobs}");
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_try_map_emit_streams_failures_in_order() {
+        let items: Vec<usize> = (0..24).collect();
+        let mut seen = Vec::new();
+        let got = Pool::new(4).par_try_map_emit(
+            &items,
+            |_, &x| {
+                if x == 5 {
+                    panic!("five");
+                }
+                x
+            },
+            |i, slot| seen.push((i, slot.is_ok())),
+        );
+        assert_eq!(seen.len(), 24);
+        assert!(seen.iter().enumerate().all(|(i, &(j, _))| i == j));
+        assert!(!seen[5].1 && seen[4].1 && seen[6].1);
+        assert_eq!(got[5].as_ref().unwrap_err().message, "five");
+    }
+
+    #[test]
+    fn par_try_map_all_tasks_panicking_still_returns() {
+        let items: Vec<usize> = (0..9).collect();
+        for jobs in [1usize, 3, 8] {
+            let got = Pool::new(jobs).par_try_map(&items, |_, &x| -> usize { panic!("p{x}") });
+            assert!(got.iter().all(|r| r.is_err()), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_described() {
+        let got = Pool::new(2).par_try_map(&[1u32], |_, _| -> u32 {
+            std::panic::panic_any(42i32);
+        });
+        assert_eq!(
+            got[0].as_ref().unwrap_err().message,
+            "<non-string panic payload>"
+        );
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! parent's, so no expansion in a bucket can affect another state of the
 //! same bucket — the parallel fan-out is dependency-free by construction.
 
+use crate::checkpoint::{instance_fingerprint, FtfCheckpoint};
 use crate::state::{
-    for_each_successor_config, pool_for, step_effect, DpError, DpInstance, StateKey,
+    for_each_successor_config, greedy_completion_faults, pool_for, step_effect, DpError,
+    DpInstance, StateKey,
 };
-use mcp_core::{PageId, SimConfig, Time, Workload};
+use mcp_core::{Budget, PageId, SimConfig, Time, TripReason, Workload};
 use mcp_policies::ReplayDecision;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -81,7 +83,59 @@ pub struct FtfResult {
     pub schedule: Option<FtfSchedule>,
 }
 
+/// Outcome of a budget-governed FTF run: either the exact optimum or a
+/// truncated anytime result with a valid bracket on it.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // Truncated is the rare exit path
+pub enum FtfOutcome {
+    /// The DP ran to completion: `min_faults` is exact.
+    Complete(FtfResult),
+    /// The budget tripped at a layer boundary; the bracket
+    /// `[lower_bound, incumbent]` contains the exact optimum and
+    /// `checkpoint` resumes the run exactly where it stopped.
+    Truncated(FtfTruncated),
+}
+
+/// An anytime result from a truncated FTF run.
+#[derive(Clone, Debug)]
+pub struct FtfTruncated {
+    /// Why the budget tripped.
+    pub reason: TripReason,
+    /// A sound lower bound on the optimum: no completion of any
+    /// unexplored path can beat it (the minimum fault count across the
+    /// frontier, capped by the incumbent).
+    pub lower_bound: u64,
+    /// An achievable upper bound: the best terminal found, or a greedy
+    /// lazy completion of the cheapest frontier state.
+    pub incumbent: u64,
+    /// States discovered so far.
+    pub states: usize,
+    /// States on the unexpanded frontier.
+    pub frontier_states: usize,
+    /// Snapshot that resumes this run bit-for-bit (see
+    /// [`crate::checkpoint`]).
+    pub checkpoint: FtfCheckpoint,
+}
+
+/// Fingerprint option bits for FTF snapshots: the two options that shape
+/// the explored state space.
+fn ftf_option_bits(options: &FtfOptions) -> u64 {
+    u64::from(options.lazy) | (u64::from(options.prune) << 1)
+}
+
+/// Rough per-state heap footprint (key + parent key + value + map
+/// overhead) for the budget's memory watermark.
+fn ftf_state_bytes(cores: usize) -> usize {
+    2 * (8 + 4 * cores) + 64
+}
+
 /// Exact minimum total faults (Algorithm 1). See [`FtfOptions`].
+///
+/// This is the ungoverned entry point: it runs under a state-count
+/// budget of `options.max_states` only, and maps truncation to
+/// [`DpError::TooLarge`] (carrying the incumbent found so far). For
+/// deadlines, cancellation, and checkpoint/resume use
+/// [`ftf_dp_governed`].
 ///
 /// ```
 /// use mcp_core::{SimConfig, Workload};
@@ -97,20 +151,93 @@ pub fn ftf_dp(
     cfg: SimConfig,
     options: FtfOptions,
 ) -> Result<FtfResult, DpError> {
+    let budget = Budget::unlimited().with_max_states(options.max_states);
+    match ftf_dp_governed(workload, cfg, options, &budget, None)? {
+        FtfOutcome::Complete(r) => Ok(r),
+        FtfOutcome::Truncated(t) => Err(DpError::TooLarge {
+            states: t.states,
+            cap: options.max_states,
+            incumbent: Some(t.incumbent),
+        }),
+    }
+}
+
+/// Budget-governed, resumable FTF (Algorithm 1, anytime form).
+///
+/// The budget is checked at every bucket (layer) boundary — between
+/// boundaries the run is identical to the ungoverned DP, so a governed
+/// run that completes returns exactly the ungoverned result. On a trip
+/// the run stops *at the boundary* with a [`FtfOutcome::Truncated`]
+/// carrying a valid bracket `lower_bound ≤ OPT ≤ incumbent` and a
+/// checkpoint. Because buckets are processed in a canonical order that
+/// no worker count or hash seed can perturb, resuming from the
+/// checkpoint — on any `jobs` setting — reproduces the full run's
+/// result bit-for-bit.
+///
+/// `options.max_states` is ignored here; cap states via
+/// [`Budget::with_max_states`] instead. Note the state cap is enforced
+/// at boundaries, so the final count may overshoot the cap by up to one
+/// bucket's worth of successors.
+///
+/// `resume` must be a snapshot from the same workload, config, and
+/// options (fingerprint-validated; mismatch is a [`DpError::Model`]).
+pub fn ftf_dp_governed(
+    workload: &Workload,
+    cfg: SimConfig,
+    options: FtfOptions,
+    budget: &Budget,
+    resume: Option<&FtfCheckpoint>,
+) -> Result<FtfOutcome, DpError> {
     let inst = DpInstance::build(workload, &cfg)?;
-    let start: StateKey = (0u64, inst.start_positions());
+    let fingerprint = instance_fingerprint(&inst, ftf_option_bits(&options));
+
+    let sum = |pos: &[u32]| -> u64 { pos.iter().map(|&x| x as u64).sum() };
 
     // best[state] = (min faults, parent along a best path)
     let mut best: HashMap<StateKey, (u64, Option<StateKey>)> = HashMap::new();
-    best.insert(start.clone(), (0, None));
-
-    let sum = |pos: &[u32]| -> u64 { pos.iter().map(|&x| x as u64).sum() };
     let mut buckets: BTreeMap<u64, HashSet<StateKey>> = BTreeMap::new();
-    buckets.entry(sum(&start.1)).or_default().insert(start);
-
     let mut best_terminal: Option<(u64, StateKey)> = None;
 
+    match resume {
+        None => {
+            let start: StateKey = (0u64, inst.start_positions());
+            best.insert(start.clone(), (0, None));
+            buckets.entry(sum(&start.1)).or_default().insert(start);
+        }
+        Some(ck) => {
+            if ck.fingerprint != fingerprint {
+                return Err(DpError::Model(format!(
+                    "checkpoint fingerprint mismatch: instance is {fingerprint:#018x}, \
+                     snapshot was taken for {:#018x} (different workload, config, or options)",
+                    ck.fingerprint
+                )));
+            }
+            best.reserve(ck.best.len());
+            for (key, faults, parent) in &ck.best {
+                best.insert(key.clone(), (*faults, parent.clone()));
+            }
+            for key in &ck.frontier {
+                buckets.entry(sum(&key.1)).or_default().insert(key.clone());
+            }
+            best_terminal = ck.best_terminal.clone();
+        }
+    }
+
+    let state_bytes = ftf_state_bytes(inst.num_cores());
+
     while let Some((&bucket_sum, _)) = buckets.iter().next() {
+        if budget.is_limited() {
+            if let Err(reason) = budget.check(best.len(), best.len() * state_bytes) {
+                return Ok(FtfOutcome::Truncated(truncate_ftf(
+                    &inst,
+                    fingerprint,
+                    reason,
+                    &best,
+                    &buckets,
+                    &best_terminal,
+                )));
+            }
+        }
         let states = buckets.remove(&bucket_sum).expect("bucket exists");
         let mut states: Vec<StateKey> = states.into_iter().collect();
         states.sort_unstable();
@@ -175,12 +302,6 @@ pub fn ftf_dp(
                     buckets.entry(sum(&key.1)).or_default().insert(key);
                 }
             }
-            if best.len() > options.max_states {
-                return Err(DpError::TooLarge {
-                    states: best.len(),
-                    cap: options.max_states,
-                });
-            }
         }
     }
 
@@ -190,11 +311,67 @@ pub fn ftf_dp(
     } else {
         None
     };
-    Ok(FtfResult {
+    Ok(FtfOutcome::Complete(FtfResult {
         min_faults,
         states: best.len(),
         schedule,
-    })
+    }))
+}
+
+/// Assemble the anytime bracket and checkpoint for a tripped run.
+fn truncate_ftf(
+    inst: &DpInstance,
+    fingerprint: u64,
+    reason: TripReason,
+    best: &HashMap<StateKey, (u64, Option<StateKey>)>,
+    buckets: &BTreeMap<u64, HashSet<StateKey>>,
+    best_terminal: &Option<(u64, StateKey)>,
+) -> FtfTruncated {
+    let mut frontier: Vec<StateKey> = buckets.values().flatten().cloned().collect();
+    frontier.sort_unstable();
+
+    // The cheapest frontier state in canonical (faults, key) order seeds
+    // the greedy completion; the incumbent is the better of that and any
+    // terminal already found.
+    let seed = frontier
+        .iter()
+        .map(|s| (best[s].0, s))
+        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    let greedy_ub = seed.map(|(g, s)| g + greedy_completion_faults(inst, s));
+    let terminal_ub = best_terminal.as_ref().map(|(f, _)| *f);
+    let incumbent = match (greedy_ub, terminal_ub) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        // The loop only trips while the frontier is non-empty, so at
+        // least one bound always exists.
+        (None, None) => unreachable!("truncated with empty frontier and no terminal"),
+    };
+    // Every completion extends either a frontier state (cost ≥ its
+    // faults-so-far) or was already pruned against the incumbent, so OPT
+    // is at least the cheapest of those.
+    let frontier_min = seed.map(|(g, _)| g).unwrap_or(u64::MAX);
+    let lower_bound = frontier_min.min(incumbent);
+
+    let mut best_vec: Vec<(StateKey, u64, Option<StateKey>)> = best
+        .iter()
+        .map(|(k, (f, p))| (k.clone(), *f, p.clone()))
+        .collect();
+    best_vec.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    FtfTruncated {
+        reason,
+        lower_bound,
+        incumbent,
+        states: best.len(),
+        frontier_states: frontier.len(),
+        checkpoint: FtfCheckpoint {
+            fingerprint,
+            best: best_vec,
+            frontier,
+            best_terminal: best_terminal.clone(),
+        },
+    }
 }
 
 /// Convenience: just the number.
@@ -447,5 +624,76 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DpError::TooLarge { .. }));
+        // Regression: the overflow error must not discard the work done —
+        // it carries an achievable incumbent, which bounds the optimum
+        // from above.
+        let DpError::TooLarge { incumbent, .. } = err else {
+            unreachable!()
+        };
+        let opt = ftf_min_faults(&w, SimConfig::new(4, 2)).unwrap();
+        let ub = incumbent.expect("cap overflow must report best-known faults");
+        assert!(opt <= ub, "incumbent {ub} below the optimum {opt}");
+    }
+
+    #[test]
+    fn zero_deadline_truncates_with_valid_bracket() {
+        use mcp_core::Budget;
+        use std::time::Duration;
+        let w = wl(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8, 7, 8]]);
+        let cfg = SimConfig::new(3, 1);
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let outcome = ftf_dp_governed(&w, cfg, FtfOptions::default(), &budget, None).unwrap();
+        let FtfOutcome::Truncated(t) = outcome else {
+            panic!("zero deadline must truncate");
+        };
+        assert_eq!(t.reason, TripReason::Deadline);
+        let opt = ftf_min_faults(&w, cfg).unwrap();
+        assert!(
+            t.lower_bound <= opt && opt <= t.incumbent,
+            "bracket [{}, {}] misses OPT {opt}",
+            t.lower_bound,
+            t.incumbent
+        );
+        assert_eq!(t.frontier_states, t.checkpoint.frontier.len());
+        assert_eq!(t.states, t.checkpoint.best.len());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        use mcp_core::Budget;
+        let w = wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]);
+        let cfg = SimConfig::new(3, 1);
+        let plain = ftf_dp(&w, cfg, FtfOptions::default()).unwrap();
+        let outcome =
+            ftf_dp_governed(&w, cfg, FtfOptions::default(), &Budget::unlimited(), None).unwrap();
+        let FtfOutcome::Complete(governed) = outcome else {
+            panic!("unlimited budget must complete");
+        };
+        assert_eq!(governed.min_faults, plain.min_faults);
+        assert_eq!(governed.states, plain.states);
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_mismatch_is_rejected() {
+        use mcp_core::Budget;
+        use std::time::Duration;
+        let w1 = wl(&[&[1, 2, 3, 1], &[7, 8, 7, 8]]);
+        let w2 = wl(&[&[1, 2, 3, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(2, 1);
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let FtfOutcome::Truncated(t) =
+            ftf_dp_governed(&w1, cfg, FtfOptions::default(), &budget, None).unwrap()
+        else {
+            panic!("zero deadline must truncate")
+        };
+        let err = ftf_dp_governed(
+            &w2,
+            cfg,
+            FtfOptions::default(),
+            &Budget::unlimited(),
+            Some(&t.checkpoint),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpError::Model(_)), "got {err:?}");
     }
 }

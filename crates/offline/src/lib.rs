@@ -16,12 +16,16 @@
 //!   the gap between the two papers' models.
 //! * [`belady_seq`] / [`miss_curve`] — sequential OPT and LRU oracles
 //!   (stack distances, miss curves, Lemma 1 phase decompositions).
+//! * [`checkpoint`] — versioned on-disk snapshots for the budget-governed
+//!   anytime variants ([`ftf_dp_governed`], [`pif_decide_governed`]):
+//!   truncated runs resume bit-for-bit at any worker count.
 //! * [`partition_opt`] — exact optimal static partitions (`sP^OPT_OPT`,
 //!   `sP^OPT_LRU`) for disjoint workloads from per-core miss curves.
 
 #![warn(missing_docs)]
 
 pub mod belady_seq;
+pub mod checkpoint;
 pub mod ftf_dp;
 pub mod miss_curve;
 pub mod partition_opt;
@@ -31,15 +35,22 @@ pub mod search;
 pub mod state;
 
 pub use belady_seq::{belady_curve, belady_faults};
-pub use ftf_dp::{ftf_dp, ftf_min_faults, FtfOptions, FtfResult, FtfSchedule};
+pub use checkpoint::{instance_fingerprint, CheckpointError, FtfCheckpoint, PifCheckpoint};
+pub use ftf_dp::{
+    ftf_dp, ftf_dp_governed, ftf_min_faults, FtfOptions, FtfOutcome, FtfResult, FtfSchedule,
+    FtfTruncated,
+};
 pub use miss_curve::{
     distinct_pages, lru_curve, lru_faults, lru_stack_distances, opt_curve, phase_starts,
 };
 pub use partition_opt::{optimal_static_partition, OptimalPartition, PartPolicy};
-pub use pif_dp::{max_pif, pif_decide, pif_witness, PifOptions};
-pub use sched_search::sched_min;
+pub use pif_dp::{
+    max_pif, pif_decide, pif_decide_governed, pif_witness, PifOptions, PifOutcome, PifTruncated,
+};
+pub use sched_search::{sched_min, sched_min_governed};
 pub use search::{
     brute_force_faults_then_makespan, brute_force_makespan_then_faults, brute_force_min_faults,
-    brute_force_min_makespan, fitf_restricted_min_faults, Objective,
+    brute_force_min_faults_governed, brute_force_min_makespan, fitf_restricted_min_faults,
+    Objective, SearchOutcome,
 };
 pub use state::{DpError, DpInstance};

@@ -17,11 +17,12 @@
 //! making every Pareto set — and hence the decision, witness and expansion
 //! counts — identical for every worker count.
 
+use crate::checkpoint::{instance_fingerprint, PifCheckpoint};
 use crate::ftf_dp::{schedule_from_chain, FtfSchedule};
 use crate::state::{
     for_each_successor_config, pool_for, step_effect, DpError, DpInstance, StateKey,
 };
-use mcp_core::{SimConfig, Time, Workload};
+use mcp_core::{Budget, SimConfig, Time, TripReason, Workload};
 use std::collections::HashMap;
 
 /// Options for the PIF decision procedure.
@@ -88,22 +89,142 @@ pub fn pif_decide(
     bounds: &[u64],
     options: PifOptions,
 ) -> Result<bool, DpError> {
+    let budget = Budget::unlimited().with_max_states(options.max_expansions);
+    match pif_decide_governed(workload, cfg, checkpoint, bounds, options, &budget, None)? {
+        PifOutcome::Decided(ans) => Ok(ans),
+        PifOutcome::Truncated(t) => Err(DpError::TooLarge {
+            states: t.expansions,
+            cap: options.max_expansions,
+            incumbent: None,
+        }),
+    }
+}
+
+/// Outcome of a budget-governed PIF decision run.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // Truncated is the rare exit path
+pub enum PifOutcome {
+    /// The procedure decided feasibility exactly.
+    Decided(bool),
+    /// The budget tripped at a layer (timestep) boundary; feasibility is
+    /// still open, and `checkpoint` resumes the run exactly where it
+    /// stopped.
+    Truncated(PifTruncated),
+}
+
+/// A truncated PIF run. Unlike FTF there is no numeric bracket — the
+/// partial answer is "still feasible through time `t_done`": no pruning
+/// has refuted the bounds yet, and infeasibility, had it occurred, would
+/// already have been reported.
+#[derive(Clone, Debug)]
+pub struct PifTruncated {
+    /// Why the budget tripped.
+    pub reason: TripReason,
+    /// Timesteps fully served before the trip.
+    pub t_done: Time,
+    /// Live states in the last completed layer.
+    pub live_states: usize,
+    /// Cumulative state-vector expansions.
+    pub expansions: usize,
+    /// Snapshot that resumes this run bit-for-bit (see
+    /// [`crate::checkpoint`]).
+    pub checkpoint: PifCheckpoint,
+}
+
+/// Fingerprint option bits for PIF snapshots: everything beyond the
+/// instance that shapes the layer sequence — transition relation,
+/// horizon, and the fault bounds themselves (they prune vectors).
+fn pif_option_bits(options: &PifOptions, checkpoint: Time, bounds_u16: &[u16]) -> u64 {
+    let mut h: u64 = 2 | u64::from(options.full_transitions);
+    h = h.wrapping_mul(0x100_0000_01b3) ^ checkpoint;
+    for &b in bounds_u16 {
+        h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(b);
+    }
+    h
+}
+
+/// Budget-governed, resumable PIF decision (Algorithm 2, anytime form).
+///
+/// The budget is checked between timestep layers (its `states` axis
+/// counts vector *expansions*, matching `PifOptions::max_expansions`);
+/// within a layer the run is identical to [`pif_decide`], so a governed
+/// run that completes returns the exact decision, and resuming a
+/// truncated run — at any worker count — reproduces it bit-for-bit.
+///
+/// `options.max_expansions` is ignored here; cap via
+/// [`Budget::with_max_states`]. `resume` must come from the same
+/// workload, config, options, horizon, and bounds
+/// (fingerprint-validated; mismatch is a [`DpError::Model`]).
+#[allow(clippy::too_many_arguments)] // mirrors pif_decide + governance
+pub fn pif_decide_governed(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+    budget: &Budget,
+    resume: Option<&PifCheckpoint>,
+) -> Result<PifOutcome, DpError> {
     assert_eq!(bounds.len(), workload.num_cores(), "one bound per sequence");
     let inst = DpInstance::build(workload, &cfg)?;
     if checkpoint == 0 {
-        return Ok(true); // no request has issued yet
+        return Ok(PifOutcome::Decided(true)); // no request has issued yet
     }
     let bounds_u16: Vec<u16> = bounds
         .iter()
         .map(|&b| b.min(u16::MAX as u64) as u16)
         .collect();
+    let fingerprint =
+        instance_fingerprint(&inst, pif_option_bits(&options, checkpoint, &bounds_u16));
 
-    let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
     let mut layer: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
-    layer.insert((0u64, inst.start_positions()), vec![zero]);
-
     let mut expansions = 0usize;
-    for _t in 1..=checkpoint {
+    let mut t_done: Time = 0;
+    match resume {
+        None => {
+            let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
+            layer.insert((0u64, inst.start_positions()), vec![zero]);
+        }
+        Some(ck) => {
+            if ck.fingerprint != fingerprint {
+                return Err(DpError::Model(format!(
+                    "checkpoint fingerprint mismatch: instance is {fingerprint:#018x}, \
+                     snapshot was taken for {:#018x} (different workload, config, \
+                     options, horizon, or bounds)",
+                    ck.fingerprint
+                )));
+            }
+            layer.reserve(ck.layer.len());
+            for (key, vectors) in &ck.layer {
+                layer.insert(key.clone(), vectors.clone());
+            }
+            expansions = ck.expansions as usize;
+            t_done = ck.t_done;
+        }
+    }
+
+    let p = inst.num_cores();
+    for t in (t_done + 1)..=checkpoint {
+        if budget.is_limited() {
+            let vectors: usize = layer.values().map(|v| v.len()).sum();
+            let approx_mem = layer.len() * (24 + 8 * p) + vectors * (2 * p + 32);
+            if let Err(reason) = budget.check(expansions, approx_mem) {
+                let mut snapshot: Vec<(StateKey, Vec<FaultVec>)> = layer.into_iter().collect();
+                snapshot.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                return Ok(PifOutcome::Truncated(PifTruncated {
+                    reason,
+                    t_done: t - 1,
+                    live_states: snapshot.len(),
+                    expansions,
+                    checkpoint: PifCheckpoint {
+                        fingerprint,
+                        t_done: t - 1,
+                        expansions: expansions as u64,
+                        layer: snapshot,
+                    },
+                }));
+            }
+        }
         // Canonical order: Pareto-set contents (and their order) come out
         // identical for every worker count.
         let mut states: Vec<(StateKey, Vec<FaultVec>)> = layer.into_iter().collect();
@@ -111,7 +232,7 @@ pub fn pif_decide(
         if states.iter().any(|(s, _)| inst.all_finished(&s.1)) {
             // No further requests, hence no further faults: every
             // surviving vector already satisfies the bounds.
-            return Ok(true);
+            return Ok(PifOutcome::Decided(true));
         }
         // One layer is one timestep: states within it never feed each
         // other, so the expansion fans out over the pool.
@@ -155,20 +276,14 @@ pub fn pif_decide(
                 }
                 expansions += advanced.len();
             }
-            if expansions > options.max_expansions {
-                return Err(DpError::TooLarge {
-                    states: expansions,
-                    cap: options.max_expansions,
-                });
-            }
         }
         if next.is_empty() {
-            return Ok(false);
+            return Ok(PifOutcome::Decided(false));
         }
         layer = next;
     }
     // Survived the serving at t = checkpoint with every bound respected.
-    Ok(true)
+    Ok(PifOutcome::Decided(true))
 }
 
 type WitnessEntry = (FaultVec, Option<(StateKey, usize)>);
@@ -271,6 +386,7 @@ pub fn pif_witness(
                 return Err(DpError::TooLarge {
                     states: expansions,
                     cap: options.max_expansions,
+                    incumbent: None,
                 });
             }
         }
@@ -511,6 +627,67 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.total_faults() + run.total_hits(), 4);
+    }
+
+    #[test]
+    fn governed_truncates_and_resumes_to_same_decision() {
+        use std::time::Duration;
+        let w = wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]);
+        let cfg = SimConfig::new(3, 1);
+        let opts = PifOptions::default();
+        for b in [[2u64, 2], [0, 0], [5, 5]] {
+            let t = 8;
+            let full = pif_decide(&w, cfg, t, &b, opts).unwrap();
+            let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+            let PifOutcome::Truncated(tr) =
+                pif_decide_governed(&w, cfg, t, &b, opts, &budget, None).unwrap()
+            else {
+                panic!("zero deadline must truncate")
+            };
+            assert_eq!(tr.reason, TripReason::Deadline);
+            assert_eq!(tr.t_done, 0);
+            let resumed = pif_decide_governed(
+                &w,
+                cfg,
+                t,
+                &b,
+                opts,
+                &Budget::unlimited(),
+                Some(&tr.checkpoint),
+            )
+            .unwrap();
+            let PifOutcome::Decided(ans) = resumed else {
+                panic!("unlimited resume must decide")
+            };
+            assert_eq!(ans, full, "resume diverged for b={b:?}");
+        }
+    }
+
+    #[test]
+    fn governed_rejects_foreign_checkpoint() {
+        use std::time::Duration;
+        let w = wl(&[&[1, 2, 1], &[7, 8, 7]]);
+        let cfg = SimConfig::new(2, 1);
+        let opts = PifOptions::default();
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let PifOutcome::Truncated(tr) =
+            pif_decide_governed(&w, cfg, 6, &[3, 3], opts, &budget, None).unwrap()
+        else {
+            panic!("zero deadline must truncate")
+        };
+        // Same workload, different bounds: the layer pruning differs, so
+        // the snapshot must be refused.
+        let err = pif_decide_governed(
+            &w,
+            cfg,
+            6,
+            &[2, 2],
+            opts,
+            &Budget::unlimited(),
+            Some(&tr.checkpoint),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpError::Model(_)));
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!
 //! Exponential in every direction (subsets × victims); tiny instances only.
 
-use crate::search::Objective;
+use crate::search::{check_node, BudgetTripped, Objective, SearchOutcome};
 use crate::state::{DpError, DpInstance};
-use mcp_core::{SimConfig, Time, Workload};
+use mcp_core::{Budget, SimConfig, Time, Workload};
 
 #[derive(Clone, Copy, Debug)]
 struct Slot {
@@ -35,7 +35,7 @@ struct SchedSearch<'a> {
     objective: Objective,
     best: u64,
     nodes: usize,
-    max_nodes: usize,
+    budget: &'a Budget,
     /// Hard horizon: pruning stalls that run past any useful time.
     horizon: Time,
 }
@@ -77,14 +77,9 @@ impl<'a> SchedSearch<'a> {
         pinned: &mut Vec<u16>,
         served: usize,
         due: usize,
-    ) -> Result<(), DpError> {
+    ) -> Result<(), BudgetTripped> {
         self.nodes += 1;
-        if self.nodes > self.max_nodes {
-            return Err(DpError::TooLarge {
-                states: self.nodes,
-                cap: self.max_nodes,
-            });
-        }
+        check_node(self.budget, self.nodes)?;
         if self.score() >= self.best || t > self.horizon {
             return Ok(());
         }
@@ -208,9 +203,34 @@ pub fn sched_min(
     initial_bound: Option<u64>,
     max_nodes: usize,
 ) -> Result<u64, DpError> {
+    let budget = Budget::unlimited().with_max_states(max_nodes);
+    match sched_min_governed(workload, cfg, objective, horizon, initial_bound, &budget)? {
+        SearchOutcome::Complete(v) => Ok(v),
+        SearchOutcome::Truncated {
+            incumbent, nodes, ..
+        } => Err(DpError::TooLarge {
+            states: nodes,
+            cap: max_nodes,
+            incumbent,
+        }),
+    }
+}
+
+/// Budget-governed [`sched_min`]: instead of erroring when a limit
+/// trips, returns [`SearchOutcome::Truncated`] whose `incumbent` is the
+/// best score the search itself achieved before the trip (the seeded
+/// `initial_bound`, never achieved by this search, is not reported).
+pub fn sched_min_governed(
+    workload: &Workload,
+    cfg: SimConfig,
+    objective: Objective,
+    horizon: Time,
+    initial_bound: Option<u64>,
+    budget: &Budget,
+) -> Result<SearchOutcome, DpError> {
     let inst = DpInstance::build(workload, &cfg)?;
     if workload.is_empty() {
-        return Ok(0);
+        return Ok(SearchOutcome::Complete(0));
     }
     let p = inst.num_cores();
     let due = p; // every core's first request is due at t = 1
@@ -226,18 +246,26 @@ pub fn sched_min(
             .map(|b| b.saturating_add(1))
             .unwrap_or(u64::MAX),
         nodes: 0,
-        max_nodes,
+        budget,
         horizon,
     };
     let seeded = search.best;
     let mut pinned = Vec::new();
-    search.go(1, 0, &mut pinned, 0, due)?;
-    if search.best == u64::MAX || (initial_bound.is_some() && search.best == seeded) {
-        return Err(DpError::Model(format!(
-            "no schedule completed within horizon {horizon} under the given bound; raise them"
-        )));
+    match search.go(1, 0, &mut pinned, 0, due) {
+        Ok(()) => {
+            if search.best == u64::MAX || (initial_bound.is_some() && search.best == seeded) {
+                return Err(DpError::Model(format!(
+                    "no schedule completed within horizon {horizon} under the given bound; raise them"
+                )));
+            }
+            Ok(SearchOutcome::Complete(search.best))
+        }
+        Err(BudgetTripped(reason)) => Ok(SearchOutcome::Truncated {
+            reason,
+            incumbent: (search.best < seeded).then_some(search.best),
+            nodes: search.nodes,
+        }),
     }
-    Ok(search.best)
 }
 
 #[cfg(test)]
@@ -311,6 +339,26 @@ mod tests {
         let plain = brute_force_min_faults(&w, cfg, NODES).unwrap();
         let sched = sched_min(&w, cfg, Objective::Faults, h, None, NODES).unwrap();
         assert_eq!(plain, sched);
+    }
+
+    #[test]
+    fn governed_deadline_truncates_with_reason() {
+        use mcp_core::TripReason;
+        use std::time::Duration;
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(2, 1);
+        let h = horizon(&w, cfg);
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let out = sched_min_governed(&w, cfg, Objective::Faults, h, None, &budget).unwrap();
+        let SearchOutcome::Truncated { reason, .. } = out else {
+            panic!("zero deadline must truncate")
+        };
+        assert_eq!(reason, TripReason::Deadline);
+        // And an unlimited governed run agrees with the ungoverned one.
+        let plain = sched_min(&w, cfg, Objective::Faults, h, None, NODES).unwrap();
+        let full =
+            sched_min_governed(&w, cfg, Objective::Faults, h, None, &Budget::unlimited()).unwrap();
+        assert_eq!(full, SearchOutcome::Complete(plain));
     }
 
     #[test]

@@ -13,13 +13,56 @@
 //!   workloads; tests assert equality with the DP optimum.
 
 use crate::state::{DpError, DpInstance};
-use mcp_core::{SimConfig, Time, Workload};
+use mcp_core::{Budget, SimConfig, Time, TripReason, Workload};
 
 #[derive(Clone, Copy, Debug)]
 struct Slot {
     page: u16,
     owner: usize,
     ready_at: Time,
+}
+
+/// Outcome of a budget-governed exhaustive search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// The search space was exhausted: the value is exact.
+    Complete(u64),
+    /// The budget tripped mid-search. `incumbent` is the best objective
+    /// score found so far (an achievable upper bound), if any schedule
+    /// completed before the trip. Searches carry no checkpoint — their
+    /// DFS state is a call stack, not a layer.
+    Truncated {
+        /// Why the budget tripped.
+        reason: TripReason,
+        /// Best achievable score found before the trip.
+        incumbent: Option<u64>,
+        /// Nodes expanded before the trip.
+        nodes: usize,
+    },
+}
+
+/// Internal unwind marker: the budget tripped somewhere down the DFS.
+pub(crate) struct BudgetTripped(pub(crate) TripReason);
+
+/// How many node expansions between full budget checks (a full check
+/// costs an `Instant::now()`); the state cap is still enforced on every
+/// node.
+pub(crate) const CHECK_MASK: usize = 0xFFF;
+
+/// Shared per-node governance for the DFS searches: exact state-cap
+/// enforcement, periodic deadline/cancellation checks.
+pub(crate) fn check_node(budget: &Budget, nodes: usize) -> Result<(), BudgetTripped> {
+    if let Some(cap) = budget.max_states() {
+        if nodes > cap {
+            return Err(BudgetTripped(TripReason::StateCap { states: nodes, cap }));
+        }
+    }
+    // Fire on the first node (so tiny searches still observe deadlines
+    // and cancellation), then every CHECK_MASK + 1 nodes.
+    if nodes & CHECK_MASK == 1 {
+        budget.check(nodes, 0).map_err(BudgetTripped)?;
+    }
+    Ok(())
 }
 
 /// What the exhaustive search minimizes.
@@ -52,7 +95,7 @@ struct Search<'a> {
     objective: Objective,
     best: u64,
     nodes: usize,
-    max_nodes: usize,
+    budget: &'a Budget,
     restricted_fitf: bool,
 }
 
@@ -61,7 +104,7 @@ impl<'a> Search<'a> {
         inst: &'a DpInstance,
         restricted_fitf: bool,
         objective: Objective,
-        max_nodes: usize,
+        budget: &'a Budget,
     ) -> Self {
         let p = inst.num_cores();
         let occurrences = inst
@@ -87,7 +130,7 @@ impl<'a> Search<'a> {
             objective,
             best: u64::MAX,
             nodes: 0,
-            max_nodes,
+            budget,
             restricted_fitf,
         }
     }
@@ -162,15 +205,10 @@ impl<'a> Search<'a> {
 
     /// Serve everything from time `t`, cores starting at `core`, exploring
     /// all victim choices. `req` is the timestep's request snapshot.
-    /// Returns `Err` if the node budget is exhausted.
-    fn go(&mut self, t: Time, core: usize, req: &[u16]) -> Result<(), DpError> {
+    /// Returns `Err` if the budget tripped.
+    fn go(&mut self, t: Time, core: usize, req: &[u16]) -> Result<(), BudgetTripped> {
         self.nodes += 1;
-        if self.nodes > self.max_nodes {
-            return Err(DpError::TooLarge {
-                states: self.nodes,
-                cap: self.max_nodes,
-            });
-        }
+        check_node(self.budget, self.nodes)?;
         // Both objectives are monotone along a path (faults only grow;
         // completion only grows), so bound-pruning is sound for either.
         if self.score() >= self.best {
@@ -264,6 +302,31 @@ impl<'a> Search<'a> {
     }
 }
 
+/// Governed core: run the search under `budget`, returning either the
+/// exact optimum or a truncated outcome with the incumbent found so far.
+fn run_governed(
+    workload: &Workload,
+    cfg: SimConfig,
+    restricted: bool,
+    objective: Objective,
+    budget: &Budget,
+) -> Result<SearchOutcome, DpError> {
+    let inst = DpInstance::build(workload, &cfg)?;
+    if workload.is_empty() {
+        return Ok(SearchOutcome::Complete(0));
+    }
+    let mut search = Search::new(&inst, restricted, objective, budget);
+    let req = search.request_snapshot(1);
+    match search.go(1, 0, &req) {
+        Ok(()) => Ok(SearchOutcome::Complete(search.best)),
+        Err(BudgetTripped(reason)) => Ok(SearchOutcome::Truncated {
+            reason,
+            incumbent: (search.best < u64::MAX).then_some(search.best),
+            nodes: search.nodes,
+        }),
+    }
+}
+
 fn run(
     workload: &Workload,
     cfg: SimConfig,
@@ -271,14 +334,17 @@ fn run(
     objective: Objective,
     max_nodes: usize,
 ) -> Result<u64, DpError> {
-    let inst = DpInstance::build(workload, &cfg)?;
-    if workload.is_empty() {
-        return Ok(0);
+    let budget = Budget::unlimited().with_max_states(max_nodes);
+    match run_governed(workload, cfg, restricted, objective, &budget)? {
+        SearchOutcome::Complete(v) => Ok(v),
+        SearchOutcome::Truncated {
+            incumbent, nodes, ..
+        } => Err(DpError::TooLarge {
+            states: nodes,
+            cap: max_nodes,
+            incumbent,
+        }),
     }
-    let mut search = Search::new(&inst, restricted, objective, max_nodes);
-    let req = search.request_snapshot(1);
-    search.go(1, 0, &req)?;
-    Ok(search.best)
 }
 
 /// Honest exhaustive minimum total faults: branch over every resident
@@ -289,6 +355,17 @@ pub fn brute_force_min_faults(
     max_nodes: usize,
 ) -> Result<u64, DpError> {
     run(workload, cfg, false, Objective::Faults, max_nodes)
+}
+
+/// Budget-governed [`brute_force_min_faults`]: instead of erroring when a
+/// limit trips, returns [`SearchOutcome::Truncated`] with the best fault
+/// count found so far (a valid upper bound on the optimum).
+pub fn brute_force_min_faults_governed(
+    workload: &Workload,
+    cfg: SimConfig,
+    budget: &Budget,
+) -> Result<SearchOutcome, DpError> {
+    run_governed(workload, cfg, false, Objective::Faults, budget)
 }
 
 /// Honest exhaustive minimum *makespan* (Hassidim's objective, but within
@@ -489,6 +566,33 @@ mod tests {
         let w = wl(&[&[1, 2, 3, 4, 1, 2, 3, 4], &[5, 6, 7, 8, 5, 6, 7, 8]]);
         let err = brute_force_min_faults(&w, SimConfig::new(3, 1), 10).unwrap_err();
         assert!(matches!(err, DpError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn governed_truncation_incumbent_upper_bounds_optimum() {
+        use mcp_core::{Budget, TripReason};
+        let w = wl(&[&[1, 2, 3, 4, 1, 2, 3, 4], &[5, 6, 7, 8, 5, 6, 7, 8]]);
+        let cfg = SimConfig::new(3, 1);
+        // DFS dives to a complete schedule quickly, so even a modest node
+        // cap leaves an incumbent behind.
+        let budget = Budget::unlimited().with_max_states(5_000);
+        let out = brute_force_min_faults_governed(&w, cfg, &budget).unwrap();
+        let SearchOutcome::Truncated {
+            reason,
+            incumbent,
+            nodes,
+        } = out
+        else {
+            panic!("node cap must truncate")
+        };
+        assert!(matches!(reason, TripReason::StateCap { .. }));
+        assert!(nodes > 5_000);
+        let opt = brute_force_min_faults(&w, cfg, NODES).unwrap();
+        let ub = incumbent.expect("a full schedule was reached before the cap");
+        assert!(opt <= ub, "incumbent {ub} below optimum {opt}");
+        // Unlimited governed search completes with the exact optimum.
+        let full = brute_force_min_faults_governed(&w, cfg, &Budget::unlimited()).unwrap();
+        assert_eq!(full, SearchOutcome::Complete(opt));
     }
 
     #[test]

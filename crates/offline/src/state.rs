@@ -34,8 +34,14 @@ pub(crate) fn pool_for(jobs: usize, tasks: usize) -> mcp_exec::Pool {
 pub enum DpError {
     /// More than 64 distinct pages (the configuration bitmask is a `u64`).
     UniverseTooLarge { pages: usize },
-    /// The state space exceeded the configured cap.
-    TooLarge { states: usize, cap: usize },
+    /// The state space exceeded the configured cap. `incumbent` carries
+    /// the best fault count known when the cap tripped (an achievable
+    /// upper bound), so the work done is not discarded with the error.
+    TooLarge {
+        states: usize,
+        cap: usize,
+        incumbent: Option<u64>,
+    },
     /// The workload/config combination is malformed.
     Model(String),
 }
@@ -49,8 +55,16 @@ impl fmt::Display for DpError {
                     "page universe has {pages} pages; the DP supports at most 64"
                 )
             }
-            DpError::TooLarge { states, cap } => {
-                write!(f, "DP state space exceeded {cap} states (reached {states})")
+            DpError::TooLarge {
+                states,
+                cap,
+                incumbent,
+            } => {
+                write!(f, "DP state space exceeded {cap} states (reached {states})")?;
+                if let Some(ub) = incumbent {
+                    write!(f, "; best known faults so far: {ub}")?;
+                }
+                Ok(())
             }
             DpError::Model(msg) => write!(f, "model error: {msg}"),
         }
@@ -262,6 +276,31 @@ pub fn for_each_successor_config(
     }
 }
 
+/// Serve `state` to completion taking the *first* lazy successor at
+/// every step, returning the number of additional faults incurred. This
+/// is a cheap achievable completion — governed DP runs use it to turn a
+/// truncated frontier into a genuine incumbent upper bound for the
+/// anytime bracket (the completion is honest/lazy, so it is a feasible
+/// schedule in the paper's model).
+pub fn greedy_completion_faults(inst: &DpInstance, state: &StateKey) -> u64 {
+    let mut config = state.0;
+    let mut positions = state.1.clone();
+    let mut faults = 0u64;
+    while !inst.all_finished(&positions) {
+        let effect = step_effect(inst, config, &positions);
+        faults += u64::from(effect.fault_count());
+        let mut chosen = None;
+        for_each_successor_config(inst, config, &effect, true, |cfg| {
+            if chosen.is_none() {
+                chosen = Some(cfg);
+            }
+        });
+        config = chosen.expect("a lazy successor always exists");
+        positions = effect.next_positions;
+    }
+    faults
+}
+
 /// A fully identified DP state.
 pub type StateKey = (u64, Box<[u32]>);
 
@@ -369,6 +408,25 @@ mod tests {
         for_each_successor_config(&inst, 0b011, &effect, false, |c| all.push(c));
         all.sort_unstable();
         assert_eq!(all, vec![0b100, 0b101, 0b110, 0b111]);
+    }
+
+    #[test]
+    fn greedy_completion_counts_faults_from_start() {
+        // Everything fits (K = 4): greedy completion from the start state
+        // pays exactly the cold misses.
+        let w = wl(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let inst = DpInstance::build(&w, &SimConfig::new(4, 1)).unwrap();
+        let start: StateKey = (0, inst.start_positions());
+        assert_eq!(greedy_completion_faults(&inst, &start), 4);
+        // A terminal state completes with zero additional faults.
+        let done: StateKey = (
+            0,
+            (0..inst.num_cores())
+                .map(|i| inst.end_pos(i) as u32)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        );
+        assert_eq!(greedy_completion_faults(&inst, &done), 0);
     }
 
     #[test]

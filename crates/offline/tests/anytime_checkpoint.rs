@@ -1,0 +1,269 @@
+//! The resource-governance contract of the exact solvers, end to end:
+//! wherever a budget trips, the anytime bracket `[lower_bound,
+//! incumbent]` contains the true optimum; a truncated run resumed from
+//! its checkpoint — through on-disk bytes, at any worker count, even
+//! chained through several trips — reproduces the uninterrupted result
+//! bit for bit (min faults, state counts, witness schedule).
+
+use mcp_core::budget::{request_cancel, reset_cancel};
+use mcp_core::{Budget, SimConfig, TripReason, Workload};
+use mcp_offline::{
+    ftf_dp, ftf_dp_governed, pif_decide, pif_decide_governed, FtfCheckpoint, FtfOptions,
+    FtfOutcome, FtfResult, FtfTruncated, PifCheckpoint, PifOptions, PifOutcome,
+};
+use std::time::Duration;
+
+fn wl(seqs: &[&[u32]]) -> Workload {
+    Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+}
+
+/// A contended two-core workload big enough for several buckets.
+fn contended(n: usize) -> Workload {
+    Workload::from_u32([
+        (0..n).map(|i| (i % 3) as u32).collect::<Vec<_>>(),
+        (0..n).map(|i| 10 + (i % 4) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap()
+}
+
+fn opts(jobs: usize) -> FtfOptions {
+    FtfOptions {
+        reconstruct: true,
+        jobs,
+        ..Default::default()
+    }
+}
+
+fn full_run(w: &Workload, cfg: SimConfig) -> FtfResult {
+    ftf_dp(w, cfg, opts(1)).unwrap()
+}
+
+/// Run governed to completion, resuming through serialized checkpoint
+/// bytes every time the state cap trips; returns the final result and
+/// the number of trips taken.
+fn run_chained(w: &Workload, cfg: SimConfig, jobs: usize, cap_step: usize) -> (FtfResult, usize) {
+    let mut trips = 0;
+    let mut cap = cap_step;
+    let mut snapshot: Option<Vec<u8>> = None;
+    loop {
+        let budget = Budget::unlimited().with_max_states(cap);
+        let resume = snapshot
+            .as_ref()
+            .map(|bytes| FtfCheckpoint::from_bytes(bytes).expect("roundtrip"));
+        match ftf_dp_governed(w, cfg, opts(jobs), &budget, resume.as_ref()).unwrap() {
+            FtfOutcome::Complete(r) => return (r, trips),
+            FtfOutcome::Truncated(t) => {
+                assert!(matches!(t.reason, TripReason::StateCap { .. }));
+                trips += 1;
+                assert!(trips < 100, "must converge");
+                cap += cap_step;
+                snapshot = Some(t.checkpoint.to_bytes());
+            }
+        }
+    }
+}
+
+#[test]
+fn bracket_contains_the_optimum_wherever_the_cap_trips() {
+    let cases = [
+        (contended(14), SimConfig::new(3, 1)),
+        (
+            wl(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8, 7, 8]]),
+            SimConfig::new(3, 1),
+        ),
+        (wl(&[&[1, 2, 1, 2], &[9, 8, 9, 8]]), SimConfig::new(2, 0)),
+    ];
+    for (w, cfg) in &cases {
+        let opt = full_run(w, *cfg).min_faults;
+        let mut saw_truncation = false;
+        for cap in [1usize, 2, 5, 10, 25, 100, 500, 5000] {
+            let budget = Budget::unlimited().with_max_states(cap);
+            match ftf_dp_governed(w, *cfg, opts(1), &budget, None).unwrap() {
+                FtfOutcome::Complete(r) => assert_eq!(r.min_faults, opt),
+                FtfOutcome::Truncated(FtfTruncated {
+                    lower_bound,
+                    incumbent,
+                    ..
+                }) => {
+                    saw_truncation = true;
+                    assert!(
+                        lower_bound <= opt && opt <= incumbent,
+                        "cap {cap}: bracket [{lower_bound}, {incumbent}] must contain {opt}"
+                    );
+                }
+            }
+        }
+        assert!(saw_truncation, "at least the tiny caps must trip");
+    }
+}
+
+#[test]
+fn resume_reproduces_the_full_run_at_every_worker_count() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+    let full = full_run(&w, cfg);
+    for jobs in [1usize, 2, 4] {
+        // Trip once mid-run, then resume without a budget.
+        let budget = Budget::unlimited().with_max_states(10);
+        let t = match ftf_dp_governed(&w, cfg, opts(jobs), &budget, None).unwrap() {
+            FtfOutcome::Truncated(t) => t,
+            FtfOutcome::Complete(_) => panic!("cap 10 must trip"),
+        };
+        let resumed = match ftf_dp_governed(
+            &w,
+            cfg,
+            opts(jobs),
+            &Budget::unlimited(),
+            Some(&t.checkpoint),
+        )
+        .unwrap()
+        {
+            FtfOutcome::Complete(r) => r,
+            FtfOutcome::Truncated(_) => panic!("unlimited resume must complete"),
+        };
+        assert_eq!(resumed.min_faults, full.min_faults, "jobs={jobs}");
+        assert_eq!(resumed.states, full.states, "jobs={jobs}");
+        assert_eq!(
+            resumed.schedule.as_ref().unwrap().decisions,
+            full.schedule.as_ref().unwrap().decisions,
+            "witness schedule must be identical, jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn chained_checkpoints_converge_to_the_same_answer() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+    let full = full_run(&w, cfg);
+    for jobs in [1usize, 4] {
+        let (r, trips) = run_chained(&w, cfg, jobs, 25);
+        assert!(trips >= 2, "step 25 must trip several times (got {trips})");
+        assert_eq!(r.min_faults, full.min_faults);
+        assert_eq!(r.states, full.states);
+        assert_eq!(
+            r.schedule.as_ref().unwrap().decisions,
+            full.schedule.as_ref().unwrap().decisions
+        );
+    }
+}
+
+#[test]
+fn checkpoint_survives_the_disk_and_rejects_corruption() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+    let budget = Budget::unlimited().with_max_states(10);
+    let t = match ftf_dp_governed(&w, cfg, opts(1), &budget, None).unwrap() {
+        FtfOutcome::Truncated(t) => t,
+        FtfOutcome::Complete(_) => panic!("cap 10 must trip"),
+    };
+
+    let dir = std::env::temp_dir().join(format!("mcp_anytime_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ftf.ckpt");
+    t.checkpoint.save(&path).unwrap();
+    let loaded = FtfCheckpoint::load(&path).unwrap();
+    assert_eq!(loaded.to_bytes(), t.checkpoint.to_bytes());
+
+    // Any flipped byte is caught by the checksum (or the parser).
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(FtfCheckpoint::load(&path).is_err());
+
+    // A checkpoint from a different instance is rejected by fingerprint.
+    let other = wl(&[&[1, 2, 1, 2], &[9, 8, 9, 8]]);
+    let err = ftf_dp_governed(
+        &other,
+        SimConfig::new(2, 0),
+        opts(1),
+        &budget,
+        Some(&t.checkpoint),
+    );
+    assert!(err.is_err(), "foreign checkpoint must be rejected");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_deadline_and_cancellation_both_trip() {
+    let w = contended(10);
+    let cfg = SimConfig::new(3, 1);
+
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    match ftf_dp_governed(&w, cfg, opts(1), &budget, None).unwrap() {
+        FtfOutcome::Truncated(t) => assert_eq!(t.reason, TripReason::Deadline),
+        FtfOutcome::Complete(_) => panic!("zero deadline must trip"),
+    }
+
+    reset_cancel();
+    request_cancel();
+    let budget = Budget::unlimited().with_global_cancel();
+    match ftf_dp_governed(&w, cfg, opts(1), &budget, None).unwrap() {
+        FtfOutcome::Truncated(t) => assert_eq!(t.reason, TripReason::Cancelled),
+        FtfOutcome::Complete(_) => panic!("cancellation must trip"),
+    }
+    reset_cancel();
+
+    // With the flag cleared the same budget no longer trips.
+    match ftf_dp_governed(&w, cfg, opts(1), &budget, None).unwrap() {
+        FtfOutcome::Complete(_) => {}
+        FtfOutcome::Truncated(t) => panic!("cleared cancel flag must not trip: {:?}", t.reason),
+    }
+}
+
+#[test]
+fn pif_resume_matches_the_direct_decision_at_every_worker_count() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+    let horizon = 16;
+    for bounds in [&[3u64, 3][..], &[0, 0][..], &[8, 8][..]] {
+        let direct = pif_decide(&w, cfg, horizon, bounds, PifOptions::default()).unwrap();
+        for jobs in [1usize, 2, 4] {
+            let po = PifOptions {
+                jobs,
+                ..Default::default()
+            };
+            // Trip at the first layer boundary, roundtrip through bytes,
+            // then finish without a budget.
+            let t = match pif_decide_governed(
+                &w,
+                cfg,
+                horizon,
+                bounds,
+                po,
+                &Budget::unlimited().with_deadline(Duration::ZERO),
+                None,
+            )
+            .unwrap()
+            {
+                PifOutcome::Truncated(t) => t,
+                PifOutcome::Decided(ans) => {
+                    // Bounds like [0,0] can be refuted before the first
+                    // budget check; the direct answer must agree.
+                    assert_eq!(ans, direct, "bounds {bounds:?} jobs={jobs}");
+                    continue;
+                }
+            };
+            let bytes = t.checkpoint.to_bytes();
+            let resume = PifCheckpoint::from_bytes(&bytes).unwrap();
+            match pif_decide_governed(
+                &w,
+                cfg,
+                horizon,
+                bounds,
+                po,
+                &Budget::unlimited(),
+                Some(&resume),
+            )
+            .unwrap()
+            {
+                PifOutcome::Decided(ans) => {
+                    assert_eq!(ans, direct, "bounds {bounds:?} jobs={jobs}")
+                }
+                PifOutcome::Truncated(_) => panic!("unlimited resume must decide"),
+            }
+        }
+    }
+}
