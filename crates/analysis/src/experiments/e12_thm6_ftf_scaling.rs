@@ -51,6 +51,7 @@ impl Experiment for E12 {
                     "states (raw DP)",
                     "states (pruned)",
                     "time (ms)",
+                    "states/s",
                 ],
             );
             let mut points = Vec::new();
@@ -76,12 +77,20 @@ impl Experiment for E12 {
                 // Fit the exponent on the *raw* DP — the object Theorem 6
                 // bounds; pruning is our engineering ablation on top.
                 points.push((n as f64, raw_states as f64));
+                // 0 under --no-timing (stopwatches read 0), keeping the
+                // JSON reports bit-comparable across runs.
+                let rate = if ms > 0.0 {
+                    raw_states as f64 / (ms / 1e3)
+                } else {
+                    0.0
+                };
                 table.row(vec![
                     n.to_string(),
                     min_faults.to_string(),
                     raw_states.to_string(),
                     pruned_states.to_string(),
                     fmt(ms),
+                    fmt(rate),
                 ]);
             }
             n_exponent = growth_exponent(&points);

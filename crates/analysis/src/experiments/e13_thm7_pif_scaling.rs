@@ -7,7 +7,7 @@ use crate::report::{Report, Table, Verdict};
 use crate::stats::{fmt, growth_exponent};
 use crate::timing::Stopwatch;
 use mcp_core::{SimConfig, Workload};
-use mcp_offline::{pif_decide, PifOptions};
+use mcp_offline::{pif_decide_with_stats, PifOptions};
 
 /// See module docs.
 pub struct E13;
@@ -48,6 +48,7 @@ impl Experiment for E13 {
                 "time (ms)",
                 "tight bounds",
                 "time (ms)",
+                "states/s",
             ],
         );
         let mut points = Vec::new();
@@ -57,23 +58,32 @@ impl Experiment for E13 {
             let horizon = (2 * n) as u64;
 
             let sw = Stopwatch::start();
-            let generous = pif_decide(&w, cfg, horizon, &[n as u64, n as u64], opts).unwrap();
+            let (generous, gs) =
+                pif_decide_with_stats(&w, cfg, horizon, &[n as u64, n as u64], opts).unwrap();
             let t1 = sw.ms();
 
             let sw = Stopwatch::start();
-            let tight = pif_decide(&w, cfg, horizon, &[1, 1], opts).unwrap();
+            let (tight, ts) = pif_decide_with_stats(&w, cfg, horizon, &[1, 1], opts).unwrap();
             let t2 = sw.ms();
 
-            (generous, t1, tight, t2)
+            (generous, t1, tight, t2, gs.expansions + ts.expansions)
         });
-        for (&n, &(generous, t1, tight, t2)) in ns.iter().zip(&rows) {
+        for (&n, &(generous, t1, tight, t2, expansions)) in ns.iter().zip(&rows) {
             points.push((n as f64, (t1 + t2).max(1e-3)));
+            // Vector expansions per second across both decisions; 0 under
+            // --no-timing so JSON reports stay bit-comparable.
+            let rate = if t1 + t2 > 0.0 {
+                expansions as f64 / ((t1 + t2) / 1e3)
+            } else {
+                0.0
+            };
             table.row(vec![
                 n.to_string(),
                 generous.to_string(),
                 fmt(t1),
                 tight.to_string(),
                 fmt(t2),
+                fmt(rate),
             ]);
         }
         let exponent = growth_exponent(&points);

@@ -1,0 +1,128 @@
+//! DP state-engine throughput on the E12/E13 scaling families: how many
+//! Algorithm 1 states (and Algorithm 2 layers) per second the engine
+//! expands. This is the number that gates the practical reach of the
+//! exact solvers — Theorems 6 and 7 are polynomial in `n` but the
+//! constant factor decides how far the sweeps can go.
+//!
+//! The `ftf` group reports true states/sec (the state count is
+//! worker-count- and representation-invariant, so pre/post baselines are
+//! directly comparable). The `pif` group reports layers (timesteps)
+//! served per second for the same reason; per-expansion rates are
+//! available from `mcp pif --stats`.
+//!
+//! Both DPs are pinned to `jobs = 1`: this measures the engine, not the
+//! pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcp_bench::dp_family;
+use mcp_core::SimConfig;
+use mcp_offline::{ftf_dp, pif_decide, FtfOptions, PifOptions};
+use std::hint::black_box;
+
+fn ftf_opts() -> FtfOptions {
+    FtfOptions {
+        jobs: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_ftf(c: &mut Criterion) {
+    // E12's family: two cores alternating private pages, K = 2, tau = 1.
+    for n in [32usize, 64, 128] {
+        let w = dp_family(n);
+        let cfg = SimConfig::new(2, 1);
+        let states = ftf_dp(&w, cfg, ftf_opts()).unwrap().states;
+        let mut group = c.benchmark_group("dp_throughput/ftf_states");
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = ftf_dp(black_box(&w), cfg, ftf_opts()).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+        group.finish();
+    }
+    // The tau axis at fixed n (Theorem 6's (tau+1)^p factor).
+    for tau in [4u64, 8] {
+        let w = dp_family(32);
+        let cfg = SimConfig::new(2, tau);
+        let states = ftf_dp(&w, cfg, ftf_opts()).unwrap().states;
+        let mut group = c.benchmark_group("dp_throughput/ftf_states_tau");
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, _| {
+            b.iter(|| {
+                let r = ftf_dp(black_box(&w), cfg, ftf_opts()).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+        group.finish();
+    }
+    // Raw (unpruned) Algorithm 1 — the exact object Theorem 6 bounds.
+    {
+        let w = dp_family(48);
+        let cfg = SimConfig::new(2, 1);
+        let opts = FtfOptions {
+            prune: false,
+            jobs: 1,
+            ..Default::default()
+        };
+        let states = ftf_dp(&w, cfg, opts).unwrap().states;
+        let mut group = c.benchmark_group("dp_throughput/ftf_states_raw");
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(48), &48, |b, _| {
+            b.iter(|| {
+                let r = ftf_dp(black_box(&w), cfg, opts).unwrap();
+                black_box(r.min_faults)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_pif(c: &mut Criterion) {
+    // E13's family, honest transitions, generous and tight bounds.
+    let opts = PifOptions {
+        full_transitions: false,
+        jobs: 1,
+        ..Default::default()
+    };
+    for n in [16usize, 32, 64] {
+        let w = dp_family(n);
+        let cfg = SimConfig::new(2, 1);
+        let horizon = (2 * n) as u64;
+        let bounds = [n as u64, n as u64];
+        let mut group = c.benchmark_group("dp_throughput/pif_layers");
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ans = pif_decide(black_box(&w), cfg, horizon, &bounds, opts).unwrap();
+                black_box(ans)
+            })
+        });
+        group.finish();
+    }
+    // Full transition relation (voluntary evictions): the heavy regime.
+    {
+        let n = 24usize;
+        let w = dp_family(n);
+        let cfg = SimConfig::new(2, 1);
+        let horizon = (2 * n) as u64;
+        let bounds = [n as u64, n as u64];
+        let opts = PifOptions {
+            jobs: 1,
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("dp_throughput/pif_layers_full");
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ans = pif_decide(black_box(&w), cfg, horizon, &bounds, opts).unwrap();
+                black_box(ans)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ftf, bench_pif);
+criterion_main!(benches);

@@ -51,7 +51,9 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (take no value).
-const FLAGS: &[&str] = &["fairness", "schedule", "text", "full", "help", "quiet"];
+const FLAGS: &[&str] = &[
+    "fairness", "schedule", "text", "full", "help", "quiet", "stats", "json",
+];
 
 impl Args {
     /// Parse a token stream (excluding the program name).

@@ -111,6 +111,42 @@ pub fn budget_from(args: &Args) -> Result<mcp_core::Budget, CliError> {
     Ok(budget)
 }
 
+/// Print DP engine statistics (`--stats`) to stderr, keeping stdout
+/// clean for the command's result. `--json` swaps the human-readable
+/// line for a single machine-readable JSON object. The throughput field
+/// is 0 when the elapsed time is too small to measure.
+pub fn emit_stats(
+    algo: &str,
+    stats: &mcp_offline::DpStats,
+    elapsed: std::time::Duration,
+    json: bool,
+) {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        stats.states as f64 / secs
+    } else {
+        0.0
+    };
+    if json {
+        eprintln!(
+            "{{\"algo\":\"{algo}\",\"states\":{},\"expansions\":{},\"peak_arena_bytes\":{},\
+             \"dedup_load_factor\":{:.4},\"elapsed_sec\":{:.6},\"states_per_sec\":{:.1}}}",
+            stats.states,
+            stats.expansions,
+            stats.peak_arena_bytes,
+            stats.dedup_load_factor,
+            secs,
+            rate
+        );
+    } else {
+        eprintln!(
+            "[stats] {algo}: {} states, {} expansions, peak arena {} bytes, \
+             dedup load {:.2}, {:.0} states/sec",
+            stats.states, stats.expansions, stats.peak_arena_bytes, stats.dedup_load_factor, rate
+        );
+    }
+}
+
 /// Read `--trace`, `--k`, `--tau` into a ready instance.
 pub fn load_instance(args: &Args) -> Result<(Workload, SimConfig), CliError> {
     let trace = args.require("trace")?;

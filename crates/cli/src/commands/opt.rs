@@ -2,24 +2,28 @@
 //!
 //! ```text
 //! mcp opt --trace w.json --k 3 --tau 1 [--schedule] [--max-states N]
-//!         [--deadline DUR] [--checkpoint FILE]
+//!         [--deadline DUR] [--checkpoint FILE] [--stats] [--json]
 //! ```
 //!
 //! With `--deadline`, a run that exceeds the budget exits 3 after
 //! printing the anytime bracket `[lower_bound, incumbent]`; with
 //! `--checkpoint FILE` the truncated frontier is also saved there, and
 //! re-running the same command resumes from the snapshot (the file is
-//! removed on completion).
+//! removed on completion). `--stats` prints DP engine statistics
+//! (states, expansions, peak arena bytes, dedup-table load factor,
+//! states/sec) to stderr; `--json` makes that line machine-readable.
 
-use super::{budget_from, load_instance, CliError};
+use super::{budget_from, emit_stats, load_instance, CliError};
 use crate::args::Args;
-use mcp_offline::{ftf_dp, ftf_dp_governed, FtfCheckpoint, FtfOptions, FtfOutcome, FtfResult};
+use mcp_core::Budget;
+use mcp_offline::{ftf_dp_governed_with_stats, FtfCheckpoint, FtfOptions, FtfOutcome, FtfResult};
 
 /// Run `mcp opt`.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let (workload, cfg) = load_instance(args)?;
     let reconstruct = args.flag("schedule");
     let max_states: usize = args.parse_or("max-states", 4_000_000usize)?;
+    let want_stats = args.flag("stats") || args.flag("json");
     let options = FtfOptions {
         reconstruct,
         max_states,
@@ -32,50 +36,65 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
 
     let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
-    let result: FtfResult = if args.get("deadline").is_some() || checkpoint_path.is_some() {
-        let budget = budget_from(args)?.with_max_states(max_states);
-        let resume: Option<FtfCheckpoint> = match &checkpoint_path {
-            Some(p) if p.exists() => Some(
-                FtfCheckpoint::load(p)
-                    .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
-            ),
-            _ => None,
-        };
-        let resumed = resume.is_some();
-        match ftf_dp_governed(&workload, cfg, options, &budget, resume.as_ref())
-            .map_err(too_large)?
-        {
-            FtfOutcome::Complete(r) => {
-                if let Some(p) = &checkpoint_path {
-                    if resumed {
-                        std::fs::remove_file(p).ok();
-                    }
-                }
-                r
-            }
-            FtfOutcome::Truncated(t) => {
-                let mut msg = format!(
-                    "opt truncated ({:?}) after {} states; anytime bracket: \
-                     {} <= optimum <= {}",
-                    t.reason, t.states, t.lower_bound, t.incumbent
-                );
-                match &checkpoint_path {
-                    Some(p) => {
-                        t.checkpoint
-                            .save(p)
-                            .map_err(|e| CliError::Other(format!("saving checkpoint: {e}")))?;
-                        msg.push_str(&format!(
-                            "; checkpoint saved to {} (re-run the same command to resume)",
-                            p.display()
-                        ));
-                    }
-                    None => msg.push_str("; pass --checkpoint FILE to make the run resumable"),
-                }
-                return Err(CliError::Partial(msg));
-            }
-        }
+    let governed = args.get("deadline").is_some() || checkpoint_path.is_some();
+    let budget = if governed {
+        budget_from(args)?.with_max_states(max_states)
     } else {
-        ftf_dp(&workload, cfg, options).map_err(too_large)?
+        // Same shape as the plain ftf_dp wrapper: only the state cap.
+        Budget::unlimited().with_max_states(max_states)
+    };
+    let resume: Option<FtfCheckpoint> = match &checkpoint_path {
+        Some(p) if p.exists() => Some(
+            FtfCheckpoint::load(p)
+                .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
+        ),
+        _ => None,
+    };
+    let resumed = resume.is_some();
+    let t0 = std::time::Instant::now();
+    let (outcome, stats) =
+        ftf_dp_governed_with_stats(&workload, cfg, options, &budget, resume.as_ref())
+            .map_err(too_large)?;
+    if want_stats {
+        emit_stats("ftf", &stats, t0.elapsed(), args.flag("json"));
+    }
+    let result: FtfResult = match outcome {
+        FtfOutcome::Complete(r) => {
+            if let Some(p) = &checkpoint_path {
+                if resumed {
+                    std::fs::remove_file(p).ok();
+                }
+            }
+            r
+        }
+        FtfOutcome::Truncated(t) if governed => {
+            let mut msg = format!(
+                "opt truncated ({:?}) after {} states; anytime bracket: \
+                 {} <= optimum <= {}",
+                t.reason, t.states, t.lower_bound, t.incumbent
+            );
+            match &checkpoint_path {
+                Some(p) => {
+                    t.checkpoint
+                        .save(p)
+                        .map_err(|e| CliError::Other(format!("saving checkpoint: {e}")))?;
+                    msg.push_str(&format!(
+                        "; checkpoint saved to {} (re-run the same command to resume)",
+                        p.display()
+                    ));
+                }
+                None => msg.push_str("; pass --checkpoint FILE to make the run resumable"),
+            }
+            return Err(CliError::Partial(msg));
+        }
+        FtfOutcome::Truncated(t) => {
+            // Ungoverned run over the state cap: same error as ftf_dp.
+            return Err(too_large(mcp_offline::DpError::TooLarge {
+                states: t.states,
+                cap: max_states,
+                incumbent: Some(t.incumbent),
+            }));
+        }
     };
 
     let mut out = format!(
@@ -119,6 +138,34 @@ mod tests {
         let out = run(&a).unwrap();
         assert!(out.contains("exact minimum total faults"));
         assert!(out.contains("core 0 request #0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_flags_do_not_disturb_the_result() {
+        let path = std::env::temp_dir()
+            .join(format!("mcp_cli_opt3_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let w = Workload::from_u32([vec![1, 2, 1, 2], vec![9, 8, 9, 8]]).unwrap();
+        mcp_workloads::save_json(&w, std::path::Path::new(&path)).unwrap();
+        let plain = run(&Args::parse(
+            format!("opt --trace {path} --k 3 --tau 1")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap())
+        .unwrap();
+        for extra in ["--stats", "--stats --json"] {
+            let out = run(&Args::parse(
+                format!("opt --trace {path} --k 3 --tau 1 {extra}")
+                    .split_whitespace()
+                    .map(String::from),
+            )
+            .unwrap())
+            .unwrap();
+            assert_eq!(out, plain, "{extra} changed stdout");
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! mcp pif --trace w.json --k 3 --tau 1 --at 20 --bounds 4,5
-//!         [--deadline DUR] [--checkpoint FILE]
+//!         [--deadline DUR] [--checkpoint FILE] [--stats] [--json]
 //! ```
 //!
 //! With `--deadline`, a run that exceeds the budget exits 3 reporting how
 //! many timesteps were decided; with `--checkpoint FILE` the live layer
 //! is also saved there, and re-running the same command resumes from the
-//! snapshot (the file is removed on completion).
+//! snapshot (the file is removed on completion). `--stats` prints DP
+//! engine statistics (peak live states, vector expansions, peak arena
+//! bytes, dedup-table load factor, states/sec) to stderr on the decision
+//! path; `--json` makes that line machine-readable.
 
-use super::{budget_from, load_instance, CliError};
+use super::{budget_from, emit_stats, load_instance, CliError};
 use crate::args::Args;
 use mcp_offline::{
-    pif_decide, pif_decide_governed, pif_witness, PifCheckpoint, PifOptions, PifOutcome,
+    pif_decide_governed_with_stats, pif_decide_with_stats, pif_witness, PifCheckpoint, PifOptions,
+    PifOutcome,
 };
 
 /// Run `mcp pif`.
@@ -64,6 +68,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         let too_large = |e: mcp_offline::DpError| {
             CliError::Other(format!("{e} (the DP is exponential in K and p)"))
         };
+        let want_stats = args.flag("stats") || args.flag("json");
         let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
         let feasible = if args.get("deadline").is_some() || checkpoint_path.is_some() {
             let budget = budget_from(args)?.with_max_states(opts.max_expansions);
@@ -75,7 +80,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 _ => None,
             };
             let resumed = resume.is_some();
-            match pif_decide_governed(
+            let t0 = std::time::Instant::now();
+            let (outcome, stats) = pif_decide_governed_with_stats(
                 &workload,
                 cfg,
                 checkpoint,
@@ -84,8 +90,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 &budget,
                 resume.as_ref(),
             )
-            .map_err(too_large)?
-            {
+            .map_err(too_large)?;
+            if want_stats {
+                emit_stats("pif", &stats, t0.elapsed(), args.flag("json"));
+            }
+            match outcome {
                 PifOutcome::Decided(ans) => {
                     if resumed {
                         if let Some(p) = &checkpoint_path {
@@ -116,7 +125,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 }
             }
         } else {
-            pif_decide(&workload, cfg, checkpoint, &bounds, opts).map_err(too_large)?
+            let t0 = std::time::Instant::now();
+            let (ans, stats) = pif_decide_with_stats(&workload, cfg, checkpoint, &bounds, opts)
+                .map_err(too_large)?;
+            if want_stats {
+                emit_stats("pif", &stats, t0.elapsed(), args.flag("json"));
+            }
+            ans
         };
         out = format!(
             "PIF(t = {checkpoint}, b = {bounds:?}) on p = {}, K = {}, tau = {}: {}\n",
@@ -179,6 +194,21 @@ mod tests {
         )))
         .unwrap();
         assert!(no.contains("no schedule exists"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_flags_do_not_disturb_the_decision() {
+        let path = setup();
+        let plain = run(&parse(&format!(
+            "pif --trace {path} --k 3 --tau 1 --at 30 --bounds 8,8"
+        )))
+        .unwrap();
+        let with_stats = run(&parse(&format!(
+            "pif --trace {path} --k 3 --tau 1 --at 30 --bounds 8,8 --stats --json"
+        )))
+        .unwrap();
+        assert_eq!(with_stats, plain);
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,9 +19,10 @@
 //! same bucket — the parallel fan-out is dependency-free by construction.
 
 use crate::checkpoint::{instance_fingerprint, FtfCheckpoint};
+use crate::intern::{StateArena, StateId, NO_STATE};
 use crate::state::{
-    for_each_successor_config, greedy_completion_faults, pool_for, step_effect, DpError,
-    DpInstance, StateKey,
+    for_each_successor_config_with, greedy_completion_faults, pool_for, step_effect,
+    step_effect_into, with_scratch, DpError, DpInstance, DpStats, StateKey, StepScratch,
 };
 use mcp_core::{Budget, PageId, SimConfig, Time, TripReason, Workload};
 use mcp_policies::ReplayDecision;
@@ -47,6 +48,13 @@ pub struct FtfOptions {
     /// setting, see [`mcp_exec::resolved_jobs`]). Any value yields the
     /// same result, states count included.
     pub jobs: usize,
+    /// Force the state arena onto its spilled (unpacked) representation
+    /// even when the instance fits the inline `u128` packing. Testing
+    /// hook: both representations are observationally identical, and the
+    /// cross-representation tests prove it. Not part of the checkpoint
+    /// fingerprint — snapshots are interchangeable across this flag.
+    #[doc(hidden)]
+    pub force_spill: bool,
 }
 
 impl Default for FtfOptions {
@@ -57,6 +65,7 @@ impl Default for FtfOptions {
             prune: true,
             max_states: 4_000_000,
             jobs: 0,
+            force_spill: false,
         }
     }
 }
@@ -123,12 +132,6 @@ fn ftf_option_bits(options: &FtfOptions) -> u64 {
     u64::from(options.lazy) | (u64::from(options.prune) << 1)
 }
 
-/// Rough per-state heap footprint (key + parent key + value + map
-/// overhead) for the budget's memory watermark.
-fn ftf_state_bytes(cores: usize) -> usize {
-    2 * (8 + 4 * cores) + 64
-}
-
 /// Exact minimum total faults (Algorithm 1). See [`FtfOptions`].
 ///
 /// This is the ungoverned entry point: it runs under a state-count
@@ -188,21 +191,55 @@ pub fn ftf_dp_governed(
     budget: &Budget,
     resume: Option<&FtfCheckpoint>,
 ) -> Result<FtfOutcome, DpError> {
+    ftf_dp_governed_with_stats(workload, cfg, options, budget, resume).map(|(o, _)| o)
+}
+
+/// [`ftf_dp_governed`] plus engine statistics ([`DpStats`]): states,
+/// expansions, peak arena bytes, and dedup-table load factor. The
+/// outcome is identical to [`ftf_dp_governed`]; the stats are
+/// diagnostics only (the `--stats` surface of `mcp opt`).
+pub fn ftf_dp_governed_with_stats(
+    workload: &Workload,
+    cfg: SimConfig,
+    options: FtfOptions,
+    budget: &Budget,
+    resume: Option<&FtfCheckpoint>,
+) -> Result<(FtfOutcome, DpStats), DpError> {
     let inst = DpInstance::build(workload, &cfg)?;
     let fingerprint = instance_fingerprint(&inst, ftf_option_bits(&options));
+    let p = inst.num_cores();
+    let end_sum: u64 = (0..p).map(|i| inst.end_pos(i)).sum();
+    let max_pos = (0..p).map(|i| inst.end_pos(i)).max().unwrap_or(1);
 
-    let sum = |pos: &[u32]| -> u64 { pos.iter().map(|&x| x as u64).sum() };
-
-    // best[state] = (min faults, parent along a best path)
-    let mut best: HashMap<StateKey, (u64, Option<StateKey>)> = HashMap::new();
-    let mut buckets: BTreeMap<u64, HashSet<StateKey>> = BTreeMap::new();
-    let mut best_terminal: Option<(u64, StateKey)> = None;
+    // The interned state engine: every state lives once in the arena and
+    // is referenced by StateId everywhere else — the per-state tables
+    // below are flat Vecs indexed by id.
+    let mut arena = StateArena::new(p, max_pos, options.force_spill);
+    let mut faults: Vec<u64> = Vec::new();
+    let mut parent: Vec<StateId> = Vec::new();
+    // The bucket of position sum s holds the unexpanded states of that
+    // sum. Every transition strictly increases the sum of every
+    // unfinished sequence's position, so an ascending sweep is a
+    // topological order and each state enters exactly one bucket exactly
+    // once (it can only be improved while its bucket is still pending).
+    // Buckets are intrusive chains — `bucket_head[s]` starts a list
+    // threaded through `next_in_bucket[id]` — so enqueueing a state costs
+    // two stores and no allocation. Chain order is irrelevant: each
+    // bucket is sorted canonically before expansion.
+    let mut bucket_head: Vec<StateId> = vec![NO_STATE; end_sum as usize + 1];
+    let mut next_in_bucket: Vec<StateId> = Vec::new();
+    let mut best_terminal: Option<(u64, StateId)> = None;
+    let mut stats = DpStats::default();
 
     match resume {
         None => {
-            let start: StateKey = (0u64, inst.start_positions());
-            best.insert(start.clone(), (0, None));
-            buckets.entry(sum(&start.1)).or_default().insert(start);
+            let start = inst.start_positions();
+            let (id, _) = arena.intern(0, &start);
+            faults.push(0);
+            parent.push(NO_STATE);
+            let s = start.iter().map(|&x| x as usize).sum::<usize>();
+            next_in_bucket.push(bucket_head[s]);
+            bucket_head[s] = id;
         }
         Some(ck) => {
             if ck.fingerprint != fingerprint {
@@ -212,94 +249,204 @@ pub fn ftf_dp_governed(
                     ck.fingerprint
                 )));
             }
-            best.reserve(ck.best.len());
-            for (key, faults, parent) in &ck.best {
-                best.insert(key.clone(), (*faults, parent.clone()));
+            // Intern the discovered states first (ids follow the
+            // snapshot's canonical order), then resolve parent pointers —
+            // a parent may sort after its child.
+            for (key, f, _) in &ck.best {
+                let (id, is_new) = arena.intern_key(key);
+                debug_assert!(is_new && id as usize == faults.len());
+                faults.push(*f);
+                parent.push(NO_STATE);
+                next_in_bucket.push(NO_STATE);
+            }
+            for (i, (_, _, par)) in ck.best.iter().enumerate() {
+                if let Some(p_key) = par {
+                    let (pid, is_new) = arena.intern_key(p_key);
+                    if is_new {
+                        // A checksummed snapshot always keeps parents
+                        // inside `best`; keep the tables aligned anyway.
+                        faults.push(u64::MAX);
+                        parent.push(NO_STATE);
+                        next_in_bucket.push(NO_STATE);
+                    }
+                    parent[i] = pid;
+                }
             }
             for key in &ck.frontier {
-                buckets.entry(sum(&key.1)).or_default().insert(key.clone());
+                let (id, is_new) = arena.intern_key(key);
+                debug_assert!(!is_new, "frontier states are discovered states");
+                if is_new {
+                    faults.push(u64::MAX);
+                    parent.push(NO_STATE);
+                    next_in_bucket.push(NO_STATE);
+                }
+                let s = arena.pos_sum(id) as usize;
+                next_in_bucket[id as usize] = bucket_head[s];
+                bucket_head[s] = id;
             }
-            best_terminal = ck.best_terminal.clone();
+            if let Some((f, key)) = &ck.best_terminal {
+                let (id, is_new) = arena.intern_key(key);
+                if is_new {
+                    faults.push(*f);
+                    parent.push(NO_STATE);
+                    next_in_bucket.push(NO_STATE);
+                }
+                best_terminal = Some((*f, id));
+            }
         }
     }
 
-    let state_bytes = ftf_state_bytes(inst.num_cores());
-
-    while let Some((&bucket_sum, _)) = buckets.iter().next() {
+    let mut ids: Vec<StateId> = Vec::new();
+    for s in 0..bucket_head.len() {
+        if bucket_head[s] == NO_STATE {
+            continue;
+        }
         if budget.is_limited() {
-            if let Err(reason) = budget.check(best.len(), best.len() * state_bytes) {
-                return Ok(FtfOutcome::Truncated(truncate_ftf(
+            let mem = arena.approx_bytes()
+                + faults.capacity() * 8
+                + (parent.capacity() + next_in_bucket.capacity()) * 4;
+            if let Err(reason) = budget.check(arena.len(), mem) {
+                let t = truncate_ftf(
                     &inst,
                     fingerprint,
                     reason,
-                    &best,
-                    &buckets,
+                    &arena,
+                    &faults,
+                    &parent,
+                    &bucket_head[s..],
+                    &next_in_bucket,
                     &best_terminal,
-                )));
+                );
+                finish_stats(&mut stats, &arena);
+                return Ok((FtfOutcome::Truncated(t), stats));
             }
         }
-        let states = buckets.remove(&bucket_sum).expect("bucket exists");
-        let mut states: Vec<StateKey> = states.into_iter().collect();
-        states.sort_unstable();
-
-        // Terminals first, in canonical order: a deterministic per-bucket
-        // incumbent snapshot independent of hash order and worker count.
-        for state in &states {
-            if !inst.all_finished(&state.1) {
-                continue;
-            }
-            let (faults, _) = best[state];
-            if best_terminal
-                .as_ref()
-                .map(|(f, _)| faults < *f)
-                .unwrap_or(true)
-            {
-                best_terminal = Some((faults, state.clone()));
-            }
+        ids.clear();
+        let mut cur = bucket_head[s];
+        while cur != NO_STATE {
+            ids.push(cur);
+            cur = next_in_bucket[cur as usize];
         }
-        let incumbent = best_terminal.as_ref().map(|(f, _)| *f);
+        arena.sort_ids(&mut ids);
 
-        let expandable: Vec<(StateKey, u64)> = states
-            .into_iter()
-            .filter(|s| !inst.all_finished(&s.1))
-            .map(|s| {
-                let faults = best[&s].0;
-                (s, faults)
-            })
-            .collect();
+        // Terminals live exclusively in the final bucket: positions never
+        // exceed their end positions, so sum == end_sum forces every
+        // sequence to its end. Scanning them in canonical order keeps the
+        // incumbent independent of hash order and worker count.
+        if s as u64 == end_sum {
+            for &id in &ids {
+                let f = faults[id as usize];
+                if best_terminal.map(|(bf, _)| f < bf).unwrap_or(true) {
+                    best_terminal = Some((f, id));
+                }
+            }
+            continue; // terminal states have no successors
+        }
+        let incumbent = best_terminal.map(|(f, _)| f);
+        stats.expansions += ids.len();
 
         // Successors live in strictly later buckets, so the expansions are
-        // mutually independent and can fan out over the pool.
-        let expansions =
-            pool_for(options.jobs, expandable.len()).par_map(&expandable, |_, (state, faults)| {
-                let effect = step_effect(&inst, state.0, &state.1);
-                let next_faults = faults + u64::from(effect.fault_count());
+        // mutually independent and can fan out over the pool. Workers read
+        // the arena immutably and ship back packed keys; only the
+        // sequential merge interns.
+        let pool = pool_for(options.jobs, ids.len());
+        if pool.jobs() <= 1 {
+            // Sequential fast path: expand and merge each state inline, in
+            // the same canonical order the parallel path merges in — no
+            // per-state successor buffer, no per-bucket result vector.
+            with_scratch(|sc| {
+                for &id in &ids {
+                    let StepScratch {
+                        pos,
+                        next,
+                        faulted,
+                        free,
+                        chosen,
+                    } = sc;
+                    let cfg_bits = arena.cfg(id);
+                    arena.positions_into(id, pos);
+                    debug_assert!(!inst.all_finished(pos), "terminals are never expanded");
+                    let (rx, fault_mask) = step_effect_into(&inst, cfg_bits, pos, next, faulted);
+                    let next_faults = faults[id as usize] + u64::from(fault_mask.count_ones());
+                    if options.prune && incumbent.map(|i| next_faults >= i).unwrap_or(false) {
+                        continue;
+                    }
+                    let next_sum: u64 = next.iter().map(|&x| u64::from(x)).sum();
+                    let pp = arena.pack(next);
+                    for_each_successor_config_with(
+                        &inst,
+                        cfg_bits,
+                        rx,
+                        options.lazy,
+                        free,
+                        chosen,
+                        |next_cfg| {
+                            let (nid, is_new) = arena.intern_packed(next_cfg, &pp);
+                            if is_new {
+                                faults.push(next_faults);
+                                parent.push(id);
+                                next_in_bucket.push(bucket_head[next_sum as usize]);
+                                bucket_head[next_sum as usize] = nid;
+                            } else if next_faults < faults[nid as usize] {
+                                faults[nid as usize] = next_faults;
+                                parent[nid as usize] = id;
+                            }
+                        },
+                    );
+                }
+            });
+            continue;
+        }
+        let expansions = pool.par_map(&ids, |_, &id| {
+            with_scratch(|sc| {
+                let StepScratch {
+                    pos,
+                    next,
+                    faulted,
+                    free,
+                    chosen,
+                } = sc;
+                let cfg_bits = arena.cfg(id);
+                arena.positions_into(id, pos);
+                debug_assert!(!inst.all_finished(pos), "terminals are never expanded");
+                let (rx, fault_mask) = step_effect_into(&inst, cfg_bits, pos, next, faulted);
+                let next_faults = faults[id as usize] + u64::from(fault_mask.count_ones());
                 // Prune paths that cannot strictly beat the incumbent
                 // terminal (fault counts only grow along a path).
                 if options.prune && incumbent.map(|i| next_faults >= i).unwrap_or(false) {
                     return None;
                 }
+                let next_sum: u64 = next.iter().map(|&x| u64::from(x)).sum();
+                let pp = arena.pack(next);
                 let mut cfgs = Vec::new();
-                for_each_successor_config(&inst, state.0, &effect, options.lazy, |next_cfg| {
-                    cfgs.push(next_cfg);
-                });
-                Some((next_faults, effect.next_positions, cfgs))
-            });
+                for_each_successor_config_with(
+                    &inst,
+                    cfg_bits,
+                    rx,
+                    options.lazy,
+                    free,
+                    chosen,
+                    |next_cfg| cfgs.push(next_cfg),
+                );
+                Some((next_faults, next_sum, pp, cfgs))
+            })
+        });
 
         // Merge sequentially, in the same canonical order.
-        for ((state, _), expansion) in expandable.iter().zip(expansions) {
-            let Some((next_faults, next_positions, cfgs)) = expansion else {
+        for (&id, expansion) in ids.iter().zip(expansions) {
+            let Some((next_faults, next_sum, pp, cfgs)) = expansion else {
                 continue;
             };
             for next_cfg in cfgs {
-                let key: StateKey = (next_cfg, next_positions.clone());
-                let improved = match best.get(&key) {
-                    None => true,
-                    Some((f, _)) => next_faults < *f,
-                };
-                if improved {
-                    best.insert(key.clone(), (next_faults, Some(state.clone())));
-                    buckets.entry(sum(&key.1)).or_default().insert(key);
+                let (nid, is_new) = arena.intern_packed(next_cfg, &pp);
+                if is_new {
+                    faults.push(next_faults);
+                    parent.push(id);
+                    next_in_bucket.push(bucket_head[next_sum as usize]);
+                    bucket_head[next_sum as usize] = nid;
+                } else if next_faults < faults[nid as usize] {
+                    faults[nid as usize] = next_faults;
+                    parent[nid as usize] = id;
                 }
             }
         }
@@ -307,37 +454,67 @@ pub fn ftf_dp_governed(
 
     let (min_faults, terminal) = best_terminal.expect("every instance reaches a terminal state");
     let schedule = if options.reconstruct {
-        Some(reconstruct(&inst, &best, terminal))
+        Some(reconstruct(&inst, &arena, &parent, terminal))
     } else {
         None
     };
-    Ok(FtfOutcome::Complete(FtfResult {
-        min_faults,
-        states: best.len(),
-        schedule,
-    }))
+    finish_stats(&mut stats, &arena);
+    Ok((
+        FtfOutcome::Complete(FtfResult {
+            min_faults,
+            states: arena.len(),
+            schedule,
+        }),
+        stats,
+    ))
 }
 
-/// Assemble the anytime bracket and checkpoint for a tripped run.
+/// Fill the engine-side [`DpStats`] fields from the final arena state
+/// (the arena only grows within a run, so "final" is "peak").
+fn finish_stats(stats: &mut DpStats, arena: &StateArena) {
+    stats.states = arena.len();
+    stats.peak_arena_bytes = arena.approx_bytes();
+    stats.dedup_load_factor = arena.load_factor();
+}
+
+/// Assemble the anytime bracket and checkpoint for a tripped run. The
+/// checkpoint materializes canonical [`StateKey`]s from the arena, so
+/// its bytes are identical to what the unpacked engine wrote — the
+/// on-disk format is representation-independent.
+#[allow(clippy::too_many_arguments)] // internal: the engine's flat tables
 fn truncate_ftf(
     inst: &DpInstance,
     fingerprint: u64,
     reason: TripReason,
-    best: &HashMap<StateKey, (u64, Option<StateKey>)>,
-    buckets: &BTreeMap<u64, HashSet<StateKey>>,
-    best_terminal: &Option<(u64, StateKey)>,
+    arena: &StateArena,
+    faults: &[u64],
+    parent: &[StateId],
+    pending_heads: &[StateId],
+    next_in_bucket: &[StateId],
+    best_terminal: &Option<(u64, StateId)>,
 ) -> FtfTruncated {
-    let mut frontier: Vec<StateKey> = buckets.values().flatten().cloned().collect();
-    frontier.sort_unstable();
+    let mut frontier_ids: Vec<StateId> = Vec::new();
+    for &head in pending_heads {
+        let mut cur = head;
+        while cur != NO_STATE {
+            frontier_ids.push(cur);
+            cur = next_in_bucket[cur as usize];
+        }
+    }
+    arena.sort_ids(&mut frontier_ids);
 
     // The cheapest frontier state in canonical (faults, key) order seeds
-    // the greedy completion; the incumbent is the better of that and any
-    // terminal already found.
-    let seed = frontier
-        .iter()
-        .map(|s| (best[s].0, s))
-        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
-    let greedy_ub = seed.map(|(g, s)| g + greedy_completion_faults(inst, s));
+    // the greedy completion (strict < over the canonically sorted
+    // frontier keeps the smallest key among ties); the incumbent is the
+    // better of that and any terminal already found.
+    let mut seed: Option<(u64, StateId)> = None;
+    for &id in &frontier_ids {
+        let f = faults[id as usize];
+        if seed.map(|(sf, _)| f < sf).unwrap_or(true) {
+            seed = Some((f, id));
+        }
+    }
+    let greedy_ub = seed.map(|(g, id)| g + greedy_completion_faults(inst, &arena.key(id)));
     let terminal_ub = best_terminal.as_ref().map(|(f, _)| *f);
     let incumbent = match (greedy_ub, terminal_ub) {
         (Some(a), Some(b)) => a.min(b),
@@ -353,23 +530,29 @@ fn truncate_ftf(
     let frontier_min = seed.map(|(g, _)| g).unwrap_or(u64::MAX);
     let lower_bound = frontier_min.min(incumbent);
 
-    let mut best_vec: Vec<(StateKey, u64, Option<StateKey>)> = best
+    let mut all_ids: Vec<StateId> = (0..arena.len() as StateId).collect();
+    arena.sort_ids(&mut all_ids);
+    let best_vec: Vec<(StateKey, u64, Option<StateKey>)> = all_ids
         .iter()
-        .map(|(k, (f, p))| (k.clone(), *f, p.clone()))
+        .map(|&id| {
+            let par = parent[id as usize];
+            let par_key = (par != NO_STATE).then(|| arena.key(par));
+            (arena.key(id), faults[id as usize], par_key)
+        })
         .collect();
-    best_vec.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let frontier: Vec<StateKey> = frontier_ids.iter().map(|&id| arena.key(id)).collect();
 
     FtfTruncated {
         reason,
         lower_bound,
         incumbent,
-        states: best.len(),
+        states: arena.len(),
         frontier_states: frontier.len(),
         checkpoint: FtfCheckpoint {
             fingerprint,
             best: best_vec,
             frontier,
-            best_terminal: best_terminal.clone(),
+            best_terminal: best_terminal.as_ref().map(|&(f, id)| (f, arena.key(id))),
         },
     }
 }
@@ -381,15 +564,21 @@ pub fn ftf_min_faults(workload: &Workload, cfg: SimConfig) -> Result<u64, DpErro
 
 fn reconstruct(
     inst: &DpInstance,
-    best: &HashMap<StateKey, (u64, Option<StateKey>)>,
-    terminal: StateKey,
+    arena: &StateArena,
+    parent: &[StateId],
+    terminal: StateId,
 ) -> FtfSchedule {
     // Walk parents back to the start, then replay forward.
-    let mut chain = vec![terminal];
-    while let Some(parent) = best[chain.last().unwrap()].1.clone() {
-        chain.push(parent);
+    let mut ids = vec![terminal];
+    loop {
+        let par = parent[*ids.last().unwrap() as usize];
+        if par == NO_STATE {
+            break;
+        }
+        ids.push(par);
     }
-    chain.reverse();
+    ids.reverse();
+    let chain: Vec<StateKey> = ids.into_iter().map(|id| arena.key(id)).collect();
     schedule_from_chain(inst, &chain)
 }
 

@@ -1,0 +1,541 @@
+//! The packed, interned DP state engine.
+//!
+//! Both offline dynamic programs (Algorithms 1 and 2) identify a state by
+//! `(configuration bitmask, position vector)`. Storing that as a
+//! [`StateKey`] — a `u64` plus a heap-allocated `Box<[u32]>` — costs one
+//! allocation per state, a SipHash pass per lookup, and a clone per
+//! table it lands in. This module replaces it with an append-only
+//! [`StateArena`]: every distinct state is stored exactly once and
+//! referenced everywhere by a dense `u32` [`StateId`], so the DP
+//! frontiers become flat `Vec`-indexed tables.
+//!
+//! ## Key packing
+//!
+//! Positions are packed into a single `u128` whenever they fit
+//! (`p · ceil(log2(max_pos + 1)) ≤ 128` — every practical instance; the
+//! state space is astronomically large long before the packing
+//! overflows). Position `i` occupies bits
+//! `[(p - 1 - i)·b, (p - i)·b)` — **most-significant first** — so that
+//! comparing two packed words as integers equals comparing the position
+//! vectors lexicographically. Combined with the configuration ordered
+//! first, `(cfg, packed)` tuple order is exactly the canonical
+//! [`StateKey`] order the DPs sort by. Oversized instances spill to a
+//! contiguous `u32` arena with the same canonical ordering (proven equal
+//! by proptest in both paths).
+//!
+//! ## Interning and dedup
+//!
+//! [`StateArena::intern`] deduplicates through an open-addressing table
+//! (linear probing, power-of-two capacity, grown at 3/4 load) that
+//! stores only `StateId`s — keys are compared against the arena
+//! payload, hashed with the dependency-free multiply-rotate
+//! [`FxHasher`] rather than the standard library's SipHash. Checkpoints
+//! are representation-independent: they serialize *materialized*
+//! [`StateKey`]s (see [`StateArena::key`]) in the same canonical order
+//! and byte layout as the unpacked engine did.
+
+use crate::state::StateKey;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Dense reference to an interned state: an index into a [`StateArena`].
+pub type StateId = u32;
+
+/// Sentinel for "no state" (empty dedup slot / no parent).
+pub const NO_STATE: StateId = StateId::MAX;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// A dependency-free FxHash-style [`Hasher`]: multiply-rotate mixing of
+/// 64-bit words. Not DoS-resistant — use only on trusted, internal keys
+/// (dense page ids, state ids), where it is several times faster than
+/// the standard library's SipHash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(tail));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = fx_mix(self.hash, v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.hash = fx_mix(self.hash, v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`] (zero-sized, deterministic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A position vector encoded for its arena's representation, produced by
+/// [`StateArena::pack`]. Workers pack on their own threads; only the
+/// sequential merge mutates the arena.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PackedPos {
+    /// Fixed-width bit-packed positions (the fast path).
+    Inline(u128),
+    /// Verbatim positions for oversized instances.
+    Spill(Box<[u32]>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `bits` per position, most-significant-first.
+    Inline {
+        bits: u32,
+    },
+    Spill,
+}
+
+/// Append-only arena of interned DP states.
+///
+/// Construction picks the representation from the instance shape (see
+/// [`StateArena::new`]); every later operation is
+/// representation-agnostic. `&StateArena` is `Sync`, so parallel
+/// expansion workers can decode and [`pack`](StateArena::pack) freely
+/// while interning stays confined to the sequential merge.
+#[derive(Clone, Debug)]
+pub struct StateArena {
+    mode: Mode,
+    cores: usize,
+    cfgs: Vec<u64>,
+    packed: Vec<u128>,
+    spill: Vec<u32>,
+    table: Vec<StateId>,
+    /// `table.len() - 1` (capacity is a power of two).
+    mask: usize,
+}
+
+impl StateArena {
+    /// Arena for `cores` position entries each at most `max_pos`.
+    /// Packs inline when `cores · ceil(log2(max_pos + 1)) ≤ 128`,
+    /// otherwise spills. `force_spill` pins the spill representation
+    /// (testing hook: both paths must agree bit-for-bit).
+    pub fn new(cores: usize, max_pos: u64, force_spill: bool) -> Self {
+        let bits = 64 - max_pos.leading_zeros() as u64;
+        let mode = if !force_spill && cores as u64 * bits <= 128 {
+            Mode::Inline { bits: bits as u32 }
+        } else {
+            Mode::Spill
+        };
+        const INITIAL_CAP: usize = 64;
+        StateArena {
+            mode,
+            cores,
+            cfgs: Vec::new(),
+            packed: Vec::new(),
+            spill: Vec::new(),
+            table: vec![NO_STATE; INITIAL_CAP],
+            mask: INITIAL_CAP - 1,
+        }
+    }
+
+    /// Number of interned states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cfgs.len()
+    }
+
+    /// Whether no state has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cfgs.is_empty()
+    }
+
+    /// Whether this arena packs positions inline (vs. spilling).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.mode, Mode::Inline { .. })
+    }
+
+    /// Drop all states but keep the allocations (layer reuse).
+    pub fn clear(&mut self) {
+        self.cfgs.clear();
+        self.packed.clear();
+        self.spill.clear();
+        self.table.fill(NO_STATE);
+    }
+
+    /// Approximate heap footprint in bytes (payload + dedup table).
+    pub fn approx_bytes(&self) -> usize {
+        self.cfgs.capacity() * 8
+            + self.packed.capacity() * 16
+            + self.spill.capacity() * 4
+            + self.table.capacity() * 4
+    }
+
+    /// Occupancy of the dedup table in `[0, 1)` (kept below 3/4).
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.table.len() as f64
+    }
+
+    /// Encode `positions` for this arena's representation without
+    /// touching the arena (worker-side, allocation-free on the inline
+    /// path).
+    #[inline]
+    pub fn pack(&self, positions: &[u32]) -> PackedPos {
+        debug_assert_eq!(positions.len(), self.cores);
+        match self.mode {
+            Mode::Inline { bits } => PackedPos::Inline(Self::pack_inline(positions, bits)),
+            Mode::Spill => PackedPos::Spill(positions.into()),
+        }
+    }
+
+    #[inline]
+    fn pack_inline(positions: &[u32], bits: u32) -> u128 {
+        let mut word = 0u128;
+        for &x in positions {
+            debug_assert!(bits >= 128 || u128::from(x) < (1u128 << bits));
+            word = (word << bits) | u128::from(x);
+        }
+        word
+    }
+
+    #[inline]
+    fn hash_inline(cfg: u64, word: u128) -> u64 {
+        fx_mix(fx_mix(fx_mix(0, cfg), word as u64), (word >> 64) as u64)
+    }
+
+    fn hash_spill(cfg: u64, positions: &[u32]) -> u64 {
+        let mut h = fx_mix(0, cfg);
+        for &x in positions {
+            h = fx_mix(h, u64::from(x));
+        }
+        h
+    }
+
+    /// Intern `(cfg, positions)`; returns the id and whether the state
+    /// is new.
+    pub fn intern(&mut self, cfg: u64, positions: &[u32]) -> (StateId, bool) {
+        match self.mode {
+            Mode::Inline { bits } => self.intern_inline(cfg, Self::pack_inline(positions, bits)),
+            Mode::Spill => self.intern_spill(cfg, positions),
+        }
+    }
+
+    /// Intern a key already encoded by [`StateArena::pack`].
+    #[inline]
+    pub fn intern_packed(&mut self, cfg: u64, pp: &PackedPos) -> (StateId, bool) {
+        match pp {
+            PackedPos::Inline(word) => self.intern_inline(cfg, *word),
+            PackedPos::Spill(positions) => self.intern_spill(cfg, positions),
+        }
+    }
+
+    /// Intern a materialized [`StateKey`] (checkpoint resume path).
+    pub fn intern_key(&mut self, key: &StateKey) -> (StateId, bool) {
+        self.intern(key.0, &key.1)
+    }
+
+    fn intern_inline(&mut self, cfg: u64, word: u128) -> (StateId, bool) {
+        let mut i = Self::hash_inline(cfg, word) as usize & self.mask;
+        loop {
+            let e = self.table[i];
+            if e == NO_STATE {
+                let id = self.cfgs.len() as StateId;
+                self.cfgs.push(cfg);
+                self.packed.push(word);
+                self.table[i] = id;
+                self.maybe_grow();
+                return (id, true);
+            }
+            if self.cfgs[e as usize] == cfg && self.packed[e as usize] == word {
+                return (e, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn intern_spill(&mut self, cfg: u64, positions: &[u32]) -> (StateId, bool) {
+        debug_assert_eq!(positions.len(), self.cores);
+        let mut i = Self::hash_spill(cfg, positions) as usize & self.mask;
+        loop {
+            let e = self.table[i];
+            if e == NO_STATE {
+                let id = self.cfgs.len() as StateId;
+                self.cfgs.push(cfg);
+                self.spill.extend_from_slice(positions);
+                self.table[i] = id;
+                self.maybe_grow();
+                return (id, true);
+            }
+            if self.cfgs[e as usize] == cfg && self.spill_of(e) == positions {
+                return (e, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn maybe_grow(&mut self) {
+        if self.cfgs.len() * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.table.len() * 2;
+        self.mask = cap - 1;
+        self.table.clear();
+        self.table.resize(cap, NO_STATE);
+        for id in 0..self.cfgs.len() as StateId {
+            let h = match self.mode {
+                Mode::Inline { .. } => {
+                    Self::hash_inline(self.cfgs[id as usize], self.packed[id as usize])
+                }
+                Mode::Spill => Self::hash_spill(self.cfgs[id as usize], self.spill_of(id)),
+            };
+            let mut i = h as usize & self.mask;
+            while self.table[i] != NO_STATE {
+                i = (i + 1) & self.mask;
+            }
+            self.table[i] = id;
+        }
+    }
+
+    #[inline]
+    fn spill_of(&self, id: StateId) -> &[u32] {
+        let s = id as usize * self.cores;
+        &self.spill[s..s + self.cores]
+    }
+
+    /// Configuration bitmask of `id`.
+    #[inline]
+    pub fn cfg(&self, id: StateId) -> u64 {
+        self.cfgs[id as usize]
+    }
+
+    /// Decode the position vector of `id` into `out` (cleared first).
+    #[inline]
+    pub fn positions_into(&self, id: StateId, out: &mut Vec<u32>) {
+        out.clear();
+        match self.mode {
+            Mode::Inline { bits } => {
+                let word = self.packed[id as usize];
+                let m = if bits >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << bits) - 1
+                };
+                for i in 0..self.cores {
+                    let shift = (self.cores - 1 - i) as u32 * bits;
+                    out.push(((word >> shift) & m) as u32);
+                }
+            }
+            Mode::Spill => out.extend_from_slice(self.spill_of(id)),
+        }
+    }
+
+    /// Sum of the position vector of `id` (the FTF bucket index).
+    #[inline]
+    pub fn pos_sum(&self, id: StateId) -> u64 {
+        match self.mode {
+            Mode::Inline { bits } => {
+                let word = self.packed[id as usize];
+                let m = if bits >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << bits) - 1
+                };
+                let mut sum = 0u64;
+                for i in 0..self.cores {
+                    sum += ((word >> (i as u32 * bits)) & m) as u64;
+                }
+                sum
+            }
+            Mode::Spill => self.spill_of(id).iter().map(|&x| u64::from(x)).sum(),
+        }
+    }
+
+    /// Materialize the canonical [`StateKey`] of `id` (checkpoint and
+    /// witness paths — not the hot loop).
+    pub fn key(&self, id: StateId) -> StateKey {
+        let mut pos = Vec::with_capacity(self.cores);
+        self.positions_into(id, &mut pos);
+        (self.cfg(id), pos.into_boxed_slice())
+    }
+
+    /// Canonical order of two interned states — identical to comparing
+    /// their materialized [`StateKey`]s.
+    #[inline]
+    pub fn cmp_ids(&self, a: StateId, b: StateId) -> Ordering {
+        match self.cfgs[a as usize].cmp(&self.cfgs[b as usize]) {
+            Ordering::Equal => match self.mode {
+                Mode::Inline { .. } => self.packed[a as usize].cmp(&self.packed[b as usize]),
+                Mode::Spill => self.spill_of(a).cmp(self.spill_of(b)),
+            },
+            ord => ord,
+        }
+    }
+
+    /// Sort `ids` into canonical state order.
+    pub fn sort_ids(&self, ids: &mut [StateId]) {
+        match self.mode {
+            // Sorting by the (cfg, packed) value pair lets the sort run
+            // on integable keys without indirect comparisons.
+            Mode::Inline { .. } => {
+                ids.sort_unstable_by_key(|&id| (self.cfgs[id as usize], self.packed[id as usize]))
+            }
+            Mode::Spill => ids.sort_unstable_by(|&a, &b| self.cmp_ids(a, b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_of(arena: &StateArena) -> Vec<StateKey> {
+        (0..arena.len() as StateId).map(|i| arena.key(i)).collect()
+    }
+
+    #[test]
+    fn intern_dedups_and_roundtrips() {
+        for force_spill in [false, true] {
+            let mut a = StateArena::new(3, 9, force_spill);
+            let (id0, new0) = a.intern(5, &[1, 2, 3]);
+            let (id1, new1) = a.intern(5, &[1, 2, 4]);
+            let (id2, new2) = a.intern(4, &[1, 2, 3]);
+            let (id3, new3) = a.intern(5, &[1, 2, 3]);
+            assert!(new0 && new1 && new2 && !new3);
+            assert_eq!(id0, id3);
+            assert_ne!(id0, id1);
+            assert_ne!(id0, id2);
+            assert_eq!(a.len(), 3);
+            assert_eq!(a.key(id0), (5, vec![1, 2, 3].into_boxed_slice()));
+            assert_eq!(a.key(id1), (5, vec![1, 2, 4].into_boxed_slice()));
+            assert_eq!(a.cfg(id2), 4);
+            assert_eq!(a.pos_sum(id1), 7);
+        }
+    }
+
+    #[test]
+    fn cmp_ids_matches_key_order_both_modes() {
+        let states: Vec<(u64, Vec<u32>)> = vec![
+            (0, vec![1, 1]),
+            (0, vec![1, 9]),
+            (0, vec![9, 1]),
+            (1, vec![1, 1]),
+            (7, vec![3, 3]),
+            (7, vec![3, 4]),
+        ];
+        for force_spill in [false, true] {
+            let mut a = StateArena::new(2, 9, force_spill);
+            let ids: Vec<StateId> = states.iter().map(|(c, p)| a.intern(*c, p).0).collect();
+            for &x in &ids {
+                for &y in &ids {
+                    assert_eq!(a.cmp_ids(x, y), a.key(x).cmp(&a.key(y)), "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inline_and_spill_agree_through_growth() {
+        // Enough states to force several table growths; both paths must
+        // intern the same ids in the same order.
+        let mut inline = StateArena::new(2, 1023, false);
+        let mut spill = StateArena::new(2, 1023, true);
+        assert!(inline.is_inline());
+        assert!(!spill.is_inline());
+        for cfg in 0..8u64 {
+            for x in (1..1000u32).step_by(17) {
+                let a = inline.intern(cfg, &[x, 1000 - x]);
+                let b = spill.intern(cfg, &[x, 1000 - x]);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(keys_of(&inline), keys_of(&spill));
+        assert!(inline.load_factor() < 0.75);
+        assert!(spill.load_factor() < 0.75);
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut a = StateArena::new(2, 100, false);
+        for x in 1..50 {
+            a.intern(1, &[x, x]);
+        }
+        let bytes = a.approx_bytes();
+        a.clear();
+        assert!(a.is_empty());
+        let (id, new) = a.intern(1, &[3, 3]);
+        assert_eq!((id, new), (0, true));
+        assert!(a.approx_bytes() >= bytes, "clear must keep capacity");
+    }
+
+    #[test]
+    fn wide_positions_spill() {
+        // 6 cores * 26 bits = 156 > 128: must spill.
+        let a = StateArena::new(6, (1 << 26) - 1, false);
+        assert!(!a.is_inline());
+        // 4 cores * 26 bits = 104: inline.
+        let a = StateArena::new(4, (1 << 26) - 1, false);
+        assert!(a.is_inline());
+    }
+
+    #[test]
+    fn fx_hashmap_is_deterministic() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, (i * 2) as u32);
+        }
+        let mut n: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in (0..100).rev() {
+            n.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m, n);
+        assert_eq!(m[&42], 84);
+    }
+}

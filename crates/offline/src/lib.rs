@@ -27,6 +27,7 @@
 pub mod belady_seq;
 pub mod checkpoint;
 pub mod ftf_dp;
+pub mod intern;
 pub mod miss_curve;
 pub mod partition_opt;
 pub mod pif_dp;
@@ -37,15 +38,17 @@ pub mod state;
 pub use belady_seq::{belady_curve, belady_faults};
 pub use checkpoint::{instance_fingerprint, CheckpointError, FtfCheckpoint, PifCheckpoint};
 pub use ftf_dp::{
-    ftf_dp, ftf_dp_governed, ftf_min_faults, FtfOptions, FtfOutcome, FtfResult, FtfSchedule,
-    FtfTruncated,
+    ftf_dp, ftf_dp_governed, ftf_dp_governed_with_stats, ftf_min_faults, FtfOptions, FtfOutcome,
+    FtfResult, FtfSchedule, FtfTruncated,
 };
+pub use intern::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, PackedPos, StateArena, StateId};
 pub use miss_curve::{
     distinct_pages, lru_curve, lru_faults, lru_stack_distances, opt_curve, phase_starts,
 };
 pub use partition_opt::{optimal_static_partition, OptimalPartition, PartPolicy};
 pub use pif_dp::{
-    max_pif, pif_decide, pif_decide_governed, pif_witness, PifOptions, PifOutcome, PifTruncated,
+    max_pif, pif_decide, pif_decide_governed, pif_decide_governed_with_stats,
+    pif_decide_with_stats, pif_witness, PifOptions, PifOutcome, PifTruncated,
 };
 pub use sched_search::{sched_min, sched_min_governed};
 pub use search::{
@@ -53,4 +56,4 @@ pub use search::{
     brute_force_min_faults_governed, brute_force_min_makespan, fitf_restricted_min_faults,
     Objective, SearchOutcome,
 };
-pub use state::{DpError, DpInstance};
+pub use state::{min_parallel_tasks, DpError, DpInstance, DpStats};

@@ -19,11 +19,12 @@
 
 use crate::checkpoint::{instance_fingerprint, PifCheckpoint};
 use crate::ftf_dp::{schedule_from_chain, FtfSchedule};
+use crate::intern::{FxHashMap, StateArena, StateId};
 use crate::state::{
-    for_each_successor_config, pool_for, step_effect, DpError, DpInstance, StateKey,
+    for_each_successor_config, for_each_successor_config_with, pool_for, step_effect,
+    step_effect_into, with_scratch, DpError, DpInstance, DpStats, StateKey, StepScratch,
 };
 use mcp_core::{Budget, SimConfig, Time, TripReason, Workload};
-use std::collections::HashMap;
 
 /// Options for the PIF decision procedure.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +41,13 @@ pub struct PifOptions {
     /// Worker threads for layer expansion (0 = the process-wide setting,
     /// see [`mcp_exec::resolved_jobs`]). Any value yields the same result.
     pub jobs: usize,
+    /// Force the state arena onto its spilled (unpacked) representation
+    /// even when the instance fits the inline `u128` packing. Testing
+    /// hook: both representations are observationally identical, and the
+    /// cross-representation tests prove it. Not part of the checkpoint
+    /// fingerprint — snapshots are interchangeable across this flag.
+    #[doc(hidden)]
+    pub force_spill: bool,
 }
 
 impl Default for PifOptions {
@@ -48,6 +56,7 @@ impl Default for PifOptions {
             full_transitions: true,
             max_expansions: 20_000_000,
             jobs: 0,
+            force_spill: false,
         }
     }
 }
@@ -89,10 +98,23 @@ pub fn pif_decide(
     bounds: &[u64],
     options: PifOptions,
 ) -> Result<bool, DpError> {
+    pif_decide_with_stats(workload, cfg, checkpoint, bounds, options).map(|(ans, _)| ans)
+}
+
+/// [`pif_decide`] plus engine statistics (peak live states, vector
+/// expansions, peak arena footprint) for instrumentation.
+pub fn pif_decide_with_stats(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+) -> Result<(bool, DpStats), DpError> {
     let budget = Budget::unlimited().with_max_states(options.max_expansions);
-    match pif_decide_governed(workload, cfg, checkpoint, bounds, options, &budget, None)? {
-        PifOutcome::Decided(ans) => Ok(ans),
-        PifOutcome::Truncated(t) => Err(DpError::TooLarge {
+    match pif_decide_governed_with_stats(workload, cfg, checkpoint, bounds, options, &budget, None)?
+    {
+        (PifOutcome::Decided(ans), stats) => Ok((ans, stats)),
+        (PifOutcome::Truncated(t), _) => Err(DpError::TooLarge {
             states: t.expansions,
             cap: options.max_expansions,
             incumbent: None,
@@ -165,10 +187,28 @@ pub fn pif_decide_governed(
     budget: &Budget,
     resume: Option<&PifCheckpoint>,
 ) -> Result<PifOutcome, DpError> {
+    pif_decide_governed_with_stats(workload, cfg, checkpoint, bounds, options, budget, resume)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`pif_decide_governed`] plus engine statistics. `stats.states` is the
+/// peak number of live states in any layer; `stats.expansions` counts
+/// fault-vector advances (the budget's `states` axis).
+#[allow(clippy::too_many_arguments)] // mirrors pif_decide + governance
+pub fn pif_decide_governed_with_stats(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: PifOptions,
+    budget: &Budget,
+    resume: Option<&PifCheckpoint>,
+) -> Result<(PifOutcome, DpStats), DpError> {
     assert_eq!(bounds.len(), workload.num_cores(), "one bound per sequence");
     let inst = DpInstance::build(workload, &cfg)?;
+    let mut stats = DpStats::default();
     if checkpoint == 0 {
-        return Ok(PifOutcome::Decided(true)); // no request has issued yet
+        return Ok((PifOutcome::Decided(true), stats)); // no request has issued yet
     }
     let bounds_u16: Vec<u16> = bounds
         .iter()
@@ -177,13 +217,27 @@ pub fn pif_decide_governed(
     let fingerprint =
         instance_fingerprint(&inst, pif_option_bits(&options, checkpoint, &bounds_u16));
 
-    let mut layer: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
+    let p = inst.num_cores();
+    let max_pos = (0..p).map(|i| inst.end_pos(i)).max().unwrap_or(1);
+    let end_sum: u64 = (0..p).map(|i| inst.end_pos(i)).sum();
+    // Two arenas alternate: the live layer and the one being built.
+    // `clear` keeps the allocations, so the steady state is
+    // allocation-free aside from the fault vectors themselves.
+    let mut arena = StateArena::new(p, max_pos, options.force_spill);
+    let mut next_arena = StateArena::new(p, max_pos, options.force_spill);
+    // Pareto set of fault vectors per interned state, indexed by StateId.
+    let mut pareto: Vec<Vec<FaultVec>> = Vec::new();
+    let mut next_pareto: Vec<Vec<FaultVec>> = Vec::new();
+    let mut ids: Vec<StateId> = Vec::new();
+
     let mut expansions = 0usize;
     let mut t_done: Time = 0;
     match resume {
         None => {
-            let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
-            layer.insert((0u64, inst.start_positions()), vec![zero]);
+            let zero: FaultVec = vec![0u16; p].into_boxed_slice();
+            let (id, is_new) = arena.intern(0, &inst.start_positions());
+            debug_assert!(is_new && id == 0);
+            pareto.push(vec![zero]);
         }
         Some(ck) => {
             if ck.fingerprint != fingerprint {
@@ -194,57 +248,159 @@ pub fn pif_decide_governed(
                     ck.fingerprint
                 )));
             }
-            layer.reserve(ck.layer.len());
             for (key, vectors) in &ck.layer {
-                layer.insert(key.clone(), vectors.clone());
+                let (id, is_new) = arena.intern_key(key);
+                if is_new {
+                    debug_assert_eq!(id as usize, pareto.len());
+                    pareto.push(vectors.clone());
+                } else {
+                    // Duplicate key in a (checksummed) snapshot: keep the
+                    // last, matching the old map-insert semantics.
+                    pareto[id as usize] = vectors.clone();
+                }
             }
             expansions = ck.expansions as usize;
             t_done = ck.t_done;
         }
     }
 
-    let p = inst.num_cores();
     for t in (t_done + 1)..=checkpoint {
+        track_layer(&mut stats, &arena);
         if budget.is_limited() {
-            let vectors: usize = layer.values().map(|v| v.len()).sum();
-            let approx_mem = layer.len() * (24 + 8 * p) + vectors * (2 * p + 32);
+            let vectors: usize = pareto.iter().map(|v| v.len()).sum();
+            let approx_mem = arena.len() * (24 + 8 * p) + vectors * (2 * p + 32);
             if let Err(reason) = budget.check(expansions, approx_mem) {
-                let mut snapshot: Vec<(StateKey, Vec<FaultVec>)> = layer.into_iter().collect();
-                snapshot.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-                return Ok(PifOutcome::Truncated(PifTruncated {
-                    reason,
-                    t_done: t - 1,
-                    live_states: snapshot.len(),
-                    expansions,
-                    checkpoint: PifCheckpoint {
-                        fingerprint,
+                // Materialized canonical keys in canonical order: the
+                // snapshot bytes are identical to what the unpacked
+                // engine wrote.
+                ids.clear();
+                ids.extend(0..arena.len() as StateId);
+                arena.sort_ids(&mut ids);
+                let snapshot: Vec<(StateKey, Vec<FaultVec>)> = ids
+                    .iter()
+                    .map(|&id| (arena.key(id), pareto[id as usize].clone()))
+                    .collect();
+                stats.expansions = expansions;
+                return Ok((
+                    PifOutcome::Truncated(PifTruncated {
+                        reason,
                         t_done: t - 1,
-                        expansions: expansions as u64,
-                        layer: snapshot,
-                    },
-                }));
+                        live_states: snapshot.len(),
+                        expansions,
+                        checkpoint: PifCheckpoint {
+                            fingerprint,
+                            t_done: t - 1,
+                            expansions: expansions as u64,
+                            layer: snapshot,
+                        },
+                    }),
+                    stats,
+                ));
             }
         }
         // Canonical order: Pareto-set contents (and their order) come out
         // identical for every worker count.
-        let mut states: Vec<(StateKey, Vec<FaultVec>)> = layer.into_iter().collect();
-        states.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        if states.iter().any(|(s, _)| inst.all_finished(&s.1)) {
-            // No further requests, hence no further faults: every
-            // surviving vector already satisfies the bounds.
-            return Ok(PifOutcome::Decided(true));
+        ids.clear();
+        ids.extend(0..arena.len() as StateId);
+        arena.sort_ids(&mut ids);
+        // Positions never exceed their end positions, so a position sum
+        // of `end_sum` is exactly "all finished": no further requests,
+        // hence no further faults — every surviving vector already
+        // satisfies the bounds.
+        if ids.iter().any(|&id| arena.pos_sum(id) == end_sum) {
+            stats.expansions = expansions;
+            return Ok((PifOutcome::Decided(true), stats));
         }
         // One layer is one timestep: states within it never feed each
-        // other, so the expansion fans out over the pool.
-        let expanded =
-            pool_for(options.jobs, states.len()).par_map(&states, |_, (state, vectors)| {
-                let effect = step_effect(&inst, state.0, &state.1);
+        // other, so the expansion fans out over the pool. Workers read
+        // the arena immutably and ship back packed keys; only the
+        // sequential merge interns.
+        let pool = pool_for(options.jobs, ids.len());
+        if pool.jobs() <= 1 {
+            // Sequential fast path: expand and merge each state inline in
+            // the same canonical order the parallel path merges in — no
+            // per-state successor buffer, no per-layer result vector.
+            next_arena.clear();
+            next_pareto.clear();
+            with_scratch(|sc| {
+                for &id in &ids {
+                    let StepScratch {
+                        pos,
+                        next,
+                        faulted,
+                        free,
+                        chosen,
+                    } = sc;
+                    let cfg_bits = arena.cfg(id);
+                    arena.positions_into(id, pos);
+                    let (rx, _) = step_effect_into(&inst, cfg_bits, pos, next, faulted);
+                    let vectors = &pareto[id as usize];
+                    let mut advanced: Vec<FaultVec> = Vec::with_capacity(vectors.len());
+                    'vecs: for v in vectors {
+                        let mut nv = v.clone();
+                        for i in 0..p {
+                            if faulted[i] {
+                                nv[i] += 1;
+                                if nv[i] > bounds_u16[i] {
+                                    continue 'vecs;
+                                }
+                            }
+                        }
+                        advanced.push(nv);
+                    }
+                    if advanced.is_empty() {
+                        continue;
+                    }
+                    let pp = arena.pack(next);
+                    for_each_successor_config_with(
+                        &inst,
+                        cfg_bits,
+                        rx,
+                        !options.full_transitions,
+                        free,
+                        chosen,
+                        |next_cfg| {
+                            let (nid, is_new) = next_arena.intern_packed(next_cfg, &pp);
+                            if is_new {
+                                debug_assert_eq!(nid as usize, next_pareto.len());
+                                next_pareto.push(Vec::new());
+                            }
+                            let entry = &mut next_pareto[nid as usize];
+                            for v in &advanced {
+                                pareto_insert(entry, v.clone());
+                            }
+                            expansions += advanced.len();
+                        },
+                    );
+                }
+            });
+            if next_arena.is_empty() {
+                stats.expansions = expansions;
+                return Ok((PifOutcome::Decided(false), stats));
+            }
+            std::mem::swap(&mut arena, &mut next_arena);
+            std::mem::swap(&mut pareto, &mut next_pareto);
+            continue;
+        }
+        let expanded = pool.par_map(&ids, |_, &id| {
+            with_scratch(|sc| {
+                let StepScratch {
+                    pos,
+                    next,
+                    faulted,
+                    free,
+                    chosen,
+                } = sc;
+                let cfg_bits = arena.cfg(id);
+                arena.positions_into(id, pos);
+                let (rx, _) = step_effect_into(&inst, cfg_bits, pos, next, faulted);
                 // Advance each surviving vector.
+                let vectors = &pareto[id as usize];
                 let mut advanced: Vec<FaultVec> = Vec::with_capacity(vectors.len());
                 'vecs: for v in vectors {
                     let mut nv = v.clone();
-                    for i in 0..inst.num_cores() {
-                        if effect.seq_faulted[i] {
+                    for i in 0..p {
+                        if faulted[i] {
                             nv[i] += 1;
                             if nv[i] > bounds_u16[i] {
                                 continue 'vecs;
@@ -256,37 +412,67 @@ pub fn pif_decide_governed(
                 if advanced.is_empty() {
                     return None;
                 }
+                let pp = arena.pack(next);
                 let mut cfgs = Vec::new();
-                for_each_successor_config(
+                for_each_successor_config_with(
                     &inst,
-                    state.0,
-                    &effect,
+                    cfg_bits,
+                    rx,
                     !options.full_transitions,
+                    free,
+                    chosen,
                     |next_cfg| cfgs.push(next_cfg),
                 );
-                Some((advanced, effect.next_positions, cfgs))
-            });
-        let mut next: HashMap<StateKey, Vec<FaultVec>> = HashMap::new();
-        for (advanced, next_positions, cfgs) in expanded.into_iter().flatten() {
+                Some((advanced, pp, cfgs))
+            })
+        });
+        // Merge sequentially, in the same canonical order: the insertion
+        // sequence into each Pareto set — and hence its stored order —
+        // is identical for every worker count.
+        next_arena.clear();
+        next_pareto.clear();
+        for (advanced, pp, cfgs) in expanded.into_iter().flatten() {
             for next_cfg in cfgs {
-                let key: StateKey = (next_cfg, next_positions.clone());
-                let entry = next.entry(key).or_default();
+                let (nid, is_new) = next_arena.intern_packed(next_cfg, &pp);
+                if is_new {
+                    debug_assert_eq!(nid as usize, next_pareto.len());
+                    next_pareto.push(Vec::new());
+                }
+                let entry = &mut next_pareto[nid as usize];
                 for v in &advanced {
                     pareto_insert(entry, v.clone());
                 }
                 expansions += advanced.len();
             }
         }
-        if next.is_empty() {
-            return Ok(PifOutcome::Decided(false));
+        if next_arena.is_empty() {
+            stats.expansions = expansions;
+            return Ok((PifOutcome::Decided(false), stats));
         }
-        layer = next;
+        std::mem::swap(&mut arena, &mut next_arena);
+        std::mem::swap(&mut pareto, &mut next_pareto);
     }
     // Survived the serving at t = checkpoint with every bound respected.
-    Ok(PifOutcome::Decided(true))
+    track_layer(&mut stats, &arena);
+    stats.expansions = expansions;
+    Ok((PifOutcome::Decided(true), stats))
 }
 
-type WitnessEntry = (FaultVec, Option<(StateKey, usize)>);
+/// Fold the current layer into the peak-tracking [`DpStats`] fields.
+fn track_layer(stats: &mut DpStats, arena: &StateArena) {
+    if arena.len() > stats.states {
+        stats.states = arena.len();
+        stats.dedup_load_factor = arena.load_factor();
+    }
+    stats.peak_arena_bytes = stats.peak_arena_bytes.max(arena.approx_bytes());
+}
+
+/// A Pareto entry carrying provenance: parent = (state id at the
+/// previous layer, index into its entry list). Ids are global — states
+/// never repeat across layers (every unfinished sequence advances each
+/// timestep, so position sums strictly increase), so one arena interns
+/// the whole search.
+type WitnessEntry = (FaultVec, Option<(StateId, usize)>);
 
 fn pareto_insert_with_parent(set: &mut Vec<WitnessEntry>, entry: WitnessEntry) {
     if set.iter().any(|(u, _)| dominates(u, &entry.0)) {
@@ -324,59 +510,81 @@ pub fn pif_witness(
         .collect();
     let zero: FaultVec = vec![0u16; inst.num_cores()].into_boxed_slice();
 
-    // layers[t] maps each state reachable at time t+1 to its Pareto set of
-    // (fault vector, parent) pairs; parent = (state at layer t-1, index).
-    let mut layers: Vec<HashMap<StateKey, Vec<WitnessEntry>>> = Vec::new();
-    let mut first: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
-    first.insert(start, vec![(zero, None)]);
+    let p = inst.num_cores();
+    let max_pos = (0..p).map(|i| inst.end_pos(i)).max().unwrap_or(1);
+    let end_sum: u64 = (0..p).map(|i| inst.end_pos(i)).sum();
+    // One arena interns every layer (ids never collide across layers, see
+    // [`WitnessEntry`]); layers[t] maps each state id reachable at time t
+    // to its Pareto set of (fault vector, parent) pairs.
+    let mut arena = StateArena::new(p, max_pos, options.force_spill);
+    let mut layers: Vec<FxHashMap<StateId, Vec<WitnessEntry>>> = Vec::new();
+    let start_id = arena.intern_key(&start).0;
+    let mut first: FxHashMap<StateId, Vec<WitnessEntry>> = FxHashMap::default();
+    first.insert(start_id, vec![(zero, None)]);
     layers.push(first);
 
     let mut expansions = 0usize;
-    let mut terminal: Option<(usize, StateKey)> = None; // (layer, state)
+    let mut terminal: Option<(usize, StateId)> = None; // (layer, state)
+    let mut ids: Vec<StateId> = Vec::new();
     'outer: for t in 1..=checkpoint {
         let current = &layers[t as usize - 1];
-        let mut states: Vec<(&StateKey, &Vec<WitnessEntry>)> = current.iter().collect();
-        states.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        ids.clear();
+        ids.extend(current.keys().copied());
+        arena.sort_ids(&mut ids);
         // The canonically smallest finished state, so the witness endpoint
         // does not depend on hash order.
-        if let Some((state, _)) = states.iter().find(|(s, _)| inst.all_finished(&s.1)) {
-            terminal = Some((t as usize - 1, (*state).clone()));
+        if let Some(&id) = ids.iter().find(|&&id| arena.pos_sum(id) == end_sum) {
+            terminal = Some((t as usize - 1, id));
             break 'outer;
         }
-        let expanded =
-            pool_for(options.jobs, states.len()).par_map(&states, |_, &(state, entries)| {
-                let effect = step_effect(&inst, state.0, &state.1);
+        let expanded = pool_for(options.jobs, ids.len()).par_map(&ids, |_, &id| {
+            with_scratch(|sc| {
+                let StepScratch {
+                    pos,
+                    next,
+                    faulted,
+                    free,
+                    chosen,
+                } = sc;
+                let cfg_bits = arena.cfg(id);
+                arena.positions_into(id, pos);
+                let (rx, _) = step_effect_into(&inst, cfg_bits, pos, next, faulted);
+                let entries = &current[&id];
                 let mut advanced: Vec<WitnessEntry> = Vec::new();
                 'vecs: for (idx, (v, _)) in entries.iter().enumerate() {
                     let mut nv = v.clone();
-                    for i in 0..inst.num_cores() {
-                        if effect.seq_faulted[i] {
+                    for i in 0..p {
+                        if faulted[i] {
                             nv[i] += 1;
                             if nv[i] > bounds_u16[i] {
                                 continue 'vecs;
                             }
                         }
                     }
-                    advanced.push((nv, Some((state.clone(), idx))));
+                    advanced.push((nv, Some((id, idx))));
                 }
                 if advanced.is_empty() {
                     return None;
                 }
+                let pp = arena.pack(next);
                 let mut cfgs = Vec::new();
-                for_each_successor_config(
+                for_each_successor_config_with(
                     &inst,
-                    state.0,
-                    &effect,
+                    cfg_bits,
+                    rx,
                     !options.full_transitions,
+                    free,
+                    chosen,
                     |next_cfg| cfgs.push(next_cfg),
                 );
-                Some((advanced, effect.next_positions, cfgs))
-            });
-        let mut next: HashMap<StateKey, Vec<WitnessEntry>> = HashMap::new();
-        for (advanced, next_positions, cfgs) in expanded.into_iter().flatten() {
+                Some((advanced, pp, cfgs))
+            })
+        });
+        let mut next: FxHashMap<StateId, Vec<WitnessEntry>> = FxHashMap::default();
+        for (advanced, pp, cfgs) in expanded.into_iter().flatten() {
             for next_cfg in cfgs {
-                let key: StateKey = (next_cfg, next_positions.clone());
-                let entry = next.entry(key).or_default();
+                let nid = arena.intern_packed(next_cfg, &pp).0;
+                let entry = next.entry(nid).or_default();
                 for e in &advanced {
                     pareto_insert_with_parent(entry, e.clone());
                 }
@@ -396,26 +604,30 @@ pub fn pif_witness(
         layers.push(next);
     }
 
-    // Pick the witness endpoint: an all-finished state found early, or any
-    // surviving state in the final layer.
-    let (end_layer, end_state) = match terminal {
+    // Pick the witness endpoint: an all-finished state found early, or the
+    // canonically smallest surviving state in the final layer.
+    let (end_layer, end_id) = match terminal {
         Some(x) => x,
         None => {
             let last = layers.len() - 1;
-            let state = layers[last].keys().min().expect("nonempty layer").clone();
-            (last, state)
+            let id = layers[last]
+                .keys()
+                .copied()
+                .min_by(|&a, &b| arena.cmp_ids(a, b))
+                .expect("nonempty layer");
+            (last, id)
         }
     };
-    // Walk parents back to layer 0.
-    let mut chain: Vec<StateKey> = vec![end_state.clone()];
-    let mut cursor: Option<(StateKey, usize)> = layers[end_layer][&end_state]
+    // Walk parents back to layer 0, materializing canonical keys.
+    let mut chain: Vec<StateKey> = vec![arena.key(end_id)];
+    let mut cursor: Option<(StateId, usize)> = layers[end_layer][&end_id]
         .first()
-        .and_then(|(_, parent)| parent.clone());
+        .and_then(|(_, parent)| *parent);
     let mut layer_idx = end_layer;
-    while let Some((state, idx)) = cursor {
+    while let Some((id, idx)) = cursor {
         layer_idx -= 1;
-        cursor = layers[layer_idx][&state][idx].1.clone();
-        chain.push(state);
+        cursor = layers[layer_idx][&id][idx].1;
+        chain.push(arena.key(id));
     }
     chain.reverse();
     // Extend past the checkpoint with arbitrary legal (lazy) transitions

@@ -66,15 +66,16 @@ impl<'a> SchedSearch<'a> {
     }
 
     /// Serve or stall each due core at time `t`, starting from core index
-    /// `c`; `req` is the request snapshot of the cores *chosen to be
-    /// served* — but since stalling is chosen per core as we go, we pin
-    /// conservatively: a page is pinned once its core has been chosen to
-    /// read it this step.
+    /// `c`; `pinned` is the bitmask of dense pages read by the cores
+    /// *chosen to be served* — since stalling is chosen per core as we
+    /// go, we pin conservatively: a page is pinned once its core has been
+    /// chosen to read it this step. Passed by value, so backtracking
+    /// restores it for free.
     fn go(
         &mut self,
         t: Time,
         c: usize,
-        pinned: &mut Vec<u16>,
+        pinned: u64,
         served: usize,
         due: usize,
     ) -> Result<(), BudgetTripped> {
@@ -110,8 +111,7 @@ impl<'a> SchedSearch<'a> {
                 let due2 = (0..p)
                     .filter(|&j| !self.finished(j) && self.ready[j] == t2)
                     .count();
-                let mut fresh = Vec::new();
-                return self.go(t2, 0, &mut fresh, 0, due2);
+                return self.go(t2, 0, 0, 0, due2);
             }
             return Ok(());
         }
@@ -129,9 +129,7 @@ impl<'a> SchedSearch<'a> {
                 self.ready[core] = t + 1;
                 let saved = self.completion;
                 self.completion = self.completion.max(t);
-                pinned.push(page);
-                self.go(t, core + 1, pinned, served + 1, due)?;
-                pinned.pop();
+                self.go(t, core + 1, pinned | (1u64 << page), served + 1, due)?;
                 self.completion = saved;
                 self.pos[core] -= 1;
                 self.ready[core] = t;
@@ -159,7 +157,7 @@ impl<'a> SchedSearch<'a> {
                     page,
                     ready_at: t + self.inst.tau + 1,
                 };
-                pinned.push(page);
+                let pinned = pinned | (1u64 << page);
                 if self.cache.len() < self.inst.k {
                     self.cache.push(slot);
                     self.go(t, core + 1, pinned, served + 1, due)?;
@@ -167,7 +165,7 @@ impl<'a> SchedSearch<'a> {
                 } else {
                     for i in 0..self.cache.len() {
                         let victim = self.cache[i];
-                        if victim.ready_at > t || pinned.contains(&victim.page) {
+                        if victim.ready_at > t || pinned & (1u64 << victim.page) != 0 {
                             continue; // in flight or read this step
                         }
                         self.cache[i] = slot;
@@ -175,7 +173,6 @@ impl<'a> SchedSearch<'a> {
                         self.cache[i] = victim;
                     }
                 }
-                pinned.pop();
                 self.completion = saved;
                 self.faults -= 1;
                 self.pos[core] -= 1;
@@ -250,8 +247,7 @@ pub fn sched_min_governed(
         horizon,
     };
     let seeded = search.best;
-    let mut pinned = Vec::new();
-    match search.go(1, 0, &mut pinned, 0, due) {
+    match search.go(1, 0, 0, 0, due) {
         Ok(()) => {
             if search.best == u64::MAX || (initial_bound.is_some() && search.best == seeded) {
                 return Err(DpError::Model(format!(

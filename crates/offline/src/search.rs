@@ -12,6 +12,7 @@
 //!   5 asserts this class contains an optimal algorithm for disjoint
 //!   workloads; tests assert equality with the DP optimum.
 
+use crate::intern::FxHashMap;
 use crate::state::{DpError, DpInstance};
 use mcp_core::{Budget, SimConfig, Time, TripReason, Workload};
 
@@ -86,7 +87,7 @@ pub enum Objective {
 struct Search<'a> {
     inst: &'a DpInstance,
     /// occurrences[core][dense page] = ascending request indices.
-    occurrences: Vec<std::collections::HashMap<u16, Vec<usize>>>,
+    occurrences: Vec<FxHashMap<u16, Vec<usize>>>,
     pos: Vec<usize>,
     ready: Vec<Time>,
     cache: Vec<Slot>,
@@ -111,8 +112,7 @@ impl<'a> Search<'a> {
             .seqs
             .iter()
             .map(|seq| {
-                let mut occ: std::collections::HashMap<u16, Vec<usize>> =
-                    std::collections::HashMap::new();
+                let mut occ: FxHashMap<u16, Vec<usize>> = FxHashMap::default();
                 for (i, &pg) in seq.iter().enumerate() {
                     occ.entry(pg).or_default().push(i);
                 }

@@ -12,20 +12,56 @@
 use mcp_core::{PageId, SimConfig, Time, Workload};
 use std::fmt;
 
+/// The sequential-fallback threshold for [`pool_for`]: layers with fewer
+/// tasks than this stay on the calling thread (the scoped-thread round
+/// trip costs more than the expansion itself on tiny layers).
+///
+/// The default of 32 was tuned for the boxed state engine; the packed
+/// engine's expansions are an order of magnitude cheaper, so mid-size
+/// layers may still not amortize the pool. Override per process with the
+/// `MCP_MIN_PARALLEL_TASKS` environment variable (read once, cached; an
+/// unset or unparsable value keeps the default; `0` forces every batch
+/// onto the pool). The threshold never affects results — expansions
+/// merge in canonical order either way.
+pub fn min_parallel_tasks() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MCP_MIN_PARALLEL_TASKS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(32)
+    })
+}
+
 /// The pool both DPs expand layers on: `jobs == 0` defers to the
-/// process-wide setting, and batches smaller than one chunk per worker
-/// stay sequential (the scoped-thread round trip costs more than the
-/// expansion itself on tiny layers). The choice never affects results —
-/// expansions are merged in canonical order either way.
+/// process-wide setting, and batches smaller than
+/// [`min_parallel_tasks`] stay sequential. The choice never affects
+/// results — expansions are merged in canonical order either way.
 pub(crate) fn pool_for(jobs: usize, tasks: usize) -> mcp_exec::Pool {
-    const MIN_PARALLEL_TASKS: usize = 32;
-    if tasks < MIN_PARALLEL_TASKS {
+    if tasks < min_parallel_tasks() {
         mcp_exec::Pool::new(1)
     } else if jobs == 0 {
         mcp_exec::Pool::global()
     } else {
         mcp_exec::Pool::new(jobs)
     }
+}
+
+/// Execution statistics from a DP run (the `--stats` surface of
+/// `mcp opt` / `mcp pif`). All counts are worker-count-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DpStats {
+    /// Distinct states interned (FTF) or peak live states in any layer
+    /// (PIF).
+    pub states: usize,
+    /// State expansions performed (FTF: states expanded; PIF: fault
+    /// vectors advanced, matching `PifOptions::max_expansions`).
+    pub expansions: usize,
+    /// Peak approximate state-arena footprint in bytes (packed payload
+    /// plus dedup table).
+    pub peak_arena_bytes: usize,
+    /// Dedup-table load factor at the peak (the arena grows at 3/4).
+    pub dedup_load_factor: f64,
 }
 
 /// Errors from DP construction or execution.
@@ -96,7 +132,7 @@ impl DpInstance {
         if pages.len() > 64 {
             return Err(DpError::UniverseTooLarge { pages: pages.len() });
         }
-        let dense: std::collections::HashMap<PageId, u16> = pages
+        let dense: crate::intern::FxHashMap<PageId, u16> = pages
             .iter()
             .enumerate()
             .map(|(i, &p)| (p, i as u16))
@@ -186,11 +222,56 @@ impl StepEffect {
 /// Compute the (deterministic) per-sequence advances and fault set for one
 /// timestep from `(config, positions)`.
 pub fn step_effect(inst: &DpInstance, config: u64, positions: &[u32]) -> StepEffect {
+    let mut next = Vec::new();
+    let mut seq_faulted = Vec::new();
+    let (rx, fault_mask) = step_effect_into(inst, config, positions, &mut next, &mut seq_faulted);
+    StepEffect {
+        rx,
+        fault_mask,
+        seq_faulted,
+        next_positions: next.into_boxed_slice(),
+    }
+}
+
+/// Reusable per-thread buffers for the allocation-free DP hot path
+/// (decoded positions, step outputs, and eviction-combo scratch). One
+/// lives in a `thread_local` per expansion worker.
+#[derive(Default)]
+pub(crate) struct StepScratch {
+    pub(crate) pos: Vec<u32>,
+    pub(crate) next: Vec<u32>,
+    pub(crate) faulted: Vec<bool>,
+    pub(crate) free: Vec<u16>,
+    pub(crate) chosen: Vec<u16>,
+}
+
+/// Run `f` with this thread's [`StepScratch`] (expansion workers reuse
+/// the buffers across calls; the pool's threads each own one).
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut StepScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<StepScratch> =
+            std::cell::RefCell::new(StepScratch::default());
+    }
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Allocation-free form of [`step_effect`] for the DP hot loops: writes
+/// the successor positions and per-sequence fault flags into caller
+/// buffers (cleared first) and returns `(rx, fault_mask)`.
+pub(crate) fn step_effect_into(
+    inst: &DpInstance,
+    config: u64,
+    positions: &[u32],
+    next: &mut Vec<u32>,
+    seq_faulted: &mut Vec<bool>,
+) -> (u64, u64) {
     let period = inst.period();
     let mut rx = 0u64;
     let mut fault_mask = 0u64;
-    let mut seq_faulted = vec![false; inst.num_cores()];
-    let mut next = positions.to_vec();
+    next.clear();
+    next.extend_from_slice(positions);
+    seq_faulted.clear();
+    seq_faulted.resize(inst.num_cores(), false);
     for i in 0..inst.num_cores() {
         let x = positions[i] as u64;
         if x == inst.end_pos(i) {
@@ -214,12 +295,7 @@ pub fn step_effect(inst: &DpInstance, config: u64, positions: &[u32]) -> StepEff
             next[i] = (x + 1) as u32;
         }
     }
-    StepEffect {
-        rx,
-        fault_mask,
-        seq_faulted,
-        next_positions: next.into_boxed_slice(),
-    }
+    (rx, fault_mask)
 }
 
 /// Enumerate successor configurations `C'` for a step: `rx ⊆ C' ⊆ C ∪ rx`,
@@ -235,20 +311,36 @@ pub fn for_each_successor_config(
     config: u64,
     effect: &StepEffect,
     lazy: bool,
+    f: impl FnMut(u64),
+) {
+    let mut free = Vec::new();
+    let mut chosen = Vec::new();
+    for_each_successor_config_with(inst, config, effect.rx, lazy, &mut free, &mut chosen, f)
+}
+
+/// Allocation-free form of [`for_each_successor_config`] for the DP hot
+/// loops: takes the step's `rx` directly and enumerates into caller
+/// scratch buffers.
+pub(crate) fn for_each_successor_config_with(
+    inst: &DpInstance,
+    config: u64,
+    rx: u64,
+    lazy: bool,
+    free: &mut Vec<u16>,
+    chosen: &mut Vec<u16>,
     mut f: impl FnMut(u64),
 ) {
-    let base = config | effect.rx;
-    let keep_mask = effect.rx;
-    let free: Vec<u16> = (0..inst.pages.len() as u16)
-        .filter(|b| (base & !keep_mask) & (1u64 << b) != 0)
-        .collect();
+    let base = config | rx;
+    let keep_mask = rx;
+    free.clear();
+    free.extend((0..inst.pages.len() as u16).filter(|b| (base & !keep_mask) & (1u64 << b) != 0));
     let occupancy = base.count_ones() as usize;
     let min_evict = occupancy.saturating_sub(inst.k);
     debug_assert!(min_evict <= free.len(), "rx alone must fit in the cache");
     let max_evict = if lazy { min_evict } else { free.len() };
 
     // Enumerate subsets of `free` of each size in [min_evict, max_evict].
-    let mut chosen: Vec<u16> = Vec::with_capacity(max_evict);
+    chosen.clear();
     fn combos(
         free: &[u16],
         start: usize,
@@ -272,7 +364,7 @@ pub fn for_each_successor_config(
         }
     }
     for e in min_evict..=max_evict {
-        combos(&free, 0, e, &mut chosen, base, &mut f);
+        combos(free, 0, e, chosen, base, &mut f);
     }
 }
 

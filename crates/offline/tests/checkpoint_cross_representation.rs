@@ -1,0 +1,141 @@
+//! Checkpoints are representation-independent. The DP engine stores
+//! frontiers in one of two arena layouts — bit-packed `u128` keys when
+//! the position vector fits inline, or spilled `u32` slices (the seed
+//! implementation's layout) otherwise — but checkpoints always serialize
+//! the unpacked canonical byte format. So a snapshot written by either
+//! representation must be byte-identical to the other's, and must resume
+//! under either representation to the same answer, bit for bit.
+
+use mcp_core::{Budget, SimConfig, TripReason, Workload};
+use mcp_offline::{
+    ftf_dp, ftf_dp_governed, pif_decide_governed, FtfCheckpoint, FtfOptions, FtfOutcome,
+    PifCheckpoint, PifOptions, PifOutcome,
+};
+
+/// Same contended family as `anytime_checkpoint.rs` (`i % 4` on core 1).
+fn contended(n: usize) -> Workload {
+    Workload::from_u32([
+        (0..n).map(|i| (i % 3) as u32).collect::<Vec<_>>(),
+        (0..n).map(|i| 10 + (i % 4) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap()
+}
+
+fn ftf_opts(force_spill: bool) -> FtfOptions {
+    FtfOptions {
+        reconstruct: true,
+        force_spill,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ftf_results_are_identical_in_both_representations() {
+    let w = contended(14);
+    let cfg = SimConfig::new(3, 1);
+    let inline = ftf_dp(&w, cfg, ftf_opts(false)).unwrap();
+    let spill = ftf_dp(&w, cfg, ftf_opts(true)).unwrap();
+    assert_eq!(inline.min_faults, spill.min_faults);
+    assert_eq!(inline.states, spill.states);
+    assert_eq!(
+        inline.schedule.as_ref().unwrap().decisions,
+        spill.schedule.as_ref().unwrap().decisions
+    );
+    assert_eq!(
+        inline.schedule.as_ref().unwrap().voluntary,
+        spill.schedule.as_ref().unwrap().voluntary
+    );
+}
+
+/// Truncate the FTF run under the given representation and return the
+/// checkpoint's serialized bytes.
+fn ftf_snapshot(w: &Workload, cfg: SimConfig, cap: usize, force_spill: bool) -> Vec<u8> {
+    let budget = Budget::unlimited().with_max_states(cap);
+    match ftf_dp_governed(w, cfg, ftf_opts(force_spill), &budget, None).unwrap() {
+        FtfOutcome::Truncated(t) => {
+            assert!(matches!(t.reason, TripReason::StateCap { .. }));
+            t.checkpoint.to_bytes()
+        }
+        FtfOutcome::Complete(_) => panic!("cap {cap} must truncate"),
+    }
+}
+
+#[test]
+fn ftf_checkpoint_bytes_are_representation_independent_and_cross_resume() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+    let full = ftf_dp(&w, cfg, ftf_opts(false)).unwrap();
+
+    let by_inline = ftf_snapshot(&w, cfg, 10, false);
+    let by_spill = ftf_snapshot(&w, cfg, 10, true);
+    assert_eq!(
+        by_inline, by_spill,
+        "both representations must write the same snapshot bytes"
+    );
+
+    // A snapshot written by one representation resumes under the other.
+    for (bytes, resume_spill) in [(&by_inline, true), (&by_spill, false)] {
+        let ck = FtfCheckpoint::from_bytes(bytes).unwrap();
+        let r = match ftf_dp_governed(
+            &w,
+            cfg,
+            ftf_opts(resume_spill),
+            &Budget::unlimited(),
+            Some(&ck),
+        )
+        .unwrap()
+        {
+            FtfOutcome::Complete(r) => r,
+            FtfOutcome::Truncated(_) => panic!("unlimited resume must complete"),
+        };
+        assert_eq!(r.min_faults, full.min_faults, "spill={resume_spill}");
+        assert_eq!(r.states, full.states, "spill={resume_spill}");
+        assert_eq!(
+            r.schedule.as_ref().unwrap().decisions,
+            full.schedule.as_ref().unwrap().decisions,
+            "spill={resume_spill}"
+        );
+    }
+}
+
+/// Truncate the PIF run under the given representation and return
+/// `(t_done, bytes)` of its checkpoint.
+fn pif_snapshot(w: &Workload, cfg: SimConfig, force_spill: bool) -> (u64, Vec<u8>) {
+    let opts = PifOptions {
+        force_spill,
+        ..Default::default()
+    };
+    let budget = Budget::unlimited().with_max_states(40);
+    match pif_decide_governed(w, cfg, 16, &[8, 8], opts, &budget, None).unwrap() {
+        PifOutcome::Truncated(t) => (t.t_done, t.checkpoint.to_bytes()),
+        PifOutcome::Decided(ans) => panic!("cap 40 must truncate, got {ans}"),
+    }
+}
+
+#[test]
+fn pif_checkpoint_bytes_are_representation_independent_and_cross_resume() {
+    let w = contended(12);
+    let cfg = SimConfig::new(3, 1);
+
+    let (t_inline, by_inline) = pif_snapshot(&w, cfg, false);
+    let (t_spill, by_spill) = pif_snapshot(&w, cfg, true);
+    assert_eq!(t_inline, t_spill);
+    assert_eq!(
+        by_inline, by_spill,
+        "both representations must write the same snapshot bytes"
+    );
+
+    for (bytes, resume_spill) in [(&by_inline, true), (&by_spill, false)] {
+        let ck = PifCheckpoint::from_bytes(bytes).unwrap();
+        let opts = PifOptions {
+            force_spill: resume_spill,
+            ..Default::default()
+        };
+        match pif_decide_governed(&w, cfg, 16, &[8, 8], opts, &Budget::unlimited(), Some(&ck))
+            .unwrap()
+        {
+            PifOutcome::Decided(ans) => assert!(ans, "spill={resume_spill}"),
+            PifOutcome::Truncated(_) => panic!("unlimited resume must decide"),
+        }
+    }
+}

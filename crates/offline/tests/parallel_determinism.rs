@@ -4,9 +4,24 @@
 //! than the process-wide setting so they stay independent of test-runner
 //! threading.
 
-use mcp_core::{SimConfig, Workload};
-use mcp_offline::{ftf_dp, pif_decide, pif_witness, FtfOptions, PifOptions};
+use mcp_core::{Budget, SimConfig, Workload};
+use mcp_offline::{
+    ftf_dp, ftf_dp_governed, pif_decide, pif_decide_governed, pif_witness, FtfOptions, FtfOutcome,
+    PifOptions, PifOutcome,
+};
 use mcp_policies::Replay;
+
+/// FNV-1a, used to pin results against fingerprints recorded on the seed
+/// (pre-packed-engine) implementation. The packed state engine must be
+/// observationally identical, so these constants must never change.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 fn wl(seqs: &[&[u32]]) -> Workload {
     Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
@@ -130,6 +145,181 @@ fn pif_decisions_are_worker_count_invariant() {
                 .unwrap();
                 assert_eq!(got, base, "bounds={bounds:?} full={full} jobs={jobs}");
             }
+        }
+    }
+}
+
+/// `anytime_checkpoint.rs`'s workload variant (`i % 4` on core 1), used
+/// by the checkpoint-byte fingerprints below.
+fn contended4(n: usize) -> Workload {
+    Workload::from_u32([
+        (0..n).map(|i| (i % 3) as u32).collect::<Vec<_>>(),
+        (0..n).map(|i| 10 + (i % 4) as u32).collect::<Vec<_>>(),
+    ])
+    .unwrap()
+}
+
+/// Fingerprints of the FTF results from `ftf_results_are_worker_count_
+/// invariant`'s sweep, recorded on the seed implementation. Order:
+/// workload-major, then k in {2, 3}, then prune in {true, false}.
+const FTF_RESULT_FPS: [u64; 12] = [
+    0xef8b7345d02845b0,
+    0xef8b7345d02845b0,
+    0xf102521877be981f,
+    0xf102521877be981f,
+    0xd1328977a87fcc9e,
+    0xd1328977a87fcc9e,
+    0x45534ee2d4164eac,
+    0x45534ee2d4164eac,
+    0xf63aab8967aac82e,
+    0xf63aab8967aac82e,
+    0x454c5ee2d4104b2e,
+    0x454c5ee2d4104b2e,
+];
+const FTF_WITNESS_FP: u64 = 0xad00b31aca813c22;
+const PIF_DECISION_BITS: &str = "11000000";
+const PIF_WITNESS_FP: u64 = 0x839e35b1621a5c60;
+const FTF_CKPT_FP: u64 = 0xc7da23591bda9bf1;
+const PIF_CKPT_FP: u64 = 0xd283ef6e9e98eed4;
+
+#[test]
+fn ftf_results_match_recorded_fingerprints() {
+    let workloads = [
+        contended(24),
+        wl(&[&[1, 2, 3, 1, 2], &[7, 8, 7, 8, 7]]),
+        wl(&[&[1, 2, 1, 2, 1, 2], &[7, 8, 7, 8, 7, 8]]),
+    ];
+    for jobs in [1usize, 2, 4] {
+        let mut fps = Vec::new();
+        for w in &workloads {
+            for k in [2usize, 3] {
+                for prune in [true, false] {
+                    let r = ftf_dp(
+                        w,
+                        SimConfig::new(k, 1),
+                        FtfOptions {
+                            prune,
+                            jobs,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    fps.push(fnv(format!("{}|{}", r.min_faults, r.states).as_bytes()));
+                }
+            }
+        }
+        assert_eq!(fps, FTF_RESULT_FPS, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn ftf_witness_matches_recorded_fingerprint() {
+    let w = contended(16);
+    for jobs in [1usize, 2, 4] {
+        let r = ftf_dp(
+            &w,
+            SimConfig::new(3, 1),
+            FtfOptions {
+                reconstruct: true,
+                jobs,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = r.schedule.unwrap();
+        let mut d: Vec<_> = s.decisions.into_iter().collect();
+        d.sort_unstable_by_key(|(k, _)| *k);
+        let fp = fnv(format!("{}|{:?}|{:?}", r.min_faults, d, s.voluntary).as_bytes());
+        assert_eq!(fp, FTF_WITNESS_FP, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn pif_decisions_match_recorded_fingerprints() {
+    let w = contended(18);
+    let cfg = SimConfig::new(2, 1);
+    for jobs in [1usize, 2, 4] {
+        let mut bits = String::new();
+        for bounds in [[20u64, 20], [9, 9], [2, 2], [0, 0]] {
+            for full in [true, false] {
+                let ans = pif_decide(
+                    &w,
+                    cfg,
+                    60,
+                    &bounds,
+                    PifOptions {
+                        full_transitions: full,
+                        jobs,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                bits.push(if ans { '1' } else { '0' });
+            }
+        }
+        assert_eq!(bits, PIF_DECISION_BITS, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn pif_witness_matches_recorded_fingerprint() {
+    let w = contended(12);
+    for jobs in [1usize, 2, 4] {
+        let s = pif_witness(
+            &w,
+            SimConfig::new(2, 1),
+            30,
+            &[12, 12],
+            PifOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .unwrap();
+        let mut d: Vec<_> = s.decisions.into_iter().collect();
+        d.sort_unstable_by_key(|(k, _)| *k);
+        let fp = fnv(format!("{:?}|{:?}", d, s.voluntary).as_bytes());
+        assert_eq!(fp, PIF_WITNESS_FP, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn ftf_checkpoint_bytes_match_recorded_fingerprint() {
+    let w = contended4(12);
+    let budget = Budget::unlimited().with_max_states(10);
+    for jobs in [1usize, 2, 4] {
+        let opts = FtfOptions {
+            reconstruct: true,
+            jobs,
+            ..Default::default()
+        };
+        match ftf_dp_governed(&w, SimConfig::new(3, 1), opts, &budget, None).unwrap() {
+            FtfOutcome::Truncated(t) => {
+                assert_eq!(fnv(&t.checkpoint.to_bytes()), FTF_CKPT_FP, "jobs={jobs}");
+            }
+            FtfOutcome::Complete(_) => panic!("cap 10 must truncate (jobs={jobs})"),
+        }
+    }
+}
+
+#[test]
+fn pif_checkpoint_bytes_match_recorded_fingerprint() {
+    let w = contended4(12);
+    let budget = Budget::unlimited().with_max_states(40);
+    for jobs in [1usize, 2, 4] {
+        let opts = PifOptions {
+            jobs,
+            ..Default::default()
+        };
+        match pif_decide_governed(&w, SimConfig::new(3, 1), 16, &[8, 8], opts, &budget, None)
+            .unwrap()
+        {
+            PifOutcome::Truncated(t) => {
+                assert_eq!(t.t_done, 7, "jobs={jobs}");
+                assert_eq!(fnv(&t.checkpoint.to_bytes()), PIF_CKPT_FP, "jobs={jobs}");
+            }
+            PifOutcome::Decided(ans) => panic!("cap 40 must truncate, got {ans} (jobs={jobs})"),
         }
     }
 }

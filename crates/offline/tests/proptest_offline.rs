@@ -6,7 +6,7 @@
 use mcp_core::{simulate, PageId, SimConfig, Workload};
 use mcp_offline::{
     belady_faults, brute_force_min_faults, fitf_restricted_min_faults, ftf_min_faults, lru_curve,
-    opt_curve, optimal_static_partition, pif_decide, PartPolicy, PifOptions,
+    opt_curve, optimal_static_partition, pif_decide, PartPolicy, PifOptions, StateArena,
 };
 use mcp_policies::static_partition_belady;
 use proptest::prelude::*;
@@ -119,6 +119,67 @@ proptest! {
         } else {
             // Later checkpoints can only stay infeasible.
             prop_assert!(!pif_decide(&w, cfg, t + 1, &[b0, b1], opts).unwrap());
+        }
+    }
+
+    #[test]
+    fn packed_keys_roundtrip_in_both_representations(
+        cores in 1usize..=6,
+        tau in 0u64..=4,
+        n in 1u64..=20,
+        states in prop::collection::vec((0u64..u64::MAX, prop::collection::vec(0u32..200, 6)), 1..40),
+    ) {
+        // max_pos mirrors the DP's end positions: n(τ+1) + 1.
+        let max_pos = n * (tau + 1) + 1;
+        for force_spill in [false, true] {
+            let mut arena = StateArena::new(cores, max_pos, force_spill);
+            for (cfg, pos) in &states {
+                let positions: Vec<u32> = pos[..cores]
+                    .iter()
+                    .map(|&x| 1 + x % (max_pos as u32))
+                    .collect();
+                let (id, _) = arena.intern(*cfg, &positions);
+                // Encode → intern → decode must reproduce the key exactly.
+                prop_assert_eq!(
+                    arena.key(id),
+                    (*cfg, positions.clone().into_boxed_slice()),
+                    "roundtrip (spill={})", force_spill
+                );
+                prop_assert_eq!(
+                    arena.pos_sum(id),
+                    positions.iter().map(|&x| u64::from(x)).sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_canonical_order_matches_state_key_order(
+        cores in 1usize..=6,
+        tau in 0u64..=4,
+        n in 1u64..=20,
+        states in prop::collection::vec((0u64..64, prop::collection::vec(0u32..200, 6)), 2..30),
+    ) {
+        // The packed engine must sort states exactly as the unpacked
+        // (mask, positions) lexicographic StateKey order did.
+        let max_pos = n * (tau + 1) + 1;
+        for force_spill in [false, true] {
+            let mut arena = StateArena::new(cores, max_pos, force_spill);
+            let mut ids = Vec::new();
+            for (cfg, pos) in &states {
+                let positions: Vec<u32> = pos[..cores]
+                    .iter()
+                    .map(|&x| 1 + x % (max_pos as u32))
+                    .collect();
+                ids.push(arena.intern(*cfg, &positions).0);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            let mut by_engine = ids.clone();
+            arena.sort_ids(&mut by_engine);
+            let mut by_key = ids.clone();
+            by_key.sort_by_key(|&id| arena.key(id));
+            prop_assert_eq!(by_engine, by_key, "order diverged (spill={})", force_spill);
         }
     }
 
