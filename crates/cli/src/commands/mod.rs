@@ -4,6 +4,7 @@
 
 pub mod compare;
 pub mod curves;
+pub mod fuzz;
 pub mod gen;
 pub mod opt;
 pub mod partition;

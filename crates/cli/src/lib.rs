@@ -46,6 +46,10 @@ commands:
                  [--deadline DUR] [--checkpoint FILE]
   pif          fairness feasibility    --trace F --k K --at T --bounds a,b,…
                  [--deadline DUR] [--checkpoint FILE]
+  fuzz         differential fuzz: optimized engine vs. naive reference
+                 [--instances N] [--seed S] [--corpus DIR]
+                 [--families a,b,…]; divergences shrink to fixtures
+                 under DIR and exit 1
 
 global options:
   --jobs N     worker threads for compare, curves and the exact solvers
@@ -81,6 +85,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("partition") => commands::partition::run(args),
         Some("opt") => commands::opt::run(args),
         Some("pif") => commands::pif::run(args),
+        Some("fuzz") => commands::fuzz::run(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; try `mcp help`"
         ))),

@@ -279,3 +279,83 @@ fn pif_deadline_truncates_then_resumes_to_the_same_decision() {
 
     std::fs::remove_file(&trace).ok();
 }
+
+/// Environment-aware spawn for the fuzz tests (the env var must reach the
+/// child, not this test process).
+fn mcp_env(args: &[&str], env: &[(&str, &str)]) -> (Option<i32>, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mcp"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn fuzz_smoke_is_clean_and_jobs_invariant() {
+    let corpus = tmp("fuzz_corpus_clean");
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2", "4"] {
+        let (code, stdout, stderr) = mcp_code(&[
+            "fuzz",
+            "--instances",
+            "12",
+            "--seed",
+            "0xC5_2011_12",
+            "--jobs",
+            jobs,
+            "--corpus",
+            &corpus,
+        ]);
+        assert_eq!(code, Some(0), "fuzz failed under --jobs {jobs}: {stderr}");
+        assert!(stdout.contains("divergences:          0"), "{stdout}");
+        outputs.push((stdout, stderr));
+    }
+    // Bit-identical output at every parallelism level.
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+    // A clean run writes no divergence fixtures.
+    assert!(!std::path::Path::new(&corpus).exists());
+}
+
+#[test]
+fn fuzz_divergence_path_shrinks_writes_fixture_and_exits_nonzero() {
+    let corpus = tmp("fuzz_corpus_skew");
+    let _ = std::fs::remove_dir_all(&corpus);
+    // MCP_ORACLE_SKEW perturbs the reference engine (one phantom fault on
+    // core 0), so every differential comparison must diverge.
+    let (code, _stdout, stderr) = mcp_env(
+        &[
+            "fuzz",
+            "--instances",
+            "2",
+            "--seed",
+            "5",
+            "--families",
+            "lru,clock",
+            "--corpus",
+            &corpus,
+        ],
+        &[("MCP_ORACLE_SKEW", "1")],
+    );
+    assert_eq!(code, Some(1), "skewed fuzz must exit 1: {stderr}");
+    // The summary names the diverging strategy family and the fixture.
+    assert!(stderr.contains("divergence: family=lru"), "{stderr}");
+    assert!(stderr.contains("fixture="), "{stderr}");
+    // A shrunk, replayable fixture file landed in the corpus directory.
+    let fixtures: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("corpus dir created")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_string_lossy().starts_with("div-"))
+        .collect();
+    assert!(!fixtures.is_empty(), "no divergence fixture written");
+    let text = std::fs::read_to_string(&fixtures[0]).unwrap();
+    assert!(text.contains("# mcp-oracle fixture"), "{text}");
+    assert!(text.contains("# family:"), "{text}");
+    let _ = std::fs::remove_dir_all(&corpus);
+}

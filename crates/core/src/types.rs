@@ -106,9 +106,35 @@ impl std::error::Error for ModelError {}
 ///
 /// Core `j`'s sequence is `sequences()[j]`; cores are indexed from 0. Empty
 /// per-core sequences are permitted (such cores simply never issue).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Display` prints the compact text-trace form — one `core: page page …`
+/// row per core, parseable by `mcp_workloads::read_text` — and `Debug`
+/// prints the same rows behind a `p = …` header on a fresh line, so
+/// assertion failures and shrunk fuzz counterexamples paste directly into
+/// a trace file.
+#[derive(Clone, PartialEq, Eq)]
 pub struct Workload {
     sequences: Vec<Vec<PageId>>,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (core, seq) in self.sequences.iter().enumerate() {
+            write!(f, "{core}:")?;
+            for page in seq {
+                write!(f, " {}", page.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n# p = {}", self.num_cores())?;
+        write!(f, "{self}")
+    }
 }
 
 impl Workload {
@@ -331,5 +357,14 @@ mod tests {
             SimConfig::new(0, 0).validate(&w).unwrap_err(),
             ModelError::EmptyCache
         );
+    }
+    #[test]
+    fn workload_display_is_the_text_trace_form() {
+        let w = Workload::from_u32([vec![1u32, 2, 1], vec![7u32, 8]]).unwrap();
+        assert_eq!(w.to_string(), "0: 1 2 1\n1: 7 8\n");
+        assert_eq!(format!("{w:?}"), "\n# p = 2\n0: 1 2 1\n1: 7 8\n");
+        // Empty sequences still get their row (cores are positional).
+        let w = Workload::from_u32([vec![], vec![5u32]]).unwrap();
+        assert_eq!(w.to_string(), "0:\n1: 5\n");
     }
 }

@@ -1,0 +1,532 @@
+//! The seeded differential fuzz harness: random instances from
+//! `mcp-workloads`, optimized engine vs. the naive reference over every
+//! strategy family, metamorphic invariants from the paper's lemmas, and
+//! exhaustive-oracle cross-checks of the offline dynamic programs — all on
+//! `mcp_exec::par_try_map`, so a diverging instance panics inside the
+//! pool's containment while the rest of the batch finishes.
+//!
+//! Everything is derived from one master seed with
+//! [`mcp_exec::derive_seed`], so a run is reproducible bit-for-bit at any
+//! `--jobs` level and any single instance can be re-run in isolation.
+
+use crate::exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
+use crate::instance::{build_family, family_applicable, Fixture, Instance, FAMILIES};
+use crate::reference::reference_simulate;
+use mcp_core::{simulate, SimConfig, SimError, SimResult, Workload};
+use mcp_exec::{derive_seed, Pool};
+use mcp_offline::{
+    ftf_min_faults, lru_faults, pif_decide, sched_min, DpError, Objective, PifOptions,
+};
+use mcp_policies::{shared_lru, static_partition_lru, LruMimicPartition, Partition};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Node cap for the exhaustive offline oracles; a cross-check whose search
+/// outgrows this is silently skipped (the instance was too large, not
+/// wrong).
+const ORACLE_NODE_CAP: usize = 2_000_000;
+
+/// Configuration of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Number of random instances to generate.
+    pub instances: usize,
+    /// Master seed; every instance seed derives from it.
+    pub seed: u64,
+    /// Where divergence fixtures are written.
+    pub corpus_dir: PathBuf,
+    /// Strategy families to compare (defaults to [`FAMILIES`]).
+    pub families: Vec<String>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            instances: 64,
+            seed: 0,
+            corpus_dir: PathBuf::from("tests/corpus"),
+            families: FAMILIES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// One contained divergence (or crash) from a fuzz run.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the diverging instance.
+    pub index: usize,
+    /// The panic message: names the family and the fixture file, and
+    /// carries the shrunk instance inline.
+    pub message: String,
+}
+
+/// Aggregated outcome of [`run_fuzz`].
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Instances that ran to completion without diverging.
+    pub passed: usize,
+    /// Engine comparisons performed (instances × families).
+    pub comparisons: u64,
+    /// Metamorphic invariants checked.
+    pub metamorphic_checks: u64,
+    /// Exhaustive-oracle cross-checks of the offline DPs performed
+    /// (skipped checks — node cap tripped — are not counted).
+    pub dp_checks: u64,
+    /// Contained divergences, in instance order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// `true` iff every instance agreed everywhere.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Per-instance counters, merged into the [`FuzzReport`].
+#[derive(Clone, Copy, Debug, Default)]
+struct InstanceStats {
+    comparisons: u64,
+    metamorphic: u64,
+    dp_checks: u64,
+}
+
+/// Run the differential fuzz harness. Instances are generated and checked
+/// in parallel on the global pool; a divergence panics inside containment
+/// (after shrinking and writing a fixture), and the report collects every
+/// contained panic in deterministic instance order.
+pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
+    let indices: Vec<usize> = (0..options.instances).collect();
+    // Silence the default panic hook while the batch runs: divergences are
+    // *expected* panics (that's the containment design), and the hook's
+    // thread-id-stamped stderr chatter would differ across --jobs levels.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let results = Pool::global().par_try_map(&indices, |_, &i| fuzz_one(i, options));
+    panic::set_hook(hook);
+
+    let mut report = FuzzReport::default();
+    for outcome in results {
+        match outcome {
+            Ok(stats) => {
+                report.passed += 1;
+                report.comparisons += stats.comparisons;
+                report.metamorphic_checks += stats.metamorphic;
+                report.dp_checks += stats.dp_checks;
+            }
+            Err(panic) => report.divergences.push(Divergence {
+                index: panic.index,
+                message: panic.message,
+            }),
+        }
+    }
+    report.divergences.sort_by_key(|d| d.index);
+    report
+}
+
+/// Generate instance `i` and run every check against it. Panics (with a
+/// deterministic message naming the family and the written fixture) on any
+/// divergence.
+fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
+    let seed = derive_seed(options.seed, i as u64);
+    let instance = generate(i, seed);
+    let mut stats = InstanceStats::default();
+
+    for (f, family) in options.families.iter().enumerate() {
+        let strategy_seed = derive_seed(seed, f as u64);
+        if build_family(family, &instance, strategy_seed).is_none() {
+            panic!("unknown strategy family {family:?}");
+        }
+        if !family_applicable(family, &instance) {
+            continue;
+        }
+        stats.comparisons += 1;
+        if let Some(detail) = diverges(family, &instance, strategy_seed) {
+            let shrunk = shrink(family, &instance, strategy_seed);
+            let fixture = Fixture {
+                instance: shrunk.clone(),
+                family: family.clone(),
+                expect_faults: None,
+                note: Some(format!(
+                    "shrunk divergence, fuzz seed {} instance {i}",
+                    options.seed
+                )),
+            };
+            let path = options.corpus_dir.join(format!("div-{family}-i{i}.trace"));
+            let saved = match fixture.save(&path) {
+                Ok(()) => path.display().to_string(),
+                Err(e) => format!("<unsaved: {e}>"),
+            };
+            panic!(
+                "divergence: family={family} instance={i} fixture={saved}\n\
+                 {detail}\nshrunk instance:{shrunk:?}"
+            );
+        }
+    }
+
+    stats.metamorphic += metamorphic(&instance);
+    stats.dp_checks += dp_cross_check(i, options.seed);
+    stats
+}
+
+/// Deterministic instance generator: four workload shapes round-robin,
+/// with cache size and delay drawn from the instance seed. Shape 1 is
+/// non-disjoint (a shared hot set), so shared-fetch misses are exercised.
+fn generate(i: usize, seed: u64) -> Instance {
+    let workload = match i % 4 {
+        0 => mcp_workloads::random_disjoint(seed, 3, 24, 8),
+        1 => mcp_workloads::shared_hotset(2 + (i / 4) % 2, 16, 5, 3, 0.4, seed),
+        2 => mcp_workloads::zipf(2, 20, 12, 0.8, seed),
+        _ => mcp_workloads::phased(2, 20, 6, 5, seed),
+    };
+    let p = workload.num_cores();
+    let cfg = SimConfig::new(p + (seed % 5) as usize, (seed >> 8) % 4);
+    Instance::new(workload, cfg)
+}
+
+/// Outcome of one engine run: either a result or a model error. Engine
+/// panics escape (they are bugs the pool should contain and report).
+type Run = Result<SimResult, SimError>;
+
+fn run_both(family: &str, instance: &Instance, seed: u64) -> (Run, Run) {
+    let fast = simulate(
+        &instance.workload,
+        instance.cfg,
+        build_family(family, instance, seed).expect("family known"),
+    );
+    let slow = reference_simulate(
+        &instance.workload,
+        instance.cfg,
+        build_family(family, instance, seed).expect("family known"),
+    );
+    (fast, slow)
+}
+
+/// `Some(description)` iff the two engines disagree on this instance under
+/// this family. A panic *inside* an engine (e.g. the reference engine's
+/// shadow cross-check) is also a divergence.
+fn diverges(family: &str, instance: &Instance, seed: u64) -> Option<String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| run_both(family, instance, seed))) {
+        Ok((fast, slow)) => match (&fast, &slow) {
+            (Ok(a), Ok(b)) if a == b => None,
+            (Err(a), Err(b)) if a == b => None,
+            _ => Some(describe(&fast, &slow)),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".to_string());
+            Some(format!("engine panicked: {msg}"))
+        }
+    }
+}
+
+fn describe(fast: &Run, slow: &Run) -> String {
+    fn one(r: &Run) -> String {
+        match r {
+            Ok(res) => format!(
+                "faults={:?} hits={:?} makespan={} fault_times={:?}",
+                res.faults, res.hits, res.makespan, res.fault_times
+            ),
+            Err(e) => format!("error: {e:?}"),
+        }
+    }
+    format!("  engine:    {}\n  reference: {}", one(fast), one(slow))
+}
+
+/// Greedy fixpoint shrinker: repeatedly apply the first size-reducing
+/// transformation that still diverges, until none does. Every accepted
+/// candidate strictly shrinks `total_len + p + K + τ`, so this terminates.
+fn shrink(family: &str, instance: &Instance, seed: u64) -> Instance {
+    let still_bad = |cand: &Instance| {
+        cand.cfg.validate(&cand.workload).is_ok() && diverges(family, cand, seed).is_some()
+    };
+    let mut current = instance.clone();
+    // Generous safety cap; each accepted round shrinks the size metric.
+    for _ in 0..512 {
+        match candidates(&current).into_iter().find(|c| still_bad(c)) {
+            Some(smaller) => current = smaller,
+            None => break,
+        }
+    }
+    current
+}
+
+/// Strictly smaller variants of `instance`, biggest reductions first.
+fn candidates(instance: &Instance) -> Vec<Instance> {
+    let w = &instance.workload;
+    let cfg = instance.cfg;
+    let p = w.num_cores();
+    let mut out = Vec::new();
+
+    // Drop a whole core.
+    if p > 1 {
+        for drop in 0..p {
+            let keep: Vec<usize> = (0..p).filter(|&c| c != drop).collect();
+            if let Ok(smaller) = w.select_cores(&keep) {
+                out.push(Instance::new(smaller, cfg));
+            }
+        }
+    }
+    // Halve one core's sequence (keep either half).
+    for core in 0..p {
+        let n = w.len(core);
+        if n < 2 {
+            continue;
+        }
+        for keep_front in [true, false] {
+            let mut seqs: Vec<Vec<_>> = w.sequences().to_vec();
+            seqs[core] = if keep_front {
+                seqs[core][..n / 2].to_vec()
+            } else {
+                seqs[core][n - n / 2..].to_vec()
+            };
+            if let Ok(smaller) = Workload::new(seqs) {
+                out.push(Instance::new(smaller, cfg));
+            }
+        }
+    }
+    // Once small, try removing individual requests.
+    if w.total_len() <= 12 {
+        for core in 0..p {
+            for drop in 0..w.len(core) {
+                let mut seqs: Vec<Vec<_>> = w.sequences().to_vec();
+                seqs[core].remove(drop);
+                if let Ok(smaller) = Workload::new(seqs) {
+                    out.push(Instance::new(smaller, cfg));
+                }
+            }
+        }
+    }
+    // Shrink the delay.
+    if cfg.tau > 1 {
+        out.push(Instance::new(
+            w.clone(),
+            SimConfig::new(cfg.cache_size, cfg.tau / 2),
+        ));
+    }
+    if cfg.tau > 0 {
+        out.push(Instance::new(w.clone(), SimConfig::new(cfg.cache_size, 0)));
+    }
+    // Shrink the cache (validate() rejects K < p later).
+    if cfg.cache_size > 1 {
+        out.push(Instance::new(
+            w.clone(),
+            SimConfig::new(cfg.cache_size - 1, cfg.tau),
+        ));
+    }
+    out
+}
+
+/// Metamorphic invariants from the paper, checked on the optimized engine
+/// alone (so the `MCP_ORACLE_SKEW` hook does not touch them). Panics on
+/// violation; returns the number of invariants that applied.
+fn metamorphic(instance: &Instance) -> u64 {
+    let w = &instance.workload;
+    let cfg = instance.cfg;
+    let p = w.num_cores();
+    let mut checked = 0;
+    if !w.is_disjoint() {
+        return checked;
+    }
+
+    // Lemma 3: on disjoint sequences, shared LRU behaves exactly like the
+    // LRU-mimicking dynamic partition.
+    let lru = simulate(w, cfg, shared_lru()).expect("valid instance");
+    let mimic = simulate(w, cfg, LruMimicPartition::new()).expect("valid instance");
+    assert_eq!(
+        lru, mimic,
+        "metamorphic: dP_LRU != S_LRU on disjoint workload (Lemma 3){instance:?}"
+    );
+    checked += 1;
+
+    // τ = 0 and a static equal partition collapse to p independent
+    // sequential LRUs of the partition sizes.
+    let part = Partition::equal(cfg.cache_size, p);
+    let sizes = part.sizes().to_vec();
+    let zero_tau = SimConfig::new(cfg.cache_size, 0);
+    let r = simulate(w, zero_tau, static_partition_lru(part)).expect("valid instance");
+    for (core, &size) in sizes.iter().enumerate() {
+        assert_eq!(
+            r.faults[core],
+            lru_faults(w.sequence(core), size),
+            "metamorphic: partitioned tau=0 core {core} != sequential LRU{instance:?}"
+        );
+    }
+    checked += 1;
+
+    // Conservative policies behind a static partition are stack
+    // algorithms: per-core faults are monotone non-increasing in K
+    // (Partition::equal grows every core's share weakly in K).
+    let bigger = SimConfig::new(cfg.cache_size + 1, cfg.tau);
+    let small = simulate(
+        w,
+        cfg,
+        static_partition_lru(Partition::equal(cfg.cache_size, p)),
+    )
+    .expect("valid instance");
+    let large = simulate(
+        w,
+        bigger,
+        static_partition_lru(Partition::equal(cfg.cache_size + 1, p)),
+    )
+    .expect("valid instance");
+    for core in 0..p {
+        assert!(
+            large.faults[core] <= small.faults[core],
+            "metamorphic: faults increased with K on core {core} \
+             ({} -> {}){instance:?}",
+            small.faults[core],
+            large.faults[core],
+        );
+    }
+    checked += 1;
+    checked
+}
+
+/// Cross-check the offline dynamic programs against the naive exhaustive
+/// oracles on a tiny instance derived from the run seed. Panics with the
+/// algorithm's name on any mismatch; returns the number of checks that
+/// actually ran (a tripped node cap skips, it does not fail).
+fn dp_cross_check(i: usize, master: u64) -> u64 {
+    let seed = derive_seed(master, 1_000_000 + i as u64);
+    let w = mcp_workloads::random_disjoint(seed, 2, 4, 3);
+    let p = w.num_cores();
+    let cfg = SimConfig::new(p + (seed % 2) as usize, (seed >> 8) % 2);
+    let mut checked = 0;
+
+    // FINAL-TOTAL-FAULTS: Algorithm 1's DP vs. brute force.
+    if let Some(brute) = oracle_min_faults(&w, cfg, ORACLE_NODE_CAP) {
+        let dp = ftf_min_faults(&w, cfg).expect("tiny instance");
+        assert_eq!(
+            dp,
+            brute,
+            "dp-cross-check: ftf_dp disagrees with exhaustive oracle on\n{}",
+            Instance::new(w.clone(), cfg)
+        );
+        checked += 1;
+    }
+
+    // PARTIAL-INDIVIDUAL-FAULTS: Algorithm 2's DP vs. brute force, at the
+    // bound S_LRU achieves (feasible) and one fault tighter (either way).
+    let lru = simulate(&w, cfg, shared_lru()).expect("tiny instance");
+    let checkpoint = (lru.makespan / 2).max(1);
+    let bounds = lru.fault_vector_at(checkpoint);
+    for bounds in pif_bound_variants(&bounds) {
+        if let Some(brute) = oracle_pif_feasible(&w, cfg, checkpoint, &bounds, ORACLE_NODE_CAP) {
+            let dp = pif_decide(&w, cfg, checkpoint, &bounds, PifOptions::default())
+                .expect("tiny instance");
+            assert_eq!(
+                dp,
+                brute,
+                "dp-cross-check: pif_dp disagrees with exhaustive oracle at \
+                 checkpoint {checkpoint} bounds {bounds:?} on\n{}",
+                Instance::new(w.clone(), cfg)
+            );
+            checked += 1;
+        }
+    }
+
+    // The scheduling-capable model: branch-and-bound vs. brute force.
+    if w.total_len() <= 6 {
+        let horizon = (w.total_len() as u64 + 4) * (cfg.tau + 1) + 4;
+        if let Some(brute) = oracle_sched_min_faults(&w, cfg, horizon, ORACLE_NODE_CAP) {
+            match sched_min(&w, cfg, Objective::Faults, horizon, None, ORACLE_NODE_CAP) {
+                Ok(dp) => {
+                    assert_eq!(
+                        dp,
+                        brute,
+                        "dp-cross-check: sched_min disagrees with exhaustive oracle on\n{}",
+                        Instance::new(w.clone(), cfg)
+                    );
+                    checked += 1;
+                }
+                Err(DpError::TooLarge { .. }) => {}
+                Err(e) => panic!("dp-cross-check: sched_min failed: {e:?}"),
+            }
+        }
+    }
+    checked
+}
+
+/// The S_LRU-achieved bound vector plus a one-tighter variant (largest
+/// nonzero coordinate decremented), when one exists.
+fn pif_bound_variants(bounds: &[u64]) -> Vec<Vec<u64>> {
+    let mut variants = vec![bounds.to_vec()];
+    if let Some(core) = (0..bounds.len()).max_by_key(|&c| bounds[c]) {
+        if bounds[core] > 0 {
+            let mut tighter = bounds.to_vec();
+            tighter[core] -= 1;
+            variants.push(tighter);
+        }
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(instances: usize, seed: u64) -> FuzzOptions {
+        FuzzOptions {
+            instances,
+            seed,
+            corpus_dir: std::env::temp_dir().join("mcp-oracle-fuzz-test"),
+            ..FuzzOptions::default()
+        }
+    }
+
+    #[test]
+    fn a_small_batch_is_clean() {
+        let report = run_fuzz(&opts(8, 0xfeed));
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.passed, 8);
+        // Every instance compares every applicable family; only the
+        // disjoint-only sacrifice construction may sit out.
+        assert!(report.comparisons >= 8 * (FAMILIES.len() as u64 - 1));
+        assert!(report.metamorphic_checks > 0);
+        assert!(report.dp_checks > 0);
+    }
+
+    #[test]
+    fn reports_are_seed_deterministic() {
+        let a = run_fuzz(&opts(4, 7));
+        let b = run_fuzz(&opts(4, 7));
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.comparisons, b.comparisons);
+        assert_eq!(a.metamorphic_checks, b.metamorphic_checks);
+        assert_eq!(a.dp_checks, b.dp_checks);
+    }
+
+    #[test]
+    fn shrinker_reaches_a_fixpoint_on_a_forced_divergence() {
+        // Pretend "every instance diverges" by shrinking against a family
+        // whose comparison we sabotage: instead of poking the env hook
+        // (racy across test threads), shrink with a predicate stub by
+        // shrinking a *valid* instance against an impossible family name
+        // is not possible — so exercise the candidate generator directly.
+        let inst = Instance::new(
+            Workload::from_u32([vec![1, 2, 3, 1, 2, 3], vec![7, 8, 7, 8]]).unwrap(),
+            SimConfig::new(4, 3),
+        );
+        let cands = candidates(&inst);
+        assert!(!cands.is_empty());
+        let size = |i: &Instance| {
+            i.workload.total_len() + i.workload.num_cores() + i.cfg.cache_size + i.cfg.tau as usize
+        };
+        for cand in &cands {
+            assert!(
+                size(cand) < size(&inst),
+                "candidate did not shrink: {cand:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pif_bound_variants_tighten_the_largest_coordinate() {
+        assert_eq!(pif_bound_variants(&[2, 5]), vec![vec![2, 5], vec![2, 4]]);
+        assert_eq!(pif_bound_variants(&[0, 0]), vec![vec![0, 0]]);
+    }
+}

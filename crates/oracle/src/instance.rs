@@ -1,0 +1,305 @@
+//! Fuzz instances: a workload plus its configuration, with the compact
+//! human-readable form used everywhere counterexamples surface — proptest
+//! shrink output, divergence panics, and the replayable fixture files under
+//! `tests/corpus/`.
+
+use mcp_core::{CacheStrategy, SimConfig, Workload};
+use mcp_policies::{
+    shared_fifo, shared_lru, static_partition_belady, static_partition_lru, Clock, Lfu, LruK,
+    LruMimicPartition, Marking, MarkingTie, Mru, Partition, RandomEvict, SacrificeOffline, Shared,
+    SharedFitf,
+};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// One fuzzable instance: a workload and the cache parameters to run it
+/// under. `Display`/`Debug` print the compact `K/p/τ` header plus one row
+/// of raw page numbers per core — the same shape the fixture files use, so
+/// a shrunk counterexample can be pasted into `tests/corpus/` verbatim.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The per-core request sequences.
+    pub workload: Workload,
+    /// Cache size and fault delay.
+    pub cfg: SimConfig,
+}
+
+impl Instance {
+    /// Bundle a workload with its configuration.
+    pub fn new(workload: Workload, cfg: SimConfig) -> Self {
+        Instance { workload, cfg }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# k: {} tau: {} p: {}",
+            self.cfg.cache_size,
+            self.cfg.tau,
+            self.workload.num_cores()
+        )?;
+        for (core, seq) in self.workload.sequences().iter().enumerate() {
+            write!(f, "{core}:")?;
+            for page in seq {
+                write!(f, " {}", page.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\n{self}")
+    }
+}
+
+/// The strategy families the differential harness exercises, by the same
+/// identifiers `mcp simulate --strategy` accepts. Randomized families
+/// (`rand`, `mark-rand`) are seeded per instance, so every comparison is
+/// reproducible.
+pub const FAMILIES: &[&str] = &[
+    "lru",
+    "fifo",
+    "clock",
+    "lfu",
+    "mru",
+    "fwf",
+    "lru2",
+    "rand",
+    "mark",
+    "mark-rand",
+    "fitf",
+    "mimic",
+    "partition",
+    "partition-opt",
+    "sacrifice",
+];
+
+/// Build a fresh strategy of family `name` for `instance` (each engine run
+/// needs its own instance — strategies are stateful). Returns `None` for
+/// unknown names. `seed` drives the randomized families only.
+pub fn build_family(name: &str, instance: &Instance, seed: u64) -> Option<Box<dyn CacheStrategy>> {
+    let p = instance.workload.num_cores();
+    let equal = || Partition::equal(instance.cfg.cache_size, p);
+    Some(match name {
+        "lru" => Box::new(shared_lru()),
+        "fifo" => Box::new(shared_fifo()),
+        "clock" => Box::new(Shared::new(Clock::new())),
+        "lfu" => Box::new(Shared::new(Lfu::new())),
+        "mru" => Box::new(Shared::new(Mru::new())),
+        "fwf" => Box::new(Shared::new(mcp_policies::Fwf::new())),
+        "lru2" => Box::new(Shared::new(LruK::new(2))),
+        "rand" => Box::new(Shared::new(RandomEvict::new(seed))),
+        "mark" => Box::new(Shared::new(Marking::new(MarkingTie::Lru))),
+        "mark-rand" => Box::new(Shared::new(Marking::new(MarkingTie::Random(seed)))),
+        "fitf" => Box::new(SharedFitf::new()),
+        "mimic" => Box::new(LruMimicPartition::new()),
+        "partition" => Box::new(static_partition_lru(equal())),
+        "partition-opt" => Box::new(static_partition_belady(equal())),
+        "sacrifice" => Box::new(SacrificeOffline::new(p - 1)),
+        _ => return None,
+    })
+}
+
+/// `true` iff `family` is defined on `instance` at all. The offline
+/// sacrifice construction (Lemma 4) asserts disjoint per-core sequences;
+/// every other family accepts any workload.
+pub fn family_applicable(name: &str, instance: &Instance) -> bool {
+    name != "sacrifice" || instance.workload.is_disjoint()
+}
+
+/// A corpus fixture: an instance plus the strategy family it runs under
+/// and (for golden fixtures) the expected total fault count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fixture {
+    /// The instance to replay.
+    pub instance: Instance,
+    /// Strategy family identifier (see [`FAMILIES`]).
+    pub family: String,
+    /// Pinned total fault count, if the fixture records one. Divergence
+    /// fixtures written by the shrinker omit it (at the time of writing,
+    /// the two engines disagreed on the value).
+    pub expect_faults: Option<u64>,
+    /// Free-form provenance note (`# note: …`).
+    pub note: Option<String>,
+}
+
+impl fmt::Display for Fixture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# mcp-oracle fixture")?;
+        writeln!(f, "# family: {}", self.family)?;
+        writeln!(f, "# k: {}", self.instance.cfg.cache_size)?;
+        writeln!(f, "# tau: {}", self.instance.cfg.tau)?;
+        if let Some(n) = self.expect_faults {
+            writeln!(f, "# expect-faults: {n}")?;
+        }
+        if let Some(note) = &self.note {
+            writeln!(f, "# note: {note}")?;
+        }
+        for (core, seq) in self.instance.workload.sequences().iter().enumerate() {
+            write!(f, "{core}:")?;
+            for page in seq {
+                write!(f, " {}", page.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A malformed fixture file.
+#[derive(Debug)]
+pub enum FixtureError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Anything structurally wrong, described for the user.
+    Parse(String),
+}
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixtureError::Io(e) => write!(f, "{e}"),
+            FixtureError::Parse(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+impl From<io::Error> for FixtureError {
+    fn from(e: io::Error) -> Self {
+        FixtureError::Io(e)
+    }
+}
+
+impl Fixture {
+    /// Parse a fixture from its textual form: `# key: value` header
+    /// comments followed by the compact `core: page page …` trace body.
+    pub fn parse<R: BufRead>(reader: R) -> Result<Fixture, FixtureError> {
+        let mut family: Option<String> = None;
+        let mut k: Option<usize> = None;
+        let mut tau: Option<u64> = None;
+        let mut expect_faults: Option<u64> = None;
+        let mut note: Option<String> = None;
+        let mut body = String::new();
+        for line in reader.lines() {
+            let line = line?;
+            let trimmed = line.trim();
+            if let Some(comment) = trimmed.strip_prefix('#') {
+                if let Some((key, value)) = comment.split_once(':') {
+                    let (key, value) = (key.trim(), value.trim());
+                    match key {
+                        "family" => family = Some(value.to_string()),
+                        "k" => {
+                            k = Some(value.parse().map_err(|_| {
+                                FixtureError::Parse(format!("bad k value {value:?}"))
+                            })?)
+                        }
+                        "tau" => {
+                            tau = Some(value.parse().map_err(|_| {
+                                FixtureError::Parse(format!("bad tau value {value:?}"))
+                            })?)
+                        }
+                        "expect-faults" => {
+                            expect_faults = Some(value.parse().map_err(|_| {
+                                FixtureError::Parse(format!("bad expect-faults value {value:?}"))
+                            })?)
+                        }
+                        "note" => note = Some(value.to_string()),
+                        _ => {} // unknown header keys are ignored, like trace comments
+                    }
+                }
+                continue;
+            }
+            body.push_str(&line);
+            body.push('\n');
+        }
+        let workload = mcp_workloads::read_text(body.as_bytes())
+            .map_err(|e| FixtureError::Parse(format!("bad trace body: {e}")))?;
+        let family = family.ok_or_else(|| FixtureError::Parse("missing # family:".into()))?;
+        let k = k.ok_or_else(|| FixtureError::Parse("missing # k:".into()))?;
+        let tau = tau.ok_or_else(|| FixtureError::Parse("missing # tau:".into()))?;
+        Ok(Fixture {
+            instance: Instance::new(workload, SimConfig::new(k, tau)),
+            family,
+            expect_faults,
+            note,
+        })
+    }
+
+    /// Load a fixture file.
+    pub fn load(path: &Path) -> Result<Fixture, FixtureError> {
+        let file = std::fs::File::open(path)?;
+        Fixture::parse(io::BufReader::new(file))
+    }
+
+    /// Write the fixture to `path` (creating parent directories).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        write!(file, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_fixture_shape() {
+        let inst = Instance::new(
+            Workload::from_u32([vec![1, 2, 1], vec![7, 8]]).unwrap(),
+            SimConfig::new(3, 1),
+        );
+        let text = inst.to_string();
+        assert_eq!(text, "# k: 3 tau: 1 p: 2\n0: 1 2 1\n1: 7 8\n");
+        // The body parses back as a trace (the header is a comment).
+        let parsed = mcp_workloads::read_text(text.as_bytes()).unwrap();
+        assert_eq!(parsed, inst.workload);
+    }
+
+    #[test]
+    fn every_family_builds_and_runs() {
+        let inst = Instance::new(
+            Workload::from_u32([vec![1, 2, 1], vec![7, 8, 7]]).unwrap(),
+            SimConfig::new(4, 1),
+        );
+        for family in FAMILIES {
+            let strategy = build_family(family, &inst, 42).unwrap();
+            let r = mcp_core::simulate(&inst.workload, inst.cfg, strategy).unwrap();
+            assert_eq!(r.total_faults() + r.total_hits(), 6, "{family}");
+        }
+        assert!(build_family("nope", &inst, 0).is_none());
+    }
+
+    #[test]
+    fn fixture_round_trips() {
+        let fixture = Fixture {
+            instance: Instance::new(
+                Workload::from_u32([vec![1, 2], vec![9]]).unwrap(),
+                SimConfig::new(2, 3),
+            ),
+            family: "clock".into(),
+            expect_faults: Some(3),
+            note: Some("round-trip test".into()),
+        };
+        let text = fixture.to_string();
+        let parsed = Fixture::parse(text.as_bytes()).unwrap();
+        assert_eq!(parsed, fixture);
+    }
+
+    #[test]
+    fn malformed_fixtures_are_typed_errors() {
+        assert!(Fixture::parse("# family: lru\n0: 1\n".as_bytes()).is_err()); // no k/tau
+        assert!(Fixture::parse("# family: lru\n# k: x\n".as_bytes()).is_err());
+        assert!(Fixture::parse("0: 1 2\n".as_bytes()).is_err()); // no header at all
+    }
+}

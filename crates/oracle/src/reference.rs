@@ -1,0 +1,319 @@
+//! The naive reference engine: the paper's Section 3 model transcribed
+//! as literally as possible, optimized for obviousness instead of speed.
+//!
+//! Where `mcp-core`'s engine fast-forwards between events, keeps a free-cell
+//! bitset, an in-flight list and a pin dirty-list, this one walks time one
+//! tick at a time (`t = 1, 2, 3, …`), re-derives the set of due cores by
+//! scanning every core at every tick, and keeps a plain
+//! `HashMap<PageId, ShadowSlot>` picture of the cache that it clones and
+//! re-checks against the real [`Cache`] after every served step. Every
+//! shortcut the optimized engine takes is one this engine deliberately does
+//! not, so any bookkeeping bug on the fast path shows up as a divergence in
+//! fault counts, fault times or makespan — or as a shadow-model assertion.
+//!
+//! The model rules being transcribed (Section 3 of the paper, as pinned
+//! down in `mcp_core::sim`):
+//!
+//! 1. Core `j`'s first request issues at `t = 1`.
+//! 2. Every core whose next request is due at `t` is served at `t`, in
+//!    increasing core order; later cores observe the cache effects of
+//!    earlier ones.
+//! 3. A hit completes at `t`; the next request of that core issues at
+//!    `t + 1`.
+//! 4. A miss evicts its victim immediately, reserves the cell for the
+//!    fetch (unusable and unevictable until done), completes at `t + τ`,
+//!    and the core's next request issues at `t + τ + 1`.
+//! 5. A request for a page mid-fetch for *another* core is a fault for the
+//!    requester (delay `τ`) but allocates no second cell.
+//! 6. All pages requested in a parallel step are pinned before the
+//!    strategy's voluntary evictions run (`R(x) ⊆ C'` in Algorithms 1/2).
+//! 7. A quiet tick (no request due) is served only when the strategy
+//!    declares it via [`CacheStrategy::next_voluntary_time`]; otherwise
+//!    nothing can change and the tick is skipped.
+
+use mcp_core::{
+    Cache, CacheError, CacheStrategy, CellState, Lookup, PageId, SimConfig, SimError, SimResult,
+    Time, Workload,
+};
+use std::collections::HashMap;
+
+/// Naive picture of one occupied cache cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ShadowSlot {
+    /// Cell index in the real cache (only used for cross-checking).
+    cell: usize,
+    /// Core whose request started the fetch.
+    owner: usize,
+    /// `Some(r)` while the fetch is in flight (resident at `r`), `None`
+    /// once the page is resident.
+    ready_at: Option<Time>,
+}
+
+/// Environment variable enabling deliberate reference-engine skew, the
+/// fault-injection hook for testing the fuzz harness's divergence path:
+/// when set to anything but `0`/empty, the reference result gains one
+/// phantom fault on core 0, so *every* differential comparison diverges.
+pub const SKEW_ENV: &str = "MCP_ORACLE_SKEW";
+
+fn skew_enabled() -> bool {
+    match std::env::var(SKEW_ENV) {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Run `strategy` on `workload` under `cfg` with the naive reference
+/// engine and return the same [`SimResult`] surface as
+/// [`mcp_core::simulate`]. Intended to disagree with the optimized engine
+/// only when one of them is wrong.
+///
+/// Panics (rather than returning an error) if the naive shadow model ever
+/// disagrees with the real [`Cache`] — that indicates a cache bookkeeping
+/// bug, and the fuzz harness contains and reports the panic.
+pub fn reference_simulate<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    mut strategy: S,
+) -> Result<SimResult, SimError> {
+    cfg.validate(workload)?;
+    strategy.begin(workload, &cfg);
+    let p = workload.num_cores();
+
+    let mut cache = Cache::new(cfg.cache_size, p);
+    let mut shadow: HashMap<PageId, ShadowSlot> = HashMap::new();
+
+    let mut pos = vec![0usize; p];
+    let mut ready = vec![1 as Time; p];
+    let mut faults = vec![0u64; p];
+    let mut hits = vec![0u64; p];
+    let mut fault_times = vec![Vec::<Time>::new(); p];
+    let mut makespan: Time = 0;
+
+    let mut t: Time = 1;
+    while !(0..p).all(|c| pos[c] >= workload.len(c)) {
+        // Promote fetches that completed by now — in the shadow first (on a
+        // fresh clone, the per-step copy this engine is allowed to afford),
+        // then in the real cache.
+        let promoted: HashMap<PageId, ShadowSlot> = shadow
+            .clone()
+            .into_iter()
+            .map(|(page, slot)| {
+                let done = slot.ready_at.map(|r| r <= t).unwrap_or(false);
+                (
+                    page,
+                    ShadowSlot {
+                        ready_at: if done { None } else { slot.ready_at },
+                        ..slot
+                    },
+                )
+            })
+            .collect();
+        shadow = promoted;
+        cache.promote_due(t);
+
+        // Who issues a request at this tick? Re-scan every core.
+        let due: Vec<usize> = (0..p)
+            .filter(|&c| pos[c] < workload.len(c) && ready[c] == t)
+            .collect();
+
+        // A quiet tick is served only when the strategy declared it.
+        if due.is_empty() && strategy.next_voluntary_time() != Some(t) {
+            t += 1;
+            continue;
+        }
+
+        // Rule 6: pin every page requested this parallel step before the
+        // strategy may evict voluntarily.
+        for &core in &due {
+            cache.pin_page(workload.sequence(core)[pos[core]]);
+        }
+
+        for cell in strategy.voluntary_evictions(t, &cache) {
+            if !matches!(cache.cell(cell), CellState::Present(_)) {
+                return Err(SimError::BadVoluntaryEviction { cell });
+            }
+            let page = cache.evict(cell)?;
+            strategy.on_evict(page, cell);
+            shadow.remove(&page);
+        }
+
+        // Rule 2: serve due cores in increasing core order.
+        for &core in &due {
+            let page = workload.sequence(core)[pos[core]];
+            match cache.lookup(page) {
+                Lookup::Present { .. } => {
+                    // Rule 3: a hit completes at t.
+                    hits[core] += 1;
+                    strategy.on_hit(core, page, t, &cache);
+                    ready[core] = t + 1;
+                    makespan = makespan.max(t);
+                }
+                Lookup::Fetching { .. } => {
+                    // Rule 5: mid-fetch for another core — fault, no cell.
+                    faults[core] += 1;
+                    fault_times[core].push(t);
+                    strategy.on_shared_fetch_miss(core, page, t, &cache);
+                    ready[core] = t + cfg.tau + 1;
+                    makespan = makespan.max(t + cfg.tau);
+                }
+                Lookup::Absent => {
+                    // Rule 4: fault — evict a victim now, fetch until t + τ.
+                    faults[core] += 1;
+                    fault_times[core].push(t);
+                    let cell = strategy.choose_cell(core, page, t, &cache);
+                    match cache.cell(cell) {
+                        CellState::Present(_) => {
+                            let victim = cache.evict(cell)?;
+                            strategy.on_evict(victim, cell);
+                            shadow.remove(&victim);
+                        }
+                        CellState::Empty => {}
+                        CellState::Fetching { .. } => {
+                            return Err(SimError::Cache(CacheError::EvictFetching { cell }));
+                        }
+                    }
+                    cache.start_fetch(cell, page, core, t + cfg.tau + 1)?;
+                    strategy.on_fault(core, page, t, cell, &cache);
+                    shadow.insert(
+                        page,
+                        ShadowSlot {
+                            cell,
+                            owner: core,
+                            ready_at: Some(t + cfg.tau + 1),
+                        },
+                    );
+                    ready[core] = t + cfg.tau + 1;
+                    makespan = makespan.max(t + cfg.tau);
+                }
+            }
+            pos[core] += 1;
+        }
+        cache.clear_pins();
+        cross_check(&cache, &shadow);
+        t += 1;
+    }
+
+    if skew_enabled() {
+        faults[0] += 1;
+        fault_times[0].push(makespan + 1);
+    }
+
+    Ok(SimResult {
+        faults,
+        hits,
+        makespan,
+        fault_times,
+        config: cfg,
+    })
+}
+
+/// Assert that the naive shadow map and the real cache describe the same
+/// cache contents, and that the cache's own incremental bookkeeping is
+/// internally consistent.
+fn cross_check(cache: &Cache, shadow: &HashMap<PageId, ShadowSlot>) {
+    if let Err(violation) = cache.debug_validate() {
+        panic!("reference engine: cache invariant violated: {violation}");
+    }
+    let mut occupied = 0usize;
+    for cell in 0..cache.len() {
+        match cache.cell(cell) {
+            CellState::Empty => {}
+            CellState::Present(page) => {
+                occupied += 1;
+                let slot = shadow.get(&page).unwrap_or_else(|| {
+                    panic!("reference engine: resident {page} missing from shadow")
+                });
+                assert_eq!(
+                    (slot.cell, slot.ready_at, Some(slot.owner)),
+                    (cell, None, cache.owner(cell)),
+                    "reference engine: shadow disagrees on resident {page}"
+                );
+            }
+            CellState::Fetching { page, ready_at } => {
+                occupied += 1;
+                let slot = shadow.get(&page).unwrap_or_else(|| {
+                    panic!("reference engine: in-flight {page} missing from shadow")
+                });
+                assert_eq!(
+                    (slot.cell, slot.ready_at, Some(slot.owner)),
+                    (cell, Some(ready_at), cache.owner(cell)),
+                    "reference engine: shadow disagrees on in-flight {page}"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        shadow.len(),
+        occupied,
+        "reference engine: shadow has stale entries"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_core::simulate;
+    use mcp_policies::{shared_lru, Partition};
+
+    fn w(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn matches_engine_on_the_sim_rs_doc_examples() {
+        for (wl, k, tau) in [
+            (w(&[&[1, 2]]), 2, 3),
+            (w(&[&[1, 1]]), 1, 3),
+            (w(&[&[1, 2, 1, 2]]), 2, 0),
+            (w(&[&[1, 2, 3]]), 3, 2),
+            (w(&[&[1], &[1]]), 2, 4),
+            (w(&[&[1], &[2, 1]]), 3, 2),
+            (w(&[&[1, 1, 1], &[2, 2, 2]]), 2, 5),
+            (w(&[&[], &[]]), 2, 3),
+        ] {
+            let cfg = SimConfig::new(k, tau);
+            let fast = simulate(&wl, cfg, shared_lru()).unwrap();
+            let slow = reference_simulate(&wl, cfg, shared_lru()).unwrap();
+            assert_eq!(fast, slow, "diverged on {wl:?} K={k} tau={tau}");
+        }
+    }
+
+    #[test]
+    fn matches_engine_on_quiet_timestep_voluntary_evictions() {
+        use mcp_policies::{Replay, ReplayDecision};
+        use std::collections::BTreeMap;
+        // A scripted strategy that evicts at a quiet timestep (t = 4, when
+        // core 0 is between requests) exercises rule 7
+        // (next_voluntary_time) in both engines: honest service of
+        // [1, 2, 1] with K = 3 faults twice, the forced eviction makes the
+        // final request of page 1 fault again.
+        let wl = w(&[&[1, 2, 1]]);
+        let cfg = SimConfig::new(3, 1);
+        let volu: BTreeMap<Time, Vec<PageId>> = [(4, vec![PageId(1)])].into_iter().collect();
+        let mk = || {
+            let d = (0..3)
+                .map(|i| ((0usize, i), ReplayDecision::UseEmpty))
+                .collect();
+            Replay::new(d).with_voluntary(volu.clone())
+        };
+        let fast = simulate(&wl, cfg, mk()).unwrap();
+        let slow = reference_simulate(&wl, cfg, mk()).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.total_faults(), 3);
+    }
+
+    #[test]
+    fn partition_strategy_agrees_too() {
+        let wl = w(&[&[1, 2, 1, 2], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(3, 2);
+        let mk = || mcp_policies::static_partition_lru(Partition::equal(3, 2));
+        assert_eq!(
+            simulate(&wl, cfg, mk()).unwrap(),
+            reference_simulate(&wl, cfg, mk()).unwrap()
+        );
+    }
+
+    // The MCP_ORACLE_SKEW fault-injection hook is exercised end-to-end by
+    // the CLI regression test (spawned process, so the env var cannot race
+    // other in-process tests).
+}

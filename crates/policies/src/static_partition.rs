@@ -87,9 +87,12 @@ impl<P: EvictionPolicy> CacheStrategy for StaticPartition<P> {
 
     fn choose_cell(&mut self, core: usize, _page: PageId, _time: Time, cache: &Cache) -> usize {
         if cache.owned_count(core) < self.partition.size(core) {
-            return cache
-                .empty_cell()
-                .expect("occupancy below K implies an empty cell");
+            if let Some(cell) = cache.empty_cell() {
+                return cell;
+            }
+            // Non-disjoint edge case: an earlier borrow (below) let some
+            // part overfill, so the cache can be full while this core is
+            // under quota. Fall through to evicting like a full part.
         }
         // Part is full: evict from our own part. Pinned pages (read in
         // parallel this step) are excluded; on disjoint workloads no other
@@ -97,12 +100,15 @@ impl<P: EvictionPolicy> CacheStrategy for StaticPartition<P> {
         let candidates: Vec<PageId> = cache.evictable_cells_of(core).map(|(_, p)| p).collect();
         if candidates.is_empty() {
             // Non-disjoint edge case: every own page is pinned by another
-            // core's simultaneous read. Borrow any evictable cell.
-            let (cell, _, _) = cache
+            // core's simultaneous read. Borrow any evictable cell — or an
+            // empty one, when everything Present is pinned (the part can
+            // be "full" by ownership while other parts are still empty).
+            return cache
                 .evictable_cells()
                 .next()
-                .expect("K >= p guarantees an evictable cell");
-            return cell;
+                .map(|(cell, _, _)| cell)
+                .or_else(|| cache.empty_cell())
+                .expect("pin discipline guarantees a free or evictable cell");
         }
         let victim = self.policies[core].choose_victim(&candidates);
         cache.cell_of(victim).expect("victim is resident")

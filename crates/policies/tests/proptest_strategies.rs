@@ -147,3 +147,40 @@ proptest! {
         prop_assert!(n == 0 || lru >= w.universe_size() as u64);
     }
 }
+
+/// Regression: on non-disjoint workloads, simultaneous reads of a shared
+/// page can pin a part's only owned page, and ownership borrowing can let
+/// one part overfill while another is under quota with a full cache. Both
+/// cases used to panic inside `StaticPartition::choose_cell`; now the
+/// strategy must borrow an empty cell or evict like a full part. Found by
+/// the `mcp-oracle` differential fuzz harness.
+#[test]
+fn static_partition_survives_overlapping_workloads() {
+    use mcp_policies::static_partition_belady;
+    let mut rng_seed = 0u64;
+    for seqs in [
+        // Both cores hammer one tiny shared universe.
+        vec![vec![0u32, 1, 0, 2, 1, 0], vec![0, 0, 1, 2, 0, 1]],
+        // Shared page 0 is read simultaneously while the cache is cold.
+        vec![vec![0, 1, 2, 3, 0], vec![0, 3, 2, 1, 0]],
+        // Three cores, heavy overlap, K = p.
+        vec![vec![0, 1, 0], vec![1, 0, 1], vec![0, 1, 0]],
+    ] {
+        rng_seed += 1;
+        let w = Workload::from_u32(seqs).unwrap();
+        let p = w.num_cores();
+        for k in p..p + 3 {
+            for tau in [0, 1, 3] {
+                let cfg = SimConfig::new(k, tau);
+                let part = Partition::equal(k, p);
+                let r = simulate(&w, cfg, static_partition_lru(part.clone())).unwrap();
+                assert_eq!(
+                    r.total_faults() + r.total_hits(),
+                    w.total_len() as u64,
+                    "seed {rng_seed} k {k} tau {tau}"
+                );
+                simulate(&w, cfg, static_partition_belady(part)).unwrap();
+            }
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`offline`] (`mcp-offline`) — Algorithm 1 (exact FINAL-TOTAL-FAULTS)
 //!   and Algorithm 2 (PARTIAL-INDIVIDUAL-FAULTS decision), exhaustive
 //!   cross-checks, miss curves and exact optimal static partitions.
+//! * [`oracle`] (`mcp-oracle`) — the differential correctness oracle: a
+//!   naive reference engine transcribed from the paper's model, tiny
+//!   exhaustive offline oracles, and the `mcp fuzz` harness with
+//!   auto-shrinking counterexamples.
 //! * [`hardness`] (`mcp-hardness`) — 3-/4-PARTITION, the Theorem 2/3
 //!   reductions, and the executable gadget schedule.
 //! * [`workloads`] (`mcp-workloads`) — the proofs' adversarial sequences
@@ -47,6 +51,7 @@ pub use mcp_analysis as analysis;
 pub use mcp_core as core;
 pub use mcp_hardness as hardness;
 pub use mcp_offline as offline;
+pub use mcp_oracle as oracle;
 pub use mcp_policies as policies;
 pub use mcp_workloads as workloads;
 

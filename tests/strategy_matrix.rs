@@ -178,3 +178,49 @@ fn marking_respects_lemma1_phase_bound_per_part() {
         );
     }
 }
+
+/// CLOCK and LRU-K under τ > 0 on workloads with simultaneous requests
+/// for shared pages (guaranteed shared-fetch misses): both the optimized
+/// engine and the naive reference engine must agree exactly, and the
+/// fault counts are pinned so silent behaviour drift fails loudly.
+#[test]
+fn clock_and_lruk_agree_with_reference_under_shared_fetch_misses() {
+    use multicore_paging::oracle::reference_simulate;
+    use multicore_paging::policies::LruK;
+    use multicore_paging::workloads::shared_hotset;
+
+    // Both cores open on the same absent page: at t = 1 core 0 faults and
+    // starts the fetch, core 1 takes a shared-fetch miss against the
+    // in-flight cell. The tail keeps contending on pages 0 and 3.
+    let collide = Workload::from_u32([vec![0, 1, 0, 3, 0], vec![0, 3, 0, 1, 3]]).unwrap();
+    // A larger mixed private/shared instance (non-disjoint by design).
+    let hotset = shared_hotset(3, 40, 6, 3, 0.5, 11);
+
+    let mut pinned: Vec<u64> = Vec::new();
+    for (w, cfg) in [
+        (collide.clone(), SimConfig::new(3, 2)),
+        (collide, SimConfig::new(2, 4)),
+        (hotset.clone(), SimConfig::new(6, 1)),
+        (hotset, SimConfig::new(4, 3)),
+    ] {
+        let clock_fast = simulate(&w, cfg, Shared::new(Clock::new())).unwrap();
+        let clock_slow = reference_simulate(&w, cfg, Shared::new(Clock::new())).unwrap();
+        assert_eq!(
+            clock_fast, clock_slow,
+            "CLOCK diverged K={}",
+            cfg.cache_size
+        );
+        let lruk_fast = simulate(&w, cfg, Shared::new(LruK::new(2))).unwrap();
+        let lruk_slow = reference_simulate(&w, cfg, Shared::new(LruK::new(2))).unwrap();
+        assert_eq!(lruk_fast, lruk_slow, "LRU-2 diverged K={}", cfg.cache_size);
+        pinned.push(clock_fast.total_faults());
+        pinned.push(lruk_fast.total_faults());
+    }
+    // First pair: 3 distinct pages but 4 faults — the extra one is the
+    // shared-fetch miss both engines must charge to core 1 at t = 1.
+    assert_eq!(
+        pinned,
+        vec![4, 4, 9, 9, 55, 49, 82, 80],
+        "pinned fault counts drifted"
+    );
+}
