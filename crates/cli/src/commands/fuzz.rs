@@ -1,10 +1,12 @@
-//! `mcp fuzz` — the seeded differential fuzz harness: optimized engine
-//! vs. the naive reference over every strategy family, plus metamorphic
+//! `mcp fuzz` — the seeded differential fuzz harness: the event engine
+//! vs. the scan-based tick engine (result + step-trace equality) vs. the
+//! naive reference over every strategy family, plus metamorphic
 //! invariants and exhaustive-oracle cross-checks of the offline DPs.
 //!
 //! ```text
 //! mcp fuzz --instances 256 [--seed 0xC5_2011_12] [--jobs 4]
 //!          [--corpus tests/corpus] [--families lru,clock,mimic]
+//!          [--profile mixed|large-tau]
 //! ```
 //!
 //! Output is deterministic for a given seed at every `--jobs` level.
@@ -14,7 +16,7 @@
 
 use super::CliError;
 use crate::args::{ArgError, Args};
-use mcp_oracle::{run_fuzz, FuzzOptions, FAMILIES};
+use mcp_oracle::{run_fuzz, FuzzOptions, FuzzProfile, FAMILIES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -62,11 +64,23 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         None => FAMILIES.iter().map(|s| s.to_string()).collect(),
     };
 
+    let profile = match args.get("profile") {
+        None => FuzzProfile::Mixed,
+        Some(text) => FuzzProfile::parse(text).ok_or_else(|| {
+            CliError::Args(ArgError::BadValue {
+                key: "profile".to_string(),
+                value: text.to_string(),
+                expected: "mixed or large-tau",
+            })
+        })?,
+    };
+
     let options = FuzzOptions {
         instances,
         seed,
         corpus_dir,
         families,
+        profile,
     };
     let report = run_fuzz(&options);
 

@@ -46,10 +46,10 @@ commands:
                  [--deadline DUR] [--checkpoint FILE]
   pif          fairness feasibility    --trace F --k K --at T --bounds a,b,…
                  [--deadline DUR] [--checkpoint FILE]
-  fuzz         differential fuzz: optimized engine vs. naive reference
+  fuzz         differential fuzz: event vs. tick vs. naive reference
                  [--instances N] [--seed S] [--corpus DIR]
-                 [--families a,b,…]; divergences shrink to fixtures
-                 under DIR and exit 1
+                 [--families a,b,…] [--profile mixed|large-tau];
+                 divergences shrink to fixtures under DIR and exit 1
 
 global options:
   --jobs N     worker threads for compare, curves and the exact solvers

@@ -8,8 +8,8 @@
 //! in Algorithms 1 and 2 that configurations always contain in-flight
 //! pages).
 
+use crate::hash::FxHashMap;
 use crate::types::{PageId, Time};
-use std::collections::HashMap;
 
 /// State of a single cache cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,9 +110,17 @@ impl std::error::Error for CacheError {}
 pub struct Cache {
     cells: Vec<CellState>,
     owner: Vec<Option<usize>>,
-    index: HashMap<PageId, usize>,
+    /// Resident/in-flight page → cell. Point lookups only (never
+    /// iterated), so the deterministic [`FxHashMap`] is safe here.
+    index: FxHashMap<PageId, usize>,
     owned_counts: Vec<usize>,
     in_flight: Vec<usize>,
+    /// Reverse index: `in_flight_slot[cell]` is the cell's position in
+    /// `in_flight` (`usize::MAX` when the cell holds no fetch), so the
+    /// event engine's per-completion [`Cache::promote_cell`] is O(1)
+    /// instead of an O(in-flight) scan — in sparse large-τ regimes nearly
+    /// every core is mid-fetch, which would make that scan O(p) per event.
+    in_flight_slot: Vec<usize>,
     pinned: Vec<bool>,
     /// Cells pinned in the current parallel step, so [`Cache::clear_pins`]
     /// resets exactly those instead of an O(K) fill.
@@ -140,9 +148,10 @@ impl Cache {
         Cache {
             cells: vec![CellState::Empty; cache_size],
             owner: vec![None; cache_size],
-            index: HashMap::with_capacity(cache_size),
+            index: FxHashMap::with_capacity_and_hasher(cache_size, Default::default()),
             owned_counts: vec![0; num_cores],
             in_flight: Vec::with_capacity(num_cores),
+            in_flight_slot: vec![usize::MAX; cache_size],
             pinned: vec![false; cache_size],
             pinned_cells: Vec::with_capacity(num_cores),
             free,
@@ -261,15 +270,53 @@ impl Cache {
 
     /// Convert every fetch whose `ready_at ≤ now` into a resident page.
     pub fn promote_due(&mut self, now: Time) {
-        let cells = &mut self.cells;
-        self.in_flight.retain(|&cell| match cells[cell] {
-            CellState::Fetching { page, ready_at } if ready_at <= now => {
-                cells[cell] = CellState::Present(page);
-                false
+        let mut slot = 0;
+        while slot < self.in_flight.len() {
+            let cell = self.in_flight[slot];
+            match self.cells[cell] {
+                CellState::Fetching { page, ready_at } if ready_at <= now => {
+                    self.cells[cell] = CellState::Present(page);
+                    self.drop_in_flight_slot(slot);
+                }
+                CellState::Fetching { .. } => slot += 1,
+                _ => self.drop_in_flight_slot(slot),
             }
-            CellState::Fetching { .. } => true,
+        }
+    }
+
+    /// Remove the entry at `slot` from the in-flight list, keeping the
+    /// reverse index consistent. O(1) via swap-remove; the list's order is
+    /// not observable.
+    #[inline]
+    fn drop_in_flight_slot(&mut self, slot: usize) {
+        let cell = self.in_flight.swap_remove(slot);
+        self.in_flight_slot[cell] = usize::MAX;
+        if let Some(&moved) = self.in_flight.get(slot) {
+            self.in_flight_slot[moved] = slot;
+        }
+    }
+
+    /// Promote the single fetch in `cell`, if there is one and its
+    /// `ready_at ≤ now`. Returns `true` iff a promotion happened.
+    ///
+    /// This is the event-engine counterpart of [`Cache::promote_due`]:
+    /// the simulator tracks completion times in its own min-queue and
+    /// promotes exactly the due cells, instead of re-scanning the whole
+    /// in-flight list every step. The in-flight list is kept consistent
+    /// (removal order within it is not observable — it only backs
+    /// [`Cache::promote_due`], whose per-cell promotions are independent,
+    /// and [`Cache::fetches_in_flight`]).
+    pub fn promote_cell(&mut self, cell: usize, now: Time) -> bool {
+        match self.cells.get(cell) {
+            Some(&CellState::Fetching { page, ready_at }) if ready_at <= now => {
+                self.cells[cell] = CellState::Present(page);
+                let slot = self.in_flight_slot[cell];
+                debug_assert!(slot != usize::MAX, "fetching cell missing from list");
+                self.drop_in_flight_slot(slot);
+                true
+            }
             _ => false,
-        });
+        }
     }
 
     /// First empty cell, if any. O(K/64) via the free-cell bitset rather
@@ -347,6 +394,7 @@ impl Cache {
         self.owner[cell] = Some(core);
         self.owned_counts[core] += 1;
         self.index.insert(page, cell);
+        self.in_flight_slot[cell] = self.in_flight.len();
         self.in_flight.push(cell);
         self.mark_used(cell);
         Ok(())
@@ -396,9 +444,15 @@ impl Cache {
                     occupied += 1;
                     if matches!(state, CellState::Fetching { .. }) {
                         fetching += 1;
-                        if !self.in_flight.contains(&cell) {
-                            return Err(format!("fetching cell {cell} not in in-flight list"));
+                        let slot = self.in_flight_slot[cell];
+                        if self.in_flight.get(slot) != Some(&cell) {
+                            return Err(format!(
+                                "fetching cell {cell} reverse-indexed to slot {slot}, \
+                                 which does not hold it"
+                            ));
                         }
+                    } else if self.in_flight_slot[cell] != usize::MAX {
+                        return Err(format!("non-fetching cell {cell} has an in-flight slot"));
                     }
                     match self.index.get(page) {
                         Some(&c) if c == cell => {}

@@ -10,9 +10,13 @@
 //! * [`types`] — pages, workloads, configuration.
 //! * [`cache`] — the `K`-cell cache with fetch-in-progress cells.
 //! * [`strategy`] — the [`CacheStrategy`] decision trait.
-//! * [`sim`] — the discrete-time engine, step-wise or run-to-completion.
+//! * [`sim`] — the discrete-event engine, step-wise or run-to-completion.
+//! * [`tick`] — the scan-based engine it replaced, kept as a
+//!   differential-verification tier.
 //! * [`events`] — analytics over event traces (effective partitions,
 //!   eviction pressure, outcome tallies).
+//! * [`hash`] — the deterministic fast hasher behind the hot-path
+//!   page maps.
 //! * [`budget`] — resource governance: budgets (deadline / state cap /
 //!   memory watermark / cancellation) for the anytime offline solvers.
 //!
@@ -40,8 +44,10 @@
 pub mod budget;
 pub mod cache;
 pub mod events;
+pub mod hash;
 pub mod sim;
 pub mod strategy;
+pub mod tick;
 pub mod types;
 
 pub use budget::{Budget, TripReason};
@@ -49,6 +55,8 @@ pub use cache::{Cache, CacheError, CellState, Lookup};
 pub use events::{
     evictions_by_page, inter_fault_times, occupancy_timeline, outcome_counts, OutcomeCounts,
 };
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use sim::{simulate, Outcome, Served, SimError, SimResult, Simulator, StepReport};
 pub use strategy::CacheStrategy;
+pub use tick::{simulate_tick, TickSimulator};
 pub use types::{ModelError, PageId, SimConfig, Time, Workload};

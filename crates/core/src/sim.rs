@@ -1,4 +1,4 @@
-//! The discrete-time simulation engine.
+//! The discrete-event simulation engine.
 //!
 //! Semantics (Section 3 of the paper, pinned down):
 //!
@@ -26,10 +26,66 @@
 //!   [`crate::CacheStrategy::next_voluntary_time`]: the paper's model
 //!   permits voluntary evictions at any timestep, including ones where
 //!   every core is mid-fetch.
+//!
+//! # The event engine
+//!
+//! [`Simulator`] realizes these semantics as a discrete-event scheduler
+//! rather than a per-step core scan (DESIGN §11). Wake-ups live in
+//! min-queues keyed by `(next_time, component_id)`:
+//!
+//! * **request-issue events** — exactly one live entry per unfinished
+//!   core, keyed by the core's clock (the time its next request issues);
+//! * **fetch-completion events** — drained at the start of each served
+//!   step so every fetch due by `t` reads as `Present` before pins,
+//!   voluntary evictions, and service (exactly the old lazy
+//!   `promote_due`). A fetch completes exactly when its core's next
+//!   request issues, so for non-final requests the completion rides the
+//!   core's own issue wake-up (`pending_promote`); only fetches started
+//!   by a core's final request get their own heap entry;
+//! * **strategy-declared voluntary times** — consulted from
+//!   [`crate::CacheStrategy::next_voluntary_time`] before each step (the
+//!   declaration may move after every step, so it is re-read rather than
+//!   queued; the boundary contract is documented on the trait method).
+//!
+//! Popping `(time, core)` pairs from a min-heap yields, for a given
+//! timestep, exactly the due cores in increasing core order — the model's
+//! fixed logical order — so within-step semantics (promote due fetches,
+//! then pins, then voluntary evictions, then service in core order with
+//! shared-fetch-miss charging) are preserved *by construction*, and the
+//! engine is bit-identical to the scan-based [`crate::TickSimulator`] and
+//! the oracle crate's naive tick-by-tick reference. Cost is
+//! `O(events · log p)` instead of `O(steps · p)` — on sparse or large-τ
+//! workloads, where most timesteps are idle and served steps touch one
+//! core, that is the difference between `O(n·p)` and `O(n·log p)` total.
 
 use crate::cache::{Cache, CacheError, Lookup};
 use crate::strategy::CacheStrategy;
 use crate::types::{ModelError, PageId, SimConfig, Time, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Pack a `(time, component_id)` wake-up into one `u128` heap key:
+/// time in the high 96 bits, id in the low 32. Integer order on the
+/// packed key is exactly lexicographic `(time, id)` order, so a min-heap
+/// of packed keys pops wake-ups time-ascending and, within a timestep,
+/// id-ascending — while comparisons and sift moves touch a single
+/// scalar instead of a two-field tuple.
+#[inline]
+fn pack(time: Time, id: u32) -> u128 {
+    ((time as u128) << 32) | id as u128
+}
+
+/// The `time` half of a packed wake-up key.
+#[inline]
+fn key_time(key: u128) -> Time {
+    (key >> 32) as Time
+}
+
+/// The `component_id` half of a packed wake-up key.
+#[inline]
+fn key_id(key: u128) -> u32 {
+    key as u32
+}
 
 /// Errors surfaced by a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -151,6 +207,10 @@ impl SimResult {
 
 /// A stepping simulator: drive it with [`Simulator::step`] or run it to
 /// completion with [`Simulator::run`] / the [`simulate`] convenience.
+///
+/// This is the event-driven engine (see the module docs): per-core clocks
+/// live in a min-queue of `(next_time, core)` wake-ups, fetch completions
+/// are first-class events, and idle time is skipped outright.
 pub struct Simulator<'w, S: CacheStrategy> {
     workload: &'w Workload,
     cfg: SimConfig,
@@ -158,6 +218,42 @@ pub struct Simulator<'w, S: CacheStrategy> {
     cache: Cache,
     pos: Vec<usize>,
     ready: Vec<Time>,
+    /// Request-issue wake-ups, keyed [`pack`]`(issue_time, core)`.
+    /// Invariant: exactly one live entry per unfinished core — an entry
+    /// is popped only when its core is served at that time, and serving
+    /// pushes the core's next wake-up (if any remain) — so no entry is
+    /// ever stale.
+    issue: BinaryHeap<Reverse<u128>>,
+    /// Cores whose next request issues at exactly `last_time + 1` — the
+    /// dense fast path. A hit (and any fault when `τ = 0`) re-arms for
+    /// the immediately following timestep, so in dense regimes every
+    /// wake-up would be pushed and re-popped with the same key; instead
+    /// such cores are appended here (in serve order, hence ascending core
+    /// order) and merged with the heap's due entries at the next step.
+    /// Invariant: non-empty only until the next served step, which (see
+    /// [`Simulator::next_event_time_with`]) is then exactly
+    /// `last_time + 1` and drains it entirely.
+    issue_next: Vec<u32>,
+    /// Fetch-completion wake-ups, keyed [`pack`]`(ready_at, cell)` — one
+    /// per in-flight fetch started by a core's *final* request (all
+    /// others ride the core's own issue wake-up, see
+    /// [`Simulator::pending_promote`]). A fetching cell cannot be
+    /// evicted, and a cell is re-fetched only after its previous
+    /// completion was drained (residency precedes eviction), so no entry
+    /// is ever stale here either.
+    completions: BinaryHeap<Reverse<u128>>,
+    /// `pending_promote[core]` is the cell whose fetch — started by this
+    /// core's *non-final* request — completes exactly when the core's
+    /// next request issues (`u32::MAX` when none). Such a completion
+    /// needs no heap entry: the core is in the due set of the first
+    /// served step at or past its ready time (that is what its issue
+    /// wake-up means), which is precisely the step where the heap drain
+    /// would have promoted the cell, so promoting when the core enters
+    /// the due set — still ahead of pins, voluntary evictions, and
+    /// service — is observably identical. Only a fetch started by a
+    /// core's final request (no future wake-up) goes through the
+    /// [`Simulator::completions`] heap.
+    pending_promote: Vec<u32>,
     faults: Vec<u64>,
     hits: Vec<u64>,
     fault_times: Vec<Vec<Time>>,
@@ -167,6 +263,7 @@ pub struct Simulator<'w, S: CacheStrategy> {
     // allocates nothing per timestep.
     voluntary_buf: Vec<(usize, PageId)>,
     served_buf: Vec<Served>,
+    due_buf: Vec<u32>,
 }
 
 impl<'w, S: CacheStrategy> Simulator<'w, S> {
@@ -175,6 +272,12 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
         cfg.validate(workload)?;
         strategy.begin(workload, &cfg);
         let p = workload.num_cores();
+        let mut issue = BinaryHeap::with_capacity(p);
+        for core in 0..p {
+            if workload.len(core) > 0 {
+                issue.push(Reverse(pack(1, core as u32)));
+            }
+        }
         Ok(Simulator {
             workload,
             cfg,
@@ -182,6 +285,10 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             cache: Cache::new(cfg.cache_size, p),
             pos: vec![0; p],
             ready: vec![1; p],
+            issue,
+            issue_next: Vec::with_capacity(p),
+            completions: BinaryHeap::with_capacity(p),
+            pending_promote: vec![u32::MAX; p],
             faults: vec![0; p],
             hits: vec![0; p],
             fault_times: vec![Vec::new(); p],
@@ -189,6 +296,7 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             last_time: 0,
             voluntary_buf: Vec::new(),
             served_buf: Vec::with_capacity(p),
+            due_buf: Vec::with_capacity(p),
         })
     }
 
@@ -215,20 +323,28 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             .all(|(&pos, seq)| pos >= seq.len())
     }
 
-    fn next_event_time(&self) -> Option<Time> {
-        let next_request = self
-            .pos
-            .iter()
-            .zip(self.ready.iter())
-            .zip(self.workload.sequences())
-            .filter(|((&pos, _), seq)| pos < seq.len())
-            .map(|((_, &ready), _)| ready)
-            .min()?;
-        // A strategy may want to evict voluntarily at a timestep where
-        // every core is mid-fetch (legal in the paper's model); honor such
-        // declared times instead of fast-forwarding past them. Stale
-        // declarations (at or before the last served timestep) are ignored,
-        // so each step strictly advances time and the run still terminates.
+    /// The next timestep to serve: the earliest queued request-issue
+    /// wake-up, unless the strategy declares an earlier non-stale
+    /// voluntary time. `heap_min` is the already-peeked issue-heap top
+    /// (an `O(1)` peek — no core scan), passed in so
+    /// [`Simulator::step_inner`] reads the heap top once per step and
+    /// reuses it for due-event collection.
+    ///
+    /// This implements the boundary contract documented on
+    /// [`CacheStrategy::next_voluntary_time`]: stale declarations (at or
+    /// before the last served timestep) are ignored so each step strictly
+    /// advances time; a declaration coinciding with `next_request` folds
+    /// into that step; and once the issue queue is empty (every sequence
+    /// finished) any declaration is dropped and the run ends.
+    fn next_event_time_with(&self, heap_min: Option<u128>) -> Option<Time> {
+        // A deferred core is due at `last_time + 1`, which no queued heap
+        // entry beats (every entry's time is strictly past its push step),
+        // so the deferred list short-circuits the peek.
+        let next_request = if self.issue_next.is_empty() {
+            key_time(heap_min?)
+        } else {
+            self.last_time + 1
+        };
         match self.strategy.next_voluntary_time() {
             Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
             _ => Some(next_request),
@@ -254,23 +370,79 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
     /// allocation; [`Simulator::step`] wraps the buffers into a
     /// [`StepReport`] for callers that want the trace.
     fn step_inner(&mut self) -> Result<Option<Time>, SimError> {
-        let Some(t) = self.next_event_time() else {
+        let heap_min = self.issue.peek().map(|&Reverse(key)| key);
+        let Some(t) = self.next_event_time_with(heap_min) else {
             return Ok(None);
         };
         self.last_time = t;
-        self.cache.promote_due(t);
+        // Fetch completions are first-class events: drain every completion
+        // due by `t` so the strategy and the serve loop observe those
+        // pages as `Present` — exactly what the lazy `promote_due(t)` scan
+        // produced, but in O(completions due · log K).
+        while let Some(&Reverse(key)) = self.completions.peek() {
+            if key_time(key) > t {
+                break;
+            }
+            self.completions.pop();
+            self.cache.promote_cell(key_id(key) as usize, t);
+        }
         self.voluntary_buf.clear();
         self.served_buf.clear();
+
+        // Collect this step's request-issue events. Every queued heap
+        // entry has time ≥ t (ready times are always pushed strictly in
+        // the future and t is the queue minimum or earlier), so popping
+        // while time = t yields exactly the due heap cores in increasing
+        // core order. Deferred cores (`issue_next`) are all due too — a
+        // non-empty deferred list forces t = last step + 1 — and are
+        // already core-ascending (they were appended in serve order), so
+        // a two-way merge restores the model's fixed logical order. A
+        // core is never in both (one live wake-up per unfinished core).
+        self.due_buf.clear();
+        if !matches!(heap_min, Some(key) if key_time(key) <= t) {
+            // Nothing due in the heap: the due set is the deferred list
+            // verbatim, so take it wholesale (due_buf was just cleared,
+            // so the swap leaves issue_next empty, as draining requires).
+            std::mem::swap(&mut self.due_buf, &mut self.issue_next);
+        } else {
+            let mut deferred = 0;
+            while let Some(&Reverse(key)) = self.issue.peek() {
+                if key_time(key) > t {
+                    break;
+                }
+                let core = key_id(key);
+                while deferred < self.issue_next.len() && self.issue_next[deferred] < core {
+                    self.due_buf.push(self.issue_next[deferred]);
+                    deferred += 1;
+                }
+                self.issue.pop();
+                self.due_buf.push(core);
+            }
+            self.due_buf.extend_from_slice(&self.issue_next[deferred..]);
+            self.issue_next.clear();
+        }
 
         // Pin every page requested this parallel step *before* the strategy
         // gets to evict voluntarily: parallel reads require `R(x) ⊆ C'`
         // (Algorithms 1 and 2), so evicting a page that is requested at `t`
         // must fail even when the eviction is voluntary.
-        for core in 0..self.workload.num_cores() {
-            if self.pos[core] < self.workload.len(core) && self.ready[core] == t {
-                self.cache
-                    .pin_page(self.workload.sequence(core)[self.pos[core]]);
+        // Detach the due list so the loops below can iterate it while
+        // borrowing `self` mutably (restored before returning).
+        let due = std::mem::take(&mut self.due_buf);
+        for &core in &due {
+            let core = core as usize;
+            // Entering the due set consumes the core's own completed
+            // fetch, if one was riding its wake-up (see
+            // [`Simulator::pending_promote`]); promotion order across
+            // cells is immaterial and pinning does not read cell states,
+            // so interleaving with the pin loop is unobservable.
+            let pending = self.pending_promote[core];
+            if pending != u32::MAX {
+                self.cache.promote_cell(pending as usize, t);
+                self.pending_promote[core] = u32::MAX;
             }
+            self.cache
+                .pin_page(self.workload.sequence(core)[self.pos[core]]);
         }
 
         for cell in self.strategy.voluntary_evictions(t, &self.cache) {
@@ -282,11 +454,18 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             self.voluntary_buf.push((cell, page));
         }
 
-        for core in 0..self.workload.num_cores() {
+        // Serve in due (= increasing core) order. Re-arming for `t + 1` —
+        // every hit, and every fault when τ = 0 — is the overwhelmingly
+        // common case on dense workloads, so it is not pushed per core:
+        // if EVERY due core re-armed for `t + 1`, the next deferred list
+        // is the due list verbatim (same cores, same order) and is
+        // installed by one swap after the loop; only heap-bound re-arms
+        // (ready later than `t + 1`) are pushed inline, and the mixed /
+        // finished cases rebuild the deferred list by filtering `due`.
+        let mut all_deferred = true;
+        for &core in &due {
+            let core = core as usize;
             let seq = self.workload.sequence(core);
-            if self.pos[core] >= seq.len() || self.ready[core] != t {
-                continue;
-            }
             let index = self.pos[core];
             let page = seq[index];
             let outcome = match self.cache.lookup(page) {
@@ -325,6 +504,15 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
                     };
                     self.cache
                         .start_fetch(cell, page, core, t + self.cfg.tau + 1)?;
+                    if index + 1 < seq.len() {
+                        // The completion coincides with this core's next
+                        // wake-up: let it ride that event instead of
+                        // paying for a heap entry.
+                        self.pending_promote[core] = cell as u32;
+                    } else {
+                        self.completions
+                            .push(Reverse(pack(t + self.cfg.tau + 1, cell as u32)));
+                    }
                     self.strategy.on_fault(core, page, t, cell, &self.cache);
                     self.ready[core] = t + self.cfg.tau + 1;
                     self.makespan = self.makespan.max(t + self.cfg.tau);
@@ -332,12 +520,40 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
                 }
             };
             self.pos[core] += 1;
+            if self.pos[core] < seq.len() {
+                // Re-arm the core's clock: its next request issues at the
+                // just-computed ready time (t + 1 on a hit, t + τ + 1 on
+                // either kind of fault), always strictly after t. The
+                // t + 1 case defers to `issue_next` (installed after the
+                // loop): it is served at the very next step, so a heap
+                // push/re-pop with the same key would be pure churn.
+                if self.ready[core] != t + 1 {
+                    all_deferred = false;
+                    self.issue
+                        .push(Reverse(pack(self.ready[core], core as u32)));
+                }
+            } else {
+                all_deferred = false;
+            }
             self.served_buf.push(Served {
                 core,
                 index,
                 page,
                 outcome,
             });
+        }
+        if all_deferred {
+            // `issue_next` was drained during due collection, so the swap
+            // leaves `due_buf` empty for the next step.
+            self.due_buf = std::mem::replace(&mut self.issue_next, due);
+        } else {
+            for &core in &due {
+                let c = core as usize;
+                if self.pos[c] < self.workload.len(c) && self.ready[c] == t + 1 {
+                    self.issue_next.push(core);
+                }
+            }
+            self.due_buf = due;
         }
         self.cache.clear_pins();
         Ok(Some(t))

@@ -77,8 +77,39 @@ pub trait CacheStrategy {
     /// (dishonest) strategy may still evict at such a timestep, so
     /// schedules that do — e.g. witnesses reconstructed from the full
     /// transition relation of Algorithm 2 — declare those timesteps here.
-    /// Times at or before the last served timestep are ignored, as is any
-    /// declared time once every sequence is finished.
+    ///
+    /// # Boundary contract
+    ///
+    /// Both engines ([`Simulator`] and [`TickSimulator`]) implement exactly
+    /// these semantics, with `last_time` the last served timestep (0 before
+    /// the first step) and `next_request` the minimum ready time over
+    /// unfinished cores:
+    ///
+    /// * **Stale** — a declared time `vt ≤ last_time` is ignored. The
+    ///   engine never re-serves or rewinds to a past timestep; the
+    ///   declaration is simply not an event.
+    /// * **Quiet** — `last_time < vt < next_request`: the engine serves a
+    ///   step at `vt` with no due requests (voluntary evictions only; the
+    ///   [`StepReport::served`] list is empty).
+    /// * **Coincident** — `vt == next_request`: the declaration folds into
+    ///   the request step. [`CacheStrategy::voluntary_evictions`] is
+    ///   consulted exactly once at `vt`, after pinning that step's
+    ///   requested pages, as on every served step — no separate
+    ///   voluntary-only step precedes it.
+    /// * **Post-final** — a declared time after the last request has been
+    ///   served is silently dropped: once every sequence is finished the
+    ///   run ends and the declaration is never consulted. (Observable and
+    ///   deliberate: makespans and traces must not grow because a strategy
+    ///   keeps declaring times forever.)
+    ///
+    /// Implementations must be *monotone between steps*: the value may
+    /// change only as a result of the engine invoking a `&mut self`
+    /// callback (`voluntary_evictions` or a serve callback), since the
+    /// engine samples it once per step boundary.
+    ///
+    /// [`Simulator`]: crate::sim::Simulator
+    /// [`TickSimulator`]: crate::tick::TickSimulator
+    /// [`StepReport::served`]: crate::sim::StepReport
     fn next_voluntary_time(&self) -> Option<Time> {
         None
     }

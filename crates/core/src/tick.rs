@@ -1,0 +1,308 @@
+//! The scan-based discrete-time engine, kept as a differential tier.
+//!
+//! [`TickSimulator`] is the engine this crate shipped before the
+//! event-driven rebuild of [`crate::sim::Simulator`]: it computes each
+//! step's time by scanning every core for its minimum ready time, then
+//! scans every core again to pin and to serve. Its per-step cost is
+//! `O(p)` regardless of how many cores are actually due, where the event
+//! engine pays `O(due · log p)`.
+//!
+//! It is retained — not as a fallback, but as a verification tier: its
+//! semantics are pinned by the same test corpus, and the differential
+//! fuzz harness runs every instance through *three* engines (event, tick,
+//! and the oracle crate's tick-by-tick naive reference). A divergence in
+//! any pair is a bug. The step-level API is identical to
+//! [`crate::sim::Simulator`], so traces can be compared
+//! [`StepReport`]-for-[`StepReport`].
+
+use crate::cache::{Cache, CacheError, Lookup};
+use crate::sim::{Outcome, Served, SimError, SimResult, StepReport};
+use crate::strategy::CacheStrategy;
+use crate::types::{SimConfig, Time, Workload};
+
+/// The scan-based stepping simulator. Same API and bit-identical
+/// observable behavior as [`crate::sim::Simulator`]; `O(p)` per step.
+pub struct TickSimulator<'w, S: CacheStrategy> {
+    workload: &'w Workload,
+    cfg: SimConfig,
+    strategy: S,
+    cache: Cache,
+    pos: Vec<usize>,
+    ready: Vec<Time>,
+    faults: Vec<u64>,
+    hits: Vec<u64>,
+    fault_times: Vec<Vec<Time>>,
+    makespan: Time,
+    last_time: Time,
+    // Persistent per-step buffers so [`TickSimulator::run`] allocates
+    // nothing per timestep.
+    voluntary_buf: Vec<(usize, crate::types::PageId)>,
+    served_buf: Vec<Served>,
+}
+
+impl<'w, S: CacheStrategy> TickSimulator<'w, S> {
+    /// Create a simulator; calls the strategy's [`CacheStrategy::begin`].
+    pub fn new(workload: &'w Workload, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+        cfg.validate(workload)?;
+        strategy.begin(workload, &cfg);
+        let p = workload.num_cores();
+        Ok(TickSimulator {
+            workload,
+            cfg,
+            strategy,
+            cache: Cache::new(cfg.cache_size, p),
+            pos: vec![0; p],
+            ready: vec![1; p],
+            faults: vec![0; p],
+            hits: vec![0; p],
+            fault_times: vec![Vec::new(); p],
+            makespan: 0,
+            last_time: 0,
+            voluntary_buf: Vec::new(),
+            served_buf: Vec::with_capacity(p),
+        })
+    }
+
+    /// The shared cache, for inspection between steps.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Next request index of each core.
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// Time at which each core's next request issues.
+    pub fn ready_times(&self) -> &[Time] {
+        &self.ready
+    }
+
+    /// `true` once every sequence has been fully served.
+    pub fn finished(&self) -> bool {
+        self.pos
+            .iter()
+            .zip(self.workload.sequences())
+            .all(|(&pos, seq)| pos >= seq.len())
+    }
+
+    /// The next timestep to serve, per the boundary contract documented on
+    /// [`CacheStrategy::next_voluntary_time`]: the minimum ready time over
+    /// unfinished cores (found by an `O(p)` scan), unless the strategy
+    /// declares an earlier non-stale voluntary time.
+    fn next_event_time(&self) -> Option<Time> {
+        let next_request = self
+            .pos
+            .iter()
+            .zip(self.ready.iter())
+            .zip(self.workload.sequences())
+            .filter(|((&pos, _), seq)| pos < seq.len())
+            .map(|((_, &ready), _)| ready)
+            .min()?;
+        match self.strategy.next_voluntary_time() {
+            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
+            _ => Some(next_request),
+        }
+    }
+
+    /// Serve one timestep (the next time at which any request is due).
+    /// Returns `Ok(None)` when every sequence is finished.
+    pub fn step(&mut self) -> Result<Option<StepReport>, SimError> {
+        match self.step_inner()? {
+            None => Ok(None),
+            Some(t) => Ok(Some(StepReport {
+                time: t,
+                voluntary: std::mem::take(&mut self.voluntary_buf),
+                served: std::mem::take(&mut self.served_buf),
+            })),
+        }
+    }
+
+    /// Serve one timestep into the persistent buffers, returning the time
+    /// served (`None` once every sequence is finished).
+    fn step_inner(&mut self) -> Result<Option<Time>, SimError> {
+        let Some(t) = self.next_event_time() else {
+            return Ok(None);
+        };
+        self.last_time = t;
+        self.cache.promote_due(t);
+        self.voluntary_buf.clear();
+        self.served_buf.clear();
+
+        // Pin every page requested this parallel step *before* the strategy
+        // gets to evict voluntarily: parallel reads require `R(x) ⊆ C'`
+        // (Algorithms 1 and 2), so evicting a page that is requested at `t`
+        // must fail even when the eviction is voluntary.
+        for core in 0..self.workload.num_cores() {
+            if self.pos[core] < self.workload.len(core) && self.ready[core] == t {
+                self.cache
+                    .pin_page(self.workload.sequence(core)[self.pos[core]]);
+            }
+        }
+
+        for cell in self.strategy.voluntary_evictions(t, &self.cache) {
+            if !matches!(self.cache.cell(cell), crate::cache::CellState::Present(_)) {
+                return Err(SimError::BadVoluntaryEviction { cell });
+            }
+            let page = self.cache.evict(cell)?;
+            self.strategy.on_evict(page, cell);
+            self.voluntary_buf.push((cell, page));
+        }
+
+        for core in 0..self.workload.num_cores() {
+            let seq = self.workload.sequence(core);
+            if self.pos[core] >= seq.len() || self.ready[core] != t {
+                continue;
+            }
+            let index = self.pos[core];
+            let page = seq[index];
+            let outcome = match self.cache.lookup(page) {
+                Lookup::Present { .. } => {
+                    self.hits[core] += 1;
+                    self.strategy.on_hit(core, page, t, &self.cache);
+                    self.ready[core] = t + 1;
+                    self.makespan = self.makespan.max(t);
+                    Outcome::Hit
+                }
+                Lookup::Fetching { .. } => {
+                    // In flight for another core (same core cannot be
+                    // mid-fetch while issuing). Fault, no new cell.
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    self.strategy
+                        .on_shared_fetch_miss(core, page, t, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                    Outcome::SharedFetchMiss
+                }
+                Lookup::Absent => {
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    let cell = self.strategy.choose_cell(core, page, t, &self.cache);
+                    let evicted = match self.cache.cell(cell) {
+                        crate::cache::CellState::Present(_) => {
+                            let victim = self.cache.evict(cell)?;
+                            self.strategy.on_evict(victim, cell);
+                            Some(victim)
+                        }
+                        crate::cache::CellState::Empty => None,
+                        crate::cache::CellState::Fetching { .. } => {
+                            return Err(SimError::Cache(CacheError::EvictFetching { cell }));
+                        }
+                    };
+                    self.cache
+                        .start_fetch(cell, page, core, t + self.cfg.tau + 1)?;
+                    self.strategy.on_fault(core, page, t, cell, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                    Outcome::Fault { cell, evicted }
+                }
+            };
+            self.pos[core] += 1;
+            self.served_buf.push(Served {
+                core,
+                index,
+                page,
+                outcome,
+            });
+        }
+        self.cache.clear_pins();
+        Ok(Some(t))
+    }
+
+    /// Run to completion and return the aggregate result.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        while self.step_inner()?.is_some() {}
+        Ok(self.into_result())
+    }
+
+    /// Run to completion, additionally collecting every [`StepReport`]
+    /// (one per non-empty timestep) — the full event trace.
+    pub fn run_with_trace(mut self) -> Result<(SimResult, Vec<StepReport>), SimError> {
+        let mut trace = Vec::new();
+        while let Some(report) = self.step()? {
+            trace.push(report);
+        }
+        Ok((self.into_result(), trace))
+    }
+
+    fn into_result(self) -> SimResult {
+        SimResult {
+            faults: self.faults,
+            hits: self.hits,
+            makespan: self.makespan,
+            fault_times: self.fault_times,
+            config: self.cfg,
+        }
+    }
+}
+
+/// Run `strategy` on `workload` under `cfg` with the scan-based tick
+/// engine. Must agree bit-for-bit with [`crate::sim::simulate`]; exists so
+/// tests, the fuzz harness, and the benchmarks can compare the two.
+pub fn simulate_tick<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    strategy: S,
+) -> Result<SimResult, SimError> {
+    TickSimulator::new(workload, cfg, strategy)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::types::PageId;
+
+    struct FirstFit;
+    impl CacheStrategy for FirstFit {
+        fn name(&self) -> String {
+            "FirstFit".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .expect("a victim always exists when K >= p")
+        }
+    }
+
+    fn w(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn tick_engine_timing_examples() {
+        // The sim.rs doc examples, pinned directly on the tick engine.
+        let r = simulate_tick(&w(&[&[1, 2]]), SimConfig::new(2, 3), FirstFit).unwrap();
+        assert_eq!(r.fault_times[0], vec![1, 5]);
+        assert_eq!(r.makespan, 8);
+        let r = simulate_tick(&w(&[&[1, 1]]), SimConfig::new(1, 3), FirstFit).unwrap();
+        assert_eq!((r.faults[0], r.hits[0], r.makespan), (1, 1, 5));
+    }
+
+    #[test]
+    fn engines_agree_result_and_trace() {
+        for (wl, k, tau) in [
+            (w(&[&[1, 2, 1, 2], &[7, 7, 8, 8]]), 3, 2),
+            (w(&[&[1], &[1]]), 2, 4),
+            (w(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8]]), 4, 0),
+            (w(&[&[], &[]]), 2, 3),
+        ] {
+            let cfg = SimConfig::new(k, tau);
+            let event = simulate(&wl, cfg, FirstFit).unwrap();
+            let tick = simulate_tick(&wl, cfg, FirstFit).unwrap();
+            assert_eq!(event, tick);
+            let (er, et) = crate::sim::Simulator::new(&wl, cfg, FirstFit)
+                .unwrap()
+                .run_with_trace()
+                .unwrap();
+            let (tr, tt) = TickSimulator::new(&wl, cfg, FirstFit)
+                .unwrap()
+                .run_with_trace()
+                .unwrap();
+            assert_eq!(er, tr);
+            assert_eq!(et, tt, "step traces diverged on {wl:?} K={k} tau={tau}");
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! The seeded differential fuzz harness: random instances from
-//! `mcp-workloads`, optimized engine vs. the naive reference over every
-//! strategy family, metamorphic invariants from the paper's lemmas, and
-//! exhaustive-oracle cross-checks of the offline dynamic programs — all on
+//! `mcp-workloads`, three engines compared over every strategy family —
+//! the event engine ([`mcp_core::Simulator`]), the scan-based tick engine
+//! ([`mcp_core::TickSimulator`], with full `StepReport`-trace equality
+//! between those two), and the naive tick-by-tick reference — plus
+//! metamorphic invariants from the paper's lemmas and exhaustive-oracle
+//! cross-checks of the offline dynamic programs — all on
 //! `mcp_exec::par_try_map`, so a diverging instance panics inside the
 //! pool's containment while the rest of the batch finishes.
 //!
@@ -12,7 +15,9 @@
 use crate::exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
 use crate::instance::{build_family, family_applicable, Fixture, Instance, FAMILIES};
 use crate::reference::reference_simulate;
-use mcp_core::{simulate, SimConfig, SimError, SimResult, Workload};
+use mcp_core::{
+    simulate, SimConfig, SimError, SimResult, Simulator, StepReport, TickSimulator, Workload,
+};
 use mcp_exec::{derive_seed, Pool};
 use mcp_offline::{
     ftf_min_faults, lru_faults, pif_decide, sched_min, DpError, Objective, PifOptions,
@@ -26,6 +31,29 @@ use std::path::PathBuf;
 /// wrong).
 const ORACLE_NODE_CAP: usize = 2_000_000;
 
+/// Instance-shape profile for the generator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FuzzProfile {
+    /// Round-robin over every workload shape, τ mixed across dense
+    /// (0–3), mid (4–16), and large (64–256) tiers.
+    #[default]
+    Mixed,
+    /// Sparse/bursty shapes only, τ always from the large tier — pins the
+    /// event engine's idle-skip path, where most timesteps serve nothing.
+    LargeTau,
+}
+
+impl FuzzProfile {
+    /// Parse a CLI spelling (`mixed` | `large-tau`).
+    pub fn parse(s: &str) -> Option<FuzzProfile> {
+        match s {
+            "mixed" => Some(FuzzProfile::Mixed),
+            "large-tau" => Some(FuzzProfile::LargeTau),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of one fuzz run.
 #[derive(Clone, Debug)]
 pub struct FuzzOptions {
@@ -37,6 +65,8 @@ pub struct FuzzOptions {
     pub corpus_dir: PathBuf,
     /// Strategy families to compare (defaults to [`FAMILIES`]).
     pub families: Vec<String>,
+    /// Instance-shape profile (defaults to [`FuzzProfile::Mixed`]).
+    pub profile: FuzzProfile,
 }
 
 impl Default for FuzzOptions {
@@ -46,6 +76,7 @@ impl Default for FuzzOptions {
             seed: 0,
             corpus_dir: PathBuf::from("tests/corpus"),
             families: FAMILIES.iter().map(|s| s.to_string()).collect(),
+            profile: FuzzProfile::default(),
         }
     }
 }
@@ -129,7 +160,7 @@ pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
 /// divergence.
 fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
     let seed = derive_seed(options.seed, i as u64);
-    let instance = generate(i, seed);
+    let instance = generate(i, seed, options.profile);
     let mut stats = InstanceStats::default();
 
     for (f, family) in options.families.iter().enumerate() {
@@ -169,49 +200,74 @@ fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
     stats
 }
 
-/// Deterministic instance generator: four workload shapes round-robin,
+/// Deterministic instance generator: six workload shapes round-robin,
 /// with cache size and delay drawn from the instance seed. Shape 1 is
-/// non-disjoint (a shared hot set), so shared-fetch misses are exercised.
-fn generate(i: usize, seed: u64) -> Instance {
-    let workload = match i % 4 {
+/// non-disjoint (a shared hot set), so shared-fetch misses are exercised;
+/// shapes 4–5 (staggered thrash, bursty) plus the tiered τ distribution
+/// cover the sparse large-τ regime where the event engine's idle-skipping
+/// actually fires — under the old flat `τ ∈ 0..4` draw most instances
+/// never skipped a timestep at all.
+fn generate(i: usize, seed: u64, profile: FuzzProfile) -> Instance {
+    let (shape, tau) = match profile {
+        FuzzProfile::Mixed => {
+            // τ tiers: half dense small-τ, a third mid, a sixth large.
+            let tau = match (seed >> 16) % 6 {
+                0..=2 => (seed >> 8) % 4,
+                3 | 4 => 4 + (seed >> 8) % 13,
+                _ => 64 + (seed >> 8) % 193,
+            };
+            (i % 6, tau)
+        }
+        FuzzProfile::LargeTau => ([1, 4, 5][i % 3], 64 + (seed >> 8) % 193),
+    };
+    let workload = match shape {
         0 => mcp_workloads::random_disjoint(seed, 3, 24, 8),
         1 => mcp_workloads::shared_hotset(2 + (i / 4) % 2, 16, 5, 3, 0.4, seed),
         2 => mcp_workloads::zipf(2, 20, 12, 0.8, seed),
-        _ => mcp_workloads::phased(2, 20, 6, 5, seed),
+        3 => mcp_workloads::phased(2, 20, 6, 5, seed),
+        4 => mcp_workloads::staggered_thrash(2 + (seed % 3) as usize, 18, 6, 4, seed),
+        _ => mcp_workloads::bursty(2, 24, 3, 5, seed),
     };
     let p = workload.num_cores();
-    let cfg = SimConfig::new(p + (seed % 5) as usize, (seed >> 8) % 4);
+    let cfg = SimConfig::new(p + (seed % 5) as usize, tau);
     Instance::new(workload, cfg)
 }
 
 /// Outcome of one engine run: either a result or a model error. Engine
 /// panics escape (they are bugs the pool should contain and report).
 type Run = Result<SimResult, SimError>;
+/// A traced run: the aggregate result plus the full step trace.
+type Traced = Result<(SimResult, Vec<StepReport>), SimError>;
 
-fn run_both(family: &str, instance: &Instance, seed: u64) -> (Run, Run) {
-    let fast = simulate(
-        &instance.workload,
-        instance.cfg,
-        build_family(family, instance, seed).expect("family known"),
-    );
-    let slow = reference_simulate(
-        &instance.workload,
-        instance.cfg,
-        build_family(family, instance, seed).expect("family known"),
-    );
-    (fast, slow)
+fn run_three(family: &str, instance: &Instance, seed: u64) -> (Traced, Traced, Run) {
+    let strategy = || build_family(family, instance, seed).expect("family known");
+    let event = Simulator::new(&instance.workload, instance.cfg, strategy())
+        .and_then(|s| s.run_with_trace());
+    let tick = TickSimulator::new(&instance.workload, instance.cfg, strategy())
+        .and_then(|s| s.run_with_trace());
+    let reference = reference_simulate(&instance.workload, instance.cfg, strategy());
+    (event, tick, reference)
 }
 
-/// `Some(description)` iff the two engines disagree on this instance under
-/// this family. A panic *inside* an engine (e.g. the reference engine's
-/// shadow cross-check) is also a divergence.
+/// `Some(description)` iff any pair of the three engines disagrees on this
+/// instance under this family: the event and tick engines must agree on
+/// the aggregate result *and* the full step trace, and both must agree
+/// with the reference on the result. A panic *inside* an engine (e.g. the
+/// reference engine's shadow cross-check) is also a divergence.
 fn diverges(family: &str, instance: &Instance, seed: u64) -> Option<String> {
-    match panic::catch_unwind(AssertUnwindSafe(|| run_both(family, instance, seed))) {
-        Ok((fast, slow)) => match (&fast, &slow) {
-            (Ok(a), Ok(b)) if a == b => None,
-            (Err(a), Err(b)) if a == b => None,
-            _ => Some(describe(&fast, &slow)),
-        },
+    match panic::catch_unwind(AssertUnwindSafe(|| run_three(family, instance, seed))) {
+        Ok((event, tick, reference)) => {
+            let agree = match (&event, &tick, &reference) {
+                (Ok((er, et)), Ok((tr, tt)), Ok(rr)) => er == tr && er == rr && et == tt,
+                (Err(a), Err(b), Err(c)) => a == b && a == c,
+                _ => false,
+            };
+            if agree {
+                None
+            } else {
+                Some(describe(&event, &tick, &reference))
+            }
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<String>()
@@ -223,17 +279,38 @@ fn diverges(family: &str, instance: &Instance, seed: u64) -> Option<String> {
     }
 }
 
-fn describe(fast: &Run, slow: &Run) -> String {
-    fn one(r: &Run) -> String {
+fn describe(event: &Traced, tick: &Traced, reference: &Run) -> String {
+    fn result(r: &SimResult) -> String {
+        format!(
+            "faults={:?} hits={:?} makespan={} fault_times={:?}",
+            r.faults, r.hits, r.makespan, r.fault_times
+        )
+    }
+    fn traced(r: &Traced) -> String {
         match r {
-            Ok(res) => format!(
-                "faults={:?} hits={:?} makespan={} fault_times={:?}",
-                res.faults, res.hits, res.makespan, res.fault_times
-            ),
+            Ok((res, trace)) => format!("{} steps={}", result(res), trace.len()),
             Err(e) => format!("error: {e:?}"),
         }
     }
-    format!("  engine:    {}\n  reference: {}", one(fast), one(slow))
+    let mut out = format!(
+        "  event:     {}\n  tick:      {}\n  reference: {}",
+        traced(event),
+        traced(tick),
+        match reference {
+            Ok(res) => result(res),
+            Err(e) => format!("error: {e:?}"),
+        }
+    );
+    if let (Ok((_, et)), Ok((_, tt))) = (event, tick) {
+        if let Some(i) = (0..et.len().max(tt.len())).find(|&i| et.get(i) != tt.get(i)) {
+            out.push_str(&format!(
+                "\n  first trace mismatch at step {i}:\n    event: {:?}\n    tick:  {:?}",
+                et.get(i),
+                tt.get(i)
+            ));
+        }
+    }
+    out
 }
 
 /// Greedy fixpoint shrinker: repeatedly apply the first size-reducing
@@ -488,6 +565,43 @@ mod tests {
         assert!(report.comparisons >= 8 * (FAMILIES.len() as u64 - 1));
         assert!(report.metamorphic_checks > 0);
         assert!(report.dp_checks > 0);
+    }
+
+    #[test]
+    fn large_tau_profile_exercises_the_skip_path() {
+        // Every large-τ instance must actually skip: the number of served
+        // steps is far below the makespan (the old flat τ ∈ 0..4 draw made
+        // most instances step every few ticks, leaving the fast-forward
+        // path untested).
+        for i in 0..6 {
+            let seed = derive_seed(0xA5, i as u64);
+            let instance = generate(i, seed, FuzzProfile::LargeTau);
+            assert!(
+                instance.cfg.tau >= 64,
+                "instance {i}: tau {}",
+                instance.cfg.tau
+            );
+            let (res, trace) =
+                Simulator::new(&instance.workload, instance.cfg, mcp_policies::shared_lru())
+                    .unwrap()
+                    .run_with_trace()
+                    .unwrap();
+            assert!(
+                (trace.len() as u64) * 4 < res.makespan,
+                "instance {i}: {} steps vs makespan {} — not sparse",
+                trace.len(),
+                res.makespan
+            );
+        }
+        // And the profile runs clean through the full three-way harness.
+        let report = run_fuzz(&FuzzOptions {
+            instances: 3,
+            seed: 5,
+            profile: FuzzProfile::LargeTau,
+            corpus_dir: std::env::temp_dir().join("mcp-oracle-fuzz-ltau-test"),
+            ..FuzzOptions::default()
+        });
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod instance;
 pub mod reference;
 
 pub use exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
-pub use fuzz::{run_fuzz, Divergence, FuzzOptions, FuzzReport};
-pub use instance::{build_family, Fixture, FixtureError, Instance, FAMILIES};
+pub use fuzz::{run_fuzz, Divergence, FuzzOptions, FuzzProfile, FuzzReport};
+pub use instance::{build_family, family_applicable, Fixture, FixtureError, Instance, FAMILIES};
 pub use reference::{reference_simulate, SKEW_ENV};

@@ -1,22 +1,58 @@
 //! Least-Recently-Used eviction.
 
 use crate::eviction::EvictionPolicy;
-use mcp_core::PageId;
-use std::collections::{BTreeSet, HashMap};
+use mcp_core::{FxHashMap, PageId};
+
+/// Sentinel node index for list ends.
+const NIL: u32 = u32::MAX;
+
+/// One page's slot in the intrusive recency list.
+#[derive(Clone, Debug)]
+struct Node {
+    page: PageId,
+    stamp: u64,
+    /// Neighbor toward the most-recent end.
+    newer: u32,
+    /// Neighbor toward the least-recent end.
+    older: u32,
+}
 
 /// Evicts the candidate whose last access (or insertion) is oldest.
 ///
 /// LRU is a *marking* and *conservative* algorithm, so Lemma 1's
 /// `max_j k_j` upper bound applies to it under any fixed static partition.
 ///
-/// Alongside the per-page stamp map, an ordered `(stamp, page)` set is
-/// maintained so the streamed entry point finds the recency-minimal
-/// eligible page in O(log K) plus a short walk over ineligible (pinned or
-/// in-flight) prefix entries, instead of scanning all candidates.
-#[derive(Clone, Debug, Default)]
+/// Recency is an intrusive doubly-linked list over a node slab: an access
+/// unlinks the page's node and relinks it at the most-recent end — O(1),
+/// allocation-free after warm-up — and the streamed entry point walks
+/// from the least-recent end past ineligible (pinned or in-flight)
+/// entries. Because stamps are strictly increasing in service order (the
+/// [`EvictionPolicy`] contract), list order from that end *is* ascending
+/// stamp order, so the walk finds exactly the recency-minimal eligible
+/// page the stamp map would report.
+#[derive(Clone, Debug)]
 pub struct Lru {
-    last_use: HashMap<PageId, u64>,
-    by_stamp: BTreeSet<(u64, PageId)>,
+    /// Managed page → its slab slot. Point lookups only (never iterated).
+    index: FxHashMap<PageId, u32>,
+    nodes: Vec<Node>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Most recently used node (`NIL` when empty).
+    head: u32,
+    /// Least recently used node (`NIL` when empty).
+    tail: u32,
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Lru {
+            index: FxHashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 impl Lru {
@@ -27,7 +63,34 @@ impl Lru {
 
     /// The stamp of `page`'s most recent use, if managed.
     pub fn last_use(&self, page: PageId) -> Option<u64> {
-        self.last_use.get(&page).copied()
+        self.index.get(&page).map(|&n| self.nodes[n as usize].stamp)
+    }
+
+    fn unlink(&mut self, n: u32) {
+        let Node { newer, older, .. } = self.nodes[n as usize];
+        match newer {
+            NIL => self.head = older,
+            _ => self.nodes[newer as usize].older = older,
+        }
+        match older {
+            NIL => self.tail = newer,
+            _ => self.nodes[older as usize].newer = newer,
+        }
+    }
+
+    /// Link `n` as the most recently used node.
+    fn link_front(&mut self, n: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[n as usize];
+            node.newer = NIL;
+            node.older = old_head;
+        }
+        match old_head {
+            NIL => self.tail = n,
+            _ => self.nodes[old_head as usize].newer = n,
+        }
+        self.head = n;
     }
 }
 
@@ -37,10 +100,34 @@ impl EvictionPolicy for Lru {
     }
 
     fn on_insert(&mut self, page: PageId, stamp: u64) {
-        if let Some(old) = self.last_use.insert(page, stamp) {
-            self.by_stamp.remove(&(old, page));
+        if let Some(&n) = self.index.get(&page) {
+            self.nodes[n as usize].stamp = stamp;
+            self.unlink(n);
+            self.link_front(n);
+            return;
         }
-        self.by_stamp.insert((stamp, page));
+        let n = match self.free.pop() {
+            Some(n) => {
+                self.nodes[n as usize] = Node {
+                    page,
+                    stamp,
+                    newer: NIL,
+                    older: NIL,
+                };
+                n
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    stamp,
+                    newer: NIL,
+                    older: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.index.insert(page, n);
+        self.link_front(n);
     }
 
     fn on_access(&mut self, page: PageId, stamp: u64) {
@@ -48,20 +135,16 @@ impl EvictionPolicy for Lru {
     }
 
     fn on_remove(&mut self, page: PageId) {
-        if let Some(old) = self.last_use.remove(&page) {
-            self.by_stamp.remove(&(old, page));
+        if let Some(n) = self.index.remove(&page) {
+            self.unlink(n);
+            self.free.push(n);
         }
     }
 
     fn choose_victim(&mut self, candidates: &[PageId]) -> PageId {
         *candidates
             .iter()
-            .min_by_key(|p| {
-                self.last_use
-                    .get(p)
-                    .copied()
-                    .expect("candidate must be managed")
-            })
+            .min_by_key(|p| self.last_use(**p).expect("candidate must be managed"))
             .expect("candidates nonempty")
     }
 
@@ -70,13 +153,18 @@ impl EvictionPolicy for Lru {
         _candidates: &mut dyn Iterator<Item = PageId>,
         eligible: &dyn Fn(PageId) -> bool,
     ) -> PageId {
-        // Stamps are unique, so the first eligible entry in stamp order is
-        // exactly the minimum `choose_victim` would report.
-        self.by_stamp
-            .iter()
-            .map(|&(_, page)| page)
-            .find(|&page| eligible(page))
-            .expect("candidates nonempty")
+        // Stamps are unique and increasing, so the first eligible entry
+        // from the least-recent end is exactly the minimum
+        // `choose_victim` would report.
+        let mut n = self.tail;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if eligible(node.page) {
+                return node.page;
+            }
+            n = node.newer;
+        }
+        panic!("candidates nonempty")
     }
 }
 
@@ -114,5 +202,38 @@ mod tests {
         lru.on_insert(p(1), 1);
         lru.on_remove(p(1));
         assert_eq!(lru.last_use(p(1)), None);
+    }
+
+    #[test]
+    fn streamed_walk_agrees_with_slice_minimum() {
+        // Interleave inserts, touches, and removals, then compare both
+        // entry points over a restricted eligible set.
+        let mut lru = Lru::new();
+        let mut stamp = 0;
+        for v in [5, 2, 9, 4, 7, 1] {
+            stamp += 1;
+            lru.on_insert(p(v), stamp);
+        }
+        for v in [9, 5, 4] {
+            stamp += 1;
+            lru.on_access(p(v), stamp);
+        }
+        lru.on_remove(p(2));
+        let eligible = [p(5), p(9), p(7), p(1)];
+        let from_slice = lru.choose_victim(&eligible);
+        let from_walk =
+            lru.choose_victim_from(&mut eligible.iter().copied(), &|q| eligible.contains(&q));
+        assert_eq!(from_slice, from_walk);
+        assert_eq!(from_slice, p(7)); // oldest untouched eligible page
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut lru = Lru::new();
+        for i in 0..100u32 {
+            lru.on_insert(p(i), (i + 1) as u64);
+            lru.on_remove(p(i));
+        }
+        assert!(lru.nodes.len() <= 2, "slab grew despite removals");
     }
 }

@@ -172,6 +172,79 @@ pub fn shared_hotset(
     Workload::new(sequences).expect("nonempty")
 }
 
+/// `p` cores that fault in staggered phases — the sparse large-τ regime
+/// the event engine is built for.
+///
+/// Core `j` warms up with one fault and `j % stagger` hits on a private
+/// hot page, then walks a private cyclic set of `cycle` cold pages. Pick
+/// `cycle` larger than the core's share of the cache and every post-warm-up
+/// request faults under any demand policy, so each core's steady-state
+/// period is exactly `τ + 1` while the warm-up hits offset core `j`'s
+/// phase by `j % stagger` timesteps. With `stagger ≤ τ + 1` the cores
+/// spread over `stagger` distinct residues mod `τ + 1`: at any timestep
+/// only `≈ p / (τ + 1)` cores are due, which is precisely where a
+/// per-step `O(p)` scan wastes its work and an event queue pays only for
+/// the cores that wake.
+pub fn staggered_thrash(
+    p: usize,
+    n_per_core: usize,
+    cycle: u32,
+    stagger: usize,
+    seed: u64,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cycle = cycle.max(1);
+    let stagger = stagger.max(1);
+    let sequences = (0..p)
+        .map(|core| {
+            let warm = core % stagger;
+            let start = rng.gen_range(0..cycle);
+            (0..n_per_core)
+                .map(|i| {
+                    if i <= warm {
+                        page(core, 0) // one fault, then `warm` hits
+                    } else {
+                        // Cold pages live at 1..=cycle, cyclically.
+                        page(core, 1 + (start + (i - warm - 1) as u32) % cycle)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// `p` cores alternating dense hit-runs with cold miss-bursts.
+///
+/// Each core loops: a run of `1..=2·hot` requests drawn from a private
+/// `hot`-page working set (dense, mostly hits once warm), then a burst of
+/// `burst` never-before-seen pages (every one a fault, so the core goes
+/// quiet for `burst · (τ + 1)` timesteps). The result interleaves dense
+/// regions — where the engines are equally busy — with long sparse gaps
+/// that only an event queue skips cheaply.
+pub fn bursty(p: usize, n_per_core: usize, hot: u32, burst: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot = hot.max(1);
+    let sequences = (0..p)
+        .map(|core| {
+            let mut seq = Vec::with_capacity(n_per_core);
+            let mut fresh = hot; // next never-requested local page id
+            while seq.len() < n_per_core {
+                let run = rng.gen_range(1..=2 * hot as usize);
+                for _ in 0..run.min(n_per_core - seq.len()) {
+                    seq.push(page(core, rng.gen_range(0..hot)));
+                }
+                for _ in 0..burst.min(n_per_core - seq.len()) {
+                    seq.push(page(core, fresh));
+                    fresh += 1;
+                }
+            }
+            seq
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
 /// A random disjoint workload for property tests: every parameter drawn
 /// from `seed`, guaranteed `K ≥ p`-compatible shapes.
 pub fn random_disjoint(seed: u64, max_cores: usize, max_len: usize, max_universe: u32) -> Workload {
@@ -266,6 +339,41 @@ mod tests {
         // Zero fraction degenerates to disjoint.
         let d = shared_hotset(3, 200, 16, 4, 0.0, 5);
         assert!(d.is_disjoint());
+    }
+
+    #[test]
+    fn staggered_thrash_has_period_tau_plus_one_tails() {
+        let p = 4;
+        let w = staggered_thrash(p, 40, 8, 3, 9);
+        assert!(w.is_disjoint());
+        for core in 0..p {
+            let seq = w.sequence(core);
+            let warm = core % 3;
+            // Warm-up: request 0 and the `warm` hits all target page 0.
+            for r in &seq[..=warm] {
+                assert_eq!(r.0 % CORE_STRIDE, 0);
+            }
+            // Tail: cyclic over pages 1..=8 — consecutive requests are
+            // distinct, and the walk revisits with period 8.
+            let tail = &seq[warm + 1..];
+            assert!(tail.windows(2).all(|t| t[0] != t[1]));
+            assert_eq!(tail[0], tail[8]);
+        }
+    }
+
+    #[test]
+    fn bursty_mixes_hot_runs_and_fresh_bursts() {
+        let w = bursty(2, 500, 4, 6, 13);
+        assert!(w.is_disjoint());
+        let seq = w.sequence(0);
+        assert_eq!(seq.len(), 500);
+        let hot = seq.iter().filter(|r| r.0 % CORE_STRIDE < 4).count();
+        let cold: std::collections::HashSet<_> =
+            seq.iter().filter(|r| r.0 % CORE_STRIDE >= 4).collect();
+        assert!(hot > 0 && !cold.is_empty());
+        // Cold pages are never repeated: each is a guaranteed fault.
+        let cold_total = seq.iter().filter(|r| r.0 % CORE_STRIDE >= 4).count();
+        assert_eq!(cold.len(), cold_total);
     }
 
     #[test]

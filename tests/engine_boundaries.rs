@@ -1,0 +1,296 @@
+//! Regression tests for the `next_voluntary_time` boundary contract and
+//! for fetch-completion ordering under fast-forward.
+//!
+//! The contract (documented on `CacheStrategy::next_voluntary_time`) has
+//! four boundary cases — stale, quiet, coincident, post-final — and both
+//! engines must implement all four identically. Each test drives the
+//! event engine ([`Simulator`]) and the scan engine ([`TickSimulator`])
+//! and asserts full `StepReport`-level trace equality in addition to the
+//! behavior being pinned.
+
+use multicore_paging::{
+    simulate, simulate_tick, Cache, CacheStrategy, Outcome, PageId, SimConfig, SimResult,
+    Simulator, StepReport, TickSimulator, Time, Workload,
+};
+use std::collections::BTreeMap;
+
+/// First-fit placement plus a script of voluntary evictions: at each
+/// scheduled time, evict the scheduled pages (skipping any that are not
+/// resident). Declares the earliest unconsumed time via
+/// `next_voluntary_time`, exactly like the offline `Replay` harness.
+#[derive(Clone)]
+struct Declare {
+    voluntary: BTreeMap<Time, Vec<PageId>>,
+}
+
+impl Declare {
+    fn none() -> Self {
+        Declare {
+            voluntary: BTreeMap::new(),
+        }
+    }
+
+    fn at(entries: &[(Time, &[u32])]) -> Self {
+        Declare {
+            voluntary: entries
+                .iter()
+                .map(|&(t, pages)| (t, pages.iter().map(|&p| PageId(p)).collect()))
+                .collect(),
+        }
+    }
+}
+
+impl CacheStrategy for Declare {
+    fn name(&self) -> String {
+        "Declare".into()
+    }
+
+    fn choose_cell(&mut self, _core: usize, _page: PageId, _t: Time, cache: &Cache) -> usize {
+        cache
+            .empty_cell()
+            .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+            .expect("a victim always exists")
+    }
+
+    fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
+        let rest = self.voluntary.split_off(&(time + 1));
+        let due = std::mem::replace(&mut self.voluntary, rest);
+        due.values()
+            .flatten()
+            .filter_map(|p| cache.cell_of(*p))
+            .collect()
+    }
+
+    fn next_voluntary_time(&self) -> Option<Time> {
+        self.voluntary.keys().next().copied()
+    }
+}
+
+/// Declares the same fixed time forever and never actually evicts —
+/// exercises the stale and post-final boundaries, where a sloppy engine
+/// would either livelock (re-serving the same declared time) or pad the
+/// run with empty trailing steps.
+#[derive(Clone)]
+struct ConstantDeclare(Time);
+
+impl CacheStrategy for ConstantDeclare {
+    fn name(&self) -> String {
+        "ConstantDeclare".into()
+    }
+
+    fn choose_cell(&mut self, _core: usize, _page: PageId, _t: Time, cache: &Cache) -> usize {
+        cache
+            .empty_cell()
+            .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+            .expect("a victim always exists")
+    }
+
+    fn next_voluntary_time(&self) -> Option<Time> {
+        Some(self.0)
+    }
+}
+
+fn w(seqs: &[&[u32]]) -> Workload {
+    Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+}
+
+/// Run both engines with traces and assert they agree exactly; returns the
+/// (shared) result and trace.
+fn both_engines<S: CacheStrategy + Clone>(
+    wl: &Workload,
+    cfg: SimConfig,
+    strategy: S,
+) -> (SimResult, Vec<StepReport>) {
+    let (er, et) = Simulator::new(wl, cfg, strategy.clone())
+        .unwrap()
+        .run_with_trace()
+        .unwrap();
+    let (tr, tt) = TickSimulator::new(wl, cfg, strategy)
+        .unwrap()
+        .run_with_trace()
+        .unwrap();
+    assert_eq!(er, tr, "engines disagree on the aggregate result");
+    assert_eq!(et, tt, "engines disagree on the step trace");
+    (er, et)
+}
+
+#[test]
+fn stale_declaration_is_ignored() {
+    // vt = 0 is stale from the very start (last_time starts at 0): the run
+    // must be identical to one with no declaration at all, on both engines.
+    let wl = w(&[&[1, 2, 1], &[3, 1]]);
+    let cfg = SimConfig::new(3, 2);
+    let baseline = both_engines(&wl, cfg, Declare::none());
+    let declared = both_engines(&wl, cfg, Declare::at(&[(0, &[])]));
+    assert_eq!(baseline, declared);
+
+    // A declaration that *becomes* stale mid-run: Declare consumes its
+    // t = 1 entry at the first step; a constant declarer never stops
+    // declaring t = 1, so after the first served step the value is stale
+    // forever. The run must terminate with the same result.
+    let constant = both_engines(&wl, cfg, ConstantDeclare(1));
+    // ConstantDeclare(1) never evicts, so its observable behavior matches
+    // the no-declaration baseline too (t = 1 is the first request time, so
+    // even the coincident consultation is a no-op).
+    assert_eq!(baseline.0, constant.0);
+    assert_eq!(baseline.1, constant.1);
+}
+
+#[test]
+fn quiet_declaration_gets_voluntary_only_step() {
+    // Single core, τ = 1, K = 2: requests land at t = 1 (fault on 1,
+    // ready 3), t = 3 (hit), t = 4 (fault on 2, ready 6). Declaring
+    // vt = 5 — strictly between the last served step (4) and the next
+    // request (none: the sequence is finished)… is the post-final case.
+    // To get a *quiet* step we need a later request: sequence [1, 1, 2, 2]
+    // serves t = 1, 3, 4, 6. Declare vt = 5 ∈ (4, 6): a voluntary-only
+    // step at t = 5 evicting page 1 (resident since t = 3).
+    let wl = w(&[&[1, 1, 2, 2]]);
+    let cfg = SimConfig::new(2, 1);
+    let (result, trace) = both_engines(&wl, cfg, Declare::at(&[(5, &[1])]));
+
+    let times: Vec<Time> = trace.iter().map(|s| s.time).collect();
+    assert_eq!(times, vec![1, 3, 4, 5, 6]);
+    let quiet = &trace[3];
+    assert_eq!(quiet.time, 5);
+    assert!(quiet.served.is_empty(), "quiet step serves no requests");
+    assert_eq!(quiet.voluntary.len(), 1);
+    assert_eq!(quiet.voluntary[0].1, PageId(1));
+    // The voluntary-only step changes neither fault accounting nor the
+    // makespan (makespan tracks request service, not evictions).
+    let baseline = simulate(&wl, cfg, Declare::none()).unwrap();
+    assert_eq!(result.fault_times, baseline.fault_times);
+    assert_eq!(result.makespan, baseline.makespan);
+}
+
+#[test]
+fn coincident_declaration_folds_into_request_step() {
+    // Same workload; declare vt = 4, which IS the third request's time.
+    // No separate voluntary-only step may appear: the eviction of page 1
+    // happens inside the t = 4 step, after pinning that step's request
+    // (page 2, so page 1 is evictable).
+    let wl = w(&[&[1, 1, 2, 2]]);
+    let cfg = SimConfig::new(2, 1);
+    let (_, trace) = both_engines(&wl, cfg, Declare::at(&[(4, &[1])]));
+
+    let times: Vec<Time> = trace.iter().map(|s| s.time).collect();
+    assert_eq!(times, vec![1, 3, 4, 6], "no extra step for a coincident vt");
+    let folded = &trace[2];
+    assert_eq!(folded.voluntary, vec![(0, PageId(1))]);
+    assert_eq!(folded.served.len(), 1);
+    assert_eq!(folded.served[0].page, PageId(2));
+    assert!(matches!(folded.served[0].outcome, Outcome::Fault { .. }));
+}
+
+#[test]
+fn coincident_declaration_cannot_evict_pinned_page() {
+    // Coincident with a request *for the declared victim*: page 1 is
+    // requested at t = 3 and pinned before voluntary evictions run, so the
+    // eviction silently fails (cell_of still finds it, but the cache
+    // refuses… Declare filters by residency only, so the engine's pin is
+    // what must protect it). Pinning happens before voluntary evictions on
+    // both engines; a strategy returning a pinned cell is an error, so
+    // Declare would panic the run if pins were not applied first. Here we
+    // avoid the error path and just pin down that the request is a hit.
+    let wl = w(&[&[1, 1, 1]]);
+    let cfg = SimConfig::new(2, 1);
+    // Declare an eviction of page 9 (never resident) at t = 3: consulted
+    // coincidentally, evicts nothing, request proceeds as a hit.
+    let (result, trace) = both_engines(&wl, cfg, Declare::at(&[(3, &[9])]));
+    assert_eq!(result.total_faults(), 1);
+    let step = trace.iter().find(|s| s.time == 3).unwrap();
+    assert!(step.voluntary.is_empty());
+    assert!(matches!(step.served[0].outcome, Outcome::Hit));
+}
+
+#[test]
+fn post_final_declaration_is_silently_dropped() {
+    // Declarations after the final request must not extend the run: no
+    // trailing steps, no makespan change, identical traces to an
+    // undeclared run — on both engines.
+    let wl = w(&[&[1, 2], &[3]]);
+    let cfg = SimConfig::new(3, 2);
+    let baseline = both_engines(&wl, cfg, Declare::none());
+    let declared = both_engines(&wl, cfg, Declare::at(&[(100, &[1])]));
+    assert_eq!(baseline, declared);
+    // Same via a strategy that never stops declaring a future time.
+    let constant = both_engines(&wl, cfg, ConstantDeclare(1_000_000));
+    assert_eq!(baseline.0, constant.0);
+    assert_eq!(baseline.1, constant.1);
+    // The run genuinely ended: last trace time is the last request time.
+    let last = baseline.1.last().unwrap().time;
+    assert_eq!(last, baseline.1.iter().map(|s| s.time).max().unwrap());
+    assert!(last <= baseline.0.makespan);
+}
+
+#[test]
+fn completion_ordering_under_fast_forward() {
+    // Overlapping fetches on a non-disjoint workload. At t = 1: core 0
+    // faults on page 1 (starts the fetch), core 1 shared-fetch-misses on
+    // the same page (charged a fault, no new cell), core 2 faults on
+    // page 3. All three fetch completions land at exactly t = 5, which is
+    // also the next request time after the fast-forward over t = 2..4 —
+    // promotions must be applied before pinning and serving, so core 1's
+    // re-request of page 1 and core 2's request of page 1 are *hits*.
+    let wl = w(&[&[1, 2], &[1, 1], &[3, 1]]);
+    let cfg = SimConfig::new(3, 3);
+    let (result, trace) = both_engines(&wl, cfg, Declare::none());
+
+    assert_eq!(trace.len(), 2, "two parallel steps: t = 1 and t = 5");
+    let first = &trace[0];
+    assert_eq!(first.time, 1);
+    let outcomes: Vec<&Outcome> = first.served.iter().map(|s| &s.outcome).collect();
+    assert!(matches!(outcomes[0], Outcome::Fault { .. }));
+    assert!(matches!(outcomes[1], Outcome::SharedFetchMiss));
+    assert!(matches!(outcomes[2], Outcome::Fault { .. }));
+    // Cores are served in increasing core order within the step.
+    let cores: Vec<usize> = first.served.iter().map(|s| s.core).collect();
+    assert_eq!(cores, vec![0, 1, 2]);
+
+    let second = &trace[1];
+    assert_eq!(second.time, 5, "completions at ready_at = 5 promote at 5");
+    assert!(matches!(second.served[0].outcome, Outcome::Fault { .. })); // core 0: page 2
+    assert!(matches!(second.served[1].outcome, Outcome::Hit)); // core 1: page 1, just promoted
+    assert!(matches!(second.served[2].outcome, Outcome::Hit)); // core 2: page 1
+
+    assert_eq!(result.faults, vec![2, 1, 1]);
+    assert_eq!(result.hits, vec![0, 1, 1]);
+    assert_eq!(result.makespan, 8); // core 0's fault at 5 occupies [5, 5 + τ]
+}
+
+#[test]
+fn completions_inside_skipped_gaps_are_drained() {
+    // A fetch whose owner has finished completes inside a gap no step
+    // lands on: core 0's only request starts a fetch ready at t = 5, but
+    // the next served steps are hits of core 1 at t = 6..=8 (after its own
+    // fault's τ window) — the event engine must drain the stale completion
+    // event when fast-forwarding past it, keeping the cache (and any
+    // strategy observing it) identical to the scan engine's lazy
+    // promote_due. Core 1 then re-requests page 1 and must hit.
+    let wl = w(&[&[1], &[2, 2, 2, 1]]);
+    let cfg = SimConfig::new(3, 3);
+    let (result, trace) = both_engines(&wl, cfg, Declare::none());
+    // t = 1: both cores fault. t = 5, 6: core 1 hits page 2. t = 7:
+    // core 1 hits page 1 — promoted long after its ready_at = 5.
+    let times: Vec<Time> = trace.iter().map(|s| s.time).collect();
+    assert_eq!(times, vec![1, 5, 6, 7]);
+    assert!(matches!(trace[3].served[0].outcome, Outcome::Hit));
+    assert_eq!(result.faults, vec![1, 1]);
+    assert_eq!(result.hits, vec![0, 3]);
+
+    // Larger battery: uneven lengths, shared pages, τ from 0 to large —
+    // trace equality between the engines is the real assertion.
+    for tau in [0u64, 1, 2, 7, 64, 1000] {
+        for wl in [
+            w(&[&[1, 2, 1, 2, 3], &[2, 3, 2], &[1]]),
+            w(&[&[5, 5, 5, 5], &[5, 6, 5, 6], &[6, 5]]),
+            w(&[&[1, 2, 3, 4, 1, 2, 3, 4], &[4, 3, 2, 1]]),
+        ] {
+            let cfg = SimConfig::new(4, tau);
+            both_engines(&wl, cfg, Declare::none());
+            let a = simulate(&wl, cfg, Declare::none()).unwrap();
+            let b = simulate_tick(&wl, cfg, Declare::none()).unwrap();
+            assert_eq!(a, b, "tau = {tau}");
+        }
+    }
+}
