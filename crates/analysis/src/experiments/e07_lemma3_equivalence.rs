@@ -41,31 +41,29 @@ impl Experiment for E07 {
         type KRule = fn(usize) -> usize;
         let k_rules: [(&str, KRule); 2] = [("K = p", |p| p), ("K = 2p + 1", |p| 2 * p + 1)];
         let seed_ids: Vec<u64> = (0..seeds).collect();
-        for tau in [0u64, 1, 3] {
-            for (k_rule, k_of) in k_rules {
-                let outcomes = mcp_exec::Pool::global().par_map(&seed_ids, |_, &seed| {
-                    let w = random_disjoint(seed * 7 + tau, 4, 40, 6);
-                    let k = k_of(w.num_cores());
-                    let cfg = SimConfig::new(k, tau);
-                    let shared = simulate(&w, cfg, shared_lru()).unwrap();
-                    let mimic = simulate(&w, cfg, LruMimicPartition::new()).unwrap();
-                    (
-                        shared.faults == mimic.faults,
-                        shared.fault_times == mimic.fault_times,
-                    )
-                });
-                let cases = outcomes.len() as u64;
-                let eq_counts = outcomes.iter().filter(|(c, _)| *c).count() as u64;
-                let eq_times = outcomes.iter().filter(|(_, t)| *t).count() as u64;
-                all_equal &= cases == eq_counts && cases == eq_times;
-                table.row(vec![
-                    tau.to_string(),
-                    k_rule.into(),
-                    cases.to_string(),
-                    eq_counts.to_string(),
-                    eq_times.to_string(),
-                ]);
-            }
+        for (tau, (k_rule, k_of)) in crate::grid::grid2(&[0u64, 1, 3], &k_rules) {
+            let outcomes = mcp_exec::Pool::global().par_map(&seed_ids, |_, &seed| {
+                let w = random_disjoint(seed * 7 + tau, 4, 40, 6);
+                let k = k_of(w.num_cores());
+                let cfg = SimConfig::new(k, tau);
+                let shared = simulate(&w, cfg, shared_lru()).unwrap();
+                let mimic = simulate(&w, cfg, LruMimicPartition::new()).unwrap();
+                (
+                    shared.faults == mimic.faults,
+                    shared.fault_times == mimic.fault_times,
+                )
+            });
+            let cases = outcomes.len() as u64;
+            let eq_counts = outcomes.iter().filter(|(c, _)| *c).count() as u64;
+            let eq_times = outcomes.iter().filter(|(_, t)| *t).count() as u64;
+            all_equal &= cases == eq_counts && cases == eq_times;
+            table.row(vec![
+                tau.to_string(),
+                k_rule.into(),
+                cases.to_string(),
+                eq_counts.to_string(),
+                eq_times.to_string(),
+            ]);
         }
         Report {
             id: self.id().into(),

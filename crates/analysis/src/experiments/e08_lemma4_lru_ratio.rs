@@ -44,10 +44,7 @@ impl Experiment for E08 {
         );
         let mut normalized = Vec::new();
         let mut lru_thrashes = true;
-        let sweep: Vec<(usize, u64)> = [2usize, 4]
-            .iter()
-            .flat_map(|&p| [0u64, 1, 3, 7].iter().map(move |&tau| (p, tau)))
-            .collect();
+        let sweep: Vec<(usize, u64)> = crate::grid::grid2(&[2usize, 4], &[0u64, 1, 3, 7]);
         let rows = mcp_exec::Pool::global().par_map(&sweep, |_, &(p, tau)| {
             let k = p * p;
             let w = lemma4_cyclic(p, k, n_per_core);

@@ -1,0 +1,79 @@
+//! Grid enumeration: the row-major cartesian products every sweep loop
+//! and the tournament share, materialized as `Vec`s so they can be handed
+//! straight to `mcp_exec::Pool::par_map` (which takes a slice and
+//! preserves input order — the enumeration order *is* the output order).
+//!
+//! Row-major means the **last** axis varies fastest, matching the nested
+//! `for` loops these calls replace.
+
+/// All `(a, b)` pairs, `b` fastest.
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// All `(a, b, c)` triples, `c` fastest.
+pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// All `(a, b, c, d)` quadruples, `d` fastest.
+pub fn grid4<A: Clone, B: Clone, C: Clone, D: Clone>(
+    a: &[A],
+    b: &[B],
+    c: &[C],
+    d: &[D],
+) -> Vec<(A, B, C, D)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len() * d.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                for u in d {
+                    out.push((x.clone(), y.clone(), z.clone(), u.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_order_matches_nested_loops() {
+        assert_eq!(
+            grid2(&[1, 2], &["a", "b", "c"]),
+            vec![(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (2, "c")]
+        );
+        assert_eq!(
+            grid3(&[1, 2], &[10], &[100, 200]),
+            vec![(1, 10, 100), (1, 10, 200), (2, 10, 100), (2, 10, 200)]
+        );
+        assert_eq!(
+            grid4(&[1], &[2], &[3], &[4, 5]),
+            vec![(1, 2, 3, 4), (1, 2, 3, 5)]
+        );
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid() {
+        let none: &[u8] = &[];
+        assert!(grid2(none, &[1, 2]).is_empty());
+        assert!(grid3(&[1], none, &[2]).is_empty());
+    }
+}

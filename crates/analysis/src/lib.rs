@@ -11,9 +11,13 @@
 
 pub mod experiments;
 pub mod fairness;
+pub mod grid;
 pub mod report;
 pub mod stats;
 pub mod timing;
+pub mod tournament;
 
 pub use experiments::{registry, Experiment, Scale};
+pub use grid::{grid2, grid3, grid4};
 pub use report::{Report, Table, Verdict};
+pub use tournament::{tournament_report, TournamentOutcome};

@@ -1,0 +1,199 @@
+//! Regret and pairwise-dominance reporting for strategy tournaments.
+//!
+//! The tournament runner (CLI `mcp tournament`, fed by `mcp-batch`)
+//! produces a fault count per *(cell group × strategy)*, where a group is
+//! one `(workload, K, τ)` combination all strategies compete on. This
+//! module turns that matrix into the standard [`Report`] surface so the
+//! markdown/JSON/CSV renderers and their byte-stability guarantees are
+//! shared with the experiments.
+
+use crate::report::{Report, Table, Verdict};
+use crate::stats::fmt;
+
+/// The raw outcome matrix of a tournament.
+#[derive(Clone, Debug)]
+pub struct TournamentOutcome {
+    /// Competing strategy family names (column order).
+    pub strategies: Vec<String>,
+    /// Group labels, e.g. `zipf-shared/s1 K=16 tau=4` (row order).
+    pub groups: Vec<String>,
+    /// `faults[group][strategy]`: total fault count, or `None` when the
+    /// family was inapplicable to that group's workload.
+    pub faults: Vec<Vec<Option<u64>>>,
+}
+
+/// Groups with per-cell rows beyond this count report only the summary
+/// tables (the JSON stays bounded; the full matrix is recoverable by
+/// re-running the same seeded grid).
+const PER_CELL_ROW_CAP: usize = 64;
+
+/// Build the tournament report: per-cell fault counts (small grids),
+/// per-strategy regret vs the best strategy in each group, and the
+/// pairwise-dominance matrix.
+pub fn tournament_report(o: &TournamentOutcome) -> Report {
+    let s = o.strategies.len();
+    let mut tables = Vec::new();
+    let mut notes = Vec::new();
+
+    // Per-cell fault counts.
+    if o.groups.len() <= PER_CELL_ROW_CAP {
+        let mut cols = vec!["cell".to_string()];
+        cols.extend(o.strategies.iter().cloned());
+        let mut table = Table::new(
+            "per-cell fault counts",
+            &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for (g, label) in o.groups.iter().enumerate() {
+            let mut row = vec![label.clone()];
+            for f in &o.faults[g] {
+                row.push(match f {
+                    Some(n) => n.to_string(),
+                    None => "n/a".into(),
+                });
+            }
+            table.row(row);
+        }
+        tables.push(table);
+    } else {
+        notes.push(format!(
+            "per-cell table omitted ({} groups > {PER_CELL_ROW_CAP}); summaries below cover all cells",
+            o.groups.len()
+        ));
+    }
+
+    // Regret vs the best strategy in each group. A strategy's regret in a
+    // group is faults / best-faults (best.max(1), the repo's ratio
+    // convention); groups where the strategy is inapplicable don't count
+    // against it.
+    let mut summary = Table::new(
+        "per-strategy regret vs the best strategy in each cell",
+        &[
+            "strategy",
+            "cells",
+            "wins",
+            "avg regret",
+            "worst regret",
+            "total faults",
+        ],
+    );
+    for (si, name) in o.strategies.iter().enumerate() {
+        let mut cells = 0u64;
+        let mut wins = 0u64;
+        let mut total = 0u64;
+        let mut sum_regret = 0.0f64;
+        let mut worst_regret = 0.0f64;
+        for g in 0..o.groups.len() {
+            let Some(f) = o.faults[g][si] else { continue };
+            let best = o.faults[g].iter().flatten().min().copied().unwrap_or(0);
+            cells += 1;
+            total += f;
+            if f == best {
+                wins += 1;
+            }
+            let regret = f as f64 / best.max(1) as f64;
+            sum_regret += regret;
+            worst_regret = worst_regret.max(regret);
+        }
+        summary.row(vec![
+            name.clone(),
+            cells.to_string(),
+            wins.to_string(),
+            fmt(if cells == 0 {
+                0.0
+            } else {
+                sum_regret / cells as f64
+            }),
+            fmt(worst_regret),
+            total.to_string(),
+        ]);
+    }
+    tables.push(summary);
+
+    // Pairwise dominance: D[a][b] = number of groups where a's faults are
+    // strictly below b's (both defined).
+    let mut cols = vec!["strictly beats ->".to_string()];
+    cols.extend(o.strategies.iter().cloned());
+    let mut dom = Table::new(
+        "pairwise dominance (row strictly beats column in N cells)",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for a in 0..s {
+        let mut row = vec![o.strategies[a].clone()];
+        for b in 0..s {
+            if a == b {
+                row.push("-".into());
+                continue;
+            }
+            let n = (0..o.groups.len())
+                .filter(|&g| matches!((o.faults[g][a], o.faults[g][b]), (Some(fa), Some(fb)) if fa < fb))
+                .count();
+            row.push(n.to_string());
+        }
+        dom.row(row);
+    }
+    tables.push(dom);
+
+    notes.push(
+        "regret = faults / best-in-cell faults; wins = cells where the strategy attains the best \
+         count (ties count for every attainer)"
+            .into(),
+    );
+    Report {
+        id: "TOURNAMENT".into(),
+        title: "Strategy tournament: regret and pairwise dominance".into(),
+        claim: "Relative strategy quality on benchmark-distribution workloads (beyond-worst-case \
+                evaluation)"
+            .into(),
+        tables,
+        verdict: Verdict::Confirmed,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> TournamentOutcome {
+        TournamentOutcome {
+            strategies: vec!["lru".into(), "mru".into(), "sacrifice".into()],
+            groups: vec!["g0".into(), "g1".into()],
+            // g0: lru 10, mru 20, sacrifice n/a ; g1: lru 8, mru 4, sacrifice 4.
+            faults: vec![
+                vec![Some(10), Some(20), None],
+                vec![Some(8), Some(4), Some(4)],
+            ],
+        }
+    }
+
+    #[test]
+    fn regret_and_wins_are_per_group_minima() {
+        let report = tournament_report(&outcome());
+        let summary = &report.tables[1];
+        // lru: cells 2, wins 1 (g0), regrets 1.0 and 2.0 -> avg 1.5 worst 2.0.
+        assert_eq!(summary.rows[0][..3], ["lru", "2", "1"]);
+        assert_eq!(summary.rows[0][3], fmt(1.5));
+        assert_eq!(summary.rows[0][4], fmt(2.0));
+        assert_eq!(summary.rows[0][5], "18");
+        // sacrifice: one applicable cell, tied win there.
+        assert_eq!(summary.rows[2][..3], ["sacrifice", "1", "1"]);
+    }
+
+    #[test]
+    fn dominance_counts_strict_beats_on_shared_cells() {
+        let report = tournament_report(&outcome());
+        let dom = report.tables.last().unwrap();
+        // lru beats mru only in g0; mru beats lru only in g1; sacrifice
+        // beats lru in g1, never beaten by mru (tie in g1).
+        assert_eq!(dom.rows[0][..], ["lru", "-", "1", "0"]);
+        assert_eq!(dom.rows[1][..], ["mru", "1", "-", "0"]);
+        assert_eq!(dom.rows[2][..], ["sacrifice", "1", "0", "-"]);
+    }
+
+    #[test]
+    fn per_cell_table_lists_na_for_inapplicable() {
+        let report = tournament_report(&outcome());
+        let cells = &report.tables[0];
+        assert_eq!(cells.rows[0][..], ["g0", "10", "20", "n/a"]);
+    }
+}

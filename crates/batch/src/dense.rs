@@ -1,0 +1,459 @@
+//! The dense fast path: a structure-of-arrays re-implementation of
+//! `Simulator` + `Shared<P>` for the six classic eviction policies, laid
+//! out so a whole batch of cells runs through reusable flat arenas.
+//!
+//! ## Why it is exact
+//!
+//! The event engine's observable state per cell is (cache contents, fetch
+//! deadlines, policy ordering state, stamp counter). This module mirrors
+//! each piece with an array indexed by *dense page id* or *cell index*:
+//!
+//! * **Residency is lazy.** The event engine promotes a `Fetching` cell to
+//!   `Present` at the start of the step where its deadline `t + τ + 1`
+//!   falls due (completion heap or the owning core's own wake-up). Because
+//!   promotion has no policy callback and precedes pinning and serving
+//!   within the step, a cell is observably resident iff `ready ≤ t` — so
+//!   the arena stores only the deadline and compares, never promotes.
+//! * **Cells never empty.** `Shared` always picks the lowest-index empty
+//!   cell, and every eviction is immediately followed by a fetch into the
+//!   same cell, so cells fill in index order and never free: the empty set
+//!   is exactly `used..K` and empty-cell choice is a cursor bump.
+//! * **Stamps are unique.** `Shared` draws one fresh stamp per served
+//!   request (pre-incremented, first stamp 1). All six policies' victim
+//!   orders reduce to arg-min/arg-max over `(count, stamp)` keys that the
+//!   unique stamps make total, so array scans reproduce the intrusive
+//!   list / `BTreeSet` walks exactly (see each `choose_*` below).
+//! * **Pins are serial-tagged.** A page requested this step is pinned
+//!   before any serve; the arena tags the page with the step's pin serial
+//!   instead of setting and clearing bits.
+//!
+//! Arenas are sized to the high-water mark of the batch and reset by
+//! bumping an epoch counter (page arrays) or a cursor (cell arrays) — no
+//! per-run clearing, no per-run allocation beyond the returned result.
+
+use mcp_core::{FxHashMap, SimConfig, SimResult, Time, Workload};
+
+/// A workload re-keyed to dense page ids (`0..num_pages`, first-appearance
+/// order) with all cores' sequences in one flat arena. Built once per
+/// workload and shared by every cell that runs it.
+#[derive(Clone, Debug)]
+pub struct DenseWorkload {
+    num_pages: u32,
+    /// `offsets[c]..offsets[c + 1]` slices core `c` out of `seq`.
+    offsets: Vec<usize>,
+    seq: Vec<u32>,
+}
+
+impl DenseWorkload {
+    /// Re-key `w` to dense ids. Page identity is preserved (two requests
+    /// map to the same dense id iff they named the same page), which is
+    /// all the simulation semantics observe: no policy's victim order
+    /// depends on raw page numbers (unique stamps break every tie first).
+    pub fn build(w: &Workload) -> Self {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut seq = Vec::with_capacity(w.total_len());
+        let mut offsets = Vec::with_capacity(w.num_cores() + 1);
+        offsets.push(0);
+        for core in 0..w.num_cores() {
+            for page in w.sequence(core) {
+                let next = map.len() as u32;
+                seq.push(*map.entry(page.0).or_insert(next));
+            }
+            offsets.push(seq.len());
+        }
+        DenseWorkload {
+            num_pages: map.len() as u32,
+            offsets,
+            seq,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct pages.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    #[inline]
+    fn core(&self, c: usize) -> &[u32] {
+        &self.seq[self.offsets[c]..self.offsets[c + 1]]
+    }
+}
+
+/// The eviction policies with a dense fast path. Every other family runs
+/// through the generic per-cell fallback in [`crate::engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DensePolicy {
+    /// `S_LRU` (shared LRU).
+    Lru,
+    /// `S_FIFO`.
+    Fifo,
+    /// `S_CLOCK` (second chance).
+    Clock,
+    /// `S_LFU`.
+    Lfu,
+    /// `S_MRU`.
+    Mru,
+    /// `S_FWF` (flush-when-full, epoch-based).
+    Fwf,
+}
+
+impl DensePolicy {
+    /// Map a family identifier (as in `mcp_policies::FAMILIES`) to its
+    /// dense engine, if it has one.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "lru" => DensePolicy::Lru,
+            "fifo" => DensePolicy::Fifo,
+            "clock" => DensePolicy::Clock,
+            "lfu" => DensePolicy::Lfu,
+            "mru" => DensePolicy::Mru,
+            "fwf" => DensePolicy::Fwf,
+            _ => return None,
+        })
+    }
+}
+
+/// Reusable per-worker arenas. One `Scratch` serves an arbitrary number of
+/// sequential [`dense_run`] calls; arrays only ever grow (to the batch's
+/// high-water page count / `K` / core count) and are invalidated by epoch
+/// counter or cursor, never cleared.
+#[derive(Default)]
+pub struct Scratch {
+    /// Current run's epoch; `page_*` entries are valid iff their tag
+    /// matches. Starts at 0 and is bumped before each run, so tag 0
+    /// (the `resize` fill value) is never current.
+    epoch: u64,
+    /// Dense page → occupied cell (valid iff `page_epoch` matches).
+    page_cell: Vec<u32>,
+    page_epoch: Vec<u64>,
+    /// Dense page → pin serial of the step that pinned it.
+    pin_mark: Vec<u64>,
+    /// Strictly increasing across steps *and* runs, so stale marks can
+    /// never collide.
+    pin_serial: u64,
+    /// Cell → occupant's dense page id. Cell entries below the run's
+    /// `used` cursor are always fully initialized by the insertion that
+    /// claimed the cell, so none of these need resetting.
+    cell_page: Vec<u32>,
+    /// Cell → time the occupant is (or became) resident: `ready ≤ t` is
+    /// the residency test.
+    cell_ready: Vec<Time>,
+    /// Cell → last-use stamp (LRU/MRU) or insert stamp (FIFO/LFU).
+    recency: Vec<u64>,
+    /// Cell → use count (LFU only).
+    freq: Vec<u64>,
+    /// Cell → touched-since-flush (FWF) or reference bit (CLOCK).
+    flag: Vec<bool>,
+    /// CLOCK's ring of cells in insertion order, plus its hand.
+    ring: Vec<u32>,
+    hand: usize,
+    /// Per-core next-request index and wake-up time (`Time::MAX` when the
+    /// core is finished).
+    pos: Vec<usize>,
+    ready: Vec<Time>,
+    /// Cores due at the step being served, ascending.
+    due: Vec<u32>,
+}
+
+impl Scratch {
+    /// Fresh arenas (they grow to fit on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, pages: usize, k: usize, p: usize) {
+        self.epoch += 1;
+        if self.page_cell.len() < pages {
+            self.page_cell.resize(pages, 0);
+            self.page_epoch.resize(pages, 0);
+            self.pin_mark.resize(pages, 0);
+        }
+        if self.cell_page.len() < k {
+            self.cell_page.resize(k, 0);
+            self.cell_ready.resize(k, 0);
+            self.recency.resize(k, 0);
+            self.freq.resize(k, 0);
+            self.flag.resize(k, false);
+        }
+        self.pos.clear();
+        self.pos.resize(p, 0);
+        self.ready.clear();
+        self.ready.resize(p, 1);
+        self.ring.clear();
+        self.hand = 0;
+    }
+
+    /// Evictable this step: resident and not pinned by the current serial.
+    #[inline]
+    fn eligible(&self, cell: usize, t: Time, pin: u64) -> bool {
+        self.cell_ready[cell] <= t && self.pin_mark[self.cell_page[cell] as usize] != pin
+    }
+}
+
+/// Run one cell through the dense engine. `cfg` must already be validated
+/// against the original workload (the engine entry point does this);
+/// `scratch` may be shared across any number of sequential runs.
+///
+/// Returns exactly the `SimResult` that `simulate(w, cfg, Shared::new(P))`
+/// produces, field for field.
+pub fn dense_run(
+    w: &DenseWorkload,
+    cfg: SimConfig,
+    policy: DensePolicy,
+    s: &mut Scratch,
+) -> SimResult {
+    let p = w.num_cores();
+    let k = cfg.cache_size;
+    let tau = cfg.tau;
+    s.begin(w.num_pages as usize, k, p);
+    for c in 0..p {
+        if w.core(c).is_empty() {
+            s.ready[c] = Time::MAX;
+        }
+    }
+    let mut faults = vec![0u64; p];
+    let mut hits = vec![0u64; p];
+    let mut fault_times: Vec<Vec<Time>> = vec![Vec::new(); p];
+    let mut makespan: Time = 0;
+    // `Shared` pre-increments its stamp: the first drawn stamp is 1.
+    let mut stamp: u64 = 0;
+    // Cells in use; the empty set is exactly `used..k` (see module docs).
+    let mut used: usize = 0;
+
+    loop {
+        // The next event time: the earliest core wake-up. (Shared
+        // strategies declare no voluntary times, so request issues are
+        // the only events.)
+        let mut t = Time::MAX;
+        for &r in &s.ready {
+            if r < t {
+                t = r;
+            }
+        }
+        if t == Time::MAX {
+            break;
+        }
+
+        // Pin every page requested this step before any serve: parallel
+        // reads require R(x) ⊆ C'. Absent pages have no cell to pin; a
+        // page fetched *during* this step enters as Fetching, which is
+        // never evictable anyway.
+        s.pin_serial += 1;
+        let pin = s.pin_serial;
+        s.due.clear();
+        for c in 0..p {
+            if s.ready[c] == t {
+                s.due.push(c as u32);
+                let pg = w.core(c)[s.pos[c]] as usize;
+                if s.page_epoch[pg] == s.epoch {
+                    s.pin_mark[pg] = pin;
+                }
+            }
+        }
+
+        // Serve in increasing core order (`due` is ascending by
+        // construction).
+        for di in 0..s.due.len() {
+            let c = s.due[di] as usize;
+            let seq = w.core(c);
+            let pg = seq[s.pos[c]] as usize;
+            if s.page_epoch[pg] == s.epoch {
+                let cell = s.page_cell[pg] as usize;
+                stamp += 1;
+                if s.cell_ready[cell] <= t {
+                    // Hit: `Shared::on_hit` → policy.on_access.
+                    hits[c] += 1;
+                    on_access(s, policy, cell, stamp);
+                    s.ready[c] = t + 1;
+                    makespan = makespan.max(t);
+                } else {
+                    // In flight for another core: fault, no new cell.
+                    // `Shared::on_shared_fetch_miss` → policy.on_access.
+                    faults[c] += 1;
+                    fault_times[c].push(t);
+                    on_access(s, policy, cell, stamp);
+                    s.ready[c] = t + tau + 1;
+                    makespan = makespan.max(t + tau);
+                }
+            } else {
+                // Absent: fault, pick a cell, evict if occupied, fetch.
+                faults[c] += 1;
+                fault_times[c].push(t);
+                let cell = if used < k {
+                    used += 1;
+                    used - 1
+                } else {
+                    let victim = choose_victim(s, policy, t, pin, used);
+                    s.page_epoch[s.cell_page[victim] as usize] = 0; // unmap
+                    on_remove(s, policy, victim);
+                    victim
+                };
+                s.page_epoch[pg] = s.epoch;
+                s.page_cell[pg] = cell as u32;
+                s.cell_page[cell] = pg as u32;
+                s.cell_ready[cell] = t + tau + 1;
+                stamp += 1;
+                on_insert(s, policy, cell, stamp);
+                s.ready[c] = t + tau + 1;
+                makespan = makespan.max(t + tau);
+            }
+            s.pos[c] += 1;
+            if s.pos[c] == seq.len() {
+                s.ready[c] = Time::MAX;
+            }
+        }
+    }
+
+    SimResult {
+        faults,
+        hits,
+        makespan,
+        fault_times,
+        config: cfg,
+    }
+}
+
+#[inline]
+fn on_insert(s: &mut Scratch, policy: DensePolicy, cell: usize, stamp: u64) {
+    match policy {
+        // LRU/MRU track last use; FIFO/LFU keep the insert stamp.
+        DensePolicy::Lru | DensePolicy::Mru | DensePolicy::Fifo => s.recency[cell] = stamp,
+        DensePolicy::Lfu => {
+            s.recency[cell] = stamp;
+            s.freq[cell] = 1;
+        }
+        DensePolicy::Fwf => s.flag[cell] = true,
+        DensePolicy::Clock => {
+            s.ring.push(cell as u32);
+            s.flag[cell] = true;
+        }
+    }
+}
+
+#[inline]
+fn on_access(s: &mut Scratch, policy: DensePolicy, cell: usize, stamp: u64) {
+    match policy {
+        DensePolicy::Lru | DensePolicy::Mru => s.recency[cell] = stamp,
+        DensePolicy::Fifo => {} // FIFO ignores accesses
+        DensePolicy::Lfu => s.freq[cell] += 1,
+        DensePolicy::Fwf | DensePolicy::Clock => s.flag[cell] = true,
+    }
+}
+
+#[inline]
+fn on_remove(s: &mut Scratch, policy: DensePolicy, cell: usize) {
+    // Stamp/flag state is overwritten by the insertion that refills the
+    // cell; only CLOCK's ring has structure to unlink (`Clock::on_remove`).
+    if policy == DensePolicy::Clock {
+        let pos = s
+            .ring
+            .iter()
+            .position(|&c| c == cell as u32)
+            .expect("ring cell present");
+        s.ring.remove(pos);
+        if s.hand > pos {
+            s.hand -= 1;
+        }
+        if !s.ring.is_empty() {
+            s.hand %= s.ring.len();
+        } else {
+            s.hand = 0;
+        }
+    }
+}
+
+fn choose_victim(s: &mut Scratch, policy: DensePolicy, t: Time, pin: u64, used: usize) -> usize {
+    match policy {
+        // First minimal eligible stamp ≡ the walk from the least-recent
+        // end of `Lru`'s intrusive list (stamps unique).
+        DensePolicy::Lru => scan_min(s, t, pin, used, |s, c| s.recency[c]),
+        // ≡ the walk of `Fifo`'s `(insert stamp, page)` BTreeSet.
+        DensePolicy::Fifo => scan_min(s, t, pin, used, |s, c| s.recency[c]),
+        // ≡ the walk of `Lfu`'s `(count, insert stamp, page)` BTreeSet:
+        // insert stamps are unique, so the pair is a total order.
+        DensePolicy::Lfu => scan_min(s, t, pin, used, |s, c| (s.freq[c], s.recency[c])),
+        // `Mru::choose_victim` is `max_by_key` over candidates collected
+        // in cell order; stamps unique ⇒ a single maximum.
+        DensePolicy::Mru => {
+            let mut best = usize::MAX;
+            for c in 0..used {
+                if s.eligible(c, t, pin) && (best == usize::MAX || s.recency[c] > s.recency[best]) {
+                    best = c;
+                }
+            }
+            debug_assert_ne!(best, usize::MAX, "candidates nonempty");
+            best
+        }
+        // `Fwf::choose_victim`: first untouched candidate in cell order,
+        // else flush every managed page's bit and take the first
+        // candidate.
+        DensePolicy::Fwf => {
+            let mut first = usize::MAX;
+            for c in 0..used {
+                if s.eligible(c, t, pin) {
+                    if !s.flag[c] {
+                        return c;
+                    }
+                    if first == usize::MAX {
+                        first = c;
+                    }
+                }
+            }
+            debug_assert_ne!(first, usize::MAX, "candidates nonempty");
+            for f in &mut s.flag[..used] {
+                *f = false;
+            }
+            first
+        }
+        // `Clock::sweep`, verbatim, over cells instead of pages; the
+        // unreachable two-sweep fallback is the first eligible cell in
+        // cell order (`candidates.next()`).
+        DensePolicy::Clock => {
+            for _ in 0..2 * s.ring.len().max(1) {
+                let cell = s.ring[s.hand] as usize;
+                if s.flag[cell] {
+                    s.flag[cell] = false;
+                    s.hand = (s.hand + 1) % s.ring.len();
+                } else if s.eligible(cell, t, pin) {
+                    s.hand = (s.hand + 1) % s.ring.len();
+                    return cell;
+                } else {
+                    s.hand = (s.hand + 1) % s.ring.len();
+                }
+            }
+            (0..used)
+                .find(|&c| s.eligible(c, t, pin))
+                .expect("candidates nonempty")
+        }
+    }
+}
+
+/// First eligible cell minimizing `key` — the arg-min the ordered-set
+/// policies report, since unique stamps make every key distinct.
+#[inline]
+fn scan_min<K: Ord + Copy>(
+    s: &Scratch,
+    t: Time,
+    pin: u64,
+    used: usize,
+    key: impl Fn(&Scratch, usize) -> K,
+) -> usize {
+    let mut best = usize::MAX;
+    let mut best_key = None;
+    for c in 0..used {
+        if s.eligible(c, t, pin) {
+            let k = key(s, c);
+            if best_key.is_none_or(|bk| k < bk) {
+                best = c;
+                best_key = Some(k);
+            }
+        }
+    }
+    debug_assert_ne!(best, usize::MAX, "candidates nonempty");
+    best
+}

@@ -1,0 +1,135 @@
+//! The batch runner: fan a grid of cells over `mcp-exec` in deterministic
+//! cell-index order, sharing materialized workloads and per-worker
+//! arenas across cells.
+
+use crate::dense::{dense_run, DensePolicy, DenseWorkload, Scratch};
+use crate::spec::CellSpec;
+use mcp_core::{simulate, SimError, SimResult, Workload};
+use mcp_exec::Pool;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Why a cell could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// `CellSpec::workload` is out of range for the workload table.
+    BadWorkloadIndex {
+        /// The offending index.
+        index: usize,
+        /// The table's length.
+        len: usize,
+    },
+    /// The family name is not in [`mcp_policies::FAMILIES`].
+    UnknownFamily(String),
+    /// The family rejects this workload (e.g. `sacrifice` requires
+    /// disjoint per-core sequences).
+    Inapplicable(String),
+    /// The simulation itself failed (malformed config, …).
+    Sim(SimError),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::BadWorkloadIndex { index, len } => {
+                write!(f, "workload index {index} out of range (table has {len})")
+            }
+            BatchError::UnknownFamily(name) => write!(f, "unknown strategy family {name:?}"),
+            BatchError::Inapplicable(name) => {
+                write!(f, "family {name:?} is not applicable to this workload")
+            }
+            BatchError::Sim(e) => write!(f, "{e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<SimError> for BatchError {
+    fn from(e: SimError) -> Self {
+        BatchError::Sim(e)
+    }
+}
+
+thread_local! {
+    /// One arena set per worker thread, reused across every cell that
+    /// worker runs (and across `run_cells` calls on the caller's thread).
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Run every cell of a batch, returning results in cell-index order.
+///
+/// The cells are fanned over [`mcp_exec::Pool::global`] — output is
+/// bit-identical for every worker count (the pool's ordered-slot
+/// contract). Dense families (`lru`, `fifo`, `clock`, `lfu`, `mru`,
+/// `fwf`) run through the structure-of-arrays fast path against a
+/// [`DenseWorkload`] shared by all cells on the same workload; every
+/// other family builds a fresh strategy via the
+/// [`mcp_policies::families`] registry and runs the per-cell event
+/// engine, so both paths produce exactly the per-run `SimResult`.
+pub fn run_cells(workloads: &[Workload], cells: &[CellSpec]) -> Vec<Result<SimResult, BatchError>> {
+    let pool = Pool::global();
+    // Dense re-keying is shared by every cell on the same workload;
+    // build the table up front (also in parallel — it is pure).
+    let dense: Vec<DenseWorkload> = pool.par_map(workloads, |_, w| DenseWorkload::build(w));
+    pool.par_map(cells, |_, cell| run_one(workloads, &dense, cell))
+}
+
+fn run_one(
+    workloads: &[Workload],
+    dense: &[DenseWorkload],
+    cell: &CellSpec,
+) -> Result<SimResult, BatchError> {
+    let w = workloads
+        .get(cell.workload)
+        .ok_or(BatchError::BadWorkloadIndex {
+            index: cell.workload,
+            len: workloads.len(),
+        })?;
+    if !mcp_policies::FAMILIES.contains(&cell.family.as_str()) {
+        return Err(BatchError::UnknownFamily(cell.family.clone()));
+    }
+    if !mcp_policies::family_applicable(&cell.family, w) {
+        return Err(BatchError::Inapplicable(cell.family.clone()));
+    }
+    let cfg = cell.config();
+    match DensePolicy::parse(&cell.family) {
+        Some(policy) => {
+            cfg.validate(w).map_err(SimError::from)?;
+            Ok(
+                SCRATCH
+                    .with(|s| dense_run(&dense[cell.workload], cfg, policy, &mut s.borrow_mut())),
+            )
+        }
+        None => {
+            let strategy = mcp_policies::build_family(&cell.family, w, cfg, cell.seed)
+                .expect("family is registered");
+            Ok(simulate(w, cfg, strategy)?)
+        }
+    }
+}
+
+/// Run one cell the per-run way: a fresh `Simulator` and a fresh strategy,
+/// no shared arenas — the reference the batch path is differentially
+/// checked against (tournament sampling cross-check, tests, benches).
+pub fn run_cell_reference(
+    workloads: &[Workload],
+    cell: &CellSpec,
+) -> Result<SimResult, BatchError> {
+    let w = workloads
+        .get(cell.workload)
+        .ok_or(BatchError::BadWorkloadIndex {
+            index: cell.workload,
+            len: workloads.len(),
+        })?;
+    if !mcp_policies::FAMILIES.contains(&cell.family.as_str()) {
+        return Err(BatchError::UnknownFamily(cell.family.clone()));
+    }
+    if !mcp_policies::family_applicable(&cell.family, w) {
+        return Err(BatchError::Inapplicable(cell.family.clone()));
+    }
+    let cfg = cell.config();
+    let strategy =
+        mcp_policies::build_family(&cell.family, w, cfg, cell.seed).expect("family is registered");
+    Ok(simulate(w, cfg, strategy)?)
+}

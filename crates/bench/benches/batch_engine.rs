@@ -1,0 +1,100 @@
+//! Batch engine vs. the per-run path, on the tournament-shaped grid the
+//! engine was built for: many small cells across mixed workload kinds,
+//! eviction families, cache sizes, and fetch delays.
+//!
+//! The per-run baseline pays what every pre-batch sweep paid per cell —
+//! workload materialization plus a fresh `Simulator` with a boxed
+//! strategy — while the batch row materializes each workload once per
+//! grid and advances cells through the dense structure-of-arrays engine
+//! with thread-local reusable scratch. Target (the PR gate): ≥ 3×
+//! cells/sec on a ≥ 1000-cell mixed-family grid, at bit-identical
+//! results (spot-checked here; proven cell-by-cell in
+//! `crates/batch/tests/batch_differential.rs` and by `mcp fuzz
+//! --profile batch`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcp_batch::{run_cell_reference, run_cells, CellSpec, WorkloadKind, WorkloadSpec};
+use mcp_core::Workload;
+use std::hint::black_box;
+
+const DENSE_FAMILIES: [&str; 6] = ["lru", "fifo", "clock", "lfu", "mru", "fwf"];
+
+/// The grid: 8 workload kinds × 3 seeds × 3 cache sizes × 3 delays ×
+/// 6 families = 1296 cells over 24 distinct workloads.
+fn grid() -> (Vec<WorkloadSpec>, Vec<CellSpec>) {
+    let mut specs = Vec::new();
+    for &kind in WorkloadKind::ALL {
+        for seed in 0..3 {
+            specs.push(WorkloadSpec {
+                kind,
+                cores: 4,
+                len: 200,
+                universe: 64,
+                seed,
+            });
+        }
+    }
+    let mut cells = Vec::new();
+    for wi in 0..specs.len() {
+        for k in [8usize, 16, 32] {
+            for tau in [0u64, 2, 8] {
+                for family in DENSE_FAMILIES {
+                    cells.push(CellSpec {
+                        workload: wi,
+                        family: family.to_string(),
+                        cache_size: k,
+                        tau,
+                        seed: 0,
+                    });
+                }
+            }
+        }
+    }
+    (specs, cells)
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let (specs, cells) = grid();
+    assert!(cells.len() >= 1_000, "gate needs a 1000+ cell grid");
+
+    // Spot-check bit-identity between the two paths before timing them.
+    let workloads: Vec<Workload> = specs.iter().map(|s| s.materialize()).collect();
+    let batch = run_cells(&workloads, &cells);
+    for (i, cell) in cells.iter().enumerate().step_by(131) {
+        let spec = &specs[cell.workload];
+        let solo = CellSpec {
+            workload: 0,
+            ..cell.clone()
+        };
+        let reference = run_cell_reference(&[spec.materialize()], &solo);
+        assert_eq!(batch[i], reference, "cell {i} diverged");
+    }
+
+    let mut group = c.benchmark_group("batch_engine/mixed_grid_1296_cells");
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let workloads: Vec<Workload> =
+                mcp_exec::Pool::global().par_map(&specs, |_, spec| spec.materialize());
+            let results = run_cells(black_box(&workloads), black_box(&cells));
+            black_box(results.len())
+        })
+    });
+    group.bench_function("per_run", |b| {
+        b.iter(|| {
+            let results = mcp_exec::Pool::global().par_map(&cells, |_, cell| {
+                let spec = &specs[cell.workload];
+                let solo = CellSpec {
+                    workload: 0,
+                    ..cell.clone()
+                };
+                run_cell_reference(&[spec.materialize()], &solo)
+            });
+            black_box(results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

@@ -52,7 +52,15 @@ impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (take no value).
 const FLAGS: &[&str] = &[
-    "fairness", "schedule", "text", "full", "help", "quiet", "stats", "json",
+    "fairness",
+    "schedule",
+    "text",
+    "full",
+    "help",
+    "quiet",
+    "stats",
+    "json",
+    "no-crosscheck",
 ];
 
 impl Args {

@@ -6,7 +6,7 @@
 //! ```text
 //! mcp fuzz --instances 256 [--seed 0xC5_2011_12] [--jobs 4]
 //!          [--corpus tests/corpus] [--families lru,clock,mimic]
-//!          [--profile mixed|large-tau]
+//!          [--profile mixed|large-tau|batch]
 //! ```
 //!
 //! Output is deterministic for a given seed at every `--jobs` level.
@@ -70,7 +70,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             CliError::Args(ArgError::BadValue {
                 key: "profile".to_string(),
                 value: text.to_string(),
-                expected: "mixed or large-tau",
+                expected: "mixed, large-tau or batch",
             })
         })?,
     };

@@ -11,6 +11,7 @@ pub mod partition;
 pub mod pif;
 pub mod simulate;
 pub mod stats;
+pub mod tournament;
 
 use crate::args::{ArgError, Args};
 use mcp_core::{CacheStrategy, SimConfig, Workload};

@@ -48,8 +48,17 @@ commands:
                  [--deadline DUR] [--checkpoint FILE]
   fuzz         differential fuzz: event vs. tick vs. naive reference
                  [--instances N] [--seed S] [--corpus DIR]
-                 [--families a,b,…] [--profile mixed|large-tau];
+                 [--families a,b,…] [--profile mixed|large-tau|batch];
                  divergences shrink to fixtures under DIR and exit 1
+  tournament   strategy tournament on the batch engine: regret and
+                 pairwise-dominance tables over a families × workloads
+                 × K × τ grid
+                 [--families a,b,…] [--workloads uniform|zipf|zipf-shared|
+                  phased|drift|shared-hotset|staggered|bursty,…]
+                 [--k 8,16] [--tau 0,4] [--cores N] [--n N] [--seeds N]
+                 [--seed S] [--universe N] [--json] [--no-crosscheck]
+                 [--deadline DUR]; a seeded sample of cells is re-run on
+                 the per-run simulator and must match bit-for-bit
 
 global options:
   --jobs N     worker threads for compare, curves and the exact solvers
@@ -86,6 +95,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("opt") => commands::opt::run(args),
         Some("pif") => commands::pif::run(args),
         Some("fuzz") => commands::fuzz::run(args),
+        Some("tournament") => commands::tournament::run(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; try `mcp help`"
         ))),

@@ -41,14 +41,19 @@ pub enum FuzzProfile {
     /// Sparse/bursty shapes only, τ always from the large tier — pins the
     /// event engine's idle-skip path, where most timesteps serve nothing.
     LargeTau,
+    /// The [`Mixed`](FuzzProfile::Mixed) shape mix, additionally diffing
+    /// the `mcp-batch` engine (dense SoA path for its six native
+    /// families, per-run fallback otherwise) against the other three.
+    Batch,
 }
 
 impl FuzzProfile {
-    /// Parse a CLI spelling (`mixed` | `large-tau`).
+    /// Parse a CLI spelling (`mixed` | `large-tau` | `batch`).
     pub fn parse(s: &str) -> Option<FuzzProfile> {
         match s {
             "mixed" => Some(FuzzProfile::Mixed),
             "large-tau" => Some(FuzzProfile::LargeTau),
+            "batch" => Some(FuzzProfile::Batch),
             _ => None,
         }
     }
@@ -172,6 +177,27 @@ fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
             continue;
         }
         stats.comparisons += 1;
+        if options.profile == FuzzProfile::Batch {
+            if let Some(detail) = batch_diverges(family, &instance, strategy_seed) {
+                let fixture = Fixture {
+                    instance: instance.clone(),
+                    family: family.clone(),
+                    expect_faults: None,
+                    note: Some(format!(
+                        "batch-engine divergence, fuzz seed {} instance {i}",
+                        options.seed
+                    )),
+                };
+                let path = options
+                    .corpus_dir
+                    .join(format!("div-batch-{family}-i{i}.trace"));
+                let saved = match fixture.save(&path) {
+                    Ok(()) => path.display().to_string(),
+                    Err(e) => format!("<unsaved: {e}>"),
+                };
+                panic!("batch divergence: family={family} instance={i} fixture={saved}\n{detail}");
+            }
+        }
         if let Some(detail) = diverges(family, &instance, strategy_seed) {
             let shrunk = shrink(family, &instance, strategy_seed);
             let fixture = Fixture {
@@ -209,7 +235,7 @@ fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
 /// never skipped a timestep at all.
 fn generate(i: usize, seed: u64, profile: FuzzProfile) -> Instance {
     let (shape, tau) = match profile {
-        FuzzProfile::Mixed => {
+        FuzzProfile::Mixed | FuzzProfile::Batch => {
             // τ tiers: half dense small-τ, a third mid, a sixth large.
             let tau = match (seed >> 16) % 6 {
                 0..=2 => (seed >> 8) % 4,
@@ -247,6 +273,38 @@ fn run_three(family: &str, instance: &Instance, seed: u64) -> (Traced, Traced, R
         .and_then(|s| s.run_with_trace());
     let reference = reference_simulate(&instance.workload, instance.cfg, strategy());
     (event, tick, reference)
+}
+
+/// `Some(description)` iff the `mcp-batch` engine disagrees with the
+/// event engine on this instance under this family. The batch engine
+/// builds strategies through the same registry, so any difference —
+/// dense structure-of-arrays path or per-run fallback — is an engine
+/// bug, not a construction mismatch. Model errors must agree too
+/// (`BatchError::Sim` wrapping the event engine's `SimError`).
+fn batch_diverges(family: &str, instance: &Instance, seed: u64) -> Option<String> {
+    let cell = mcp_batch::CellSpec {
+        workload: 0,
+        family: family.to_string(),
+        cache_size: instance.cfg.cache_size,
+        tau: instance.cfg.tau,
+        seed,
+    };
+    let workloads = [instance.workload.clone()];
+    let batch = mcp_batch::run_cells(&workloads, &[cell])
+        .pop()
+        .expect("one cell in, one result out");
+    let strategy = build_family(family, instance, seed).expect("family known");
+    let event = mcp_core::simulate(&instance.workload, instance.cfg, strategy);
+    let agree = match (&batch, &event) {
+        (Ok(b), Ok(e)) => b == e,
+        (Err(mcp_batch::BatchError::Sim(b)), Err(e)) => b == e,
+        _ => false,
+    };
+    if agree {
+        None
+    } else {
+        Some(format!("  batch: {batch:?}\n  event: {event:?}"))
+    }
 }
 
 /// `Some(description)` iff any pair of the three engines disagrees on this
@@ -602,6 +660,19 @@ mod tests {
             ..FuzzOptions::default()
         });
         assert!(report.clean(), "divergences: {:#?}", report.divergences);
+    }
+
+    #[test]
+    fn batch_profile_diffs_the_batch_engine_clean() {
+        let report = run_fuzz(&FuzzOptions {
+            instances: 8,
+            seed: 0xBA7C,
+            profile: FuzzProfile::Batch,
+            corpus_dir: std::env::temp_dir().join("mcp-oracle-fuzz-batch-test"),
+            ..FuzzOptions::default()
+        });
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.passed, 8);
     }
 
     #[test]

@@ -4,11 +4,6 @@
 //! `tests/corpus/`.
 
 use mcp_core::{CacheStrategy, SimConfig, Workload};
-use mcp_policies::{
-    shared_fifo, shared_lru, static_partition_belady, static_partition_lru, Clock, Lfu, LruK,
-    LruMimicPartition, Marking, MarkingTie, Mru, Partition, RandomEvict, SacrificeOffline, Shared,
-    SharedFitf,
-};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -61,56 +56,22 @@ impl fmt::Debug for Instance {
 /// The strategy families the differential harness exercises, by the same
 /// identifiers `mcp simulate --strategy` accepts. Randomized families
 /// (`rand`, `mark-rand`) are seeded per instance, so every comparison is
-/// reproducible.
-pub const FAMILIES: &[&str] = &[
-    "lru",
-    "fifo",
-    "clock",
-    "lfu",
-    "mru",
-    "fwf",
-    "lru2",
-    "rand",
-    "mark",
-    "mark-rand",
-    "fitf",
-    "mimic",
-    "partition",
-    "partition-opt",
-    "sacrifice",
-];
+/// reproducible. Re-exported from the [`mcp_policies::families`] registry,
+/// where the constructors live.
+pub use mcp_policies::FAMILIES;
 
 /// Build a fresh strategy of family `name` for `instance` (each engine run
 /// needs its own instance — strategies are stateful). Returns `None` for
 /// unknown names. `seed` drives the randomized families only.
 pub fn build_family(name: &str, instance: &Instance, seed: u64) -> Option<Box<dyn CacheStrategy>> {
-    let p = instance.workload.num_cores();
-    let equal = || Partition::equal(instance.cfg.cache_size, p);
-    Some(match name {
-        "lru" => Box::new(shared_lru()),
-        "fifo" => Box::new(shared_fifo()),
-        "clock" => Box::new(Shared::new(Clock::new())),
-        "lfu" => Box::new(Shared::new(Lfu::new())),
-        "mru" => Box::new(Shared::new(Mru::new())),
-        "fwf" => Box::new(Shared::new(mcp_policies::Fwf::new())),
-        "lru2" => Box::new(Shared::new(LruK::new(2))),
-        "rand" => Box::new(Shared::new(RandomEvict::new(seed))),
-        "mark" => Box::new(Shared::new(Marking::new(MarkingTie::Lru))),
-        "mark-rand" => Box::new(Shared::new(Marking::new(MarkingTie::Random(seed)))),
-        "fitf" => Box::new(SharedFitf::new()),
-        "mimic" => Box::new(LruMimicPartition::new()),
-        "partition" => Box::new(static_partition_lru(equal())),
-        "partition-opt" => Box::new(static_partition_belady(equal())),
-        "sacrifice" => Box::new(SacrificeOffline::new(p - 1)),
-        _ => return None,
-    })
+    mcp_policies::build_family(name, &instance.workload, instance.cfg, seed)
 }
 
 /// `true` iff `family` is defined on `instance` at all. The offline
 /// sacrifice construction (Lemma 4) asserts disjoint per-core sequences;
 /// every other family accepts any workload.
 pub fn family_applicable(name: &str, instance: &Instance) -> bool {
-    name != "sacrifice" || instance.workload.is_disjoint()
+    mcp_policies::family_applicable(name, &instance.workload)
 }
 
 /// A corpus fixture: an instance plus the strategy family it runs under

@@ -20,6 +20,7 @@
 
 pub mod dynamic_partition;
 pub mod eviction;
+pub mod families;
 pub mod partition;
 pub mod policies;
 pub mod scripted;
@@ -28,6 +29,7 @@ pub mod static_partition;
 
 pub use dynamic_partition::{LruMimicPartition, StagedPartition};
 pub use eviction::EvictionPolicy;
+pub use families::{build_family, family_applicable, FAMILIES};
 pub use partition::{Partition, PartitionError};
 pub use policies::{
     Belady, Clock, Fifo, Fwf, Lfu, Lru, LruK, Marking, MarkingTie, Mru, RandomEvict,

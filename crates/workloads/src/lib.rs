@@ -23,7 +23,7 @@ pub use access_graph::{graph_walks, AccessGraph};
 pub use adversarial::{lemma1_lower, lemma2, lemma4_cyclic, thm1_rotating};
 pub use stats::{profile, profile_core, reuse_distances, working_set_size, CoreProfile};
 pub use synthetic::{
-    bursty, multiprogrammed, phased, random_disjoint, shared_hotset, staggered_thrash, uniform,
-    zipf, CorePattern,
+    bursty, drifting_phases, multiprogrammed, phased, random_disjoint, shared_hotset,
+    staggered_thrash, uniform, zipf, zipf_shared, CorePattern,
 };
 pub use trace::{from_json, load_json, read_text, save_json, to_json, write_text, TextError};

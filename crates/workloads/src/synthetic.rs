@@ -44,25 +44,9 @@ impl CorePattern {
                 .map(|_| page(core, rng.gen_range(0..universe.max(1))))
                 .collect(),
             CorePattern::Zipf { universe, alpha } => {
-                let universe = universe.max(1);
                 // Precompute the CDF of p(r) ∝ 1/(r+1)^alpha.
-                let weights: Vec<f64> = (0..universe)
-                    .map(|r| 1.0 / ((r + 1) as f64).powf(alpha))
-                    .collect();
-                let total: f64 = weights.iter().sum();
-                let mut cdf = Vec::with_capacity(universe as usize);
-                let mut acc = 0.0;
-                for w in &weights {
-                    acc += w / total;
-                    cdf.push(acc);
-                }
-                (0..n)
-                    .map(|_| {
-                        let u: f64 = rng.gen();
-                        let r = cdf.partition_point(|&c| c < u) as u32;
-                        page(core, r.min(universe - 1))
-                    })
-                    .collect()
+                let cdf = zipf_cdf(universe, alpha);
+                (0..n).map(|_| page(core, zipf_rank(&cdf, rng))).collect()
             }
             CorePattern::Scan { universe } => (0..n)
                 .map(|i| page(core, i as u32 % universe.max(1)))
@@ -245,6 +229,87 @@ pub fn bursty(p: usize, n_per_core: usize, hot: u32, burst: usize, seed: u64) ->
     Workload::new(sequences).expect("nonempty")
 }
 
+/// Build the CDF of the Zipf distribution `p(r) ∝ 1/(r+1)^alpha` over
+/// `universe` ranks, and sample a rank from it.
+fn zipf_cdf(universe: u32, alpha: f64) -> Vec<f64> {
+    let universe = universe.max(1);
+    let weights: Vec<f64> = (0..universe)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(alpha))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(universe as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+fn zipf_rank(cdf: &[f64], rng: &mut StdRng) -> u32 {
+    let u: f64 = rng.gen();
+    (cdf.partition_point(|&c| c < u) as u32).min(cdf.len() as u32 - 1)
+}
+
+/// `p` cores all drawing Zipf traffic (`alpha`) from **one shared**
+/// `universe` of pages — the benchmark-distribution input class of Kamali
+/// & Xu's beyond-worst-case analysis, where hot pages are hot for every
+/// core and shared-fetch collisions are the norm rather than an
+/// adversarial construction. Page ids are the global ranks `0..universe`,
+/// so rank 0 is the hottest page on every core.
+///
+/// ```
+/// let w = mcp_workloads::zipf_shared(3, 100, 32, 0.9, 7);
+/// assert_eq!(w.num_cores(), 3);
+/// assert!(!w.is_disjoint());
+/// ```
+pub fn zipf_shared(p: usize, n_per_core: usize, universe: u32, alpha: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cdf = zipf_cdf(universe, alpha);
+    let sequences = (0..p)
+        .map(|_| {
+            (0..n_per_core)
+                .map(|_| PageId(zipf_rank(&cdf, &mut rng)))
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
+/// `p` cores sharing a working-set window that **drifts** across a common
+/// `universe`: every `shift_every` requests the window slides forward by
+/// `set_size / 2 + 1` pages (wrapping), and each request draws uniformly
+/// from the current window. All cores see the same drift schedule, so the
+/// shared working set shifts under every strategy at once — the
+/// phase-change stress of beyond-worst-case benchmarks, without the
+/// per-core disjointness of [`phased`].
+pub fn drifting_phases(
+    p: usize,
+    n_per_core: usize,
+    universe: u32,
+    set_size: u32,
+    shift_every: usize,
+    seed: u64,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = universe.max(1);
+    let set_size = set_size.clamp(1, universe);
+    let shift_every = shift_every.max(1);
+    let step = set_size / 2 + 1;
+    let sequences = (0..p)
+        .map(|_| {
+            (0..n_per_core)
+                .map(|i| {
+                    let phase = (i / shift_every) as u32;
+                    let start = phase.wrapping_mul(step) % universe;
+                    PageId((start + rng.gen_range(0..set_size)) % universe)
+                })
+                .collect()
+        })
+        .collect();
+    Workload::new(sequences).expect("nonempty")
+}
+
 /// A random disjoint workload for property tests: every parameter drawn
 /// from `seed`, guaranteed `K ≥ p`-compatible shapes.
 pub fn random_disjoint(seed: u64, max_cores: usize, max_len: usize, max_universe: u32) -> Workload {
@@ -374,6 +439,34 @@ mod tests {
         // Cold pages are never repeated: each is a guaranteed fault.
         let cold_total = seq.iter().filter(|r| r.0 % CORE_STRIDE >= 4).count();
         assert_eq!(cold.len(), cold_total);
+    }
+
+    #[test]
+    fn zipf_shared_overlaps_and_skews() {
+        let w = zipf_shared(3, 5_000, 64, 1.0, 21);
+        assert!(!w.is_disjoint(), "all cores draw from one universe");
+        // Every id is a global rank below the universe.
+        assert!(w.universe().iter().all(|p| p.0 < 64));
+        // Rank 0 must dwarf the coldest rank on the combined stream.
+        let hot: usize = (0..3)
+            .map(|c| w.sequence(c).iter().filter(|p| p.0 == 0).count())
+            .sum();
+        let cold: usize = (0..3)
+            .map(|c| w.sequence(c).iter().filter(|p| p.0 == 63).count())
+            .sum();
+        assert!(hot > 5 * cold.max(1), "rank 0 ({hot}) vs rank 63 ({cold})");
+    }
+
+    #[test]
+    fn drifting_phases_slides_a_shared_window() {
+        let w = drifting_phases(2, 120, 256, 8, 30, 17);
+        assert!(!w.is_disjoint(), "cores share the drifting window");
+        assert!(w.universe().iter().all(|p| p.0 < 256));
+        let seq = w.sequence(0);
+        // Phase 0 draws from [0, 8); phase 3 starts at 3·5 = 15 — disjoint.
+        let first: std::collections::HashSet<_> = seq[..30].iter().collect();
+        let last: std::collections::HashSet<_> = seq[90..].iter().collect();
+        assert!(first.is_disjoint(&last), "window must have moved on");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests for the beyond-worst-case benchmark generators
+//! (`zipf_shared`, `drifting_phases`): seed determinism, advertised
+//! shapes, and page-universe bounds.
+
+use mcp_workloads::{drifting_phases, zipf_shared};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_shared_is_seed_deterministic(
+        p in 1usize..5,
+        n in 1usize..120,
+        universe in 1u32..64,
+        alpha10 in 0u32..15,
+        seed in 0u64..u64::MAX,
+    ) {
+        let alpha = alpha10 as f64 / 10.0;
+        let a = zipf_shared(p, n, universe, alpha, seed);
+        let b = zipf_shared(p, n, universe, alpha, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_cores(), p);
+        for core in 0..p {
+            prop_assert_eq!(a.len(core), n);
+        }
+        // Page ids are the global Zipf ranks: strictly below the universe.
+        prop_assert!(a.universe().iter().all(|pg| pg.0 < universe.max(1)));
+    }
+
+    #[test]
+    fn zipf_shared_seeds_differ(
+        p in 1usize..4,
+        universe in 8u32..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = zipf_shared(p, 64, universe, 0.9, seed);
+        let b = zipf_shared(p, 64, universe, 0.9, seed.wrapping_add(1));
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drifting_phases_is_seed_deterministic(
+        p in 1usize..5,
+        n in 1usize..120,
+        universe in 1u32..128,
+        set_size in 1u32..32,
+        shift_every in 1usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = drifting_phases(p, n, universe, set_size, shift_every, seed);
+        let b = drifting_phases(p, n, universe, set_size, shift_every, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_cores(), p);
+        for core in 0..p {
+            prop_assert_eq!(a.len(core), n);
+        }
+        // The window wraps modulo the universe: ids never escape it.
+        prop_assert!(a.universe().iter().all(|pg| pg.0 < universe));
+    }
+
+    #[test]
+    fn drifting_phases_window_bound(
+        n in 1usize..80,
+        universe in 16u32..128,
+        set_size in 1u32..16,
+        shift_every in 1usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        // With no wrap, phase `q` draws only from its window
+        // [q·step, q·step + set_size).
+        let w = drifting_phases(1, n, universe, set_size, shift_every, seed);
+        let step = set_size / 2 + 1;
+        for (i, pg) in w.sequence(0).iter().enumerate() {
+            let phase = (i / shift_every) as u32;
+            let start = phase.wrapping_mul(step) % universe;
+            let offset = (pg.0 + universe - start) % universe;
+            prop_assert!(offset < set_size, "request {i} outside its window");
+        }
+    }
+}
+
+/// Empirical-frequency sanity for the shared Zipf stream: observed rank
+/// frequencies must decrease (hot ranks dominate) and roughly track the
+/// 1/(r+1)^α law — rank 0 vs rank 9 within 2× of the predicted ratio.
+#[test]
+fn zipf_shared_empirical_frequencies_track_the_law() {
+    let universe = 10u32;
+    let alpha = 1.0;
+    let n = 60_000;
+    let w = zipf_shared(1, n, universe, alpha, 123);
+    let mut counts = vec![0usize; universe as usize];
+    for pg in w.sequence(0) {
+        counts[pg.0 as usize] += 1;
+    }
+    // Monotone non-increasing up to sampling noise on neighbours; enforce
+    // on well-separated ranks where the law's gap dwarfs the noise.
+    assert!(counts[0] > counts[4] && counts[4] > counts[9], "{counts:?}");
+    let predicted = 10.0f64; // (9+1)^1 / (0+1)^1
+    let observed = counts[0] as f64 / counts[9].max(1) as f64;
+    assert!(
+        observed > predicted / 2.0 && observed < predicted * 2.0,
+        "rank0/rank9 ratio {observed:.2} vs predicted {predicted:.2}"
+    );
+}
