@@ -29,6 +29,12 @@ use std::time::Instant;
 /// Exit code for "ran with truncations but nothing failed".
 const EXIT_PARTIAL: i32 = 3;
 
+/// Per-experiment attempt budget: a panicking experiment is retried in
+/// deterministic order, so faults injected by a bounded `MCP_CHAOS` plan
+/// always clear; an experiment that fails every attempt is quarantined
+/// (reported FAILED) while the rest of the fleet completes.
+const EXPERIMENT_ATTEMPTS: u32 = 4;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -88,16 +94,20 @@ fn main() {
         eprintln!("no experiment matched {wanted:?}; try --list");
         std::process::exit(2);
     }
-    if let Some(dir) = &markdown_dir {
-        std::fs::create_dir_all(dir).expect("create markdown output dir");
-    }
-    if let Some(dir) = &json_dir {
-        std::fs::create_dir_all(dir).expect("create json output dir");
+    for dir in [&markdown_dir, &json_dir].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: creating output dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
     }
 
     // A Ctrl-C flips the process-wide cancel flag; experiments that have
     // not started yet report Truncated instead of running.
     mcp_core::budget::install_ctrlc_handler();
+    // MCP_CHAOS arms a deterministic fault plan (injected panics/stalls
+    // around experiments, faulted report writes); the retry budget below
+    // clears any bounded plan's faults.
+    mcp_chaos::arm_from_env();
     // Test hook: force the named experiment's worker to panic, exercising
     // the fault-containment path from the outside.
     let force_panic = std::env::var("MCP_REPRO_PANIC").ok();
@@ -111,7 +121,9 @@ fn main() {
     let wall = mcp_analysis::timing::Stopwatch::start();
     let pool = mcp_exec::Pool::new(jobs);
     let stdout = std::io::stdout();
-    let results = pool.par_try_map_emit(
+    let results = pool.par_try_map_retry_emit(
+        "repro.experiment",
+        EXPERIMENT_ATTEMPTS,
         &selected,
         |_, e| {
             if force_panic.as_deref() == Some(e.id()) {
@@ -130,13 +142,23 @@ fn main() {
                 None => e.run(scale),
             };
             let secs = sw.secs();
+            // Atomic report writes (temp + fsync + rename): a fault or
+            // crash mid-write never leaves a torn file at the target. A
+            // genuine write failure panics with the path — contained to
+            // this slot and reported FAILED, the fleet completes.
             if let Some(dir) = &markdown_dir {
                 let path = dir.join(format!("{}.md", report.id));
-                std::fs::write(&path, report.to_markdown()).expect("write markdown report");
+                mcp_chaos::io::atomic_write(&path, report.to_markdown().as_bytes(), "repro.report")
+                    .unwrap_or_else(|e| panic!("writing report {}: {e}", path.display()));
             }
             if let Some(dir) = &json_dir {
                 let path = dir.join(format!("{}.json", report.id));
-                std::fs::write(&path, report.to_json_pretty()).expect("write json report");
+                mcp_chaos::io::atomic_write(
+                    &path,
+                    report.to_json_pretty().as_bytes(),
+                    "repro.report",
+                )
+                .unwrap_or_else(|e| panic!("writing report {}: {e}", path.display()));
             }
             let status = match report.verdict {
                 Verdict::Confirmed => Status::Confirmed,
@@ -152,9 +174,9 @@ fn main() {
                     let _ = writeln!(out, "{text}");
                     let _ = writeln!(out, "({secs:.2}s)\n");
                 }
-                Err(panic) => {
+                Err(quarantined) => {
                     let _ = writeln!(out, "=== {}: FAILED ===", selected[i].id());
-                    let _ = writeln!(out, "{panic}\n");
+                    let _ = writeln!(out, "{quarantined}\n");
                 }
             }
         },

@@ -5,7 +5,7 @@
 use crate::dense::{dense_run, DensePolicy, DenseWorkload, Scratch};
 use crate::spec::CellSpec;
 use mcp_core::{simulate, SimError, SimResult, Workload};
-use mcp_exec::Pool;
+use mcp_exec::{Pool, Quarantined};
 use std::cell::RefCell;
 use std::fmt;
 
@@ -73,6 +73,25 @@ pub fn run_cells(workloads: &[Workload], cells: &[CellSpec]) -> Vec<Result<SimRe
     // build the table up front (also in parallel — it is pure).
     let dense: Vec<DenseWorkload> = pool.par_map(workloads, |_, w| DenseWorkload::build(w));
     pool.par_map(cells, |_, cell| run_one(workloads, &dense, cell))
+}
+
+/// [`run_cells`] with recovery-as-policy (DESIGN §13): each cell gets up
+/// to `max_attempts` tries — a panicking cell (injected fault or real
+/// bug) is retried in deterministic input order, and only a cell that
+/// fails every attempt comes back as [`Quarantined`] while the rest of
+/// the grid completes. Fault-injection decisions key on the `"batch.cell"`
+/// site and the cell index, so results are bit-identical for every
+/// worker count, exactly like `run_cells`.
+pub fn run_cells_quarantined(
+    workloads: &[Workload],
+    cells: &[CellSpec],
+    max_attempts: u32,
+) -> Vec<Result<Result<SimResult, BatchError>, Quarantined>> {
+    let pool = Pool::global();
+    let dense: Vec<DenseWorkload> = pool.par_map(workloads, |_, w| DenseWorkload::build(w));
+    pool.par_try_map_retry("batch.cell", max_attempts, cells, |_, cell| {
+        run_one(workloads, &dense, cell)
+    })
 }
 
 fn run_one(

@@ -32,5 +32,5 @@ pub mod engine;
 pub mod spec;
 
 pub use dense::{dense_run, DensePolicy, DenseWorkload, Scratch};
-pub use engine::{run_cell_reference, run_cells, BatchError};
+pub use engine::{run_cell_reference, run_cells, run_cells_quarantined, BatchError};
 pub use spec::{CellSpec, WorkloadKind, WorkloadSpec};

@@ -61,6 +61,7 @@ const FLAGS: &[&str] = &[
     "stats",
     "json",
     "no-crosscheck",
+    "chaos",
 ];
 
 impl Args {

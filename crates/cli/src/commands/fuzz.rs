@@ -75,22 +75,46 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         })?,
     };
 
+    let chaos = args.flag("chaos");
     let options = FuzzOptions {
         instances,
         seed,
         corpus_dir,
         families,
         profile,
+        chaos,
+    };
+    // --chaos: arm a bounded fault plan for the run (unless the caller
+    // already armed one via MCP_CHAOS) and give every instance a retry
+    // budget that clears injected faults; real divergences still fail
+    // every attempt and are reported as quarantined.
+    let _guard = if chaos && !mcp_chaos::armed() {
+        let chaos_seed = match args.get("chaos-seed") {
+            None => seed,
+            Some(text) => parse_seed(text).ok_or_else(|| {
+                CliError::Args(ArgError::BadValue {
+                    key: "chaos-seed".to_string(),
+                    value: text.to_string(),
+                    expected: "a decimal or 0x-prefixed hex integer",
+                })
+            })?,
+        };
+        Some(mcp_chaos::arm_scoped(mcp_chaos::FaultPlan::seeded(
+            chaos_seed,
+        )))
+    } else {
+        None
     };
     let report = run_fuzz(&options);
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "fuzz: {} instances, seed {:#x}, {} families",
+        "fuzz: {} instances, seed {:#x}, {} families{}",
         instances,
         seed,
-        options.families.len()
+        options.families.len(),
+        if chaos { " [chaos]" } else { "" }
     );
     let _ = writeln!(
         out,

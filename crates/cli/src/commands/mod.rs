@@ -2,6 +2,7 @@
 //! parsed [`crate::args::Args`] values to their stdout text, so the whole
 //! surface is unit-testable without spawning processes.
 
+pub mod chaos;
 pub mod compare;
 pub mod curves;
 pub mod fuzz;
@@ -159,6 +160,46 @@ pub fn load_instance(args: &Args) -> Result<(Workload, SimConfig), CliError> {
     cfg.validate(&workload)
         .map_err(|e| CliError::Other(e.to_string()))?;
     Ok((workload, cfg))
+}
+
+/// Load a `--checkpoint` resume file under the recovery policy
+/// (DESIGN §13): a missing file starts fresh; a corrupt snapshot or one
+/// whose fingerprint does not match `expected` (stale: different trace,
+/// config, or options) degrades to a stderr warning and a fresh start —
+/// the unusable file is removed so the next save can replace it; only
+/// genuine I/O errors abort. `fingerprint_of` extracts the snapshot's
+/// stored fingerprint so the staleness check happens here, before the
+/// solver would fail deep inside resume.
+pub fn load_resume<T>(
+    path: &Path,
+    expected: u64,
+    load: impl FnOnce(&Path) -> Result<T, mcp_offline::CheckpointError>,
+    fingerprint_of: impl FnOnce(&T) -> u64,
+) -> Result<Option<T>, CliError> {
+    use mcp_offline::CheckpointError as CE;
+    if !path.exists() {
+        return Ok(None);
+    }
+    let degrade = |why: String| {
+        eprintln!(
+            "warning: ignoring checkpoint {}: {why}; restarting from scratch",
+            path.display()
+        );
+        let _ = std::fs::remove_file(path);
+        Ok(None)
+    };
+    match load(path) {
+        Ok(ck) => {
+            let found = fingerprint_of(&ck);
+            if found != expected {
+                return degrade(CE::Mismatch { expected, found }.to_string());
+            }
+            Ok(Some(ck))
+        }
+        Err(CE::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(CE::Io(e)) => Err(CliError::Io(e)),
+        Err(e) => degrade(e.to_string()),
+    }
 }
 
 /// Build a strategy by name. Partition strategies take sizes after a

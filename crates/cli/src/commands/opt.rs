@@ -43,12 +43,15 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         // Same shape as the plain ftf_dp wrapper: only the state cap.
         Budget::unlimited().with_max_states(max_states)
     };
+    // Recovery policy: a corrupt or stale resume file warns and starts
+    // fresh instead of erroring out (DESIGN §13).
     let resume: Option<FtfCheckpoint> = match &checkpoint_path {
-        Some(p) if p.exists() => Some(
-            FtfCheckpoint::load(p)
-                .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
-        ),
-        _ => None,
+        Some(p) => {
+            let expected =
+                mcp_offline::ftf_fingerprint(&workload, cfg, &options).map_err(too_large)?;
+            super::load_resume(p, expected, FtfCheckpoint::load, |ck| ck.fingerprint)?
+        }
+        None => None,
     };
     let resumed = resume.is_some();
     let t0 = std::time::Instant::now();

@@ -72,12 +72,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
         let feasible = if args.get("deadline").is_some() || checkpoint_path.is_some() {
             let budget = budget_from(args)?.with_max_states(opts.max_expansions);
+            // Recovery policy: a corrupt or stale resume file warns and
+            // starts fresh instead of erroring out (DESIGN §13).
             let resume: Option<PifCheckpoint> = match &checkpoint_path {
-                Some(p) if p.exists() => Some(
-                    PifCheckpoint::load(p)
-                        .map_err(|e| CliError::Other(format!("loading checkpoint: {e}")))?,
-                ),
-                _ => None,
+                Some(p) => {
+                    let expected =
+                        mcp_offline::pif_fingerprint(&workload, cfg, checkpoint, &bounds, &opts)
+                            .map_err(too_large)?;
+                    super::load_resume(p, expected, PifCheckpoint::load, |ck| ck.fingerprint)?
+                }
+                None => None,
             };
             let resumed = resume.is_some();
             let t0 = std::time::Instant::now();

@@ -20,7 +20,9 @@ use super::{budget_from, CliError};
 use crate::args::{ArgError, Args};
 use crate::commands::fuzz::parse_seed;
 use mcp_analysis::{grid2, grid3, tournament_report, TournamentOutcome};
-use mcp_batch::{run_cell_reference, run_cells, BatchError, CellSpec, WorkloadKind, WorkloadSpec};
+use mcp_batch::{
+    run_cell_reference, run_cells_quarantined, BatchError, CellSpec, WorkloadKind, WorkloadSpec,
+};
 use mcp_core::Budget;
 use mcp_exec::derive_seed;
 use mcp_oracle::FAMILIES;
@@ -32,6 +34,10 @@ const DEFAULT_FAMILIES: &str = "lru,fifo,clock,lfu,mru,fwf";
 const DEFAULT_WORKLOADS: &str = "uniform,zipf,zipf-shared,phased,drift";
 /// Cross-check sample size (capped at the cell count).
 const CROSSCHECK_SAMPLES: usize = 16;
+/// Per-cell attempt budget: strictly above the default fault plan's
+/// `max_consecutive`, so injected faults always clear and only cells
+/// that fail deterministically are quarantined.
+const CELL_ATTEMPTS: u32 = 4;
 
 fn comma_list(args: &Args, key: &str, default: &str) -> Vec<String> {
     args.get(key)
@@ -134,24 +140,38 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         })
         .collect();
 
-    let results = run_cells(&workloads, &cells);
+    let results = run_cells_quarantined(&workloads, &cells, CELL_ATTEMPTS);
     check_deadline(&budget, "the batch grid")?;
 
+    // Recovery policy (DESIGN §13): a cell that panics on every attempt
+    // is quarantined (shown as n/a, listed in a note) while the rest of
+    // the grid completes; batch errors other than Inapplicable are still
+    // hard failures.
+    let mut quarantined: Vec<String> = Vec::new();
     let mut faults = Vec::with_capacity(groups.len());
     for (gi, _) in groups.iter().enumerate() {
         let mut row = Vec::with_capacity(families.len());
         for fi in 0..families.len() {
             let cell = gi * families.len() + fi;
             row.push(match &results[cell] {
-                Ok(r) => Some(r.total_faults()),
-                Err(BatchError::Inapplicable(_)) => None,
-                Err(e) => {
+                Ok(Ok(r)) => Some(r.total_faults()),
+                Ok(Err(BatchError::Inapplicable(_))) => None,
+                Ok(Err(e)) => {
                     return Err(CliError::Other(format!(
                         "cell {} ({} on {}): {e}",
                         cell,
                         cells[cell].family,
                         specs[cells[cell].workload].label()
                     )))
+                }
+                Err(q) => {
+                    quarantined.push(format!(
+                        "cell {} ({} on {}): {q}",
+                        cell,
+                        cells[cell].family,
+                        specs[cells[cell].workload].label()
+                    ));
+                    None
                 }
             });
         }
@@ -165,8 +185,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         for i in 0..CROSSCHECK_SAMPLES.min(cells.len()) {
             check_deadline(&budget, "the cross-check")?;
             let idx = (derive_seed(master, 0xC5EC + i as u64) % cells.len() as u64) as usize;
+            let Ok(batch) = &results[idx] else {
+                continue; // quarantined cells have nothing to compare
+            };
             let reference = run_cell_reference(&workloads, &cells[idx]);
-            if reference != results[idx] {
+            if &reference != batch {
                 return Err(CliError::Other(format!(
                     "batch/per-run divergence at cell {} ({} on {} K={} tau={}): \
                      batch {:?} vs per-run {:?}",
@@ -175,7 +198,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                     specs[cells[idx].workload].label(),
                     cells[idx].cache_size,
                     cells[idx].tau,
-                    results[idx].as_ref().map(|r| r.total_faults()),
+                    batch.as_ref().map(|r| r.total_faults()),
                     reference.as_ref().map(|r| r.total_faults()),
                 )));
             }
@@ -203,6 +226,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             format!("{crosschecked} sampled cells bit-identical to the per-run simulator")
         }
     ));
+    if !quarantined.is_empty() {
+        report.notes.push(format!(
+            "{} cells quarantined after repeated failures: {}",
+            quarantined.len(),
+            quarantined.join("; ")
+        ));
+    }
     if args.flag("json") {
         Ok(report.to_json())
     } else {

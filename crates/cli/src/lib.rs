@@ -48,8 +48,19 @@ commands:
                  [--deadline DUR] [--checkpoint FILE]
   fuzz         differential fuzz: event vs. tick vs. naive reference
                  [--instances N] [--seed S] [--corpus DIR]
-                 [--families a,b,…] [--profile mixed|large-tau|batch];
-                 divergences shrink to fixtures under DIR and exit 1
+                 [--families a,b,…] [--profile mixed|large-tau|batch]
+                 [--chaos] [--chaos-seed S];
+                 divergences shrink to fixtures under DIR and exit 1;
+                 --chaos arms a seeded fault plan (injected panics and
+                 stalls) and retries each instance past injected faults —
+                 only real divergences survive as quarantined failures
+  chaos        crash-recovery torture: every byte-prefix truncation and
+                 sampled bit flips of real checkpoints must fail typed,
+                 resume at jobs 1/2/4 must match the reference
+                 bit-for-bit, simulated write-crashes must never tear the
+                 target, and a faulted save/load/resume chain must
+                 recover [--instances N] [--seed S] [--bits N]
+                 [--plan SEED[:W,R,T[,C[,STALL_MS]]]]; violations exit 1
   tournament   strategy tournament on the batch engine: regret and
                  pairwise-dominance tables over a families × workloads
                  × K × τ grid
@@ -95,6 +106,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("opt") => commands::opt::run(args),
         Some("pif") => commands::pif::run(args),
         Some("fuzz") => commands::fuzz::run(args),
+        Some("chaos") => commands::chaos::run(args),
         Some("tournament") => commands::tournament::run(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; try `mcp help`"

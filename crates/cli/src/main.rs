@@ -5,6 +5,10 @@ fn main() {
     // pif) notice it at the next layer boundary, save their checkpoint,
     // and exit 3 with the anytime result instead of dying mid-run.
     mcp_core::budget::install_ctrlc_handler();
+    // MCP_CHAOS=SEED[:W,R,T[,C[,STALL_MS]]] arms a deterministic fault
+    // plan for the whole process — the hook the crash-recovery e2e tests
+    // drive; without the variable this is a no-op.
+    mcp_chaos::arm_from_env();
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     let args = match mcp_cli::args::Args::parse(tokens) {
         Ok(a) => a,

@@ -1,0 +1,204 @@
+//! End-to-end crash-recovery tests: spawn the built `mcp` binary with
+//! the `MCP_CHAOS` fault-plan hook and check the recovery contract from
+//! the outside — atomic checkpoint writes under simulated crashes,
+//! corrupt resume files degrading to warn + fresh start, and `--chaos`
+//! fuzz reports staying byte-identical at every `--jobs` level.
+
+use std::process::Command;
+
+fn mcp_env(args: &[&str], chaos: Option<&str>) -> (Option<i32>, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mcp"));
+    cmd.args(args);
+    match chaos {
+        Some(plan) => cmd.env("MCP_CHAOS", plan),
+        None => cmd.env_remove("MCP_CHAOS"),
+    };
+    let out = cmd.output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn mcp(args: &[&str]) -> (Option<i32>, String, String) {
+    mcp_env(args, None)
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("mcp_chaos_e2e_{}_{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn gen_trace(name: &str) -> String {
+    let trace = tmp(name);
+    let (code, _, stderr) = mcp(&[
+        "gen", "cycles", "--cores", "2", "--k", "4", "--n", "10", "--out", &trace,
+    ]);
+    assert_eq!(code, Some(0), "gen failed: {stderr}");
+    trace
+}
+
+#[test]
+fn corrupt_checkpoint_degrades_to_a_warning_and_a_fresh_full_run() {
+    let trace = gen_trace("corrupt_resume.json");
+    let (code, reference, _) = mcp(&["opt", "--trace", &trace, "--k", "4", "--tau", "1"]);
+    assert_eq!(code, Some(0));
+
+    // Garbage where the resume snapshot should be: the run must warn,
+    // remove the file, and still produce the exact reference answer.
+    let ckpt = tmp("corrupt_resume.ckpt");
+    std::fs::write(&ckpt, b"MCPK this is not a checkpoint").unwrap();
+    let (code, stdout, stderr) = mcp(&[
+        "opt",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--tau",
+        "1",
+        "--deadline",
+        "5m",
+        "--checkpoint",
+        &ckpt,
+    ]);
+    assert_eq!(code, Some(0), "recovery must complete: {stderr}");
+    assert_eq!(stdout, reference, "fresh start must match the reference");
+    assert!(
+        stderr.contains("warning: ignoring checkpoint"),
+        "must warn about the corrupt file: {stderr}"
+    );
+    assert!(
+        !std::path::Path::new(&ckpt).exists(),
+        "the unusable checkpoint must be removed"
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn simulated_crash_mid_write_never_leaves_a_half_written_checkpoint() {
+    let trace = gen_trace("crash_write.json");
+    let ckpt = tmp("crash_write.ckpt");
+    // Every write attempt fails forever (rate 1000‰, unbounded
+    // consecutive faults): the save must error out, and the target path
+    // must hold *nothing* — no torn prefix, no temp litter.
+    let (code, _, stderr) = mcp_env(
+        &[
+            "opt",
+            "--trace",
+            &trace,
+            "--k",
+            "4",
+            "--tau",
+            "1",
+            "--deadline",
+            "0s",
+            "--checkpoint",
+            &ckpt,
+        ],
+        Some("7:1000,0,0,4294967295"),
+    );
+    assert_eq!(code, Some(1), "crashed save must be an error: {stderr}");
+    assert!(stderr.contains("saving checkpoint"), "{stderr}");
+    assert!(
+        !std::path::Path::new(&ckpt).exists(),
+        "no half-written file may appear at the target"
+    );
+    assert!(
+        !std::path::Path::new(&format!("{ckpt}.tmp")).exists(),
+        "no temp sibling may be left behind"
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn bounded_write_faults_are_retried_and_the_resume_chain_completes() {
+    let trace = gen_trace("bounded_faults.json");
+    let (code, reference, _) = mcp(&["opt", "--trace", &trace, "--k", "4", "--tau", "1"]);
+    assert_eq!(code, Some(0));
+
+    // A bounded plan (2 consecutive faults max, 4 IO attempts): the
+    // truncated run's save survives injected failures.
+    let ckpt = tmp("bounded_faults.ckpt");
+    let (code, _, stderr) = mcp_env(
+        &[
+            "opt",
+            "--trace",
+            &trace,
+            "--k",
+            "4",
+            "--tau",
+            "1",
+            "--deadline",
+            "0s",
+            "--checkpoint",
+            &ckpt,
+        ],
+        Some("9:1000,200,0,2"),
+    );
+    assert_eq!(code, Some(3), "truncated run must still exit 3: {stderr}");
+    assert!(
+        std::path::Path::new(&ckpt).exists(),
+        "the bounded plan cannot defeat the retry loop: {stderr}"
+    );
+
+    // Resume (still under injected read faults) and reach the exact
+    // reference answer; the checkpoint is consumed.
+    let (code, resumed, stderr) = mcp_env(
+        &[
+            "opt",
+            "--trace",
+            &trace,
+            "--k",
+            "4",
+            "--tau",
+            "1",
+            "--deadline",
+            "5m",
+            "--checkpoint",
+            &ckpt,
+        ],
+        Some("9:1000,200,0,2"),
+    );
+    assert_eq!(code, Some(0), "resume must complete: {stderr}");
+    assert_eq!(resumed, reference, "faulted chain must match the reference");
+    assert!(!std::path::Path::new(&ckpt).exists());
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn chaos_fuzz_reports_are_byte_identical_at_every_jobs_level() {
+    let corpus = tmp("chaos_fuzz_corpus");
+    let base = [
+        "fuzz",
+        "--chaos",
+        "--instances",
+        "8",
+        "--seed",
+        "0xC5_2011_15",
+        "--corpus",
+        &corpus,
+    ];
+    let mut reference = None;
+    for jobs in ["1", "2", "4"] {
+        let mut args = base.to_vec();
+        args.extend(["--jobs", jobs]);
+        let (code, stdout, stderr) = mcp(&args);
+        assert_eq!(code, Some(0), "chaos fuzz must be clean: {stderr}");
+        assert!(stdout.contains("[chaos]"), "{stdout}");
+        assert!(stdout.contains("divergences:          0"), "{stdout}");
+        match &reference {
+            None => reference = Some(stdout),
+            Some(first) => assert_eq!(&stdout, first, "jobs={jobs} diverged"),
+        }
+    }
+}
+
+#[test]
+fn chaos_torture_smoke_is_clean() {
+    let (code, stdout, stderr) = mcp(&["chaos", "--instances", "1", "--bits", "8", "--seed", "3"]);
+    assert_eq!(code, Some(0), "torture run must be clean: {stderr}");
+    assert!(stdout.contains("violations:           0"), "{stdout}");
+}

@@ -300,6 +300,32 @@ mod tests {
     }
 
     #[test]
+    fn trip_precedence_is_deadline_statecap_memcap() {
+        // Every axis exceeded at once: precedence resolves the ambiguity
+        // so callers (and their reports) see one canonical reason.
+        // (Cancelled outranking all of these is covered by
+        // `cancellation_has_highest_precedence`, which owns the global
+        // cancel flag — tests in this binary run concurrently.)
+        let b = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_max_states(1)
+            .with_memory_cap(1);
+        assert_eq!(b.check(10, 10), Err(TripReason::Deadline));
+        // No deadline: the state cap outranks the memory cap.
+        let b = Budget::unlimited().with_max_states(1).with_memory_cap(1);
+        assert_eq!(
+            b.check(10, 10),
+            Err(TripReason::StateCap { states: 10, cap: 1 })
+        );
+        // Memory cap alone is last in line.
+        let b = Budget::unlimited().with_memory_cap(1);
+        assert_eq!(
+            b.check(10, 10),
+            Err(TripReason::MemoryCap { bytes: 10, cap: 1 })
+        );
+    }
+
+    #[test]
     fn durations_parse() {
         assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
         assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));

@@ -58,6 +58,31 @@ impl fmt::Display for TaskPanic {
 
 impl std::error::Error for TaskPanic {}
 
+/// A task that kept panicking through every retry round of
+/// [`Pool::par_try_map_retry`] and was quarantined: its slot carries the
+/// last panic while the rest of the batch completed normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Input index of the quarantined task.
+    pub index: usize,
+    /// How many attempts it was given (all panicked).
+    pub attempts: u32,
+    /// The panic from the final attempt.
+    pub last: TaskPanic,
+}
+
+impl fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} quarantined after {} attempts: {}",
+            self.index, self.attempts, self.last.message
+        )
+    }
+}
+
+impl std::error::Error for Quarantined {}
+
 /// Render a caught panic payload as text.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -304,6 +329,126 @@ impl Pool {
             },
             emit,
         )
+    }
+
+    /// [`Pool::par_try_map`] with bounded retry and quarantine: a
+    /// panicking task is re-run (in input order, after the batch) up to
+    /// `max_attempts` times total; a task that panics on every attempt is
+    /// quarantined — `Err(Quarantined)` in its own slot — while the rest
+    /// of the batch completes.
+    ///
+    /// Every attempt first probes the [`mcp_chaos`] task injection site
+    /// `(site, index, attempt)`, so an armed fault plan can inject panics
+    /// and stalls here. Decisions are keyed on those logical coordinates
+    /// (never threads or time) and injected faults clear after the plan's
+    /// `max_consecutive` attempts, so as long as `max_attempts` exceeds
+    /// that bound the result is identical at every worker count, faults
+    /// or not — only a genuinely deterministic failure is quarantined.
+    pub fn par_try_map_retry<T, R, F>(
+        &self,
+        site: &str,
+        max_attempts: u32,
+        items: &[T],
+        f: F,
+    ) -> Vec<Result<R, Quarantined>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_try_map_retry_emit(site, max_attempts, items, f, |_, _| {})
+    }
+
+    /// [`Pool::par_try_map_retry`] with an ordered streaming sink.
+    ///
+    /// `emit` observes every slot exactly once, in input order, on the
+    /// caller's thread. While the first round is running, final `Ok`
+    /// slots stream as they complete; emission stalls at the first
+    /// failed slot (its fate is unknown until the retry rounds resolve
+    /// it) and the tail is flushed once every slot is final.
+    pub fn par_try_map_retry_emit<T, R, F, E>(
+        &self,
+        site: &str,
+        max_attempts: u32,
+        items: &[T],
+        f: F,
+        mut emit: E,
+    ) -> Vec<Result<R, Quarantined>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        E: FnMut(usize, Result<&R, &Quarantined>),
+    {
+        let max_attempts = max_attempts.max(1);
+        let n = items.len();
+        let mut slots: Vec<Option<Result<R, Quarantined>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut emitted = 0usize;
+        let mut stalled = false;
+        let round0 = self.par_try_map_emit(
+            items,
+            |i, item| {
+                mcp_chaos::task_point(site, i as u64, 0);
+                f(i, item)
+            },
+            |i, slot| match slot {
+                Ok(r) if !stalled => {
+                    emit(i, Ok(r));
+                    emitted = i + 1;
+                }
+                _ => stalled = true,
+            },
+        );
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, slot) in round0.into_iter().enumerate() {
+            match slot {
+                Ok(r) => slots[i] = Some(Ok(r)),
+                Err(p) if max_attempts == 1 => {
+                    slots[i] = Some(Err(Quarantined {
+                        index: i,
+                        attempts: 1,
+                        last: p,
+                    }))
+                }
+                Err(_) => pending.push(i),
+            }
+        }
+        for attempt in 1..max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            let round = self.par_try_map(&pending, |_, &orig| {
+                mcp_chaos::task_point(site, orig as u64, attempt);
+                f(orig, &items[orig])
+            });
+            let mut still = Vec::new();
+            for (slot, &orig) in round.into_iter().zip(&pending) {
+                match slot {
+                    Ok(r) => slots[orig] = Some(Ok(r)),
+                    Err(p) if attempt + 1 == max_attempts => {
+                        slots[orig] = Some(Err(Quarantined {
+                            index: orig,
+                            attempts: max_attempts,
+                            last: TaskPanic {
+                                index: orig,
+                                message: p.message,
+                            },
+                        }))
+                    }
+                    Err(_) => still.push(orig),
+                }
+            }
+            pending = still;
+        }
+        let out: Vec<Result<R, Quarantined>> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot resolved"))
+            .collect();
+        for (i, slot) in out.iter().enumerate().skip(emitted) {
+            emit(i, slot.as_ref());
+        }
+        out
     }
 
     /// Map a seeded batch: task `i` runs `f(derive_seed(master, i), i,

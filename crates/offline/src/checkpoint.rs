@@ -188,6 +188,21 @@ impl<'a> Reader<'a> {
         }
         Ok((cfg, pos.into_boxed_slice()))
     }
+    /// The per-state core count, capped against the remaining payload:
+    /// every state key spends at least 4 bytes per core, so a corrupt
+    /// count (the checksum can collide, and fuzzed bytes are arbitrary)
+    /// cannot drive a multi-gigabyte `with_capacity` before the first
+    /// key read fails.
+    fn cores(&mut self) -> Result<usize, CheckpointError> {
+        let cores = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if cores > remaining / 4 {
+            return Err(CheckpointError::Corrupt(format!(
+                "core count {cores} exceeds remaining payload ({remaining} bytes)"
+            )));
+        }
+        Ok(cores)
+    }
     /// Length prefix with a sanity cap against absurd allocations from
     /// corrupt files.
     fn count(&mut self, what: &str) -> Result<usize, CheckpointError> {
@@ -303,7 +318,7 @@ impl FtfCheckpoint {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = open_reader(bytes, KIND_FTF)?;
         let fingerprint = r.u64()?;
-        let cores = r.u32()? as usize;
+        let cores = r.cores()?;
         let n = r.count("state")?;
         let mut best = Vec::with_capacity(n);
         for _ in 0..n {
@@ -341,14 +356,20 @@ impl FtfCheckpoint {
         })
     }
 
-    /// Write the snapshot to a file.
+    /// Write the snapshot to a file, atomically: the bytes are staged in
+    /// a temp sibling, fsynced, and renamed over the target, with bounded
+    /// retry on transient faults — a crash (or injected fault) mid-write
+    /// never leaves a torn file at `path` (DESIGN §13).
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes()).map_err(CheckpointError::Io)
+        mcp_chaos::io::atomic_write(path, &self.to_bytes(), "checkpoint.save")
+            .map_err(CheckpointError::Io)
     }
 
-    /// Read a snapshot from a file.
+    /// Read a snapshot from a file (transient read faults retried;
+    /// corruption surfaces as [`CheckpointError::Corrupt`] via the
+    /// checksum, never as a panic).
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&mcp_chaos::io::read(path, "checkpoint.load")?)
     }
 }
 
@@ -410,7 +431,7 @@ impl PifCheckpoint {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = open_reader(bytes, KIND_PIF)?;
         let fingerprint = r.u64()?;
-        let cores = r.u32()? as usize;
+        let cores = r.cores()?;
         let t_done = r.u64()?;
         let expansions = r.u64()?;
         let n = r.count("layer state")?;
@@ -436,14 +457,20 @@ impl PifCheckpoint {
         })
     }
 
-    /// Write the snapshot to a file.
+    /// Write the snapshot to a file, atomically: the bytes are staged in
+    /// a temp sibling, fsynced, and renamed over the target, with bounded
+    /// retry on transient faults — a crash (or injected fault) mid-write
+    /// never leaves a torn file at `path` (DESIGN §13).
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes()).map_err(CheckpointError::Io)
+        mcp_chaos::io::atomic_write(path, &self.to_bytes(), "checkpoint.save")
+            .map_err(CheckpointError::Io)
     }
 
-    /// Read a snapshot from a file.
+    /// Read a snapshot from a file (transient read faults retried;
+    /// corruption surfaces as [`CheckpointError::Corrupt`] via the
+    /// checksum, never as a panic).
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&mcp_chaos::io::read(path, "checkpoint.load")?)
     }
 }
 

@@ -165,6 +165,19 @@ pub fn ftf_dp(
     }
 }
 
+/// The resume fingerprint a snapshot must carry to be compatible with
+/// this `(workload, config, options)` triple. The CLI probes this before
+/// resuming so a stale `--checkpoint` file degrades to a warning and a
+/// fresh start instead of a hard error deep inside the solver.
+pub fn ftf_fingerprint(
+    workload: &Workload,
+    cfg: SimConfig,
+    options: &FtfOptions,
+) -> Result<u64, DpError> {
+    let inst = DpInstance::build(workload, &cfg)?;
+    Ok(instance_fingerprint(&inst, ftf_option_bits(options)))
+}
+
 /// Budget-governed, resumable FTF (Algorithm 1, anytime form).
 ///
 /// The budget is checked at every bucket (layer) boundary — between

@@ -38,8 +38,8 @@ pub mod state;
 pub use belady_seq::{belady_curve, belady_faults};
 pub use checkpoint::{instance_fingerprint, CheckpointError, FtfCheckpoint, PifCheckpoint};
 pub use ftf_dp::{
-    ftf_dp, ftf_dp_governed, ftf_dp_governed_with_stats, ftf_min_faults, FtfOptions, FtfOutcome,
-    FtfResult, FtfSchedule, FtfTruncated,
+    ftf_dp, ftf_dp_governed, ftf_dp_governed_with_stats, ftf_fingerprint, ftf_min_faults,
+    FtfOptions, FtfOutcome, FtfResult, FtfSchedule, FtfTruncated,
 };
 pub use intern::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, PackedPos, StateArena, StateId};
 pub use miss_curve::{
@@ -48,7 +48,7 @@ pub use miss_curve::{
 pub use partition_opt::{optimal_static_partition, OptimalPartition, PartPolicy};
 pub use pif_dp::{
     max_pif, pif_decide, pif_decide_governed, pif_decide_governed_with_stats,
-    pif_decide_with_stats, pif_witness, PifOptions, PifOutcome, PifTruncated,
+    pif_decide_with_stats, pif_fingerprint, pif_witness, PifOptions, PifOutcome, PifTruncated,
 };
 pub use sched_search::{sched_min, sched_min_governed};
 pub use search::{

@@ -165,6 +165,27 @@ fn pif_option_bits(options: &PifOptions, checkpoint: Time, bounds_u16: &[u16]) -
     h
 }
 
+/// The resume fingerprint a snapshot must carry to be compatible with
+/// this `(workload, config, horizon, bounds, options)` tuple — the PIF
+/// analogue of [`crate::ftf_dp::ftf_fingerprint`].
+pub fn pif_fingerprint(
+    workload: &Workload,
+    cfg: SimConfig,
+    checkpoint: Time,
+    bounds: &[u64],
+    options: &PifOptions,
+) -> Result<u64, DpError> {
+    let inst = DpInstance::build(workload, &cfg)?;
+    let bounds_u16: Vec<u16> = bounds
+        .iter()
+        .map(|&b| b.min(u16::MAX as u64) as u16)
+        .collect();
+    Ok(instance_fingerprint(
+        &inst,
+        pif_option_bits(options, checkpoint, &bounds_u16),
+    ))
+}
+
 /// Budget-governed, resumable PIF decision (Algorithm 2, anytime form).
 ///
 /// The budget is checked between timestep layers (its `states` axis

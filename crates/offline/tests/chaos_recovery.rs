@@ -1,0 +1,165 @@
+//! Recovery-as-policy at the library level (DESIGN §13): injected stalls
+//! tripping deadlines with canonical precedence, corrupt-on-load
+//! degrading to a fresh start that still reaches the reference result,
+//! and a full save/load/resume chain under an armed fault plan staying
+//! bit-identical at every worker count.
+
+use mcp_chaos::{arm_scoped, FaultPlan};
+use mcp_core::{Budget, SimConfig, TripReason};
+use mcp_exec::Pool;
+use mcp_offline::{
+    ftf_dp_governed, CheckpointError, FtfCheckpoint, FtfOptions, FtfOutcome, FtfResult,
+};
+use mcp_workloads::random_disjoint;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcp-chaos-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A small instance that a `max_states(2)` budget reliably truncates.
+fn instance() -> (mcp_core::Workload, SimConfig) {
+    for seed in 0..64 {
+        let w = random_disjoint(seed, 2, 8, 4);
+        let cfg = SimConfig::new(3, 1);
+        let budget = Budget::unlimited().with_max_states(2);
+        if matches!(
+            ftf_dp_governed(&w, cfg, FtfOptions::default(), &budget, None).unwrap(),
+            FtfOutcome::Truncated(_)
+        ) {
+            return (w, cfg);
+        }
+    }
+    panic!("no truncating instance found");
+}
+
+fn complete(w: &mcp_core::Workload, cfg: SimConfig, jobs: usize) -> FtfResult {
+    let options = FtfOptions {
+        jobs,
+        ..FtfOptions::default()
+    };
+    match ftf_dp_governed(w, cfg, options, &Budget::unlimited(), None).unwrap() {
+        FtfOutcome::Complete(r) => r,
+        FtfOutcome::Truncated(_) => panic!("unlimited budget cannot truncate"),
+    }
+}
+
+#[test]
+fn injected_stalls_trip_deadlines_with_canonical_precedence() {
+    // Every task attempt stalls (or panics and is retried); the budget's
+    // deadline expires under those stalls, and even with the state and
+    // memory caps also exceeded, every trip reports Deadline — the
+    // canonical precedence (cancelled > deadline > statecap > memcap).
+    let plan = FaultPlan {
+        task_per_mille: 1000,
+        max_consecutive: 2,
+        max_stall_ms: 6,
+        ..FaultPlan::seeded(0x57A1)
+    };
+    let items: Vec<u64> = (0..64).collect();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _guard = arm_scoped(plan);
+    let budget = Budget::unlimited()
+        .with_deadline(Duration::from_millis(1))
+        .with_max_states(1)
+        .with_memory_cap(1);
+    let results = Pool::new(4).par_try_map_retry("chaos.stall", 4, &items, |_, _| {
+        // By the time any attempt reaches here it has slept ≥ 1ms (or
+        // was retried after a full stalled round): the deadline is gone.
+        budget.check(10, 10)
+    });
+    std::panic::set_hook(hook);
+    for (i, slot) in results.iter().enumerate() {
+        let trip = slot
+            .as_ref()
+            .unwrap_or_else(|q| panic!("task {i} quarantined under a bounded plan: {q}"))
+            .clone()
+            .unwrap_err();
+        assert_eq!(trip, TripReason::Deadline, "task {i}: wrong precedence");
+    }
+}
+
+#[test]
+fn corrupt_resume_degrades_to_a_fresh_start_that_matches_the_reference() {
+    let (w, cfg) = instance();
+    let reference = complete(&w, cfg, 1);
+    let budget = Budget::unlimited().with_max_states(2);
+    let t = match ftf_dp_governed(&w, cfg, FtfOptions::default(), &budget, None).unwrap() {
+        FtfOutcome::Truncated(t) => t,
+        FtfOutcome::Complete(_) => unreachable!("instance() guarantees truncation"),
+    };
+    let path = tmp("corrupt-resume.mcpk");
+    t.checkpoint.save(&path).unwrap();
+    // Flip one payload byte on disk: the load must be a typed Corrupt —
+    // and the recovery policy (resume = None) still reaches the exact
+    // reference result.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    let resume = match FtfCheckpoint::load(&path) {
+        Err(CheckpointError::Corrupt(_)) => None,
+        other => panic!("expected a typed corruption, got {other:?}"),
+    };
+    let rerun = match ftf_dp_governed(
+        &w,
+        cfg,
+        FtfOptions::default(),
+        &Budget::unlimited(),
+        resume.as_ref(),
+    )
+    .unwrap()
+    {
+        FtfOutcome::Complete(r) => r,
+        FtfOutcome::Truncated(_) => unreachable!(),
+    };
+    assert_eq!(rerun.min_faults, reference.min_faults);
+    assert_eq!(rerun.states, reference.states);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn faulted_save_load_resume_chain_is_identical_at_every_jobs_level() {
+    let (w, cfg) = instance();
+    let reference = complete(&w, cfg, 1);
+    let path = tmp("chain.mcpk");
+    let _guard = arm_scoped(FaultPlan::seeded(0xFA_57ED));
+    for jobs in [1usize, 2, 4] {
+        let options = FtfOptions {
+            jobs,
+            ..FtfOptions::default()
+        };
+        let budget = Budget::unlimited().with_max_states(2);
+        let t = match ftf_dp_governed(&w, cfg, options, &budget, None).unwrap() {
+            FtfOutcome::Truncated(t) => t,
+            FtfOutcome::Complete(_) => unreachable!("instance() guarantees truncation"),
+        };
+        // Save under injected write faults: the bounded plan cannot
+        // defeat the retry loop.
+        t.checkpoint.save(&path).unwrap();
+        // Load under injected read faults: either the exact bytes (the
+        // happy path or a survived transient) or typed corruption, which
+        // the recovery policy maps to a fresh start.
+        let resume = match FtfCheckpoint::load(&path) {
+            Ok(ck) => {
+                assert_eq!(ck, t.checkpoint, "loads never silently diverge");
+                Some(ck)
+            }
+            Err(CheckpointError::Corrupt(_)) => None,
+            Err(e) => panic!("unexpected error class: {e}"),
+        };
+        let finished =
+            match ftf_dp_governed(&w, cfg, options, &Budget::unlimited(), resume.as_ref()).unwrap()
+            {
+                FtfOutcome::Complete(r) => r,
+                FtfOutcome::Truncated(_) => unreachable!(),
+            };
+        assert_eq!(finished.min_faults, reference.min_faults, "jobs={jobs}");
+        assert_eq!(finished.states, reference.states, "jobs={jobs}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -72,6 +72,13 @@ pub struct FuzzOptions {
     pub families: Vec<String>,
     /// Instance-shape profile (defaults to [`FuzzProfile::Mixed`]).
     pub profile: FuzzProfile,
+    /// Run under the chaos retry policy: each instance gets
+    /// [`FUZZ_CHAOS_ATTEMPTS`] tries, so faults injected by an armed
+    /// [`mcp_chaos::FaultPlan`] (bounded `max_consecutive`) always clear,
+    /// while real divergences fail every attempt and surface as
+    /// quarantined divergences. With no plan armed this is byte-identical
+    /// to the plain path.
+    pub chaos: bool,
 }
 
 impl Default for FuzzOptions {
@@ -82,9 +89,15 @@ impl Default for FuzzOptions {
             corpus_dir: PathBuf::from("tests/corpus"),
             families: FAMILIES.iter().map(|s| s.to_string()).collect(),
             profile: FuzzProfile::default(),
+            chaos: false,
         }
     }
 }
+
+/// Per-instance attempt budget under `--chaos`: strictly above the
+/// default fault plan's `max_consecutive`, so injected faults are always
+/// retried past and only deterministic failures are quarantined.
+pub const FUZZ_CHAOS_ATTEMPTS: u32 = 4;
 
 /// One contained divergence (or crash) from a fuzz run.
 #[derive(Clone, Debug)]
@@ -138,7 +151,31 @@ pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
     // thread-id-stamped stderr chatter would differ across --jobs levels.
     let hook = panic::take_hook();
     panic::set_hook(Box::new(|_| {}));
-    let results = Pool::global().par_try_map(&indices, |_, &i| fuzz_one(i, options));
+    let results: Vec<Result<InstanceStats, Divergence>> = if options.chaos {
+        Pool::global()
+            .par_try_map_retry("fuzz.instance", FUZZ_CHAOS_ATTEMPTS, &indices, |_, &i| {
+                fuzz_one(i, options)
+            })
+            .into_iter()
+            .map(|slot| {
+                slot.map_err(|q| Divergence {
+                    index: q.index,
+                    message: q.to_string(),
+                })
+            })
+            .collect()
+    } else {
+        Pool::global()
+            .par_try_map(&indices, |_, &i| fuzz_one(i, options))
+            .into_iter()
+            .map(|slot| {
+                slot.map_err(|p| Divergence {
+                    index: p.index,
+                    message: p.message,
+                })
+            })
+            .collect()
+    };
     panic::set_hook(hook);
 
     let mut report = FuzzReport::default();
@@ -150,10 +187,7 @@ pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
                 report.metamorphic_checks += stats.metamorphic;
                 report.dp_checks += stats.dp_checks;
             }
-            Err(panic) => report.divergences.push(Divergence {
-                index: panic.index,
-                message: panic.message,
-            }),
+            Err(divergence) => report.divergences.push(divergence),
         }
     }
     report.divergences.sort_by_key(|d| d.index);
@@ -673,6 +707,32 @@ mod tests {
         });
         assert!(report.clean(), "divergences: {:#?}", report.divergences);
         assert_eq!(report.passed, 8);
+    }
+
+    #[test]
+    fn chaos_retries_injected_faults_to_a_clean_report() {
+        let plain = run_fuzz(&opts(6, 0xC7A0));
+        assert!(plain.clean(), "divergences: {:#?}", plain.divergences);
+        // Same instances under an armed bounded plan: every injected
+        // panic/stall clears within the retry budget, so the report is
+        // clean and counts exactly match the unarmed run.
+        let plan = mcp_chaos::FaultPlan {
+            write_per_mille: 0,
+            read_per_mille: 0,
+            task_per_mille: 400,
+            max_consecutive: 2,
+            max_stall_ms: 2,
+            ..mcp_chaos::FaultPlan::seeded(0xC7A0)
+        };
+        let _guard = mcp_chaos::arm_scoped(plan);
+        let report = run_fuzz(&FuzzOptions {
+            chaos: true,
+            ..opts(6, 0xC7A0)
+        });
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.passed, plain.passed);
+        assert_eq!(report.comparisons, plain.comparisons);
+        assert_eq!(report.dp_checks, plain.dp_checks);
     }
 
     #[test]

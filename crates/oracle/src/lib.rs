@@ -19,11 +19,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod exhaustive;
 pub mod fuzz;
 pub mod instance;
 pub mod reference;
 
+pub use chaos::{run_torture, ChaosOptions, ChaosReport};
 pub use exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
 pub use fuzz::{run_fuzz, Divergence, FuzzOptions, FuzzProfile, FuzzReport};
 pub use instance::{build_family, family_applicable, Fixture, FixtureError, Instance, FAMILIES};
