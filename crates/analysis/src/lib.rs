@@ -20,4 +20,5 @@ pub mod tournament;
 pub use experiments::{registry, Experiment, Scale};
 pub use grid::{grid2, grid3, grid4};
 pub use report::{Report, Table, Verdict};
+pub use stats::QuantileSketch;
 pub use tournament::{tournament_report, TournamentOutcome};

@@ -8,7 +8,7 @@
 //! shared with the experiments.
 
 use crate::report::{Report, Table, Verdict};
-use crate::stats::fmt;
+use crate::stats::{fmt, QuantileSketch};
 
 /// The raw outcome matrix of a tournament.
 #[derive(Clone, Debug)]
@@ -133,6 +133,32 @@ pub fn tournament_report(o: &TournamentOutcome) -> Report {
     }
     tables.push(dom);
 
+    // Fault spread across cells, per strategy, via the same streaming
+    // quantile sketch the serve layer uses for latency percentiles
+    // (α = 1% relative error; the spread shows whether a family's losses
+    // are broad or concentrated in a few pathological cells).
+    let mut spread = Table::new(
+        "per-strategy fault spread across cells (sketch quantiles, α = 1%)",
+        &["strategy", "cells", "p50", "p90", "p99"],
+    );
+    for (si, name) in o.strategies.iter().enumerate() {
+        let mut sk = QuantileSketch::default_latency();
+        for g in 0..o.groups.len() {
+            if let Some(f) = o.faults[g][si] {
+                sk.add(f as f64);
+            }
+        }
+        let (p50, p90, p99) = sk.p50_p90_p99();
+        spread.row(vec![
+            name.clone(),
+            sk.count().to_string(),
+            fmt(p50),
+            fmt(p90),
+            fmt(p99),
+        ]);
+    }
+    tables.push(spread);
+
     notes.push(
         "regret = faults / best-in-cell faults; wins = cells where the strategy attains the best \
          count (ties count for every attainer)"
@@ -182,7 +208,7 @@ mod tests {
     #[test]
     fn dominance_counts_strict_beats_on_shared_cells() {
         let report = tournament_report(&outcome());
-        let dom = report.tables.last().unwrap();
+        let dom = &report.tables[2];
         // lru beats mru only in g0; mru beats lru only in g1; sacrifice
         // beats lru in g1, never beaten by mru (tie in g1).
         assert_eq!(dom.rows[0][..], ["lru", "-", "1", "0"]);
@@ -195,5 +221,26 @@ mod tests {
         let report = tournament_report(&outcome());
         let cells = &report.tables[0];
         assert_eq!(cells.rows[0][..], ["g0", "10", "20", "n/a"]);
+    }
+
+    #[test]
+    fn fault_spread_uses_applicable_cells_only() {
+        let report = tournament_report(&outcome());
+        let spread = report.tables.last().unwrap();
+        assert!(spread.title.contains("fault spread"));
+        // sacrifice is applicable in one cell (4 faults): every quantile
+        // of a single-item stream is within 1% of 4.
+        assert_eq!(spread.rows[2][0], "sacrifice");
+        assert_eq!(spread.rows[2][1], "1");
+        for cell in &spread.rows[2][2..] {
+            let v: f64 = cell.parse().unwrap();
+            assert!((v - 4.0).abs() <= 0.04 + 1e-9, "{v}");
+        }
+        // lru: two cells {8, 10}. Under the rank-⌊q(n-1)⌋+1 convention
+        // every q < 1 of a 2-item stream resolves to the first item, 8.
+        let p50: f64 = spread.rows[0][2].parse().unwrap();
+        let p99: f64 = spread.rows[0][4].parse().unwrap();
+        assert!((p50 - 8.0).abs() <= 0.08 + 1e-9, "{p50}");
+        assert!((p99 - 8.0).abs() <= 0.08 + 1e-9, "{p99}");
     }
 }

@@ -1,0 +1,95 @@
+//! Serve-layer throughput: requests/second sustained through the
+//! in-process transport (producer thread → bounded rings → driver →
+//! online engine), across both queue disciplines, two shared policies,
+//! and two ring depths.
+//!
+//! The PR gate runs first, outside criterion: a dFCFS/S_LRU stream of
+//! 400k requests must sustain **≥ 1M requests/sec aggregate** end to
+//! end (admission, dispatch, simulation, metrics bookkeeping). `--quick`
+//! (CI smoke) still runs the pipeline but skips the rate assertion —
+//! shared CI runners don't guarantee hardware throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcp_core::SimConfig;
+use mcp_policies::{shared_fifo, shared_lru};
+use mcp_serve::{Discipline, ServeConfig, Server};
+use std::hint::black_box;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const CORES: usize = 4;
+
+/// Push `n` seeded requests through a fresh server with one lossless
+/// producer thread; returns the number served (always `n`).
+fn run_stream(discipline: Discipline, strategy: &str, depth: usize, n: u64) -> u64 {
+    // Universe below K: after warm-up the stream is mostly hits, so this
+    // measures the serving pipeline, not fault-path bookkeeping.
+    let mut cfg = ServeConfig::new(CORES, SimConfig::new(64, 2));
+    cfg.discipline = discipline;
+    cfg.depth = depth;
+    let strategy: mcp_serve::BoxedStrategy = match strategy {
+        "lru" => Box::new(shared_lru()),
+        _ => Box::new(shared_fifo()),
+    };
+    let server = Server::new(cfg, strategy).expect("valid serve config");
+    let client = server.client();
+    let producer = std::thread::spawn(move || {
+        let stop = AtomicBool::new(false);
+        let mut rng = 0x5EED_CAFE_u64;
+        for i in 0..n {
+            rng = splitmix64(rng);
+            let core = (i % CORES as u64) as u32;
+            assert!(client.offer_blocking(core, (rng % 48) as u32, &stop));
+        }
+        client.close(None);
+    });
+    let report = server.run(|_| {}).expect("serve run");
+    producer.join().unwrap();
+    assert_eq!(report.served, n, "lossless path must serve everything");
+    report.served
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // ---- the PR gate, measured outside criterion ----
+    let gate_n: u64 = if quick { 50_000 } else { 400_000 };
+    let start = Instant::now();
+    let served = run_stream(Discipline::Dfcfs, "lru", 1024, gate_n);
+    let rate = served as f64 / start.elapsed().as_secs_f64();
+    eprintln!("[gate] dfcfs/S_LRU in-process: {:.2}M req/s", rate / 1e6);
+    if !quick {
+        assert!(
+            rate >= 1_000_000.0,
+            "serve throughput gate failed: {rate:.0} req/s < 1,000,000"
+        );
+    }
+
+    let per_iter: u64 = if quick { 20_000 } else { 100_000 };
+    for discipline in [Discipline::Cfcfs, Discipline::Dfcfs] {
+        for strategy in ["lru", "fifo"] {
+            for depth in [256usize, 4096] {
+                let mut group = c.benchmark_group(format!(
+                    "serve_throughput/{discipline}/{strategy}/depth{depth}"
+                ));
+                group.throughput(Throughput::Elements(per_iter));
+                group.bench_function("stream", |b| {
+                    b.iter(|| {
+                        black_box(run_stream(black_box(discipline), strategy, depth, per_iter))
+                    })
+                });
+                group.finish();
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -62,6 +62,7 @@ const FLAGS: &[&str] = &[
     "json",
     "no-crosscheck",
     "chaos",
+    "no-close",
 ];
 
 impl Args {

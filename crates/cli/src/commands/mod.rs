@@ -2,6 +2,7 @@
 //! parsed [`crate::args::Args`] values to their stdout text, so the whole
 //! surface is unit-testable without spawning processes.
 
+pub mod blast;
 pub mod chaos;
 pub mod compare;
 pub mod curves;
@@ -10,6 +11,7 @@ pub mod gen;
 pub mod opt;
 pub mod partition;
 pub mod pif;
+pub mod serve;
 pub mod simulate;
 pub mod stats;
 pub mod tournament;
@@ -75,10 +77,19 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Load a workload trace: `.json` via serde, anything else as the compact
-/// text format. Malformed files surface as [`CliError::Trace`] (exit 2);
-/// only genuine I/O failures (missing file, permissions) are
-/// [`CliError::Io`]. Neither parser panics on corrupt bytes.
+/// text format, and `-` as text from stdin (so `mcp serve` replay logs
+/// pipe straight into `mcp simulate -`). Malformed input surfaces as
+/// [`CliError::Trace`] (exit 2); only genuine I/O failures (missing file,
+/// permissions) are [`CliError::Io`]. Neither parser panics on corrupt
+/// bytes.
 pub fn load_trace(path: &str) -> Result<Workload, CliError> {
+    if path == "-" {
+        let stdin = std::io::stdin();
+        return mcp_workloads::read_text(stdin.lock()).map_err(|e| match e {
+            mcp_workloads::TextError::Io(io) => CliError::Io(io),
+            parse => CliError::Trace(format!("malformed trace on stdin: {parse}")),
+        });
+    }
     let p = Path::new(path);
     if p.extension().map(|e| e == "json").unwrap_or(false) {
         mcp_workloads::load_json(p).map_err(|e| {

@@ -61,6 +61,21 @@ commands:
                  target, and a faulted save/load/resume chain must
                  recover [--instances N] [--seed S] [--bits N]
                  [--plan SEED[:W,R,T[,C[,STALL_MS]]]]; violations exit 1
+  serve        streaming online service: per-core bounded queues
+                 (cFCFS/dFCFS), live strategy, JSON metric snapshots on
+                 stdout --cores P --k K [--tau T] [--strategy NAME]
+                 [--discipline cfcfs|dfcfs] [--depth N] [--batch N]
+                 [--snapshot-ms MS] [--replay-log FILE] [--quiet] and one
+                 input mode: --seed S [--n N] [--universe U]
+                 (deterministic self-driving stream; the replay log pipes
+                 into `mcp simulate -` and reproduces the same faults) or
+                 --listen unix:PATH|tcp:HOST:PORT (socket clients; SIGINT
+                 drains, snapshots, writes the log, exits 0). Offline
+                 strategies (fitf, mimic, partition-opt, sacrifice) are
+                 rejected — their begin reads the future
+  blast        load-generating client for serve
+                 --connect unix:PATH|tcp:HOST:PORT [--cores P] [--n N]
+                 [--seed S] [--universe U] [--batch B] [--no-close]
   tournament   strategy tournament on the batch engine: regret and
                  pairwise-dominance tables over a families × workloads
                  × K × τ grid
@@ -83,7 +98,8 @@ resource governance (opt, pif):
   --checkpoint FILE save the DP frontier on truncation (also on Ctrl-C)
                     and resume from FILE when re-run; removed on completion
 
-Traces are JSON (.json) or the compact text format (anything else).
+Traces are JSON (.json) or the compact text format (anything else);
+`--trace -` reads the text format from stdin.
 The exact solvers (opt, pif) are exponential in K and p: keep instances small.
 exit codes: 0 ok · 1 error · 2 bad arguments or malformed trace · 3 partial
 ";
@@ -108,6 +124,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("fuzz") => commands::fuzz::run(args),
         Some("chaos") => commands::chaos::run(args),
         Some("tournament") => commands::tournament::run(args),
+        Some("serve") => commands::serve::run(args),
+        Some("blast") => commands::blast::run(args),
         Some(other) => Err(CliError::Other(format!(
             "unknown command {other:?}; try `mcp help`"
         ))),

@@ -1,0 +1,323 @@
+//! End-to-end `mcp serve` tests against the built binary: deterministic
+//! replay across `--jobs`, fault parity through `mcp simulate -`, chaos
+//! survival with uncorrupted snapshots, socket mode with a `mcp blast`
+//! client and a clean SIGINT exit, and the offline-strategy guard.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn mcp_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mcp"));
+    cmd.env_remove("MCP_CHAOS");
+    cmd
+}
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = mcp_cmd().args(args).output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("mcp_serve_e2e_{}_{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Extract `"key":<digits>` from a one-line JSON snapshot.
+fn json_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let i = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} missing in {line}"))
+        + pat.len();
+    line[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Sanity-check a snapshot line's shape and accounting invariant.
+fn check_snapshot(line: &str) {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "bad json: {line}"
+    );
+    let offered = json_u64(line, "offered");
+    let admitted = json_u64(line, "admitted");
+    let dropped = json_u64(line, "dropped");
+    assert_eq!(offered, admitted + dropped, "conservation broke: {line}");
+    for key in ["seq", "served", "backlog", "total_faults", "makespan"] {
+        json_u64(line, key); // present and numeric
+    }
+    assert!(line.contains("\"latency_ns\""));
+    assert!(line.contains("\"jain_slowdown\""));
+}
+
+fn serve_seeded(
+    discipline: &str,
+    jobs: &str,
+    log_path: &str,
+    extra_env: Option<(&str, &str)>,
+) -> (Option<i32>, String, String) {
+    let mut cmd = mcp_cmd();
+    cmd.args([
+        "serve",
+        "--cores",
+        "3",
+        "--k",
+        "12",
+        "--tau",
+        "3",
+        "--strategy",
+        "lru",
+        "--discipline",
+        discipline,
+        "--seed",
+        "41",
+        "--n",
+        "30000",
+        "--universe",
+        "30",
+        "--jobs",
+        jobs,
+        "--snapshot-ms",
+        "50",
+        "--replay-log",
+        log_path,
+    ]);
+    if let Some((k, v)) = extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_replay_logs_are_byte_identical_across_jobs_and_faults_survive_simulate_stdin() {
+    for discipline in ["dfcfs", "cfcfs"] {
+        let mut logs = Vec::new();
+        for jobs in ["1", "2", "4"] {
+            let path = tmp(&format!("replay_{discipline}_{jobs}.trace"));
+            let (code, stdout, stderr) = serve_seeded(discipline, jobs, &path, None);
+            assert_eq!(code, Some(0), "serve failed: {stderr}");
+            for line in stdout.lines() {
+                check_snapshot(line);
+            }
+            let final_line = stdout.lines().last().expect("at least the final snapshot");
+            assert_eq!(json_u64(final_line, "served"), 30_000);
+            assert_eq!(json_u64(final_line, "dropped"), 0, "lossless seeded mode");
+            logs.push((std::fs::read(&path).unwrap(), final_line.to_string()));
+            std::fs::remove_file(&path).ok();
+        }
+        assert_eq!(logs[0].0, logs[1].0, "{discipline}: --jobs 1 vs 2 diverged");
+        assert_eq!(logs[0].0, logs[2].0, "{discipline}: --jobs 1 vs 4 diverged");
+
+        // Pipe the replay log into `mcp simulate -`: identical fault count.
+        let served_faults = json_u64(&logs[0].1, "total_faults");
+        let mut child = mcp_cmd()
+            .args([
+                "simulate",
+                "--trace",
+                "-",
+                "--k",
+                "12",
+                "--tau",
+                "3",
+                "--strategy",
+                "lru",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(&logs[0].0).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(0));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(&format!("total: {served_faults} faults")),
+            "{discipline}: simulate - reported different faults; served {served_faults}, got:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn chaos_armed_serve_stays_deterministic_and_snapshots_stay_parseable() {
+    let clean = tmp("chaos_clean.trace");
+    let (code, _, stderr) = serve_seeded("dfcfs", "2", &clean, None);
+    assert_eq!(code, Some(0), "clean run failed: {stderr}");
+
+    // 6% injected panics at the drain probe, bursts of up to 3: the
+    // driver retries through every one; the log must not change and no
+    // snapshot line may be corrupted.
+    let chaotic = tmp("chaos_armed.trace");
+    let (code, stdout, stderr) = serve_seeded(
+        "dfcfs",
+        "2",
+        &chaotic,
+        Some(("MCP_CHAOS", "0xBAD5EED:0,0,60,3,0")),
+    );
+    assert_eq!(code, Some(0), "chaos run failed: {stderr}");
+    for line in stdout.lines() {
+        check_snapshot(line);
+    }
+    let final_line = stdout.lines().last().unwrap();
+    assert_eq!(json_u64(final_line, "served"), 30_000);
+    assert_eq!(
+        std::fs::read(&clean).unwrap(),
+        std::fs::read(&chaotic).unwrap(),
+        "injected faults must not perturb the admitted log"
+    );
+    std::fs::remove_file(&clean).ok();
+    std::fs::remove_file(&chaotic).ok();
+}
+
+#[test]
+fn socket_mode_serves_blast_traffic_and_exits_cleanly_on_sigint() {
+    let sock = tmp("live.sock");
+    let server = mcp_cmd()
+        .args([
+            "serve",
+            "--cores",
+            "2",
+            "--k",
+            "8",
+            "--strategy",
+            "lru",
+            "--listen",
+            &format!("unix:{sock}"),
+            "--snapshot-ms",
+            "100",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait for the socket to appear (bounded).
+    for _ in 0..100 {
+        if std::path::Path::new(&sock).exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(std::path::Path::new(&sock).exists(), "server never bound");
+
+    let (code, stdout, stderr) = run(&[
+        "blast",
+        "--connect",
+        &format!("unix:{sock}"),
+        "--cores",
+        "2",
+        "--n",
+        "20000",
+        "--seed",
+        "9",
+        "--no-close",
+    ]);
+    assert_eq!(code, Some(0), "blast failed: {stderr}");
+    assert!(stdout.contains("blasted 20000 requests"));
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-INT", &server.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let out = server.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "SIGINT must drain and exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = 0;
+    for line in stdout.lines() {
+        check_snapshot(line);
+        lines += 1;
+    }
+    assert!(lines >= 1, "at least the final snapshot");
+    let final_line = stdout.lines().last().unwrap();
+    // The blaster bursts 20k offers at bounded rings: whatever was
+    // admitted must be fully served, and anything else must show up as
+    // explicit drops — nothing is silently lost.
+    let admitted = json_u64(final_line, "admitted");
+    let served = json_u64(final_line, "served");
+    let rejected = json_u64(final_line, "rejected_late");
+    assert_eq!(json_u64(final_line, "offered"), 20_000);
+    assert_eq!(served + rejected, admitted);
+    assert_eq!(json_u64(final_line, "backlog"), 0);
+}
+
+#[test]
+fn offline_strategies_are_rejected_with_guidance() {
+    for spec in ["fitf", "mimic", "partition-opt", "sacrifice"] {
+        let (code, _, stderr) = run(&[
+            "serve",
+            "--cores",
+            "2",
+            "--k",
+            "8",
+            "--strategy",
+            spec,
+            "--seed",
+            "1",
+        ]);
+        assert_eq!(code, Some(1), "{spec} must be refused");
+        assert!(
+            stderr.contains("offline-only"),
+            "{spec}: unhelpful error: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_requires_exactly_one_input_mode() {
+    let (code, _, stderr) = run(&["serve", "--cores", "2", "--k", "8"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("--seed") && stderr.contains("--listen"));
+    let (code, _, stderr) = run(&[
+        "serve",
+        "--cores",
+        "2",
+        "--k",
+        "8",
+        "--seed",
+        "1",
+        "--listen",
+        "unix:/tmp/x.sock",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("mutually exclusive"));
+}
+
+#[test]
+fn simulate_stdin_rejects_garbage_with_exit_2() {
+    let mut child = mcp_cmd()
+        .args(["simulate", "--trace", "-", "--k", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"0: 1 2 banana\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "malformed stdin is exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("stdin"),
+        "error should mention stdin: {stderr}"
+    );
+}

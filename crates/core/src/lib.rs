@@ -13,6 +13,9 @@
 //! * [`sim`] — the discrete-event engine, step-wise or run-to-completion.
 //! * [`tick`] — the scan-based engine it replaced, kept as a
 //!   differential-verification tier.
+//! * [`online`] — the incremental engine behind `mcp serve`: requests
+//!   arrive one at a time and timesteps commit under a safe-horizon rule
+//!   that keeps results bit-identical to the offline run.
 //! * [`events`] — analytics over event traces (effective partitions,
 //!   eviction pressure, outcome tallies).
 //! * [`hash`] — the deterministic fast hasher behind the hot-path
@@ -45,6 +48,7 @@ pub mod budget;
 pub mod cache;
 pub mod events;
 pub mod hash;
+pub mod online;
 pub mod sim;
 pub mod strategy;
 pub mod tick;
@@ -56,6 +60,7 @@ pub use events::{
     evictions_by_page, inter_fault_times, occupancy_timeline, outcome_counts, OutcomeCounts,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use online::{OnlineError, OnlineSimulator};
 pub use sim::{simulate, Outcome, Served, SimError, SimResult, Simulator, StepReport};
 pub use strategy::CacheStrategy;
 pub use tick::{simulate_tick, TickSimulator};

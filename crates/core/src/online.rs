@@ -1,0 +1,624 @@
+//! Incremental (online) simulation: the engine behind `mcp serve`.
+//!
+//! [`OnlineSimulator`] is the tick engine ([`crate::tick::TickSimulator`])
+//! with the workload made *growable*: requests arrive one at a time via
+//! [`OnlineSimulator::push`] and the engine commits timesteps as soon as —
+//! and only when — they can no longer be affected by future arrivals.
+//!
+//! ## The safe-horizon commit rule
+//!
+//! In the paper's model a core's issue times depend only on its own
+//! hit/fault history: after a hit at `t` the core's next request issues at
+//! `t + 1`, after a fault at `t + τ + 1`. Cores couple *only* through the
+//! shared cache state, which depends on the interleaving by model time.
+//! Call a core **starved** when it is still open (not
+//! [`OnlineSimulator::close`]d) but every admitted request of it has been
+//! served. A timestep at model time `t` is safe to commit iff every
+//! starved core `j` has `ready_j > t`: a request pushed to `j` later would
+//! issue at `ready_j`, strictly after `t`, so it cannot participate in —
+//! or reorder — the step being committed. (Ties block: within a timestep
+//! cores are served in increasing core order, so a late arrival with
+//! `ready_j == t` would have been served in that very step.)
+//!
+//! Under this rule the committed trace is, at every moment, a prefix of
+//! the offline run on whatever the final admitted log turns out to be.
+//! After [`OnlineSimulator::close_all`] and a draining
+//! [`OnlineSimulator::advance`], the fault counts, fault times and
+//! makespan are **bit-identical** to [`crate::sim::simulate`] on the
+//! recorded log — this is the serve layer's replay contract, and the
+//! tests below pin it.
+//!
+//! A silent open core therefore throttles the horizon: nothing commits
+//! until it receives work or closes. This is inherent to the model, not
+//! an implementation artifact; the serve layer surfaces it as backlog.
+//!
+//! Strategies whose [`CacheStrategy::begin`] reads the full request
+//! sequences (offline strategies: FITF, per-part Belady, the LRU-mimic
+//! and sacrifice constructions) cannot run online — `begin` here sees
+//! `p` empty sequences. The online-safe families (shared LRU/FIFO/CLOCK/
+//! LFU/MRU/FWF/LRU-2/random/marking and uniform static partitions) ignore
+//! the sequences in `begin`, which the serve replay tests verify
+//! empirically per strategy.
+
+use crate::cache::{Cache, CacheError, CellState, Lookup};
+use crate::sim::{SimError, SimResult};
+use crate::strategy::CacheStrategy;
+use crate::types::{PageId, SimConfig, Time, Workload};
+use std::fmt;
+
+/// Errors from feeding an [`OnlineSimulator`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The core index is out of range.
+    UnknownCore {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores the engine was built with.
+        cores: usize,
+    },
+    /// The core was already closed; its sequence is final.
+    CoreClosed {
+        /// The offending core index.
+        core: usize,
+    },
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::UnknownCore { core, cores } => {
+                write!(f, "core {core} out of range (p = {cores})")
+            }
+            OnlineError::CoreClosed { core } => {
+                write!(f, "core {core} is closed; cannot admit more requests")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// The incremental engine: a [`crate::tick::TickSimulator`] whose workload
+/// grows via [`OnlineSimulator::push`] and commits under the safe-horizon
+/// rule (module docs).
+pub struct OnlineSimulator<S: CacheStrategy> {
+    cfg: SimConfig,
+    strategy: S,
+    cache: Cache,
+    /// The admitted log, per core — grows at the tail only.
+    seqs: Vec<Vec<PageId>>,
+    closed: Vec<bool>,
+    pos: Vec<usize>,
+    ready: Vec<Time>,
+    faults: Vec<u64>,
+    hits: Vec<u64>,
+    fault_times: Vec<Vec<Time>>,
+    makespan: Time,
+    last_time: Time,
+}
+
+impl<S: CacheStrategy> OnlineSimulator<S> {
+    /// Create an engine for `num_cores` open cores. Calls the strategy's
+    /// [`CacheStrategy::begin`] with `num_cores` empty sequences (see the
+    /// module docs for which strategies that excludes).
+    pub fn new(num_cores: usize, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+        let empty = Workload::new(vec![Vec::new(); num_cores])?;
+        cfg.validate(&empty)?;
+        strategy.begin(&empty, &cfg);
+        Ok(OnlineSimulator {
+            cfg,
+            strategy,
+            cache: Cache::new(cfg.cache_size, num_cores),
+            seqs: vec![Vec::new(); num_cores],
+            closed: vec![false; num_cores],
+            pos: vec![0; num_cores],
+            ready: vec![1; num_cores],
+            faults: vec![0; num_cores],
+            hits: vec![0; num_cores],
+            fault_times: vec![Vec::new(); num_cores],
+            makespan: 0,
+            last_time: 0,
+        })
+    }
+
+    /// Number of cores `p`.
+    pub fn num_cores(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Admit one request at the tail of `core`'s sequence.
+    pub fn push(&mut self, core: usize, page: PageId) -> Result<(), OnlineError> {
+        if core >= self.seqs.len() {
+            return Err(OnlineError::UnknownCore {
+                core,
+                cores: self.seqs.len(),
+            });
+        }
+        if self.closed[core] {
+            return Err(OnlineError::CoreClosed { core });
+        }
+        self.seqs[core].push(page);
+        Ok(())
+    }
+
+    /// Declare `core`'s sequence final: no more pushes, and the horizon
+    /// stops waiting on it. Idempotent.
+    pub fn close(&mut self, core: usize) -> Result<(), OnlineError> {
+        if core >= self.seqs.len() {
+            return Err(OnlineError::UnknownCore {
+                core,
+                cores: self.seqs.len(),
+            });
+        }
+        self.closed[core] = true;
+        Ok(())
+    }
+
+    /// Close every core (end of stream).
+    pub fn close_all(&mut self) {
+        self.closed.fill(true);
+    }
+
+    /// Whether `core` is closed.
+    pub fn is_closed(&self, core: usize) -> bool {
+        self.closed[core]
+    }
+
+    /// Requests served so far, per core (`pos` in tick-engine terms).
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// Time at which each core's next request issues.
+    pub fn ready_times(&self) -> &[Time] {
+        &self.ready
+    }
+
+    /// Faults so far, per core.
+    pub fn faults(&self) -> &[u64] {
+        &self.faults
+    }
+
+    /// Hits so far, per core.
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Completion time of the last request served so far.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Admitted-but-unserved requests, total.
+    pub fn backlog(&self) -> usize {
+        self.seqs
+            .iter()
+            .zip(&self.pos)
+            .map(|(s, &p)| s.len() - p)
+            .sum()
+    }
+
+    /// Requests admitted so far, total.
+    pub fn admitted(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+
+    /// `true` once every core is closed and every admitted request served.
+    pub fn finished(&self) -> bool {
+        self.closed.iter().all(|&c| c)
+            && self.seqs.iter().zip(&self.pos).all(|(s, &p)| p >= s.len())
+    }
+
+    /// The candidate next timestep over *admitted* unserved requests, with
+    /// the same voluntary-time override as the offline engines.
+    fn next_event_time(&self) -> Option<Time> {
+        let next_request = (0..self.seqs.len())
+            .filter(|&j| self.pos[j] < self.seqs[j].len())
+            .map(|j| self.ready[j])
+            .min()?;
+        match self.strategy.next_voluntary_time() {
+            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
+            _ => Some(next_request),
+        }
+    }
+
+    /// Is committing a step at `t` unsafe because a starved open core
+    /// could still receive a request issuing at or before `t`?
+    fn horizon_blocked(&self, t: Time) -> bool {
+        (0..self.seqs.len())
+            .any(|j| !self.closed[j] && self.pos[j] >= self.seqs[j].len() && self.ready[j] <= t)
+    }
+
+    /// Commit every step the safe horizon allows. Returns the number of
+    /// requests served; stopping with admitted backlog left (or with open
+    /// starved cores) means more input — or closes — are needed before
+    /// model time can progress.
+    pub fn advance(&mut self) -> Result<usize, SimError> {
+        let mut served = 0;
+        loop {
+            let Some(t) = self.next_event_time() else {
+                return Ok(served);
+            };
+            if self.horizon_blocked(t) {
+                return Ok(served);
+            }
+            served += self.step_at(t)?;
+        }
+    }
+
+    /// One committed timestep at `t` — a faithful transcription of the
+    /// tick engine's `step_inner` over the admitted log. Returns the
+    /// number of requests served at `t`.
+    fn step_at(&mut self, t: Time) -> Result<usize, SimError> {
+        self.last_time = t;
+        self.cache.promote_due(t);
+
+        // Pin every page requested this parallel step before the strategy
+        // gets to evict voluntarily (R(x) ⊆ C', Algorithms 1 and 2).
+        for core in 0..self.seqs.len() {
+            if self.pos[core] < self.seqs[core].len() && self.ready[core] == t {
+                self.cache.pin_page(self.seqs[core][self.pos[core]]);
+            }
+        }
+
+        for cell in self.strategy.voluntary_evictions(t, &self.cache) {
+            if !matches!(self.cache.cell(cell), CellState::Present(_)) {
+                return Err(SimError::BadVoluntaryEviction { cell });
+            }
+            let page = self.cache.evict(cell)?;
+            self.strategy.on_evict(page, cell);
+        }
+
+        let mut served = 0;
+        for core in 0..self.seqs.len() {
+            if self.pos[core] >= self.seqs[core].len() || self.ready[core] != t {
+                continue;
+            }
+            let page = self.seqs[core][self.pos[core]];
+            match self.cache.lookup(page) {
+                Lookup::Present { .. } => {
+                    self.hits[core] += 1;
+                    self.strategy.on_hit(core, page, t, &self.cache);
+                    self.ready[core] = t + 1;
+                    self.makespan = self.makespan.max(t);
+                }
+                Lookup::Fetching { .. } => {
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    self.strategy
+                        .on_shared_fetch_miss(core, page, t, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                }
+                Lookup::Absent => {
+                    self.faults[core] += 1;
+                    self.fault_times[core].push(t);
+                    let cell = self.strategy.choose_cell(core, page, t, &self.cache);
+                    match self.cache.cell(cell) {
+                        CellState::Present(_) => {
+                            let victim = self.cache.evict(cell)?;
+                            self.strategy.on_evict(victim, cell);
+                        }
+                        CellState::Empty => {}
+                        CellState::Fetching { .. } => {
+                            return Err(SimError::Cache(CacheError::EvictFetching { cell }));
+                        }
+                    }
+                    self.cache
+                        .start_fetch(cell, page, core, t + self.cfg.tau + 1)?;
+                    self.strategy.on_fault(core, page, t, cell, &self.cache);
+                    self.ready[core] = t + self.cfg.tau + 1;
+                    self.makespan = self.makespan.max(t + self.cfg.tau);
+                }
+            }
+            self.pos[core] += 1;
+            served += 1;
+        }
+        self.cache.clear_pins();
+        Ok(served)
+    }
+
+    /// A copy of the admitted log as a [`Workload`] — the replay trace.
+    pub fn admitted_log(&self) -> Workload {
+        Workload::new(self.seqs.clone()).expect("p >= 1 by construction")
+    }
+
+    /// Consume the engine, returning the aggregate result and the admitted
+    /// log. The result equals [`crate::sim::simulate`] on that log when
+    /// the engine is [`OnlineSimulator::finished`]; callers wanting the
+    /// replay contract should `close_all` + `advance` first.
+    pub fn finish(self) -> (SimResult, Workload) {
+        let log = Workload::new(self.seqs).expect("p >= 1 by construction");
+        (
+            SimResult {
+                faults: self.faults,
+                hits: self.hits,
+                makespan: self.makespan,
+                fault_times: self.fault_times,
+                config: self.cfg,
+            },
+            log,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    /// Evict the lowest-indexed evictable cell.
+    struct FirstFit;
+    impl CacheStrategy for FirstFit {
+        fn name(&self) -> String {
+            "FirstFit".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .expect("victim exists when K >= p")
+        }
+    }
+
+    /// Global-LRU over stamps, implemented locally so mcp-core's tests
+    /// need no policies crate.
+    #[derive(Default)]
+    struct MiniLru {
+        stamps: std::collections::HashMap<PageId, u64>,
+        clock: u64,
+    }
+    impl MiniLru {
+        fn touch(&mut self, page: PageId) {
+            self.clock += 1;
+            self.stamps.insert(page, self.clock);
+        }
+    }
+    impl CacheStrategy for MiniLru {
+        fn name(&self) -> String {
+            "MiniLru".into()
+        }
+        fn on_hit(&mut self, _c: usize, page: PageId, _t: Time, _cache: &Cache) {
+            self.touch(page);
+        }
+        fn on_fault(&mut self, _c: usize, page: PageId, _t: Time, _cell: usize, _cache: &Cache) {
+            self.touch(page);
+        }
+        fn on_shared_fetch_miss(&mut self, _c: usize, page: PageId, _t: Time, _cache: &Cache) {
+            self.touch(page);
+        }
+        fn on_evict(&mut self, page: PageId, _cell: usize) {
+            self.stamps.remove(&page);
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            if let Some(cell) = cache.empty_cell() {
+                return cell;
+            }
+            let (cell, _, _) = cache
+                .evictable_cells()
+                .min_by_key(|(cell, p, _)| (self.stamps.get(p).copied().unwrap_or(0), *cell))
+                .expect("cache full implies a victim");
+            cell
+        }
+    }
+
+    /// Flush-when-full with a declared voluntary flush time, to exercise
+    /// the voluntary-eviction path online.
+    struct Flusher {
+        at: Time,
+    }
+    impl CacheStrategy for Flusher {
+        fn name(&self) -> String {
+            "Flusher".into()
+        }
+        fn choose_cell(&mut self, _c: usize, _p: PageId, _t: Time, cache: &Cache) -> usize {
+            cache
+                .empty_cell()
+                .or_else(|| cache.evictable_cells().map(|(i, _, _)| i).next())
+                .expect("victim exists")
+        }
+        fn next_voluntary_time(&self) -> Option<Time> {
+            Some(self.at)
+        }
+        fn voluntary_evictions(&mut self, t: Time, cache: &Cache) -> Vec<usize> {
+            if t == self.at {
+                cache.evictable_cells().map(|(i, _, _)| i).collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn w(seqs: &[&[u32]]) -> Workload {
+        Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+    }
+
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Feed `workload` into an online engine under a seeded interleaving
+    /// of pushes, closes and advances, then assert the finished result is
+    /// bit-identical to the offline run.
+    fn check_online<S: CacheStrategy>(
+        workload: &Workload,
+        cfg: SimConfig,
+        offline: S,
+        online: S,
+        seed: u64,
+    ) {
+        let expect = simulate(workload, cfg, offline).unwrap();
+        let mut eng = OnlineSimulator::new(workload.num_cores(), cfg, online).unwrap();
+        let mut cursor = vec![0usize; workload.num_cores()];
+        let mut rng = seed;
+        loop {
+            let open: Vec<usize> = (0..workload.num_cores())
+                .filter(|&j| cursor[j] < workload.len(j))
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            rng = splitmix64(rng);
+            let j = open[(rng % open.len() as u64) as usize];
+            // Push a random-length burst from core j, then sometimes advance.
+            rng = splitmix64(rng);
+            let burst = 1 + (rng % 3) as usize;
+            for _ in 0..burst {
+                if cursor[j] < workload.len(j) {
+                    eng.push(j, workload.sequence(j)[cursor[j]]).unwrap();
+                    cursor[j] += 1;
+                }
+            }
+            rng = splitmix64(rng);
+            if rng.is_multiple_of(2) {
+                eng.advance().unwrap();
+            }
+        }
+        eng.close_all();
+        eng.advance().unwrap();
+        assert!(eng.finished());
+        let (got, log) = eng.finish();
+        assert_eq!(&log, workload, "admitted log must equal the input");
+        assert_eq!(got, expect, "online result diverged (seed {seed})");
+    }
+
+    #[test]
+    fn matches_offline_firstfit_and_lru() {
+        let cases = [
+            (w(&[&[1, 2, 1, 2], &[7, 7, 8, 8]]), 3, 2),
+            (w(&[&[1], &[1]]), 2, 4),
+            (w(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8]]), 4, 0),
+            (
+                w(&[&[1, 2, 3, 4, 1, 2, 3, 4], &[5, 6, 5, 6], &[9, 9, 9]]),
+                5,
+                3,
+            ),
+            (w(&[&[], &[]]), 2, 3),
+        ];
+        for (wl, k, tau) in cases {
+            let cfg = SimConfig::new(k, tau);
+            for seed in 0..8 {
+                check_online(&wl, cfg, FirstFit, FirstFit, seed);
+                check_online(
+                    &wl,
+                    cfg,
+                    MiniLru::default(),
+                    MiniLru::default(),
+                    seed ^ 0xABCD,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_offline_with_voluntary_evictions() {
+        let wl = w(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8]]);
+        let cfg = SimConfig::new(4, 2);
+        for at in [2, 5, 9] {
+            for seed in 0..4 {
+                check_online(&wl, cfg, Flusher { at }, Flusher { at }, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_interleavings_large() {
+        // A bigger seeded instance: 3 cores, overlapping pages so the
+        // shared-fetch-miss path fires under tau > 0.
+        let mut seqs: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        let mut rng = 0xfeed_beefu64;
+        for seq in &mut seqs {
+            for _ in 0..120 {
+                rng = splitmix64(rng);
+                seq.push((rng % 12) as u32);
+            }
+        }
+        let wl = Workload::from_u32(seqs).unwrap();
+        let cfg = SimConfig::new(6, 3);
+        for seed in 0..6 {
+            check_online(&wl, cfg, MiniLru::default(), MiniLru::default(), seed);
+        }
+    }
+
+    #[test]
+    fn horizon_blocks_on_silent_open_core() {
+        let mut eng = OnlineSimulator::new(2, SimConfig::new(2, 1), FirstFit).unwrap();
+        eng.push(0, PageId(1)).unwrap();
+        eng.push(0, PageId(2)).unwrap();
+        // Core 1 is open and starved with ready = 1 <= any candidate t:
+        // nothing may commit yet.
+        assert_eq!(eng.advance().unwrap(), 0);
+        assert_eq!(eng.backlog(), 2);
+        // Closing core 1 releases the horizon.
+        eng.close(1).unwrap();
+        assert_eq!(eng.advance().unwrap(), 2);
+        assert_eq!(eng.backlog(), 0);
+        assert!(!eng.finished(), "core 0 still open");
+        eng.close_all();
+        assert!(eng.finished());
+    }
+
+    #[test]
+    fn partial_commits_are_prefixes() {
+        // Serving as input arrives must never overcommit: after each
+        // advance the served prefix agrees with the final offline run.
+        let wl = w(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 9, 7, 8, 9]]);
+        let cfg = SimConfig::new(4, 2);
+        let expect = simulate(&wl, cfg, MiniLru::default()).unwrap();
+        let mut eng = OnlineSimulator::new(2, cfg, MiniLru::default()).unwrap();
+        for i in 0..6 {
+            eng.push(0, wl.sequence(0)[i]).unwrap();
+            eng.push(1, wl.sequence(1)[i]).unwrap();
+            eng.advance().unwrap();
+            for core in 0..2 {
+                let n = eng.fault_times[core].len();
+                assert_eq!(
+                    eng.fault_times[core],
+                    expect.fault_times[core][..n],
+                    "fault-time prefix diverged at i={i} core={core}"
+                );
+            }
+        }
+        eng.close_all();
+        eng.advance().unwrap();
+        let (got, _) = eng.finish();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn push_and_close_are_guarded() {
+        let mut eng = OnlineSimulator::new(2, SimConfig::new(2, 0), FirstFit).unwrap();
+        assert!(matches!(
+            eng.push(5, PageId(1)),
+            Err(OnlineError::UnknownCore { core: 5, cores: 2 })
+        ));
+        eng.close(0).unwrap();
+        assert!(matches!(
+            eng.push(0, PageId(1)),
+            Err(OnlineError::CoreClosed { core: 0 })
+        ));
+        assert!(eng.close(9).is_err());
+        // Errors render.
+        assert!(OnlineError::CoreClosed { core: 0 }
+            .to_string()
+            .contains("closed"));
+        assert!(OnlineError::UnknownCore { core: 5, cores: 2 }
+            .to_string()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn empty_run_finishes_clean() {
+        let mut eng = OnlineSimulator::new(3, SimConfig::new(3, 2), FirstFit).unwrap();
+        eng.close_all();
+        assert_eq!(eng.advance().unwrap(), 0);
+        assert!(eng.finished());
+        let (r, log) = eng.finish();
+        assert_eq!(r.total_faults(), 0);
+        assert_eq!(r.makespan, 0);
+        assert!(log.is_empty());
+    }
+}

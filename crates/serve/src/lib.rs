@@ -1,0 +1,45 @@
+//! # mcp-serve — the streaming online cache-management service
+//!
+//! `mcp serve` turns the repository's offline simulators into a
+//! long-running service: clients stream `(core, page)` requests in over
+//! TCP, Unix sockets, or in process; the service routes them through
+//! per-core bounded queues, applies a registered strategy *live* on the
+//! incremental engine ([`mcp_core::online::OnlineSimulator`]), and
+//! streams fault / latency / fairness metrics out as periodic JSON
+//! snapshots.
+//!
+//! * [`ring`] — bounded lock-free MPSC rings (Vyukov construction);
+//!   `try_push` never blocks, a full ring is an observable drop.
+//! * [`queue`] — the admission boundary: **cFCFS** (one shared queue)
+//!   and **dFCFS** (one queue per core) disciplines with exact
+//!   accounting (`offered == admitted + dropped`, always).
+//! * [`transport`] — length-prefixed binary frames over any byte
+//!   stream; malformed frames kill one connection, never the service.
+//! * [`server`] — the single driver thread: batched dequeue, engine
+//!   feed, snapshot cadence, chaos-tolerant drain, replay-log writing.
+//! * [`metrics`] — one-line JSON snapshots with sketch-backed latency
+//!   percentiles and Jain's fairness over live slowdowns.
+//!
+//! ## Determinism and the replay contract
+//!
+//! The engine commits timesteps under the safe-horizon rule (see
+//! `mcp_core::online`), so the *admitted log* fully determines every
+//! fault count, fault time, and the makespan. In seeded mode the CLI
+//! uses one deterministic producer over [`QueueSet::offer_blocking`]
+//! (lossless admission), making the log — and hence the replay file —
+//! byte-identical across runs and `--jobs` settings; piping that file
+//! through `mcp simulate -` reproduces the served fault counts exactly.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod ring;
+pub mod server;
+pub mod transport;
+
+pub use metrics::Snapshot;
+pub use queue::{Consumer, Discipline, QueueSet, QueueTotals};
+pub use ring::Msg;
+pub use server::{serve_connection, BoxedStrategy, ServeConfig, ServeError, ServeReport, Server};
+pub use transport::{read_frame, write_frame, Frame, KIND_CLOSE, KIND_REQS, MAX_FRAME_LEN};
