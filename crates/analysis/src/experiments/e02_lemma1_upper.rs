@@ -153,6 +153,7 @@ fn batch_worst(kind: &str, p: usize, k: usize, n: usize, seeds: &[u64]) -> Vec<f
                 cache_size: k,
                 tau,
                 seed: 0, // both families are deterministic
+                capacity: None,
             })
         })
         .collect();

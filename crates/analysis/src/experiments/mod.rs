@@ -1,5 +1,5 @@
 //! The experiment registry: one module per claim of the paper (E01–E15),
-//! plus extension experiments (X01–X04) exploring questions the paper
+//! plus extension experiments (X01–X06) exploring questions the paper
 //! raises but does not settle.
 //!
 //! The paper is theoretical — it has no tables or figures — so each
@@ -28,6 +28,8 @@ pub mod x01_objectives_diverge;
 pub mod x02_randomized_marking;
 pub mod x03_fairness_profile;
 pub mod x04_scheduling_power;
+pub mod x05_capacity_drop;
+pub mod x06_joint_assignment;
 
 /// How big to run: `Quick` for CI/tests (seconds), `Full` for the
 /// recorded EXPERIMENTS.md numbers (minutes).
@@ -73,6 +75,8 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(x02_randomized_marking::X02),
         Box::new(x03_fairness_profile::X03),
         Box::new(x04_scheduling_power::X04),
+        Box::new(x05_capacity_drop::X05),
+        Box::new(x06_joint_assignment::X06),
     ]
 }
 

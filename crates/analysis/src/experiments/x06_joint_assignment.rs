@@ -1,0 +1,219 @@
+//! X06 (extension) — is the paper's fixed jobs-to-cores assignment free?
+//! Hassidim's model optimizes the assignment *jointly* with the cache
+//! partition; the SPAA'11 model takes the assignment as given. We compare
+//! round-robin (the fixed-assignment baseline) against the greedy joint
+//! optimizer on job mixes with page sharing, with the exhaustive joint
+//! optimum as ground truth at tiny scale. The gap comes from co-locating
+//! jobs that share pages — a sequential core reuses one quota over time,
+//! so splitting sharers across cores duplicates their working set.
+
+use super::{ratio, Experiment, Scale};
+use crate::report::{Report, Table, Verdict};
+use crate::stats::fmt;
+use mcp_core::Workload;
+use mcp_offline::{evaluate_assignment, joint_exhaustive, joint_greedy, PartPolicy};
+
+/// See module docs.
+pub struct X06;
+
+/// Cap on `cores^jobs` below which the exhaustive joint search runs.
+const EXHAUSTIVE_CAP: usize = 5_000;
+
+/// A job cycling `wss` pages starting at `base`, `n` requests long.
+fn job(base: u32, wss: u32, n: usize) -> Vec<u32> {
+    (0..n).map(|i| base + i as u32 % wss).collect()
+}
+
+/// Job mixes: `(name, jobs, cores, K)`. Jobs are encoded as a `Workload`
+/// whose "cores" are the job pool, not machine cores.
+fn cases(scale: Scale) -> Vec<(&'static str, Workload, usize, usize)> {
+    let mut c = vec![
+        // Two pairs of identical (page-sharing) jobs. Round-robin splits
+        // both pairs across the cores; the joint optimizer co-locates.
+        (
+            "two sharing pairs",
+            Workload::from_u32(vec![
+                job(0, 3, 24),
+                job(0, 3, 24),
+                job(10, 3, 24),
+                job(10, 3, 24),
+            ])
+            .unwrap(),
+            2,
+            6,
+        ),
+        // Three sharing pairs, listed pair-adjacent so `j mod 3` places
+        // every pair on two different cores.
+        (
+            "three sharing pairs",
+            Workload::from_u32(vec![
+                job(0, 2, 16),
+                job(0, 2, 16),
+                job(10, 2, 16),
+                job(10, 2, 16),
+                job(20, 2, 16),
+                job(20, 2, 16),
+            ])
+            .unwrap(),
+            3,
+            6,
+        ),
+        // Disjoint jobs with mixed demand: assignment is (nearly) free,
+        // the joint search should find no improvement worth reporting.
+        (
+            "disjoint mixed demand",
+            Workload::from_u32(vec![job(0, 4, 24), job(10, 1, 24), job(20, 2, 24)]).unwrap(),
+            2,
+            7,
+        ),
+    ];
+    if scale == Scale::Full {
+        c.push((
+            "sharing triples",
+            Workload::from_u32(vec![
+                job(0, 3, 30),
+                job(0, 3, 30),
+                job(0, 3, 30),
+                job(40, 3, 30),
+                job(40, 3, 30),
+                job(40, 3, 30),
+            ])
+            .unwrap(),
+            2,
+            6,
+        ));
+    }
+    c
+}
+
+/// The fixed-assignment baseline: job `j` on core `j mod cores`.
+fn round_robin(q: usize, cores: usize) -> Vec<usize> {
+    (0..q).map(|j| j % cores).collect()
+}
+
+impl Experiment for X06 {
+    fn id(&self) -> &'static str {
+        "X06"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: joint assignment + partition vs a fixed assignment"
+    }
+    fn claim(&self) -> &'static str {
+        "(Extension) Jointly optimizing the jobs-to-cores assignment with the cache \
+         partition strictly beats round-robin when jobs share pages, and the greedy \
+         joint optimizer matches the exhaustive joint optimum at tiny scale"
+    }
+
+    fn run(&self, scale: Scale) -> Report {
+        let cases = cases(scale);
+        let mut table = Table::new(
+            "predicted faults: round-robin assignment vs greedy and exhaustive joint search",
+            &[
+                "instance",
+                "jobs",
+                "cores",
+                "K",
+                "round-robin",
+                "greedy joint",
+                "exhaustive",
+                "RR/greedy",
+                "greedy=exhaustive",
+            ],
+        );
+
+        let rows = mcp_exec::Pool::global().par_map(&cases, |_, (_, jobs, cores, k)| {
+            let rr = evaluate_assignment(
+                jobs,
+                &round_robin(jobs.num_cores(), *cores),
+                *cores,
+                *k,
+                PartPolicy::Opt,
+            );
+            let greedy = joint_greedy(jobs, *cores, *k, PartPolicy::Opt);
+            let exact = joint_exhaustive(jobs, *cores, *k, PartPolicy::Opt, EXHAUSTIVE_CAP);
+            (rr.faults, greedy.faults, exact.map(|s| s.faults))
+        });
+
+        let mut sound = true;
+        let mut saw_gap = false;
+        let mut exact_checked = 0usize;
+        let mut all_matched = true;
+        for ((name, jobs, cores, k), (rr, greedy, exact)) in cases.iter().zip(&rows) {
+            sound &= greedy <= rr;
+            saw_gap |= greedy < rr;
+            let matches = match exact {
+                Some(opt) => {
+                    exact_checked += 1;
+                    // Greedy can only over-shoot the exhaustive optimum; a
+                    // value below it would mean a broken evaluator.
+                    sound &= *greedy >= *opt;
+                    all_matched &= *greedy == *opt;
+                    (*greedy == *opt).to_string()
+                }
+                None => "-".into(),
+            };
+            table.row(vec![
+                (*name).into(),
+                jobs.num_cores().to_string(),
+                cores.to_string(),
+                k.to_string(),
+                rr.to_string(),
+                greedy.to_string(),
+                exact.map_or_else(|| "-".into(), |f| f.to_string()),
+                fmt(ratio(*rr, *greedy)),
+                matches,
+            ]);
+        }
+
+        Report {
+            id: self.id().into(),
+            title: self.title().into(),
+            claim: self.claim().into(),
+            tables: vec![table],
+            verdict: if sound && saw_gap && exact_checked > 0 && all_matched {
+                Verdict::Confirmed
+            } else if sound && saw_gap {
+                Verdict::Mixed("greedy beat round-robin but missed the exhaustive optimum".into())
+            } else if sound {
+                Verdict::Mixed("joint search never beat round-robin on these mixes".into())
+            } else {
+                Verdict::Mixed(
+                    "greedy exceeded round-robin or fell below the exhaustive optimum".into(),
+                )
+            },
+            notes: vec![
+                "Faults are the per-part curve-DP prediction (exact for disjoint jobs, a \
+                 sharing-blind upper bound otherwise); co-locating sharers makes the \
+                 prediction exact again because each core's concatenated sequence then \
+                 owns its pages."
+                    .into(),
+                "Splitting a heavy job's pair across cores is NOT the win: a sequential \
+                 core reuses one cache quota over time, so stacking heavy jobs is free. \
+                 The gap is entirely page sharing — the axis the SPAA'11 fixed-assignment \
+                 model cannot exploit."
+                    .into(),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_confirms_with_exhaustive_cross_check() {
+        let report = X06.run(Scale::Quick);
+        assert_eq!(report.verdict, Verdict::Confirmed, "{report:?}");
+        // Every Quick row is tiny enough for the exhaustive search.
+        for row in &report.tables[0].rows {
+            assert_ne!(row[6], "-", "{row:?}");
+            assert_eq!(row[8], "true", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_is_what_the_baseline_claims() {
+        assert_eq!(round_robin(5, 2), vec![0, 1, 0, 1, 0]);
+    }
+}

@@ -50,7 +50,7 @@ fn json_reports_are_bit_identical_across_jobs() {
     }
     let j1 = read_all_json(&d1);
     let j4 = read_all_json(&d4);
-    assert_eq!(j1.len(), 19, "one JSON report per experiment");
+    assert_eq!(j1.len(), 21, "one JSON report per experiment");
     assert_eq!(j1, j4, "per-experiment JSON must not depend on --jobs");
     std::fs::remove_dir_all(&d1).ok();
     std::fs::remove_dir_all(&d4).ok();

@@ -4,7 +4,7 @@
 
 use crate::dense::{dense_run, DensePolicy, DenseWorkload, Scratch};
 use crate::spec::CellSpec;
-use mcp_core::{simulate, SimError, SimResult, Workload};
+use mcp_core::{simulate, simulate_with_capacity, SimError, SimResult, Workload};
 use mcp_exec::{Pool, Quarantined};
 use std::cell::RefCell;
 use std::fmt;
@@ -112,6 +112,14 @@ fn run_one(
         return Err(BatchError::Inapplicable(cell.family.clone()));
     }
     let cfg = cell.config();
+    if let Some(schedule) = cell.dynamic_capacity() {
+        // Dynamic K(t): the dense SoA layout never frees a cell, which a
+        // shrink eviction must do, so every family runs the per-cell
+        // capacity-aware event engine here.
+        let strategy = mcp_policies::build_family(&cell.family, w, cfg, cell.seed)
+            .expect("family is registered");
+        return Ok(simulate_with_capacity(w, cfg, schedule.clone(), strategy)?);
+    }
     match DensePolicy::parse(&cell.family) {
         Some(policy) => {
             cfg.validate(w).map_err(SimError::from)?;
@@ -150,5 +158,8 @@ pub fn run_cell_reference(
     let cfg = cell.config();
     let strategy =
         mcp_policies::build_family(&cell.family, w, cfg, cell.seed).expect("family is registered");
-    Ok(simulate(w, cfg, strategy)?)
+    match cell.dynamic_capacity() {
+        Some(schedule) => Ok(simulate_with_capacity(w, cfg, schedule.clone(), strategy)?),
+        None => Ok(simulate(w, cfg, strategy)?),
+    }
 }

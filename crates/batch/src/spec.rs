@@ -1,6 +1,6 @@
 //! Declarative cell and workload specifications for batch grids.
 
-use mcp_core::{SimConfig, Workload};
+use mcp_core::{CapacitySchedule, SimConfig, Workload};
 
 /// The benchmark workload families a tournament grid can enumerate by
 /// name. Each maps to one `mcp_workloads` generator with parameters
@@ -121,11 +121,29 @@ pub struct CellSpec {
     pub tau: u64,
     /// Seed for randomized families.
     pub seed: u64,
+    /// Dynamic capacity schedule `K(t)`, if any. `None` (and
+    /// `Some(fixed)` matching `cache_size`) runs the constant-capacity
+    /// paths, including the dense SoA fast path; a genuinely dynamic
+    /// schedule routes the cell through the per-run event engine for
+    /// every family, because shrink evictions violate the dense layout's
+    /// cells-never-free invariant.
+    pub capacity: Option<CapacitySchedule>,
 }
 
 impl CellSpec {
     /// The cell's simulator configuration.
     pub fn config(&self) -> SimConfig {
         SimConfig::new(self.cache_size, self.tau)
+    }
+
+    /// The dynamic schedule this cell must run under, or `None` when the
+    /// constant-capacity engines apply. A `Some(fixed)` schedule that
+    /// *matches* `cache_size` is constant capacity by construction; a
+    /// mismatched fixed schedule is returned so the capacity-aware engine
+    /// can reject it with the same typed error every other engine uses.
+    pub fn dynamic_capacity(&self) -> Option<&CapacitySchedule> {
+        self.capacity
+            .as_ref()
+            .filter(|c| !c.is_fixed() || c.initial_k() != self.cache_size)
     }
 }

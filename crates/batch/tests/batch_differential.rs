@@ -47,6 +47,7 @@ fn grid(workloads: &[Workload]) -> Vec<CellSpec> {
                         cache_size: k,
                         tau,
                         seed: 0xBA7C4 ^ wi as u64,
+                        capacity: None,
                     });
                 }
             }
@@ -94,6 +95,7 @@ fn fallback_families_match_per_run_simulator() {
                 cache_size: p + 2,
                 tau: 2,
                 seed: 99,
+                capacity: None,
             });
         }
     }
@@ -103,6 +105,7 @@ fn fallback_families_match_per_run_simulator() {
         cache_size: 4,
         tau: 0,
         seed: 0,
+        capacity: None,
     });
     let batch = run_cells(&workloads, &cells);
     for (cell, got) in cells.iter().zip(&batch) {
@@ -172,6 +175,7 @@ proptest! {
                 cache_size: p + extra_k,
                 tau,
                 seed: 7,
+                capacity: None,
             };
             let got = run_cells(&workloads, std::slice::from_ref(&cell));
             let want = run_cell_reference(&workloads, &cell);

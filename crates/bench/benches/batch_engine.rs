@@ -45,6 +45,7 @@ fn grid() -> (Vec<WorkloadSpec>, Vec<CellSpec>) {
                         cache_size: k,
                         tau,
                         seed: 0,
+                        capacity: None,
                     });
                 }
             }

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! mcp compare --trace w.json --k 32 --tau 4 [--strategies lru,fifo,mimic]
+//!             [--capacity K0[,K@T]…]
 //! ```
+//!
+//! With `--capacity`, every strategy races under the same dynamic
+//! capacity schedule `K(t)` (initial capacity must equal `--k`).
 
-use super::{build_strategy, load_instance, CliError};
+use super::{build_strategy, capacity_from, load_instance, CliError};
 use crate::args::Args;
 use mcp_analysis::fairness;
 use mcp_analysis::report::Table;
@@ -26,17 +30,22 @@ const DEFAULT_MATRIX: &[&str] = &[
 /// Run `mcp compare`.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let (workload, cfg) = load_instance(args)?;
+    let capacity = capacity_from(args, cfg.cache_size)?;
     let specs: Vec<String> = match args.get("strategies") {
         Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
         None => DEFAULT_MATRIX.iter().map(|s| s.to_string()).collect(),
     };
     let mut table = Table::new(
         format!(
-            "p = {}, n = {}, K = {}, tau = {}",
+            "p = {}, n = {}, K = {}, tau = {}{}",
             workload.num_cores(),
             workload.total_len(),
             cfg.cache_size,
-            cfg.tau
+            cfg.tau,
+            match &capacity {
+                Some(schedule) => format!(", K(t) = {schedule}"),
+                None => String::new(),
+            }
         ),
         &[
             "strategy",
@@ -52,8 +61,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         let mut strategy = build_strategy(spec, &workload, cfg)?;
         mcp_core::CacheStrategy::begin(&mut strategy, &workload, &cfg);
         let name = strategy.name();
-        let result = mcp_core::simulate(&workload, cfg, strategy)
-            .map_err(|e| CliError::Other(format!("{spec}: {e}")))?;
+        let result = match &capacity {
+            Some(schedule) => {
+                mcp_core::simulate_with_capacity(&workload, cfg, schedule.clone(), strategy)
+            }
+            None => mcp_core::simulate(&workload, cfg, strategy),
+        }
+        .map_err(|e| CliError::Other(format!("{spec}: {e}")))?;
         let s = fairness::summarize(&result);
         Ok::<_, CliError>((
             result.total_faults(),
@@ -105,6 +119,26 @@ mod tests {
         for name in ["S_LRU", "S_FIFO", "dP[LRU-mimic]_LRU", "S_FITF"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_schedule_shows_in_the_header() {
+        let path = std::env::temp_dir()
+            .join(format!("mcp_cli_cmp3_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let w = Workload::from_u32([vec![1, 2, 1, 2, 1, 2], vec![8, 9, 8, 9, 8, 9]]).unwrap();
+        mcp_workloads::save_json(&w, std::path::Path::new(&path)).unwrap();
+        let a = Args::parse(
+            format!("compare --trace {path} --k 4 --strategies lru,fifo --capacity 4,2@3")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("K(t) = 4,2@3"), "{out}");
+        assert!(out.contains("S_LRU") && out.contains("S_FIFO"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -6,7 +6,7 @@
 //! ```text
 //! mcp fuzz --instances 256 [--seed 0xC5_2011_12] [--jobs 4]
 //!          [--corpus tests/corpus] [--families lru,clock,mimic]
-//!          [--profile mixed|large-tau|batch]
+//!          [--profile mixed|large-tau|batch|capacity]
 //! ```
 //!
 //! Output is deterministic for a given seed at every `--jobs` level.
@@ -70,7 +70,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             CliError::Args(ArgError::BadValue {
                 key: "profile".to_string(),
                 value: text.to_string(),
-                expected: "mixed, large-tau or batch",
+                expected: "mixed, large-tau, batch or capacity",
             })
         })?,
     };
@@ -161,6 +161,28 @@ mod tests {
                 "2",
                 "--seed",
                 "3",
+                "--corpus",
+                dir.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("divergences:          0"), "{out}");
+    }
+
+    #[test]
+    fn capacity_profile_runs_clean() {
+        let dir = std::env::temp_dir().join("mcp-cli-fuzz-cap-test");
+        let args = Args::parse(
+            [
+                "fuzz",
+                "--instances",
+                "2",
+                "--seed",
+                "7",
+                "--profile",
+                "capacity",
                 "--corpus",
                 dir.to_str().unwrap(),
             ]

@@ -108,6 +108,33 @@ pub fn load_trace(path: &str) -> Result<Workload, CliError> {
     }
 }
 
+/// Parse `--capacity SPEC` (`K0[,K@T]…`, e.g. `8,4@100,8@200`) into a
+/// dynamic capacity schedule. `None` when the option is absent; malformed
+/// specs and schedules whose initial capacity disagrees with `--k` are
+/// argument errors (exit 2).
+pub fn capacity_from(
+    args: &Args,
+    cache_size: usize,
+) -> Result<Option<mcp_core::CapacitySchedule>, CliError> {
+    let Some(spec) = args.get("capacity") else {
+        return Ok(None);
+    };
+    let bad = |expected: &'static str| {
+        CliError::Args(ArgError::BadValue {
+            key: "capacity".to_string(),
+            value: spec.to_string(),
+            expected,
+        })
+    };
+    let schedule: mcp_core::CapacitySchedule = spec
+        .parse()
+        .map_err(|_| bad("a schedule like 8 or 8,4@100,8@200 (K0[,K@T]...)"))?;
+    if schedule.initial_k() != cache_size {
+        return Err(bad("a schedule whose initial capacity equals --k"));
+    }
+    Ok(Some(schedule))
+}
+
 /// Parse `--deadline DUR` (e.g. `30s`, `500ms`, `2m`) into a [`Budget`];
 /// Ctrl-C cancellation is always honoured by governed runs.
 pub fn budget_from(args: &Args) -> Result<mcp_core::Budget, CliError> {

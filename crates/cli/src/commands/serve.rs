@@ -6,6 +6,11 @@
 //!           --replay-log run.trace
 //! mcp simulate --trace run.trace --k 32 --tau 4 --strategy lru   # same faults
 //!
+//! # dynamic capacity: the replay contract extends verbatim
+//! mcp serve --cores 4 --k 32 --strategy lru --seed 7 --capacity 32,16@500 \
+//!           --replay-log run.trace
+//! mcp simulate --trace run.trace --k 32 --strategy lru --capacity 32,16@500
+//!
 //! # socket mode (clients connect with `mcp blast`); SIGINT drains and exits 0
 //! mcp serve --cores 4 --k 32 --strategy lru --listen unix:/tmp/mcp.sock \
 //!           --snapshot-ms 500
@@ -14,7 +19,7 @@
 //! Metrics snapshots stream to **stdout**, one JSON object per line; the
 //! human summary goes to **stderr** so stdout stays machine-parseable.
 
-use super::{build_strategy, CliError};
+use super::{build_strategy, capacity_from, CliError};
 use crate::args::{ArgError, Args};
 use mcp_core::{SimConfig, Workload};
 use mcp_serve::{serve_connection, Discipline, ServeConfig, ServeError, ServeReport, Server};
@@ -77,6 +82,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         cfg.snapshot_every = Some(Duration::from_millis(snapshot_ms));
     }
     cfg.replay_log = args.get("replay-log").map(PathBuf::from);
+    cfg.capacity = capacity_from(args, k)?;
     let quiet = args.flag("quiet");
 
     let seed = args.get("seed");

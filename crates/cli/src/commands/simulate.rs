@@ -1,10 +1,16 @@
 //! `mcp simulate` — run one strategy on a trace.
 //!
 //! ```text
-//! mcp simulate --trace w.json --k 32 --tau 4 --strategy lru [--fairness] [--at T]
+//! mcp simulate --trace w.json --k 32 --tau 4 --strategy lru
+//!              [--capacity K0[,K@T]…] [--fairness] [--at T]
 //! ```
+//!
+//! `--capacity` runs the strategy under a dynamic capacity schedule
+//! `K(t)`; the schedule's initial capacity must equal `--k`. `--trace -`
+//! reads the compact text format from stdin, so `mcp serve` replay logs
+//! pipe straight in.
 
-use super::{build_strategy, load_instance, CliError};
+use super::{build_strategy, capacity_from, load_instance, CliError};
 use crate::args::Args;
 use mcp_analysis::fairness;
 use mcp_analysis::report::Table;
@@ -12,22 +18,32 @@ use mcp_analysis::report::Table;
 /// Run `mcp simulate`.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let (workload, cfg) = load_instance(args)?;
+    let capacity = capacity_from(args, cfg.cache_size)?;
     let spec = args.get("strategy").unwrap_or("lru");
     let mut strategy = build_strategy(spec, &workload, cfg)?;
     // Prime the strategy so its display name is fully resolved (begin is
     // idempotent and will run again inside the simulator).
     mcp_core::CacheStrategy::begin(&mut strategy, &workload, &cfg);
     let name = strategy.name();
-    let result =
-        mcp_core::simulate(&workload, cfg, strategy).map_err(|e| CliError::Other(e.to_string()))?;
+    let result = match &capacity {
+        Some(schedule) => {
+            mcp_core::simulate_with_capacity(&workload, cfg, schedule.clone(), strategy)
+        }
+        None => mcp_core::simulate(&workload, cfg, strategy),
+    }
+    .map_err(|e| CliError::Other(e.to_string()))?;
 
     let mut out = String::new();
     out.push_str(&format!(
-        "{name} on p = {}, n = {}, K = {}, tau = {}\n\n",
+        "{name} on p = {}, n = {}, K = {}, tau = {}{}\n\n",
         workload.num_cores(),
         workload.total_len(),
         cfg.cache_size,
-        cfg.tau
+        cfg.tau,
+        match &capacity {
+            Some(schedule) => format!(", K(t) = {schedule}"),
+            None => String::new(),
+        }
     ));
     let mut table = Table::new(
         "per-core results",
@@ -118,6 +134,47 @@ mod tests {
         assert!(out.contains("fault vector at t = 5"));
         assert!(out.contains("Jain"));
         assert!(out.contains("makespan"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_schedule_changes_the_fault_count() {
+        let path = setup();
+        let base = format!("simulate --trace {path} --k 4 --strategy lru");
+        let fixed = run(&Args::parse(base.split_whitespace().map(String::from)).unwrap()).unwrap();
+        let dropped = run(&Args::parse(
+            format!("{base} --capacity 4,2@3")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap())
+        .unwrap();
+        assert!(dropped.contains("K(t) = 4,2@3"), "{dropped}");
+        assert!(!fixed.contains("K(t)"), "{fixed}");
+        // The drop below the combined working set must cost faults.
+        let faults = |out: &str| -> u64 {
+            let tail = out.split("total: ").nth(1).unwrap();
+            tail.split_whitespace().next().unwrap().parse().unwrap()
+        };
+        assert!(faults(&dropped) > faults(&fixed), "{dropped}\n{fixed}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_capacity_is_an_argument_error() {
+        let path = setup();
+        for spec in ["nope", "4,2@", "8,2@3"] {
+            let a = Args::parse(
+                format!("simulate --trace {path} --k 4 --capacity {spec}")
+                    .split_whitespace()
+                    .map(String::from),
+            )
+            .unwrap();
+            match run(&a) {
+                Err(CliError::Args(_)) => {}
+                other => panic!("--capacity {spec} should be an argument error, got {other:?}"),
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! mcp tournament [--families lru,clock,…] [--workloads zipf-shared,drift,…]
 //!                [--k 8,16] [--tau 0,4] [--cores 4] [--n 2000]
-//!                [--seeds 3] [--seed S] [--universe 64]
+//!                [--capacity K0[,K@T]…] [--seeds 3] [--seed S] [--universe 64]
 //!                [--jobs N] [--json] [--no-crosscheck] [--deadline DUR]
 //! ```
 //!
@@ -16,7 +16,7 @@
 //! results; any mismatch is a hard error (exit 1). Output is identical at
 //! every `--jobs` level.
 
-use super::{budget_from, CliError};
+use super::{budget_from, capacity_from, CliError};
 use crate::args::{ArgError, Args};
 use crate::commands::fuzz::parse_seed;
 use mcp_analysis::{grid2, grid3, tournament_report, TournamentOutcome};
@@ -102,6 +102,15 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             "empty tournament: need at least one family, workload, K, tau and seed".into(),
         ));
     }
+    // A dynamic K(t) schedule anchors to one cache size, so it constrains
+    // the K axis to a single value (checked inside capacity_from).
+    let capacity = if args.get("capacity").is_some() && ks.len() != 1 {
+        return Err(CliError::Other(
+            "--capacity requires a single --k value (the schedule's initial capacity)".into(),
+        ));
+    } else {
+        capacity_from(args, ks[0] as usize)?
+    };
 
     // Workload instances: kind-major, then seed. The generator seed mixes
     // the master seed so `--seed` reshuffles every instance.
@@ -125,12 +134,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let cells: Vec<CellSpec> = groups
         .iter()
         .flat_map(|&(wi, k, tau)| {
+            let capacity = &capacity;
             families.iter().map(move |family| CellSpec {
                 workload: wi,
                 family: family.clone(),
                 cache_size: k as usize,
                 tau,
                 seed: 0, // replaced below: randomized families get a derived seed
+                capacity: capacity.clone(),
             })
         })
         .enumerate()
@@ -226,6 +237,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             format!("{crosschecked} sampled cells bit-identical to the per-run simulator")
         }
     ));
+    if let Some(schedule) = &capacity {
+        report
+            .notes
+            .push(format!("dynamic capacity K(t) = {schedule}"));
+    }
     if !quarantined.is_empty() {
         report.notes.push(format!(
             "{} cells quarantined after repeated failures: {}",

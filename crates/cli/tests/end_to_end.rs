@@ -41,6 +41,52 @@ fn help_and_errors() {
 }
 
 #[test]
+fn malformed_capacity_spec_exits_2() {
+    let trace = tmp("cap_args.json");
+    let (ok, _, stderr) = mcp(&[
+        "gen",
+        "uniform",
+        "--cores",
+        "2",
+        "--n",
+        "20",
+        "--universe",
+        "8",
+        "--out",
+        &trace,
+    ]);
+    assert!(ok, "gen failed: {stderr}");
+    // Garbage spec, dangling step, and an initial K disagreeing with --k
+    // are all argument errors (exit 2), not crashes or exit 1.
+    for spec in ["banana", "4,2@", "8,2@5"] {
+        let (code, _, stderr) = mcp_code(&[
+            "simulate",
+            "--trace",
+            &trace,
+            "--k",
+            "4",
+            "--capacity",
+            spec,
+        ]);
+        assert_eq!(code, Some(2), "--capacity {spec}: {stderr}");
+        assert!(stderr.contains("capacity"), "--capacity {spec}: {stderr}");
+    }
+    // And a well-formed schedule is accepted end-to-end.
+    let (code, stdout, stderr) = mcp_code(&[
+        "simulate",
+        "--trace",
+        &trace,
+        "--k",
+        "4",
+        "--capacity",
+        "4,2@5,4@9",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("K(t) = 4,2@5,4@9"), "{stdout}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn full_pipeline_over_the_shell() {
     let trace = tmp("pipeline.json");
 

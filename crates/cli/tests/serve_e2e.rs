@@ -154,6 +154,89 @@ fn seeded_replay_logs_are_byte_identical_across_jobs_and_faults_survive_simulate
 }
 
 #[test]
+fn capacity_replay_log_pipes_byte_identically_into_simulate() {
+    // The replay contract under a dynamic schedule: serve --capacity,
+    // then pipe the admitted log into `mcp simulate --trace -` with the
+    // SAME schedule — identical fault count. Without the schedule the
+    // count differs, proving the schedule actually bit on both sides.
+    const SPEC: &str = "12,4@40,12@90";
+    let path = tmp("cap_replay.trace");
+    let out = mcp_cmd()
+        .args([
+            "serve",
+            "--cores",
+            "3",
+            "--k",
+            "12",
+            "--tau",
+            "2",
+            "--strategy",
+            "lru",
+            "--seed",
+            "17",
+            "--n",
+            "5000",
+            "--universe",
+            "24",
+            "--capacity",
+            SPEC,
+            "--replay-log",
+            &path,
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "serve --capacity failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let final_line = stdout.lines().last().expect("final snapshot");
+    check_snapshot(final_line);
+    let served_faults = json_u64(final_line, "total_faults");
+    let log = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let replay = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "simulate",
+            "--trace",
+            "-",
+            "--k",
+            "12",
+            "--tau",
+            "2",
+            "--strategy",
+            "lru",
+        ];
+        args.extend_from_slice(extra);
+        let mut child = mcp_cmd()
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(&log).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(0));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let with_schedule = replay(&["--capacity", SPEC]);
+    assert!(
+        with_schedule.contains(&format!("total: {served_faults} faults")),
+        "replay under the schedule diverged; served {served_faults}, got:\n{with_schedule}"
+    );
+    let without_schedule = replay(&[]);
+    assert!(
+        !without_schedule.contains(&format!("total: {served_faults} faults")),
+        "fixed-K replay should fault differently under this drop:\n{without_schedule}"
+    );
+}
+
+#[test]
 fn chaos_armed_serve_stays_deterministic_and_snapshots_stay_parseable() {
     let clean = tmp("chaos_clean.trace");
     let (code, _, stderr) = serve_seeded("dfcfs", "2", &clean, None);

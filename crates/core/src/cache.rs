@@ -73,6 +73,9 @@ pub enum CacheError {
     FetchIntoOccupied { cell: usize },
     /// Attempted to fetch a page that is already cached or in flight.
     DuplicatePage { page: PageId },
+    /// Attempted to start a fetch while the cache is already at (or,
+    /// transiently, above) its current capacity limit `K(t)`.
+    CapacityExceeded { limit: usize },
 }
 
 impl std::fmt::Display for CacheError {
@@ -94,6 +97,12 @@ impl std::fmt::Display for CacheError {
             }
             CacheError::DuplicatePage { page } => {
                 write!(f, "page {page} is already cached or in flight")
+            }
+            CacheError::CapacityExceeded { limit } => {
+                write!(
+                    f,
+                    "cannot start a fetch: cache is at its capacity limit {limit}"
+                )
             }
         }
     }
@@ -129,6 +138,14 @@ pub struct Cache {
     /// [`Cache::empty_cell`] takes the lowest set bit, preserving the
     /// historical lowest-index-first placement order.
     free: Vec<u64>,
+    /// The capacity limit `K(t)` currently in force: at most this many
+    /// cells may be occupied. Equal to `cells.len()` under a fixed
+    /// capacity; under a [`crate::CapacitySchedule`] the cell count is the
+    /// schedule's maximum and the engine moves this limit at each
+    /// capacity change. Occupancy may transiently exceed a freshly
+    /// lowered limit while pinned or in-flight cells block the shrink;
+    /// the engines evict back down as soon as cells become evictable.
+    limit: usize,
 }
 
 impl Cache {
@@ -155,7 +172,27 @@ impl Cache {
             pinned: vec![false; cache_size],
             pinned_cells: Vec::with_capacity(num_cores),
             free,
+            limit: cache_size,
         }
+    }
+
+    /// The capacity limit currently in force (see the `limit` field).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Move the capacity limit to `limit` (a capacity-schedule change).
+    /// Raising it makes spare cells usable again; lowering it does not
+    /// itself evict — the engine evicts down via the strategy's shrink
+    /// hook.
+    pub fn set_limit(&mut self, limit: usize) {
+        self.limit = limit;
+    }
+
+    /// Number of occupied cells in excess of the current limit — how many
+    /// evictions a shrink still owes. Zero under fixed capacity.
+    pub fn over_limit(&self) -> usize {
+        self.index.len().saturating_sub(self.limit)
     }
 
     #[inline]
@@ -319,9 +356,18 @@ impl Cache {
         }
     }
 
-    /// First empty cell, if any. O(K/64) via the free-cell bitset rather
-    /// than an O(K) cell scan.
+    /// First empty cell usable under the current capacity limit, if any.
+    /// O(K/64) via the free-cell bitset rather than an O(K) cell scan.
+    /// Returns `None` when occupancy has reached `K(t)` even if spare
+    /// cells exist beyond the limit, so strategies written as
+    /// `empty_cell().or_else(pick victim)` participate in dynamic
+    /// capacity without change. (Under a fixed capacity the limit equals
+    /// the cell count, so the guard is equivalent to the bitset being
+    /// empty and behavior is identical.)
     pub fn empty_cell(&self) -> Option<usize> {
+        if self.index.len() >= self.limit {
+            return None;
+        }
         for (i, &word) in self.free.iter().enumerate() {
             if word != 0 {
                 return Some(i * 64 + word.trailing_zeros() as usize);
@@ -389,6 +435,9 @@ impl Cache {
         }
         if self.index.contains_key(&page) {
             return Err(CacheError::DuplicatePage { page });
+        }
+        if self.index.len() >= self.limit {
+            return Err(CacheError::CapacityExceeded { limit: self.limit });
         }
         self.cells[cell] = CellState::Fetching { page, ready_at };
         self.owner[cell] = Some(core);

@@ -1,0 +1,315 @@
+//! Dynamic cache capacity: a piecewise-constant schedule `K(t)`.
+//!
+//! Peserico's *Paging with dynamic memory capacity* drops the classical
+//! assumption that the fast memory has a fixed size: capacity varies over
+//! time and the paging algorithm must track it. [`CapacitySchedule`]
+//! carries that schedule through every engine in this workspace:
+//!
+//! * `K(t)` is **piecewise constant**: an initial capacity plus a sorted
+//!   list of `(time, k)` steps, where each step takes effect *at* its
+//!   time and holds until the next step.
+//! * A schedule with no steps is the **`Fixed(K)` fast path**: engines
+//!   built through their constant-K constructors use exactly this form,
+//!   and every code path they take is unchanged — bit-identity with the
+//!   pre-capacity engines is by construction, not by test alone.
+//! * **Shrink semantics** (Peserico): when capacity drops at time `t`,
+//!   the active strategy must evict down to the new limit before any
+//!   request is served at `t`. The engines charge and trace those
+//!   evictions exactly like voluntary evictions (they appear in
+//!   [`crate::StepReport::voluntary`]).
+//!
+//! The CLI `SPEC` grammar (`--capacity`) is `K0[,K@T]...`: an initial
+//! capacity, then comma-separated `K@T` steps with strictly increasing
+//! times `T ≥ 1`. `Display` prints the canonical form of the same
+//! grammar, so `parse ∘ to_string` is the identity on canonical
+//! schedules. No-op steps (`k` equal to the capacity already in force)
+//! are dropped at construction: a retained no-op would force the engines
+//! to serve an observable empty timestep that `Fixed(K)` would skip.
+
+use crate::types::Time;
+use std::fmt;
+use std::str::FromStr;
+
+/// A piecewise-constant capacity schedule `K(t)`. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CapacitySchedule {
+    /// Capacity in force before the first step (and forever, if none).
+    initial: usize,
+    /// Sorted, strictly time-increasing `(time, k)` steps; `k` takes
+    /// effect at `time`. Never contains a no-op (`k` equal to the
+    /// previous capacity).
+    steps: Vec<(Time, usize)>,
+}
+
+/// Errors constructing or parsing a [`CapacitySchedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CapacityError {
+    /// The SPEC string was empty.
+    Empty,
+    /// A token failed to parse as `K` or `K@T`.
+    BadToken(String),
+    /// A capacity value of zero (the model requires `K(t) ≥ 1` always;
+    /// engines additionally require `K(t) ≥ p`).
+    ZeroCapacity,
+    /// A step time of zero (requests issue from `t = 1`; the initial
+    /// capacity already covers everything before the first step).
+    ZeroTime,
+    /// Step times must be strictly increasing; this one was not.
+    NonIncreasingTime {
+        /// The offending step time.
+        time: Time,
+    },
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityError::Empty => write!(f, "empty capacity spec"),
+            CapacityError::BadToken(tok) => {
+                write!(f, "bad capacity token {tok:?}: expected K or K@T")
+            }
+            CapacityError::ZeroCapacity => write!(f, "capacity must be at least 1"),
+            CapacityError::ZeroTime => write!(f, "step times start at 1"),
+            CapacityError::NonIncreasingTime { time } => {
+                write!(f, "step time {time} is not strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+impl CapacitySchedule {
+    /// The constant-capacity schedule (the fast path).
+    pub fn fixed(k: usize) -> Self {
+        CapacitySchedule {
+            initial: k,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Build a schedule from an initial capacity and `(time, k)` steps.
+    /// Steps must have strictly increasing times `≥ 1` and capacities
+    /// `≥ 1`; no-op steps are dropped.
+    pub fn new(initial: usize, steps: Vec<(Time, usize)>) -> Result<Self, CapacityError> {
+        if initial == 0 {
+            return Err(CapacityError::ZeroCapacity);
+        }
+        let mut kept: Vec<(Time, usize)> = Vec::with_capacity(steps.len());
+        let mut last_time: Time = 0;
+        let mut current = initial;
+        for (time, k) in steps {
+            if k == 0 {
+                return Err(CapacityError::ZeroCapacity);
+            }
+            if time == 0 {
+                return Err(CapacityError::ZeroTime);
+            }
+            if time <= last_time {
+                return Err(CapacityError::NonIncreasingTime { time });
+            }
+            last_time = time;
+            if k != current {
+                kept.push((time, k));
+                current = k;
+            }
+        }
+        Ok(CapacitySchedule {
+            initial,
+            steps: kept,
+        })
+    }
+
+    /// `true` iff the schedule never changes — the fast path.
+    pub fn is_fixed(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The capacity in force before the first step.
+    pub fn initial_k(&self) -> usize {
+        self.initial
+    }
+
+    /// The capacity at time `t`: the last step at or before `t`, or the
+    /// initial capacity if none.
+    pub fn k_at(&self, t: Time) -> usize {
+        match self.steps.partition_point(|&(time, _)| time <= t) {
+            0 => self.initial,
+            i => self.steps[i - 1].1,
+        }
+    }
+
+    /// The largest capacity the schedule ever reaches — the cell count
+    /// engines allocate.
+    pub fn max_k(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|&(_, k)| k)
+            .fold(self.initial, usize::max)
+    }
+
+    /// The smallest capacity the schedule ever reaches — what engines
+    /// validate against `p`.
+    pub fn min_k(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|&(_, k)| k)
+            .fold(self.initial, usize::min)
+    }
+
+    /// The capacity-change steps, time-ascending. Engines force a served
+    /// timestep at each of these times (unless the run has already
+    /// finished), so shrink evictions land exactly when the model says
+    /// the capacity dropped — even at times when every core is idle.
+    pub fn changes(&self) -> &[(Time, usize)] {
+        &self.steps
+    }
+
+    /// The first change strictly after `t`, if any.
+    pub fn next_change_after(&self, t: Time) -> Option<(Time, usize)> {
+        let i = self.steps.partition_point(|&(time, _)| time <= t);
+        self.steps.get(i).copied()
+    }
+}
+
+impl fmt::Display for CapacitySchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.initial)?;
+        for &(time, k) in &self.steps {
+            write!(f, ",{k}@{time}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for CapacitySchedule {
+    type Err = CapacityError;
+
+    /// Parse the CLI `SPEC` grammar `K0[,K@T]...`.
+    fn from_str(s: &str) -> Result<Self, CapacityError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(CapacityError::Empty);
+        }
+        let mut parts = s.split(',');
+        let head = parts.next().expect("split yields at least one part");
+        let initial: usize = head
+            .trim()
+            .parse()
+            .map_err(|_| CapacityError::BadToken(head.trim().to_string()))?;
+        let mut steps = Vec::new();
+        for part in parts {
+            let tok = part.trim();
+            let (k_str, t_str) = tok
+                .split_once('@')
+                .ok_or_else(|| CapacityError::BadToken(tok.to_string()))?;
+            let k: usize = k_str
+                .trim()
+                .parse()
+                .map_err(|_| CapacityError::BadToken(tok.to_string()))?;
+            let t: Time = t_str
+                .trim()
+                .parse()
+                .map_err(|_| CapacityError::BadToken(tok.to_string()))?;
+            steps.push((t, k));
+        }
+        CapacitySchedule::new(initial, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_constant() {
+        let s = CapacitySchedule::fixed(8);
+        assert!(s.is_fixed());
+        assert_eq!(s.initial_k(), 8);
+        assert_eq!(s.k_at(0), 8);
+        assert_eq!(s.k_at(1_000_000), 8);
+        assert_eq!(s.max_k(), 8);
+        assert_eq!(s.min_k(), 8);
+        assert_eq!(s.next_change_after(0), None);
+        assert_eq!(s.to_string(), "8");
+    }
+
+    #[test]
+    fn step_semantics_at_boundaries() {
+        let s: CapacitySchedule = "8,4@10,6@20".parse().unwrap();
+        assert_eq!(s.k_at(1), 8);
+        assert_eq!(s.k_at(9), 8);
+        assert_eq!(s.k_at(10), 4); // takes effect AT the step time
+        assert_eq!(s.k_at(19), 4);
+        assert_eq!(s.k_at(20), 6);
+        assert_eq!(s.k_at(u64::MAX), 6);
+        assert_eq!(s.max_k(), 8);
+        assert_eq!(s.min_k(), 4);
+        assert_eq!(s.next_change_after(0), Some((10, 4)));
+        assert_eq!(s.next_change_after(10), Some((20, 6)));
+        assert_eq!(s.next_change_after(20), None);
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for spec in ["8", "8,4@10", "3,9@2,1@7,2@9"] {
+            let s: CapacitySchedule = spec.parse().unwrap();
+            assert_eq!(s.to_string(), spec);
+            let again: CapacitySchedule = s.to_string().parse().unwrap();
+            assert_eq!(again, s);
+        }
+    }
+
+    #[test]
+    fn noop_steps_are_dropped() {
+        let s: CapacitySchedule = "8,8@5,4@10,4@12,8@20".parse().unwrap();
+        assert_eq!(s.changes(), &[(10, 4), (20, 8)]);
+        assert_eq!(s.to_string(), "8,4@10,8@20");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(
+            "".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::Empty
+        );
+        assert!(matches!(
+            "x".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::BadToken(_)
+        ));
+        assert!(matches!(
+            "8,4".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::BadToken(_)
+        ));
+        assert!(matches!(
+            "8,4@x".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::BadToken(_)
+        ));
+        assert_eq!(
+            "0".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::ZeroCapacity
+        );
+        assert_eq!(
+            "8,0@4".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::ZeroCapacity
+        );
+        assert_eq!(
+            "8,4@0".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::ZeroTime
+        );
+        assert_eq!(
+            "8,4@10,6@10".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::NonIncreasingTime { time: 10 }
+        );
+        assert_eq!(
+            "8,4@10,6@3".parse::<CapacitySchedule>().unwrap_err(),
+            CapacityError::NonIncreasingTime { time: 3 }
+        );
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let s: CapacitySchedule = " 8 , 4 @ 10 ".parse().unwrap();
+        assert_eq!(s.to_string(), "8,4@10");
+    }
+}

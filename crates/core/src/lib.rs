@@ -46,6 +46,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod capacity;
 pub mod events;
 pub mod hash;
 pub mod online;
@@ -56,12 +57,15 @@ pub mod types;
 
 pub use budget::{Budget, TripReason};
 pub use cache::{Cache, CacheError, CellState, Lookup};
+pub use capacity::{CapacityError, CapacitySchedule};
 pub use events::{
     evictions_by_page, inter_fault_times, occupancy_timeline, outcome_counts, OutcomeCounts,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use online::{OnlineError, OnlineSimulator};
-pub use sim::{simulate, Outcome, Served, SimError, SimResult, Simulator, StepReport};
+pub use sim::{
+    simulate, simulate_with_capacity, Outcome, Served, SimError, SimResult, Simulator, StepReport,
+};
 pub use strategy::CacheStrategy;
-pub use tick::{simulate_tick, TickSimulator};
+pub use tick::{simulate_tick, simulate_tick_with_capacity, TickSimulator};
 pub use types::{ModelError, PageId, SimConfig, Time, Workload};

@@ -41,9 +41,10 @@
 //! empirically per strategy.
 
 use crate::cache::{Cache, CacheError, CellState, Lookup};
-use crate::sim::{SimError, SimResult};
+use crate::capacity::CapacitySchedule;
+use crate::sim::{apply_capacity_step, SimError, SimResult};
 use crate::strategy::CacheStrategy;
-use crate::types::{PageId, SimConfig, Time, Workload};
+use crate::types::{ModelError, PageId, SimConfig, Time, Workload};
 use std::fmt;
 
 /// Errors from feeding an [`OnlineSimulator`].
@@ -83,6 +84,16 @@ impl std::error::Error for OnlineError {}
 /// rule (module docs).
 pub struct OnlineSimulator<S: CacheStrategy> {
     cfg: SimConfig,
+    /// The capacity schedule `K(t)` (fixed for constant-K serving).
+    /// Change times are folded into [`Self::next_event_time`]; a change
+    /// step commits under the same safe-horizon rule as a request step
+    /// (a late arrival issuing at or before the change time would alter
+    /// the cache state the shrink observes), and changes pending after
+    /// the final admitted request are dropped exactly as offline.
+    capacity: CapacitySchedule,
+    cap_idx: usize,
+    /// Scratch for shrink evictions (the online engine keeps no trace).
+    voluntary_scratch: Vec<(usize, PageId)>,
     strategy: S,
     cache: Cache,
     /// The admitted log, per core — grows at the tail only.
@@ -101,14 +112,52 @@ impl<S: CacheStrategy> OnlineSimulator<S> {
     /// Create an engine for `num_cores` open cores. Calls the strategy's
     /// [`CacheStrategy::begin`] with `num_cores` empty sequences (see the
     /// module docs for which strategies that excludes).
-    pub fn new(num_cores: usize, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+    pub fn new(num_cores: usize, cfg: SimConfig, strategy: S) -> Result<Self, SimError> {
+        OnlineSimulator::with_capacity(
+            num_cores,
+            cfg,
+            CapacitySchedule::fixed(cfg.cache_size),
+            strategy,
+        )
+    }
+
+    /// [`OnlineSimulator::new`] with cache capacity following `capacity`
+    /// (`mcp serve --capacity`). Same validation as
+    /// [`crate::sim::Simulator::with_capacity`]; the replay contract
+    /// extends verbatim: the finished result is bit-identical to
+    /// [`crate::sim::simulate_with_capacity`] on the admitted log.
+    pub fn with_capacity(
+        num_cores: usize,
+        cfg: SimConfig,
+        capacity: CapacitySchedule,
+        mut strategy: S,
+    ) -> Result<Self, SimError> {
         let empty = Workload::new(vec![Vec::new(); num_cores])?;
         cfg.validate(&empty)?;
+        if capacity.initial_k() != cfg.cache_size {
+            return Err(ModelError::CapacityMismatch {
+                config_k: cfg.cache_size,
+                initial_k: capacity.initial_k(),
+            }
+            .into());
+        }
+        if capacity.min_k() < num_cores {
+            return Err(ModelError::CapacityBelowCores {
+                min_k: capacity.min_k(),
+                cores: num_cores,
+            }
+            .into());
+        }
         strategy.begin(&empty, &cfg);
+        let mut cache = Cache::new(capacity.max_k(), num_cores);
+        cache.set_limit(cfg.cache_size);
         Ok(OnlineSimulator {
             cfg,
+            capacity,
+            cap_idx: 0,
+            voluntary_scratch: Vec::new(),
             strategy,
-            cache: Cache::new(cfg.cache_size, num_cores),
+            cache,
             seqs: vec![Vec::new(); num_cores],
             closed: vec![false; num_cores],
             pos: vec![0; num_cores],
@@ -216,10 +265,23 @@ impl<S: CacheStrategy> OnlineSimulator<S> {
             .filter(|&j| self.pos[j] < self.seqs[j].len())
             .map(|j| self.ready[j])
             .min()?;
-        match self.strategy.next_voluntary_time() {
-            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
-            _ => Some(next_request),
+        let mut t = next_request;
+        if let Some(vt) = self.strategy.next_voluntary_time() {
+            if vt > self.last_time && vt < t {
+                t = vt;
+            }
         }
+        // A pending capacity change only becomes an event once some
+        // admitted request remains unserved (the `min()?` above): that
+        // mirrors the offline engines, where post-final changes are
+        // dropped, and keeps the horizon rule in charge of when the
+        // change step may commit.
+        if let Some((ct, _)) = self.capacity.next_change_after(self.last_time) {
+            if ct < t {
+                t = ct;
+            }
+        }
+        Some(t)
     }
 
     /// Is committing a step at `t` unsafe because a starved open core
@@ -260,6 +322,18 @@ impl<S: CacheStrategy> OnlineSimulator<S> {
                 self.cache.pin_page(self.seqs[core][self.pos[core]]);
             }
         }
+
+        // Capacity changes due at `t` (same placement as offline: after
+        // pins, before strategy voluntary evictions).
+        self.voluntary_scratch.clear();
+        apply_capacity_step(
+            t,
+            &self.capacity,
+            &mut self.cap_idx,
+            &mut self.cache,
+            &mut self.strategy,
+            &mut self.voluntary_scratch,
+        )?;
 
         for cell in self.strategy.voluntary_evictions(t, &self.cache) {
             if !matches!(self.cache.cell(cell), CellState::Present(_)) {
@@ -608,6 +682,75 @@ mod tests {
         assert!(OnlineError::UnknownCore { core: 5, cores: 2 }
             .to_string()
             .contains("out of range"));
+    }
+
+    #[test]
+    fn capacity_replay_matches_offline() {
+        // The replay contract under a capacity schedule: pushing the
+        // workload through in seeded interleavings and finishing must be
+        // bit-identical to the offline capacity run on the same log.
+        let wl = w(&[&[1, 2, 3, 1, 2, 3, 1, 2], &[7, 8, 9, 7, 8, 9, 7, 8]]);
+        let cfg = SimConfig::new(5, 2);
+        for spec in ["5,3@4", "5,2@3,5@9", "5,4@2,3@6,2@11"] {
+            let cap: CapacitySchedule = spec.parse().unwrap();
+            let expect =
+                crate::sim::simulate_with_capacity(&wl, cfg, cap.clone(), MiniLru::default())
+                    .unwrap();
+            for seed in 0..6u64 {
+                let mut eng = OnlineSimulator::with_capacity(
+                    wl.num_cores(),
+                    cfg,
+                    cap.clone(),
+                    MiniLru::default(),
+                )
+                .unwrap();
+                let mut cursor = vec![0usize; wl.num_cores()];
+                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) + 1;
+                loop {
+                    let open: Vec<usize> = (0..wl.num_cores())
+                        .filter(|&j| cursor[j] < wl.len(j))
+                        .collect();
+                    if open.is_empty() {
+                        break;
+                    }
+                    rng = splitmix64(rng);
+                    let j = open[(rng % open.len() as u64) as usize];
+                    eng.push(j, wl.sequence(j)[cursor[j]]).unwrap();
+                    cursor[j] += 1;
+                    rng = splitmix64(rng);
+                    if rng.is_multiple_of(2) {
+                        eng.advance().unwrap();
+                    }
+                }
+                eng.close_all();
+                eng.advance().unwrap();
+                assert!(eng.finished());
+                let (got, log) = eng.finish();
+                assert_eq!(&log, &wl);
+                assert_eq!(
+                    got, expect,
+                    "capacity online diverged (cap {spec} seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_change_respects_horizon() {
+        // A pending capacity drop must not commit while a starved open
+        // core could still receive a request issuing at or before it.
+        let cap: CapacitySchedule = "3,2@2".parse().unwrap();
+        let mut eng =
+            OnlineSimulator::with_capacity(2, SimConfig::new(3, 0), cap, FirstFit).unwrap();
+        eng.push(0, PageId(1)).unwrap();
+        eng.push(0, PageId(2)).unwrap();
+        eng.push(0, PageId(3)).unwrap();
+        // Core 1 open and starved: nothing commits, including the t=2 drop.
+        assert_eq!(eng.advance().unwrap(), 0);
+        eng.close(1).unwrap();
+        assert_eq!(eng.advance().unwrap(), 3);
+        // After the drop to 2, only two cells may be occupied.
+        assert!(eng.cache.occupied() <= 2);
     }
 
     #[test]

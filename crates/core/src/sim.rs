@@ -59,6 +59,7 @@
 //! core, that is the difference between `O(n·p)` and `O(n·log p)` total.
 
 use crate::cache::{Cache, CacheError, Lookup};
+use crate::capacity::CapacitySchedule;
 use crate::strategy::CacheStrategy;
 use crate::types::{ModelError, PageId, SimConfig, Time, Workload};
 use std::cmp::Reverse;
@@ -97,6 +98,9 @@ pub enum SimError {
     Cache(CacheError),
     /// The strategy asked to voluntarily evict a cell that is not `Present`.
     BadVoluntaryEviction { cell: usize },
+    /// The strategy's [`CacheStrategy::shrink_victims`] named a cell that
+    /// is not `Present` (capacity-schedule runs only).
+    BadShrinkEviction { cell: usize },
 }
 
 impl From<ModelError> for SimError {
@@ -118,6 +122,9 @@ impl std::fmt::Display for SimError {
             SimError::Cache(e) => write!(f, "cache error: {e}"),
             SimError::BadVoluntaryEviction { cell } => {
                 write!(f, "voluntary eviction of non-present cell {cell}")
+            }
+            SimError::BadShrinkEviction { cell } => {
+                write!(f, "capacity-shrink eviction of non-present cell {cell}")
             }
         }
     }
@@ -214,6 +221,16 @@ impl SimResult {
 pub struct Simulator<'w, S: CacheStrategy> {
     workload: &'w Workload,
     cfg: SimConfig,
+    /// The capacity schedule `K(t)` ([`CapacitySchedule::fixed`] for
+    /// constant-K runs — then `cap_idx` never advances and every
+    /// capacity branch is a no-op, so the fixed path is the pre-capacity
+    /// engine verbatim). Capacity-change times are first-class events:
+    /// [`Simulator::next_event_time_with`] mins the next change into the
+    /// step time, so idle-gap skipping stays exact and shrink evictions
+    /// land exactly at the change time.
+    capacity: CapacitySchedule,
+    /// Cursor into `capacity.changes()`: changes before it are applied.
+    cap_idx: usize,
     strategy: S,
     cache: Cache,
     pos: Vec<usize>,
@@ -268,8 +285,42 @@ pub struct Simulator<'w, S: CacheStrategy> {
 
 impl<'w, S: CacheStrategy> Simulator<'w, S> {
     /// Create a simulator; calls the strategy's [`CacheStrategy::begin`].
-    pub fn new(workload: &'w Workload, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+    pub fn new(workload: &'w Workload, cfg: SimConfig, strategy: S) -> Result<Self, SimError> {
+        Simulator::with_capacity(
+            workload,
+            cfg,
+            CapacitySchedule::fixed(cfg.cache_size),
+            strategy,
+        )
+    }
+
+    /// Create a simulator whose cache capacity follows `capacity`. The
+    /// schedule's initial capacity must equal `cfg.cache_size` and its
+    /// minimum must stay at or above the core count; the cache is
+    /// allocated at the schedule's maximum and its limit moved at each
+    /// change. [`CapacitySchedule::fixed`]`(cfg.cache_size)` reproduces
+    /// [`Simulator::new`] exactly.
+    pub fn with_capacity(
+        workload: &'w Workload,
+        cfg: SimConfig,
+        capacity: CapacitySchedule,
+        mut strategy: S,
+    ) -> Result<Self, SimError> {
         cfg.validate(workload)?;
+        if capacity.initial_k() != cfg.cache_size {
+            return Err(ModelError::CapacityMismatch {
+                config_k: cfg.cache_size,
+                initial_k: capacity.initial_k(),
+            }
+            .into());
+        }
+        if capacity.min_k() < workload.num_cores() {
+            return Err(ModelError::CapacityBelowCores {
+                min_k: capacity.min_k(),
+                cores: workload.num_cores(),
+            }
+            .into());
+        }
         strategy.begin(workload, &cfg);
         let p = workload.num_cores();
         let mut issue = BinaryHeap::with_capacity(p);
@@ -278,11 +329,15 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
                 issue.push(Reverse(pack(1, core as u32)));
             }
         }
+        let mut cache = Cache::new(capacity.max_k(), p);
+        cache.set_limit(cfg.cache_size);
         Ok(Simulator {
             workload,
             cfg,
+            capacity,
+            cap_idx: 0,
             strategy,
-            cache: Cache::new(cfg.cache_size, p),
+            cache,
             pos: vec![0; p],
             ready: vec![1; p],
             issue,
@@ -345,10 +400,22 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
         } else {
             self.last_time + 1
         };
-        match self.strategy.next_voluntary_time() {
-            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
-            _ => Some(next_request),
+        let mut t = next_request;
+        if let Some(vt) = self.strategy.next_voluntary_time() {
+            if vt > self.last_time && vt < t {
+                t = vt;
+            }
         }
+        // A capacity change is a first-class event: serve a (possibly
+        // quiet) step at the change time so shrink evictions land exactly
+        // there. The `heap_min?` above already dropped post-final changes:
+        // once every sequence is finished the run ends.
+        if let Some((ct, _)) = self.capacity.next_change_after(self.last_time) {
+            if ct < t {
+                t = ct;
+            }
+        }
+        Some(t)
     }
 
     /// Serve one timestep (the next time at which any request is due).
@@ -444,6 +511,19 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
             self.cache
                 .pin_page(self.workload.sequence(core)[self.pos[core]]);
         }
+
+        // Capacity changes due at `t` apply after pinning (the pages
+        // requested this step stay in the configuration, `R(x) ⊆ C'`) and
+        // before the strategy's own voluntary evictions; shrink evictions
+        // are traced like voluntary ones.
+        apply_capacity_step(
+            t,
+            &self.capacity,
+            &mut self.cap_idx,
+            &mut self.cache,
+            &mut self.strategy,
+            &mut self.voluntary_buf,
+        )?;
 
         for cell in self.strategy.voluntary_evictions(t, &self.cache) {
             if !matches!(self.cache.cell(cell), crate::cache::CellState::Present(_)) {
@@ -586,6 +666,71 @@ impl<'w, S: CacheStrategy> Simulator<'w, S> {
     }
 }
 
+/// Apply every capacity change due at `t` and evict down to the limit —
+/// the per-step capacity transition shared verbatim by the event engine,
+/// the tick engine, and the online engine (the oracle crate's naive
+/// reference re-implements it independently, as it does every rule).
+///
+/// Ordering within the step: the limit moves and
+/// [`CacheStrategy::on_capacity_change`] fires for each change due by
+/// `t` (in schedule order), then shrink evictions bring occupancy back
+/// to the limit, strategy-chosen first
+/// ([`CacheStrategy::shrink_victims`]) with a lowest-index-evictable
+/// fallback covering any shortfall. Pinned and in-flight cells cannot be
+/// evicted; if they alone exceed the limit, the remaining debt carries
+/// into subsequent steps (this function also settles such debt on steps
+/// with no change of their own). Shrink evictions are appended to
+/// `voluntary_buf`, so they are charged and traced exactly like
+/// voluntary evictions.
+///
+/// Under [`CapacitySchedule::fixed`] both loops are dead: the fixed path
+/// costs two comparisons per step and changes no behavior.
+pub(crate) fn apply_capacity_step<S: CacheStrategy>(
+    t: Time,
+    capacity: &CapacitySchedule,
+    cap_idx: &mut usize,
+    cache: &mut Cache,
+    strategy: &mut S,
+    voluntary_buf: &mut Vec<(usize, PageId)>,
+) -> Result<(), SimError> {
+    let changes = capacity.changes();
+    while *cap_idx < changes.len() && changes[*cap_idx].0 <= t {
+        let (_, k) = changes[*cap_idx];
+        *cap_idx += 1;
+        cache.set_limit(k);
+        strategy.on_capacity_change(t, k, cache);
+    }
+    while cache.over_limit() > 0 {
+        let need = cache.over_limit();
+        let victims = strategy.shrink_victims(need, t, cache);
+        let mut progress = false;
+        for cell in victims.into_iter().take(need) {
+            if cache.over_limit() == 0 {
+                break;
+            }
+            if !matches!(cache.cell(cell), crate::cache::CellState::Present(_)) {
+                return Err(SimError::BadShrinkEviction { cell });
+            }
+            let page = cache.evict(cell)?;
+            strategy.on_evict(page, cell);
+            voluntary_buf.push((cell, page));
+            progress = true;
+        }
+        if !progress {
+            // The strategy under-delivered: cover the shortfall with the
+            // lowest-index evictable cell, or carry the debt if nothing
+            // is evictable (every occupied cell pinned or mid-fetch).
+            let Some(cell) = cache.evictable_cells().map(|(i, _, _)| i).next() else {
+                break;
+            };
+            let page = cache.evict(cell)?;
+            strategy.on_evict(page, cell);
+            voluntary_buf.push((cell, page));
+        }
+    }
+    Ok(())
+}
+
 /// Run `strategy` on `workload` under `cfg` and return the result.
 pub fn simulate<S: CacheStrategy>(
     workload: &Workload,
@@ -593,6 +738,17 @@ pub fn simulate<S: CacheStrategy>(
     strategy: S,
 ) -> Result<SimResult, SimError> {
     Simulator::new(workload, cfg, strategy)?.run()
+}
+
+/// Run `strategy` on `workload` under `cfg` with cache capacity following
+/// `capacity` (see [`CapacitySchedule`]).
+pub fn simulate_with_capacity<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    capacity: CapacitySchedule,
+    strategy: S,
+) -> Result<SimResult, SimError> {
+    Simulator::with_capacity(workload, cfg, capacity, strategy)?.run()
 }
 
 #[cfg(test)]
@@ -830,5 +986,117 @@ mod tests {
         let wl = w(&[&[1]]);
         let r = simulate(&wl, SimConfig::new(1, 4), FirstFit).unwrap();
         assert_eq!(r.makespan, 5);
+    }
+
+    #[test]
+    fn capacity_drop_evicts_before_serving() {
+        // [1, 2, 3, 1] with K=3, tau=0 and a drop to K=2 at t=4: pages
+        // 1..3 are resident after t=3; the shrink at t=4 evicts the
+        // lowest-index evictable cell not pinned by the t=4 request.
+        // Page 1 is requested (and pinned) at t=4, so the shrink evicts
+        // page 2 (cell 1) and page 1 still hits.
+        let wl = w(&[&[1, 2, 3, 1]]);
+        let cap: CapacitySchedule = "3,2@4".parse().unwrap();
+        let (r, trace) = Simulator::with_capacity(&wl, SimConfig::new(3, 0), cap, FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        assert_eq!(r.total_faults(), 3);
+        assert_eq!(r.total_hits(), 1);
+        let step4 = trace.iter().find(|s| s.time == 4).unwrap();
+        assert_eq!(step4.voluntary, vec![(1, PageId(2))]);
+        assert!(matches!(step4.served[0].outcome, Outcome::Hit));
+    }
+
+    #[test]
+    fn capacity_drop_at_quiet_time_is_observable() {
+        // [1, 2, 1] with tau=2, K=3 dropping to 1 at t=5. The core is
+        // mid-fetch over 4..7 (page 2), so t=5 is a quiet timestep the
+        // engine would normally skip — but the capacity change forces a
+        // served step there, and the shrink evicts the resident page 1
+        // (page 2 is mid-fetch, unevictable). The third request then
+        // misses where a skipped shrink would have hit.
+        let wl = w(&[&[1, 2, 1]]);
+        let cap: CapacitySchedule = "3,1@5".parse().unwrap();
+        let (r, trace) = Simulator::with_capacity(&wl, SimConfig::new(3, 2), cap, FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        let step5 = trace.iter().find(|s| s.time == 5).unwrap();
+        assert!(step5.served.is_empty());
+        assert_eq!(step5.voluntary, vec![(0, PageId(1))]);
+        assert_eq!(r.total_faults(), 3);
+        assert_eq!(r.total_hits(), 0);
+    }
+
+    #[test]
+    fn capacity_growth_reopens_cells() {
+        // K=2 shrunk... rather grown: [1,2,3,1] K=2 grows to 3 at t=3.
+        // Fixed K=2 would evict page 1 on page 3's fault; with growth the
+        // empty third cell absorbs page 3 and page 1 still hits.
+        let wl = w(&[&[1, 2, 3, 1]]);
+        let cap: CapacitySchedule = "2,3@3".parse().unwrap();
+        let r = simulate_with_capacity(&wl, SimConfig::new(2, 0), cap, FirstFit).unwrap();
+        assert_eq!(r.total_faults(), 3);
+        assert_eq!(r.total_hits(), 1);
+        let fixed = simulate(&wl, SimConfig::new(2, 0), FirstFit).unwrap();
+        assert_eq!(fixed.total_faults(), 4);
+    }
+
+    #[test]
+    fn fixed_capacity_schedule_is_bit_identical() {
+        let wl = w(&[&[1, 2, 1, 2, 3, 1], &[7, 7, 8, 8, 7, 9]]);
+        let cfg = SimConfig::new(3, 2);
+        let (plain, plain_trace) = Simulator::new(&wl, cfg, FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        let (fixed, fixed_trace) =
+            Simulator::with_capacity(&wl, cfg, CapacitySchedule::fixed(3), FirstFit)
+                .unwrap()
+                .run_with_trace()
+                .unwrap();
+        assert_eq!(plain, fixed);
+        assert_eq!(plain_trace, fixed_trace);
+    }
+
+    #[test]
+    fn capacity_validation_errors() {
+        let wl = w(&[&[1], &[2]]);
+        let cfg = SimConfig::new(4, 0);
+        let err = Simulator::with_capacity(&wl, cfg, "4,1@5".parse().unwrap(), FirstFit)
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SimError::Model(ModelError::CapacityBelowCores { min_k: 1, cores: 2 })
+        );
+        let err = Simulator::with_capacity(&wl, cfg, CapacitySchedule::fixed(5), FirstFit)
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SimError::Model(ModelError::CapacityMismatch {
+                config_k: 4,
+                initial_k: 5
+            })
+        );
+    }
+
+    #[test]
+    fn post_final_capacity_changes_are_dropped() {
+        let wl = w(&[&[1, 2]]);
+        let cfg = SimConfig::new(2, 0);
+        let cap: CapacitySchedule = "2,3@100".parse().unwrap();
+        let (r, trace) = Simulator::with_capacity(&wl, cfg, cap, FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        let (pr, pt) = Simulator::new(&wl, cfg, FirstFit)
+            .unwrap()
+            .run_with_trace()
+            .unwrap();
+        assert_eq!(r, pr);
+        assert_eq!(trace, pt);
     }
 }

@@ -70,6 +70,37 @@ pub trait CacheStrategy {
         Vec::new()
     }
 
+    /// The capacity limit changed to `new_k` at `time` (dynamic-capacity
+    /// runs only; see [`crate::CapacitySchedule`]). Called after the
+    /// cache's limit moved but before any shrink eviction, so the
+    /// strategy can re-derive internal sizing — partitioned families
+    /// rescale their per-core quotas here. The default does nothing.
+    fn on_capacity_change(&mut self, time: Time, new_k: usize, cache: &Cache) {
+        let _ = (time, new_k, cache);
+    }
+
+    /// Cells to evict because a capacity drop left the cache `need` cells
+    /// over its new limit (Peserico shrink semantics: evict down to
+    /// `K(t)` before serving). Called after
+    /// [`CacheStrategy::on_capacity_change`], with that step's requested
+    /// pages already pinned; each returned cell must be `Present` and
+    /// unpinned. The engine evicts the returned cells in order (reported
+    /// via [`CacheStrategy::on_evict`] and traced like voluntary
+    /// evictions) and, if the strategy returns fewer than `need`, evicts
+    /// lowest-index evictable cells to cover the shortfall — so the
+    /// capacity invariant never depends on strategy cooperation.
+    ///
+    /// The default matches that fallback: the `need` lowest-index
+    /// evictable cells.
+    fn shrink_victims(&mut self, need: usize, time: Time, cache: &Cache) -> Vec<usize> {
+        let _ = time;
+        cache
+            .evictable_cells()
+            .map(|(cell, _, _)| cell)
+            .take(need)
+            .collect()
+    }
+
     /// The earliest future timestep at which the strategy wants
     /// [`CacheStrategy::voluntary_evictions`] consulted even if no request
     /// is due then. The engine normally fast-forwards over timesteps where
@@ -141,6 +172,12 @@ impl<S: CacheStrategy + ?Sized> CacheStrategy for &mut S {
     fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
         (**self).voluntary_evictions(time, cache)
     }
+    fn on_capacity_change(&mut self, time: Time, new_k: usize, cache: &Cache) {
+        (**self).on_capacity_change(time, new_k, cache)
+    }
+    fn shrink_victims(&mut self, need: usize, time: Time, cache: &Cache) -> Vec<usize> {
+        (**self).shrink_victims(need, time, cache)
+    }
     fn next_voluntary_time(&self) -> Option<Time> {
         (**self).next_voluntary_time()
     }
@@ -170,6 +207,12 @@ impl<S: CacheStrategy + ?Sized> CacheStrategy for Box<S> {
     }
     fn voluntary_evictions(&mut self, time: Time, cache: &Cache) -> Vec<usize> {
         (**self).voluntary_evictions(time, cache)
+    }
+    fn on_capacity_change(&mut self, time: Time, new_k: usize, cache: &Cache) {
+        (**self).on_capacity_change(time, new_k, cache)
+    }
+    fn shrink_victims(&mut self, need: usize, time: Time, cache: &Cache) -> Vec<usize> {
+        (**self).shrink_victims(need, time, cache)
     }
     fn next_voluntary_time(&self) -> Option<Time> {
         (**self).next_voluntary_time()

@@ -16,15 +16,23 @@
 //! [`StepReport`]-for-[`StepReport`].
 
 use crate::cache::{Cache, CacheError, Lookup};
-use crate::sim::{Outcome, Served, SimError, SimResult, StepReport};
+use crate::capacity::CapacitySchedule;
+use crate::sim::{apply_capacity_step, Outcome, Served, SimError, SimResult, StepReport};
 use crate::strategy::CacheStrategy;
-use crate::types::{SimConfig, Time, Workload};
+use crate::types::{ModelError, SimConfig, Time, Workload};
 
 /// The scan-based stepping simulator. Same API and bit-identical
 /// observable behavior as [`crate::sim::Simulator`]; `O(p)` per step.
 pub struct TickSimulator<'w, S: CacheStrategy> {
     workload: &'w Workload,
     cfg: SimConfig,
+    /// The capacity schedule `K(t)` (fixed for constant-K runs). The
+    /// tick engine also jumps over idle gaps (its [`Self::next_event_time`]
+    /// is a min over ready times, not a per-tick walk), so capacity
+    /// changes are folded into that minimum exactly as in the event
+    /// engine.
+    capacity: CapacitySchedule,
+    cap_idx: usize,
     strategy: S,
     cache: Cache,
     pos: Vec<usize>,
@@ -42,15 +50,51 @@ pub struct TickSimulator<'w, S: CacheStrategy> {
 
 impl<'w, S: CacheStrategy> TickSimulator<'w, S> {
     /// Create a simulator; calls the strategy's [`CacheStrategy::begin`].
-    pub fn new(workload: &'w Workload, cfg: SimConfig, mut strategy: S) -> Result<Self, SimError> {
+    pub fn new(workload: &'w Workload, cfg: SimConfig, strategy: S) -> Result<Self, SimError> {
+        TickSimulator::with_capacity(
+            workload,
+            cfg,
+            CapacitySchedule::fixed(cfg.cache_size),
+            strategy,
+        )
+    }
+
+    /// Create a simulator whose cache capacity follows `capacity` — the
+    /// tick-engine counterpart of
+    /// [`crate::sim::Simulator::with_capacity`], with identical
+    /// validation and observable behavior.
+    pub fn with_capacity(
+        workload: &'w Workload,
+        cfg: SimConfig,
+        capacity: CapacitySchedule,
+        mut strategy: S,
+    ) -> Result<Self, SimError> {
         cfg.validate(workload)?;
+        if capacity.initial_k() != cfg.cache_size {
+            return Err(ModelError::CapacityMismatch {
+                config_k: cfg.cache_size,
+                initial_k: capacity.initial_k(),
+            }
+            .into());
+        }
+        if capacity.min_k() < workload.num_cores() {
+            return Err(ModelError::CapacityBelowCores {
+                min_k: capacity.min_k(),
+                cores: workload.num_cores(),
+            }
+            .into());
+        }
         strategy.begin(workload, &cfg);
         let p = workload.num_cores();
+        let mut cache = Cache::new(capacity.max_k(), p);
+        cache.set_limit(cfg.cache_size);
         Ok(TickSimulator {
             workload,
             cfg,
+            capacity,
+            cap_idx: 0,
             strategy,
-            cache: Cache::new(cfg.cache_size, p),
+            cache,
             pos: vec![0; p],
             ready: vec![1; p],
             faults: vec![0; p],
@@ -99,10 +143,20 @@ impl<'w, S: CacheStrategy> TickSimulator<'w, S> {
             .filter(|((&pos, _), seq)| pos < seq.len())
             .map(|((_, &ready), _)| ready)
             .min()?;
-        match self.strategy.next_voluntary_time() {
-            Some(vt) if vt > self.last_time && vt < next_request => Some(vt),
-            _ => Some(next_request),
+        let mut t = next_request;
+        if let Some(vt) = self.strategy.next_voluntary_time() {
+            if vt > self.last_time && vt < t {
+                t = vt;
+            }
         }
+        // Capacity changes force a served step at their change time; the
+        // `min()?` above already dropped post-final changes.
+        if let Some((ct, _)) = self.capacity.next_change_after(self.last_time) {
+            if ct < t {
+                t = ct;
+            }
+        }
+        Some(t)
     }
 
     /// Serve one timestep (the next time at which any request is due).
@@ -139,6 +193,18 @@ impl<'w, S: CacheStrategy> TickSimulator<'w, S> {
                     .pin_page(self.workload.sequence(core)[self.pos[core]]);
             }
         }
+
+        // Capacity changes due at `t`: same transition, same placement
+        // (after pins, before strategy voluntary evictions) as the event
+        // engine — the logic is shared, not transcribed.
+        apply_capacity_step(
+            t,
+            &self.capacity,
+            &mut self.cap_idx,
+            &mut self.cache,
+            &mut self.strategy,
+            &mut self.voluntary_buf,
+        )?;
 
         for cell in self.strategy.voluntary_evictions(t, &self.cache) {
             if !matches!(self.cache.cell(cell), crate::cache::CellState::Present(_)) {
@@ -248,6 +314,17 @@ pub fn simulate_tick<S: CacheStrategy>(
     TickSimulator::new(workload, cfg, strategy)?.run()
 }
 
+/// [`simulate_tick`] with cache capacity following `capacity`. Must agree
+/// bit-for-bit with [`crate::sim::simulate_with_capacity`].
+pub fn simulate_tick_with_capacity<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    capacity: CapacitySchedule,
+    strategy: S,
+) -> Result<SimResult, SimError> {
+    TickSimulator::with_capacity(workload, cfg, capacity, strategy)?.run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +380,32 @@ mod tests {
                 .unwrap();
             assert_eq!(er, tr);
             assert_eq!(et, tt, "step traces diverged on {wl:?} K={k} tau={tau}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_capacity_schedules() {
+        let specs = ["4,2@3", "4,2@3,4@8", "4,3@2,2@5,4@9", "4,2@100"];
+        for (wl, tau) in [
+            (w(&[&[1, 2, 1, 2], &[7, 7, 8, 8]]), 2),
+            (w(&[&[1, 2, 3, 1, 2, 3], &[7, 8, 7, 8]]), 0),
+            (w(&[&[1, 2, 3, 4, 1, 2], &[1, 3, 5, 7, 5, 3]]), 3),
+        ] {
+            for spec in specs {
+                let cap: CapacitySchedule = spec.parse().unwrap();
+                let cfg = SimConfig::new(cap.initial_k(), tau);
+                let (er, et) =
+                    crate::sim::Simulator::with_capacity(&wl, cfg, cap.clone(), FirstFit)
+                        .unwrap()
+                        .run_with_trace()
+                        .unwrap();
+                let (tr, tt) = TickSimulator::with_capacity(&wl, cfg, cap, FirstFit)
+                    .unwrap()
+                    .run_with_trace()
+                    .unwrap();
+                assert_eq!(er, tr, "results diverged on {wl:?} cap={spec} tau={tau}");
+                assert_eq!(et, tt, "traces diverged on {wl:?} cap={spec} tau={tau}");
+            }
         }
     }
 }

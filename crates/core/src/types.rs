@@ -85,6 +85,13 @@ pub enum ModelError {
     EmptyCache,
     /// `K < p`: a timestep could demand more cells than exist.
     CacheSmallerThanCores { cache_size: usize, cores: usize },
+    /// A capacity schedule dips below the number of cores: `min_t K(t) < p`
+    /// would leave some parallel step with fewer cells than simultaneously
+    /// pinned pages.
+    CapacityBelowCores { min_k: usize, cores: usize },
+    /// A capacity schedule's initial capacity disagrees with the
+    /// configuration's `cache_size` (the two must name the same `K(1)`).
+    CapacityMismatch { config_k: usize, initial_k: usize },
 }
 
 impl fmt::Display for ModelError {
@@ -95,6 +102,18 @@ impl fmt::Display for ModelError {
             ModelError::CacheSmallerThanCores { cache_size, cores } => write!(
                 f,
                 "cache size K = {cache_size} is smaller than the number of cores p = {cores}"
+            ),
+            ModelError::CapacityBelowCores { min_k, cores } => write!(
+                f,
+                "capacity schedule dips to K(t) = {min_k}, below the number of cores p = {cores}"
+            ),
+            ModelError::CapacityMismatch {
+                config_k,
+                initial_k,
+            } => write!(
+                f,
+                "config cache size K = {config_k} disagrees with the capacity schedule's \
+                 initial capacity {initial_k}"
             ),
         }
     }

@@ -50,7 +50,10 @@ pub use pif_dp::{
     max_pif, pif_decide, pif_decide_governed, pif_decide_governed_with_stats,
     pif_decide_with_stats, pif_fingerprint, pif_witness, PifOptions, PifOutcome, PifTruncated,
 };
-pub use sched_search::{sched_min, sched_min_governed};
+pub use sched_search::{
+    evaluate_assignment, joint_exhaustive, joint_greedy, sched_min, sched_min_governed,
+    JointSolution,
+};
 pub use search::{
     brute_force_faults_then_makespan, brute_force_makespan_then_faults, brute_force_min_faults,
     brute_force_min_faults_governed, brute_force_min_makespan, fitf_restricted_min_faults,

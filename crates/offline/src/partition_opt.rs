@@ -61,18 +61,39 @@ pub fn optimal_static_partition(
 ) -> OptimalPartition {
     let p = workload.num_cores();
     assert!(cache_size >= p, "need at least one cell per core");
+    let curves = policy_curves(workload.sequences(), cache_size, policy);
+    let (sizes, faults) = partition_dp(&curves, cache_size);
+    let per_core: Vec<u64> = (0..p).map(|j| curves[j][sizes[j] - 1]).collect();
+    OptimalPartition {
+        partition: Partition::from_sizes(sizes),
+        faults,
+        per_core,
+    }
+}
 
-    // Per-core fault curves f_j(k) for k = 1..=K-p+1 (no part can exceed
-    // K-p+1 cells while every other part keeps one).
-    let k_cap = cache_size - p + 1;
-    let curves: Vec<Vec<u64>> = workload
-        .sequences()
-        .iter()
+/// Per-core fault curves `f_j(k)` for `k = 1..=K-p+1` (no part can exceed
+/// `K-p+1` cells while every other part keeps one).
+pub(crate) fn policy_curves<S: AsRef<[mcp_core::PageId]>>(
+    seqs: &[S],
+    cache_size: usize,
+    policy: PartPolicy,
+) -> Vec<Vec<u64>> {
+    let k_cap = cache_size - seqs.len() + 1;
+    seqs.iter()
         .map(|seq| match policy {
-            PartPolicy::Opt => opt_curve(seq, k_cap),
-            PartPolicy::Lru => lru_curve(seq, k_cap),
+            PartPolicy::Opt => opt_curve(seq.as_ref(), k_cap),
+            PartPolicy::Lru => lru_curve(seq.as_ref(), k_cap),
         })
-        .collect();
+        .collect()
+}
+
+/// The knapsack-style DP at the heart of partition optimization: minimize
+/// `Σ_j f_j(k_j)` over `Σ k_j = cache_size`, `k_j ≥ 1`, where `curves[j]`
+/// holds `f_j(k)` for `k = 1..`. Returns the optimal sizes and total.
+pub(crate) fn partition_dp(curves: &[Vec<u64>], cache_size: usize) -> (Vec<usize>, u64) {
+    let p = curves.len();
+    assert!(cache_size >= p, "need at least one cell per core");
+    let k_cap = cache_size - p + 1;
 
     // dp[j][c] = min faults serving cores 0..j with c cells; parent for
     // reconstruction.
@@ -104,12 +125,7 @@ pub fn optimal_static_partition(
         sizes[j] = k;
         c -= k;
     }
-    let per_core: Vec<u64> = (0..p).map(|j| curves[j][sizes[j] - 1]).collect();
-    OptimalPartition {
-        partition: Partition::from_sizes(sizes),
-        faults,
-        per_core,
-    }
+    (sizes, faults)
 }
 
 #[cfg(test)]

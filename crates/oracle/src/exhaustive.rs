@@ -11,7 +11,7 @@
 //! when it trips, so callers simply skip the cross-check on instances that
 //! turn out too large.
 
-use mcp_core::{PageId, SimConfig, Time, Workload};
+use mcp_core::{CapacitySchedule, PageId, SimConfig, Time, Workload};
 use std::collections::HashSet;
 
 /// The full model state between timesteps, cloned at every branch.
@@ -29,10 +29,15 @@ struct State {
     faults: u64,
     /// Per-core faults issued at or before the PIF checkpoint.
     faults_at_cp: Vec<u64>,
+    /// Capacity limit currently in force (`K(t)` after the changes applied
+    /// so far; constant `cfg.cache_size` for fixed-capacity searches).
+    limit: usize,
+    /// Number of capacity-schedule changes already applied.
+    cap_idx: usize,
 }
 
 impl State {
-    fn initial(p: usize) -> State {
+    fn initial(p: usize, limit: usize) -> State {
         State {
             pos: vec![0; p],
             ready: vec![1; p],
@@ -40,6 +45,8 @@ impl State {
             in_flight: Vec::new(),
             faults: 0,
             faults_at_cp: vec![0; p],
+            limit,
+            cap_idx: 0,
         }
     }
 
@@ -89,6 +96,7 @@ impl State {
 struct MinFaults<'w> {
     w: &'w Workload,
     cfg: SimConfig,
+    capacity: &'w CapacitySchedule,
     best: u64,
     nodes: usize,
     cap: usize,
@@ -100,14 +108,58 @@ impl MinFaults<'_> {
         if self.tripped || st.faults >= self.best {
             return;
         }
-        let Some(t) = st.next_event(self.w) else {
+        let Some(mut t) = st.next_event(self.w) else {
             self.best = self.best.min(st.faults);
             return;
         };
+        // A capacity change before the next request is itself an event:
+        // the forced shrink evictions happen at the change time, not when
+        // the next request arrives.
+        let changes = self.capacity.changes();
+        if let Some(&(ct, _)) = changes.get(st.cap_idx) {
+            if ct < t {
+                t = ct;
+            }
+        }
         st.promote(t);
+        while st.cap_idx < changes.len() && changes[st.cap_idx].0 <= t {
+            st.limit = changes[st.cap_idx].1;
+            st.cap_idx += 1;
+        }
         let due = st.due(self.w, t);
         let pinned = st.requested(self.w, &due);
-        self.serve(st, t, &due, 0, &pinned);
+        self.shrink(st, t, &due, &pinned, 0);
+    }
+
+    /// Branch over every way of evicting down to the limit after a
+    /// capacity drop (the offline algorithm chooses the shrink victims
+    /// too). `start` enforces increasing-index victim choice so each
+    /// victim *set* is tried exactly once. No-op when within the limit.
+    fn shrink(
+        &mut self,
+        st: State,
+        t: Time,
+        due: &[usize],
+        pinned: &HashSet<PageId>,
+        start: usize,
+    ) {
+        if self.tripped || st.faults >= self.best {
+            return;
+        }
+        if st.occupied() <= st.limit {
+            self.serve(st, t, due, 0, pinned);
+            return;
+        }
+        for v in start..st.resident.len() {
+            if pinned.contains(&st.resident[v]) {
+                continue;
+            }
+            let mut next = st.clone();
+            next.resident.remove(v);
+            self.shrink(next, t, due, pinned, v);
+        }
+        // Over the limit with nothing evictable (all pinned/in-flight)
+        // cannot happen while K(t) ≥ p; falling through prunes the branch.
     }
 
     fn serve(&mut self, mut st: State, t: Time, due: &[usize], i: usize, pinned: &HashSet<PageId>) {
@@ -134,7 +186,7 @@ impl MinFaults<'_> {
         } else {
             st.faults += 1;
             st.ready[core] = t + self.cfg.tau + 1;
-            if st.occupied() < self.cfg.cache_size {
+            if st.occupied() < st.limit {
                 st.in_flight.push((page, t + self.cfg.tau + 1));
                 self.serve(st, t, due, i + 1, pinned);
             } else {
@@ -157,15 +209,40 @@ impl MinFaults<'_> {
 /// Exhaustive minimum total faults, or `None` if the search exceeded
 /// `max_nodes`. Cross-checks [`mcp_offline::ftf_min_faults`].
 pub fn oracle_min_faults(w: &Workload, cfg: SimConfig, max_nodes: usize) -> Option<u64> {
+    let capacity = CapacitySchedule::fixed(cfg.cache_size);
+    oracle_min_faults_with_capacity(w, cfg, &capacity, max_nodes)
+}
+
+/// Exhaustive minimum total faults under a dynamic capacity schedule
+/// `K(t)`, or `None` if the search exceeded `max_nodes`. The search
+/// branches over fault victims *and* over which pages to shed at each
+/// capacity drop, so it lower-bounds every honest strategy under the
+/// schedule — the K(t)-aware ground truth behind experiment X05.
+pub fn oracle_min_faults_with_capacity(
+    w: &Workload,
+    cfg: SimConfig,
+    capacity: &CapacitySchedule,
+    max_nodes: usize,
+) -> Option<u64> {
+    assert_eq!(
+        capacity.initial_k(),
+        cfg.cache_size,
+        "capacity schedule must start at the configured cache size"
+    );
+    assert!(
+        capacity.min_k() >= w.num_cores(),
+        "capacity schedule must keep K(t) >= p"
+    );
     let mut search = MinFaults {
         w,
         cfg,
+        capacity,
         best: u64::MAX,
         nodes: 0,
         cap: max_nodes,
         tripped: false,
     };
-    search.at_time(State::initial(w.num_cores()));
+    search.at_time(State::initial(w.num_cores(), cfg.cache_size));
     (!search.tripped).then_some(search.best)
 }
 
@@ -302,7 +379,7 @@ pub fn oracle_pif_feasible(
         cap: max_nodes,
         tripped: false,
     };
-    search.at_time(State::initial(w.num_cores()));
+    search.at_time(State::initial(w.num_cores(), cfg.cache_size));
     if search.found {
         Some(true) // a witness is a witness, even if the cap tripped later
     } else {
@@ -416,7 +493,7 @@ pub fn oracle_sched_min_faults(
         cap: max_nodes,
         tripped: false,
     };
-    search.at_time(State::initial(w.num_cores()));
+    search.at_time(State::initial(w.num_cores(), cfg.cache_size));
     (!search.tripped && search.best != u64::MAX).then_some(search.best)
 }
 
@@ -461,6 +538,57 @@ mod tests {
         assert_eq!(
             oracle_sched_min_faults(&wl, cfg, horizon, CAP),
             oracle_min_faults(&wl, cfg, CAP)
+        );
+    }
+
+    #[test]
+    fn fixed_capacity_schedule_matches_plain_oracle() {
+        let cases: &[(&[&[u32]], usize, u64)] = &[
+            (&[&[1, 2, 3, 1, 2]], 2, 0),
+            (&[&[1, 2, 1, 2], &[7, 8, 7, 8]], 2, 1),
+            (&[&[1, 2, 3, 1], &[7, 8, 7]], 3, 2),
+        ];
+        for &(seqs, k, tau) in cases {
+            let wl = w(seqs);
+            let cfg = SimConfig::new(k, tau);
+            let fixed = CapacitySchedule::fixed(k);
+            assert_eq!(
+                oracle_min_faults_with_capacity(&wl, cfg, &fixed, CAP),
+                oracle_min_faults(&wl, cfg, CAP),
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_drop_forces_extra_faults() {
+        // Single core, K=3, working set {1,2,3} fits — 3 cold faults and
+        // the rest hit. Dropping to K=2 at t=4 forces OPT to shed a page
+        // it still needs: strictly more than the fixed-K minimum.
+        let wl = w(&[&[1, 2, 3, 1, 2, 3, 1, 2, 3]]);
+        let cfg = SimConfig::new(3, 0);
+        let fixed = oracle_min_faults(&wl, cfg, CAP).unwrap();
+        assert_eq!(fixed, 3);
+        let schedule: CapacitySchedule = "3,2@4".parse().unwrap();
+        let dropped = oracle_min_faults_with_capacity(&wl, cfg, &schedule, CAP).unwrap();
+        assert!(
+            dropped > fixed,
+            "capacity drop must cost OPT extra faults ({dropped} vs {fixed})"
+        );
+        // Best play: shed 3 at the drop (hit 1,2), then alternate —
+        // fault 3 evicting 2, hit 1, fault 2 evicting the dead 1, hit 3.
+        assert_eq!(dropped, 5);
+    }
+
+    #[test]
+    fn harmless_drop_leaves_optimum_unchanged() {
+        // Working set {1,2} fits in 2 cells, so dropping K from 3 to 2 at
+        // t=3 never forces OPT to shed a live page: minimum unchanged.
+        let wl = w(&[&[1, 2, 1, 2, 1, 2]]);
+        let cfg = SimConfig::new(3, 0);
+        let schedule: CapacitySchedule = "3,2@3".parse().unwrap();
+        assert_eq!(
+            oracle_min_faults_with_capacity(&wl, cfg, &schedule, CAP),
+            oracle_min_faults(&wl, cfg, CAP),
         );
     }
 

@@ -12,11 +12,15 @@
 //! [`mcp_exec::derive_seed`], so a run is reproducible bit-for-bit at any
 //! `--jobs` level and any single instance can be re-run in isolation.
 
-use crate::exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
+use crate::exhaustive::{
+    oracle_min_faults, oracle_min_faults_with_capacity, oracle_pif_feasible,
+    oracle_sched_min_faults,
+};
 use crate::instance::{build_family, family_applicable, Fixture, Instance, FAMILIES};
-use crate::reference::reference_simulate;
+use crate::reference::reference_simulate_with_capacity;
 use mcp_core::{
-    simulate, SimConfig, SimError, SimResult, Simulator, StepReport, TickSimulator, Workload,
+    simulate, simulate_with_capacity, CapacitySchedule, SimConfig, SimError, SimResult, Simulator,
+    StepReport, TickSimulator, Time, Workload,
 };
 use mcp_exec::{derive_seed, Pool};
 use mcp_offline::{
@@ -45,15 +49,22 @@ pub enum FuzzProfile {
     /// the `mcp-batch` engine (dense SoA path for its six native
     /// families, per-run fallback otherwise) against the other three.
     Batch,
+    /// The [`Mixed`](FuzzProfile::Mixed) shape mix with a seeded dynamic
+    /// capacity schedule `K(t)` attached to every instance — drops,
+    /// spikes, dips and staircases with change times scaled to the
+    /// workload's horizon — pinning the shrink-eviction paths of all
+    /// three engines against each other.
+    Capacity,
 }
 
 impl FuzzProfile {
-    /// Parse a CLI spelling (`mixed` | `large-tau` | `batch`).
+    /// Parse a CLI spelling (`mixed` | `large-tau` | `batch` | `capacity`).
     pub fn parse(s: &str) -> Option<FuzzProfile> {
         match s {
             "mixed" => Some(FuzzProfile::Mixed),
             "large-tau" => Some(FuzzProfile::LargeTau),
             "batch" => Some(FuzzProfile::Batch),
+            "capacity" => Some(FuzzProfile::Capacity),
             _ => None,
         }
     }
@@ -269,7 +280,7 @@ fn fuzz_one(i: usize, options: &FuzzOptions) -> InstanceStats {
 /// never skipped a timestep at all.
 fn generate(i: usize, seed: u64, profile: FuzzProfile) -> Instance {
     let (shape, tau) = match profile {
-        FuzzProfile::Mixed | FuzzProfile::Batch => {
+        FuzzProfile::Mixed | FuzzProfile::Batch | FuzzProfile::Capacity => {
             // τ tiers: half dense small-τ, a third mid, a sixth large.
             let tau = match (seed >> 16) % 6 {
                 0..=2 => (seed >> 8) % 4,
@@ -290,7 +301,44 @@ fn generate(i: usize, seed: u64, profile: FuzzProfile) -> Instance {
     };
     let p = workload.num_cores();
     let cfg = SimConfig::new(p + (seed % 5) as usize, tau);
+    if profile == FuzzProfile::Capacity {
+        let horizon = (0..p).map(|c| workload.len(c) as u64).max().unwrap_or(1) * (tau + 1);
+        let schedule = capacity_schedule(derive_seed(seed, 0xCA9), p, cfg.cache_size, horizon);
+        return Instance::with_capacity(workload, cfg, schedule);
+    }
     Instance::new(workload, cfg)
+}
+
+/// Seeded `K(t)` generator: drops, dip-and-recovers, spikes and
+/// staircases, with change times drawn inside the workload's rough
+/// makespan so the schedule actually intersects live requests. Always
+/// valid by construction: initial capacity `k`, every level at least `p`.
+fn capacity_schedule(seed: u64, p: usize, k: usize, horizon: Time) -> CapacitySchedule {
+    let span = horizon.max(6);
+    let t1 = 2 + (seed >> 24) % (span / 2).max(1);
+    let t2 = t1 + 1 + (seed >> 34) % (span / 2).max(1);
+    let spike = k + 1 + (seed >> 44) as usize % 4;
+    let low = if k > p {
+        p + (seed >> 50) as usize % (k - p)
+    } else {
+        k
+    };
+    let steps = match (seed >> 16) % 4 {
+        // Drop and stay low.
+        0 if low < k => vec![(t1, low)],
+        // Dip and recover.
+        1 if low < k => vec![(t1, low), (t2, k)],
+        // Spike and return (exercises the max_k allocation headroom).
+        2 => vec![(t1, spike), (t2, k)],
+        // Staircase down, then jump above the initial capacity.
+        _ if low < k => {
+            let mid = (low + k).div_ceil(2);
+            vec![(t1, mid), (t2, low), (t2 + 2, spike)]
+        }
+        // K == p leaves no room to shrink: spike instead.
+        _ => vec![(t1, spike)],
+    };
+    CapacitySchedule::new(k, steps).expect("generated schedule is valid by construction")
 }
 
 /// Outcome of one engine run: either a result or a model error. Engine
@@ -301,11 +349,16 @@ type Traced = Result<(SimResult, Vec<StepReport>), SimError>;
 
 fn run_three(family: &str, instance: &Instance, seed: u64) -> (Traced, Traced, Run) {
     let strategy = || build_family(family, instance, seed).expect("family known");
-    let event = Simulator::new(&instance.workload, instance.cfg, strategy())
+    // Always through the capacity-aware constructors: `Fixed(K)` is
+    // bit-identical to the plain paths by construction, and capacity
+    // instances exercise the shrink machinery of all three engines.
+    let cap = || instance.capacity.clone();
+    let event = Simulator::with_capacity(&instance.workload, instance.cfg, cap(), strategy())
         .and_then(|s| s.run_with_trace());
-    let tick = TickSimulator::new(&instance.workload, instance.cfg, strategy())
+    let tick = TickSimulator::with_capacity(&instance.workload, instance.cfg, cap(), strategy())
         .and_then(|s| s.run_with_trace());
-    let reference = reference_simulate(&instance.workload, instance.cfg, strategy());
+    let reference =
+        reference_simulate_with_capacity(&instance.workload, instance.cfg, cap(), strategy());
     (event, tick, reference)
 }
 
@@ -322,13 +375,19 @@ fn batch_diverges(family: &str, instance: &Instance, seed: u64) -> Option<String
         cache_size: instance.cfg.cache_size,
         tau: instance.cfg.tau,
         seed,
+        capacity: Some(instance.capacity.clone()),
     };
     let workloads = [instance.workload.clone()];
     let batch = mcp_batch::run_cells(&workloads, &[cell])
         .pop()
         .expect("one cell in, one result out");
     let strategy = build_family(family, instance, seed).expect("family known");
-    let event = mcp_core::simulate(&instance.workload, instance.cfg, strategy);
+    let event = simulate_with_capacity(
+        &instance.workload,
+        instance.cfg,
+        instance.capacity.clone(),
+        strategy,
+    );
     let agree = match (&batch, &event) {
         (Ok(b), Ok(e)) => b == e,
         (Err(mcp_batch::BatchError::Sim(b)), Err(e)) => b == e,
@@ -423,7 +482,23 @@ fn shrink(family: &str, instance: &Instance, seed: u64) -> Instance {
     current
 }
 
+/// Rebuild `instance` with a smaller workload/config, carrying its
+/// capacity schedule when the schedule stays valid (initial capacity
+/// still matches `K`, every level still covers `p`). `None` when the
+/// schedule and the new shape are incompatible — the schedule-simplifying
+/// candidates below will discharge the schedule first in that case.
+fn rebuilt(instance: &Instance, w: Workload, cfg: SimConfig) -> Option<Instance> {
+    let c = &instance.capacity;
+    if c.is_fixed() {
+        return Some(Instance::new(w, cfg));
+    }
+    (c.initial_k() == cfg.cache_size && c.min_k() >= w.num_cores())
+        .then(|| Instance::with_capacity(w, cfg, c.clone()))
+}
+
 /// Strictly smaller variants of `instance`, biggest reductions first.
+/// "Smaller" means the metric `total_len + p + K + τ + capacity steps`
+/// strictly decreases, so the shrink loop terminates.
 fn candidates(instance: &Instance) -> Vec<Instance> {
     let w = &instance.workload;
     let cfg = instance.cfg;
@@ -435,7 +510,7 @@ fn candidates(instance: &Instance) -> Vec<Instance> {
         for drop in 0..p {
             let keep: Vec<usize> = (0..p).filter(|&c| c != drop).collect();
             if let Ok(smaller) = w.select_cores(&keep) {
-                out.push(Instance::new(smaller, cfg));
+                out.extend(rebuilt(instance, smaller, cfg));
             }
         }
     }
@@ -453,7 +528,7 @@ fn candidates(instance: &Instance) -> Vec<Instance> {
                 seqs[core][n - n / 2..].to_vec()
             };
             if let Ok(smaller) = Workload::new(seqs) {
-                out.push(Instance::new(smaller, cfg));
+                out.extend(rebuilt(instance, smaller, cfg));
             }
         }
     }
@@ -464,23 +539,48 @@ fn candidates(instance: &Instance) -> Vec<Instance> {
                 let mut seqs: Vec<Vec<_>> = w.sequences().to_vec();
                 seqs[core].remove(drop);
                 if let Ok(smaller) = Workload::new(seqs) {
-                    out.push(Instance::new(smaller, cfg));
+                    out.extend(rebuilt(instance, smaller, cfg));
+                }
+            }
+        }
+    }
+    // Simplify the capacity schedule: drop one change (biggest first:
+    // collapse all the way to fixed), keeping the workload untouched.
+    if !instance.capacity.is_fixed() {
+        out.push(Instance::new(w.clone(), cfg));
+        let changes = instance.capacity.changes();
+        for skip in 0..changes.len() {
+            let kept: Vec<(Time, usize)> = changes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &c)| c)
+                .collect();
+            if let Ok(thinner) = CapacitySchedule::new(cfg.cache_size, kept) {
+                if thinner.min_k() >= p && thinner.changes().len() < changes.len() {
+                    out.push(Instance::with_capacity(w.clone(), cfg, thinner));
                 }
             }
         }
     }
     // Shrink the delay.
     if cfg.tau > 1 {
-        out.push(Instance::new(
+        out.extend(rebuilt(
+            instance,
             w.clone(),
             SimConfig::new(cfg.cache_size, cfg.tau / 2),
         ));
     }
     if cfg.tau > 0 {
-        out.push(Instance::new(w.clone(), SimConfig::new(cfg.cache_size, 0)));
+        out.extend(rebuilt(
+            instance,
+            w.clone(),
+            SimConfig::new(cfg.cache_size, 0),
+        ));
     }
-    // Shrink the cache (validate() rejects K < p later).
-    if cfg.cache_size > 1 {
+    // Shrink the cache (validate() rejects K < p later). A dynamic
+    // schedule pins K, so this only applies once the schedule is gone.
+    if cfg.cache_size > 1 && instance.capacity.is_fixed() {
         out.push(Instance::new(
             w.clone(),
             SimConfig::new(cfg.cache_size - 1, cfg.tau),
@@ -598,6 +698,22 @@ fn dp_cross_check(i: usize, master: u64) -> u64 {
         }
     }
 
+    // K(t)-aware exhaustive oracle: its minimum lower-bounds every
+    // online strategy run under the same schedule.
+    let horizon = (w.total_len() as u64 + 2) * (cfg.tau + 1);
+    let schedule = capacity_schedule(derive_seed(seed, 0xD0), p, cfg.cache_size, horizon);
+    if let Some(brute) = oracle_min_faults_with_capacity(&w, cfg, &schedule, ORACLE_NODE_CAP) {
+        let lru =
+            simulate_with_capacity(&w, cfg, schedule.clone(), shared_lru()).expect("tiny instance");
+        assert!(
+            brute <= lru.total_faults(),
+            "dp-cross-check: K(t)-aware oracle {brute} exceeds S_LRU {} under {schedule} on\n{}",
+            lru.total_faults(),
+            Instance::new(w.clone(), cfg)
+        );
+        checked += 1;
+    }
+
     // The scheduling-capable model: branch-and-bound vs. brute force.
     if w.total_len() <= 6 {
         let horizon = (w.total_len() as u64 + 4) * (cfg.tau + 1) + 4;
@@ -707,6 +823,71 @@ mod tests {
         });
         assert!(report.clean(), "divergences: {:#?}", report.divergences);
         assert_eq!(report.passed, 8);
+    }
+
+    #[test]
+    fn capacity_profile_generates_valid_dynamic_schedules() {
+        let mut dynamic = 0;
+        for i in 0..24 {
+            let seed = derive_seed(0xCAFE, i as u64);
+            let instance = generate(i, seed, FuzzProfile::Capacity);
+            let c = &instance.capacity;
+            assert_eq!(c.initial_k(), instance.cfg.cache_size, "instance {i}");
+            assert!(
+                c.min_k() >= instance.workload.num_cores(),
+                "instance {i}: min K(t) {} < p {}",
+                c.min_k(),
+                instance.workload.num_cores()
+            );
+            if !c.is_fixed() {
+                dynamic += 1;
+            }
+        }
+        // The generator may occasionally collapse to fixed (no-op steps),
+        // but the profile must be overwhelmingly dynamic to earn its name.
+        assert!(dynamic >= 20, "only {dynamic}/24 dynamic schedules");
+    }
+
+    #[test]
+    fn capacity_profile_runs_clean_across_every_family() {
+        let report = run_fuzz(&FuzzOptions {
+            instances: 8,
+            seed: 0xCAB,
+            profile: FuzzProfile::Capacity,
+            corpus_dir: std::env::temp_dir().join("mcp-oracle-fuzz-capacity-test"),
+            ..FuzzOptions::default()
+        });
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.passed, 8);
+        assert!(report.comparisons >= 8 * (FAMILIES.len() as u64 - 1));
+    }
+
+    #[test]
+    fn capacity_candidates_simplify_the_schedule() {
+        let inst = Instance::with_capacity(
+            Workload::from_u32([vec![1, 2, 3, 1, 2, 3], vec![7, 8, 7, 8]]).unwrap(),
+            SimConfig::new(4, 1),
+            "4,3@3,2@5,5@8".parse().unwrap(),
+        );
+        let cands = candidates(&inst);
+        // The full-collapse candidate is present…
+        assert!(cands.iter().any(|c| c.capacity.is_fixed()));
+        // …alongside single-step removals, and every candidate stays valid.
+        assert!(cands
+            .iter()
+            .any(|c| !c.capacity.is_fixed() && c.capacity.changes().len() == 2));
+        let size = |i: &Instance| {
+            i.workload.total_len()
+                + i.workload.num_cores()
+                + i.cfg.cache_size
+                + i.cfg.tau as usize
+                + i.capacity.changes().len()
+        };
+        for cand in &cands {
+            assert!(size(cand) < size(&inst), "did not shrink: {cand:?}");
+            assert_eq!(cand.capacity.initial_k(), cand.cfg.cache_size);
+            assert!(cand.capacity.min_k() >= cand.workload.num_cores());
+        }
     }
 
     #[test]

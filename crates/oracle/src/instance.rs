@@ -3,7 +3,7 @@
 //! shrink output, divergence panics, and the replayable fixture files under
 //! `tests/corpus/`.
 
-use mcp_core::{CacheStrategy, SimConfig, Workload};
+use mcp_core::{CacheStrategy, CapacitySchedule, SimConfig, Workload};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -18,24 +18,47 @@ pub struct Instance {
     pub workload: Workload,
     /// Cache size and fault delay.
     pub cfg: SimConfig,
+    /// The capacity schedule `K(t)`; `fixed(cfg.cache_size)` for plain
+    /// constant-capacity instances (the overwhelmingly common case).
+    pub capacity: CapacitySchedule,
 }
 
 impl Instance {
-    /// Bundle a workload with its configuration.
+    /// Bundle a workload with its configuration (constant capacity).
     pub fn new(workload: Workload, cfg: SimConfig) -> Self {
-        Instance { workload, cfg }
+        let capacity = CapacitySchedule::fixed(cfg.cache_size);
+        Instance {
+            workload,
+            cfg,
+            capacity,
+        }
+    }
+
+    /// Bundle a workload with its configuration and a capacity schedule.
+    /// `capacity.initial_k()` must equal `cfg.cache_size` (the engines
+    /// reject the mismatch at run time otherwise).
+    pub fn with_capacity(workload: Workload, cfg: SimConfig, capacity: CapacitySchedule) -> Self {
+        Instance {
+            workload,
+            cfg,
+            capacity,
+        }
     }
 }
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "# k: {} tau: {} p: {}",
             self.cfg.cache_size,
             self.cfg.tau,
             self.workload.num_cores()
         )?;
+        if !self.capacity.is_fixed() {
+            write!(f, " capacity: {}", self.capacity)?;
+        }
+        writeln!(f)?;
         for (core, seq) in self.workload.sequences().iter().enumerate() {
             write!(f, "{core}:")?;
             for page in seq {
@@ -96,6 +119,9 @@ impl fmt::Display for Fixture {
         writeln!(f, "# family: {}", self.family)?;
         writeln!(f, "# k: {}", self.instance.cfg.cache_size)?;
         writeln!(f, "# tau: {}", self.instance.cfg.tau)?;
+        if !self.instance.capacity.is_fixed() {
+            writeln!(f, "# capacity: {}", self.instance.capacity)?;
+        }
         if let Some(n) = self.expect_faults {
             writeln!(f, "# expect-faults: {n}")?;
         }
@@ -146,6 +172,7 @@ impl Fixture {
         let mut family: Option<String> = None;
         let mut k: Option<usize> = None;
         let mut tau: Option<u64> = None;
+        let mut capacity: Option<CapacitySchedule> = None;
         let mut expect_faults: Option<u64> = None;
         let mut note: Option<String> = None;
         let mut body = String::new();
@@ -167,6 +194,11 @@ impl Fixture {
                                 FixtureError::Parse(format!("bad tau value {value:?}"))
                             })?)
                         }
+                        "capacity" => {
+                            capacity = Some(value.parse().map_err(|e| {
+                                FixtureError::Parse(format!("bad capacity value {value:?}: {e}"))
+                            })?)
+                        }
                         "expect-faults" => {
                             expect_faults = Some(value.parse().map_err(|_| {
                                 FixtureError::Parse(format!("bad expect-faults value {value:?}"))
@@ -186,8 +218,15 @@ impl Fixture {
         let family = family.ok_or_else(|| FixtureError::Parse("missing # family:".into()))?;
         let k = k.ok_or_else(|| FixtureError::Parse("missing # k:".into()))?;
         let tau = tau.ok_or_else(|| FixtureError::Parse("missing # tau:".into()))?;
+        let capacity = capacity.unwrap_or_else(|| CapacitySchedule::fixed(k));
+        if capacity.initial_k() != k {
+            return Err(FixtureError::Parse(format!(
+                "capacity schedule starts at {} but k is {k}",
+                capacity.initial_k()
+            )));
+        }
         Ok(Fixture {
-            instance: Instance::new(workload, SimConfig::new(k, tau)),
+            instance: Instance::with_capacity(workload, SimConfig::new(k, tau), capacity),
             family,
             expect_faults,
             note,
@@ -262,5 +301,52 @@ mod tests {
         assert!(Fixture::parse("# family: lru\n0: 1\n".as_bytes()).is_err()); // no k/tau
         assert!(Fixture::parse("# family: lru\n# k: x\n".as_bytes()).is_err());
         assert!(Fixture::parse("0: 1 2\n".as_bytes()).is_err()); // no header at all
+    }
+
+    #[test]
+    fn capacity_fixture_round_trips() {
+        let fixture = Fixture {
+            instance: Instance::with_capacity(
+                Workload::from_u32([vec![1, 2, 1], vec![9, 8, 9]]).unwrap(),
+                SimConfig::new(4, 1),
+                "4,2@3,4@7".parse().unwrap(),
+            ),
+            family: "lru".into(),
+            expect_faults: Some(6),
+            note: Some("capacity round-trip".into()),
+        };
+        let text = fixture.to_string();
+        assert!(text.contains("# capacity: 4,2@3,4@7"), "{text}");
+        let parsed = Fixture::parse(text.as_bytes()).unwrap();
+        assert_eq!(parsed, fixture);
+        // A fixed-capacity fixture never writes the header, and parses to
+        // the same instance as one without it.
+        let plain = Fixture {
+            instance: Instance::new(
+                Workload::from_u32([vec![1, 2]]).unwrap(),
+                SimConfig::new(2, 0),
+            ),
+            family: "lru".into(),
+            expect_faults: None,
+            note: None,
+        };
+        assert!(!plain.to_string().contains("capacity"));
+        assert_eq!(Fixture::parse(plain.to_string().as_bytes()).unwrap(), plain);
+    }
+
+    #[test]
+    fn capacity_fixture_rejects_initial_mismatch() {
+        let text = "# family: lru\n# k: 4\n# tau: 0\n# capacity: 3,2@5\n0: 1 2\n";
+        let err = Fixture::parse(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("starts at 3"), "{err}");
+    }
+
+    #[test]
+    fn malformed_capacity_is_a_typed_error() {
+        let text = "# family: lru\n# k: 4\n# tau: 0\n# capacity: 4,@5\n0: 1 2\n";
+        assert!(matches!(
+            Fixture::parse(text.as_bytes()),
+            Err(FixtureError::Parse(_))
+        ));
     }
 }

@@ -26,7 +26,10 @@ pub mod instance;
 pub mod reference;
 
 pub use chaos::{run_torture, ChaosOptions, ChaosReport};
-pub use exhaustive::{oracle_min_faults, oracle_pif_feasible, oracle_sched_min_faults};
+pub use exhaustive::{
+    oracle_min_faults, oracle_min_faults_with_capacity, oracle_pif_feasible,
+    oracle_sched_min_faults,
+};
 pub use fuzz::{run_fuzz, Divergence, FuzzOptions, FuzzProfile, FuzzReport};
 pub use instance::{build_family, family_applicable, Fixture, FixtureError, Instance, FAMILIES};
-pub use reference::{reference_simulate, SKEW_ENV};
+pub use reference::{reference_simulate, reference_simulate_with_capacity, SKEW_ENV};

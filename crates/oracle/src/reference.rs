@@ -32,8 +32,8 @@
 //!    nothing can change and the tick is skipped.
 
 use mcp_core::{
-    Cache, CacheError, CacheStrategy, CellState, Lookup, PageId, SimConfig, SimError, SimResult,
-    Time, Workload,
+    Cache, CacheError, CacheStrategy, CapacitySchedule, CellState, Lookup, ModelError, PageId,
+    SimConfig, SimError, SimResult, Time, Workload,
 };
 use std::collections::HashMap;
 
@@ -73,13 +73,52 @@ fn skew_enabled() -> bool {
 pub fn reference_simulate<S: CacheStrategy>(
     workload: &Workload,
     cfg: SimConfig,
+    strategy: S,
+) -> Result<SimResult, SimError> {
+    reference_simulate_with_capacity(
+        workload,
+        cfg,
+        CapacitySchedule::fixed(cfg.cache_size),
+        strategy,
+    )
+}
+
+/// [`reference_simulate`] under a dynamic capacity schedule `K(t)`: an
+/// independent naive transcription of the shrink rules (Peserico-style
+/// elastic capacity). At each capacity-change tick the limit moves, the
+/// strategy is notified, and — while a full rescan of the cache counts
+/// more occupied cells than the limit allows — the strategy's shrink
+/// victims (or, failing that, the lowest-index evictable cells) are
+/// evicted before any request of that tick is served. Requested pages are
+/// pinned *before* the shrink, exactly as in the optimized engines.
+pub fn reference_simulate_with_capacity<S: CacheStrategy>(
+    workload: &Workload,
+    cfg: SimConfig,
+    capacity: CapacitySchedule,
     mut strategy: S,
 ) -> Result<SimResult, SimError> {
     cfg.validate(workload)?;
-    strategy.begin(workload, &cfg);
     let p = workload.num_cores();
+    if capacity.initial_k() != cfg.cache_size {
+        return Err(ModelError::CapacityMismatch {
+            config_k: cfg.cache_size,
+            initial_k: capacity.initial_k(),
+        }
+        .into());
+    }
+    if capacity.min_k() < p {
+        return Err(ModelError::CapacityBelowCores {
+            min_k: capacity.min_k(),
+            cores: p,
+        }
+        .into());
+    }
+    strategy.begin(workload, &cfg);
 
-    let mut cache = Cache::new(cfg.cache_size, p);
+    let mut cache = Cache::new(capacity.max_k(), p);
+    cache.set_limit(cfg.cache_size);
+    let changes = capacity.changes();
+    let mut cap_idx = 0usize;
     let mut shadow: HashMap<PageId, ShadowSlot> = HashMap::new();
 
     let mut pos = vec![0usize; p];
@@ -116,8 +155,11 @@ pub fn reference_simulate<S: CacheStrategy>(
             .filter(|&c| pos[c] < workload.len(c) && ready[c] == t)
             .collect();
 
-        // A quiet tick is served only when the strategy declared it.
-        if due.is_empty() && strategy.next_voluntary_time() != Some(t) {
+        // A quiet tick is served only when the strategy declared it or a
+        // capacity change lands on it (a change is observable even with no
+        // request due: the shrink evictions happen *at* the change tick).
+        let capacity_due = cap_idx < changes.len() && changes[cap_idx].0 <= t;
+        if due.is_empty() && strategy.next_voluntary_time() != Some(t) && !capacity_due {
             t += 1;
             continue;
         }
@@ -126,6 +168,47 @@ pub fn reference_simulate<S: CacheStrategy>(
         // strategy may evict voluntarily.
         for &core in &due {
             cache.pin_page(workload.sequence(core)[pos[core]]);
+        }
+
+        // Capacity changes due at this tick: move the limit, notify the
+        // strategy, then evict down to the new limit before anything else
+        // happens. The occupancy is re-derived from a full cell scan every
+        // round — no reliance on the cache's own over-limit accounting.
+        while cap_idx < changes.len() && changes[cap_idx].0 <= t {
+            let (_, k) = changes[cap_idx];
+            cap_idx += 1;
+            cache.set_limit(k);
+            strategy.on_capacity_change(t, k, &cache);
+        }
+        loop {
+            let occupied = (0..cache.len())
+                .filter(|&cell| !matches!(cache.cell(cell), CellState::Empty))
+                .count();
+            let Some(need) = occupied.checked_sub(cache.limit()).filter(|&n| n > 0) else {
+                break;
+            };
+            let victims = strategy.shrink_victims(need, t, &cache);
+            let mut progress = false;
+            for cell in victims.into_iter().take(need) {
+                if !matches!(cache.cell(cell), CellState::Present(_)) {
+                    return Err(SimError::BadShrinkEviction { cell });
+                }
+                let page = cache.evict(cell)?;
+                strategy.on_evict(page, cell);
+                shadow.remove(&page);
+                progress = true;
+            }
+            if !progress {
+                // Strategy offered nothing: take the lowest-index
+                // evictable cell, or give up if every over-limit cell is
+                // pinned or in flight (they drain on later ticks).
+                let Some((cell, _, _)) = cache.evictable_cells().next() else {
+                    break;
+                };
+                let page = cache.evict(cell)?;
+                strategy.on_evict(page, cell);
+                shadow.remove(&page);
+            }
         }
 
         for cell in strategy.voluntary_evictions(t, &cache) {
@@ -300,6 +383,45 @@ mod tests {
         let slow = reference_simulate(&wl, cfg, mk()).unwrap();
         assert_eq!(fast, slow);
         assert_eq!(fast.total_faults(), 3);
+    }
+
+    #[test]
+    fn matches_engine_under_capacity_schedules() {
+        use mcp_core::simulate_with_capacity;
+        let workloads = [
+            w(&[&[1, 2, 3, 1, 2, 4, 1, 3], &[7, 8, 9, 7, 8, 7, 9, 8]]),
+            w(&[&[1, 2, 1, 2, 1, 2], &[5, 6, 7, 5, 6, 7]]),
+            w(&[&[1, 2, 3, 1, 2], &[1, 3, 4, 1, 3]]), // shared pages
+        ];
+        for wl in &workloads {
+            for tau in [0u64, 2] {
+                for spec in ["4,2@3", "4,2@3,4@8", "4,3@2,2@5,4@9", "4,2@100"] {
+                    let schedule: mcp_core::CapacitySchedule = spec.parse().unwrap();
+                    let cfg = SimConfig::new(4, tau);
+                    let fast =
+                        simulate_with_capacity(wl, cfg, schedule.clone(), shared_lru()).unwrap();
+                    let slow =
+                        reference_simulate_with_capacity(wl, cfg, schedule, shared_lru()).unwrap();
+                    assert_eq!(fast, slow, "diverged on {spec} tau={tau} {wl:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_validation_matches_engine() {
+        use mcp_core::simulate_with_capacity;
+        let wl = w(&[&[1, 2], &[7, 8]]);
+        let cfg = SimConfig::new(4, 0);
+        for schedule in [
+            "4,1@3".parse::<CapacitySchedule>().unwrap(), // min below p
+            CapacitySchedule::fixed(5),                   // initial mismatch
+        ] {
+            let fast = simulate_with_capacity(&wl, cfg, schedule.clone(), shared_lru());
+            let slow = reference_simulate_with_capacity(&wl, cfg, schedule, shared_lru());
+            assert_eq!(fast.as_ref().err(), slow.as_ref().err());
+            assert!(fast.is_err());
+        }
     }
 
     #[test]

@@ -98,6 +98,9 @@ impl CacheStrategy for LruMimicPartition {
 /// re-checks every timestep until occupancy matches.
 pub struct StagedPartition<P> {
     stages: Vec<(Time, Partition)>,
+    /// The stages as configured; capacity rescales always start from
+    /// these, so a capacity dip-and-recover restores them exactly.
+    base_stages: Vec<(Time, Partition)>,
     factory: crate::static_partition::PolicyFactory<P>,
     policies: Vec<P>,
     page_part: HashMap<PageId, usize>,
@@ -115,6 +118,7 @@ impl<P: EvictionPolicy> StagedPartition<P> {
             "stage start times must strictly increase"
         );
         StagedPartition {
+            base_stages: stages.clone(),
             stages,
             factory: Box::new(move |_, _, _| make()),
             policies: Vec::new(),
@@ -151,6 +155,7 @@ impl<P: EvictionPolicy> CacheStrategy for StagedPartition<P> {
     }
 
     fn begin(&mut self, workload: &Workload, cfg: &SimConfig) {
+        self.stages = self.base_stages.clone();
         for (_, partition) in &self.stages {
             partition
                 .validate(cfg.cache_size, workload.num_cores())
@@ -241,6 +246,45 @@ impl<P: EvictionPolicy> CacheStrategy for StagedPartition<P> {
         if let Some(part) = self.page_part.remove(&page) {
             self.policies[part].on_remove(page);
         }
+    }
+
+    fn on_capacity_change(&mut self, _time: Time, new_k: usize, _cache: &Cache) {
+        // Every stage rescales from its configured sizes, so the schedule
+        // of *proportions* is preserved under the new capacity and a later
+        // recovery restores the configured stages exactly.
+        self.stages = self
+            .base_stages
+            .iter()
+            .map(|(start, partition)| (*start, partition.rescaled(new_k)))
+            .collect();
+    }
+
+    fn shrink_victims(&mut self, need: usize, time: Time, cache: &Cache) -> Vec<usize> {
+        // Same per-part sweep as the stage-boundary enforcement in
+        // `voluntary_evictions`, but capped at `need`: shed each part's
+        // over-quota pages under that part's own policy.
+        let target = self.partition_at(time).clone();
+        let mut cells = Vec::with_capacity(need);
+        for core in 0..target.num_parts() {
+            if cells.len() == need {
+                break;
+            }
+            let owned = cache.owned_count(core);
+            let quota = target.size(core);
+            if owned <= quota {
+                continue;
+            }
+            let mut excess = (owned - quota).min(need - cells.len());
+            let mut candidates: Vec<PageId> =
+                cache.evictable_cells_of(core).map(|(_, p)| p).collect();
+            while excess > 0 && !candidates.is_empty() {
+                let victim = self.policies[core].choose_victim(&candidates);
+                candidates.retain(|&p| p != victim);
+                cells.push(cache.cell_of(victim).expect("victim resident"));
+                excess -= 1;
+            }
+        }
+        cells
     }
 }
 

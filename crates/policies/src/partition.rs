@@ -109,6 +109,62 @@ impl Partition {
         self.sizes.iter().copied().max().unwrap_or(0)
     }
 
+    /// Rescale the partition to a new total of `new_total` cells,
+    /// preserving the proportions of the current sizes by the largest-
+    /// remainder method: every part keeps at least one cell (the paper's
+    /// `k_j ≥ 1` invariant), the spare `new_total − p` cells are split
+    /// proportionally to the current sizes, and flooring leftovers go to
+    /// the parts with the largest fractional remainder (ties to the lower
+    /// core index, so the result is deterministic). The result always sums
+    /// to exactly `new_total`.
+    ///
+    /// This is the quota-rescaling rule partitioned strategies apply when
+    /// the cache capacity `K(t)` changes mid-run.
+    ///
+    /// ```
+    /// use mcp_policies::Partition;
+    /// let p = Partition::from_sizes(vec![3, 3, 2]);
+    /// assert_eq!(p.rescaled(4).sizes(), &[2, 1, 1]);
+    /// assert_eq!(p.rescaled(8).sizes(), &[3, 3, 2]);
+    /// assert_eq!(p.rescaled(16).sizes(), &[6, 6, 4]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// If `new_total` is smaller than the number of parts (every core must
+    /// keep a cell; the engine guarantees `K(t) ≥ p`).
+    pub fn rescaled(&self, new_total: usize) -> Partition {
+        let parts = self.sizes.len();
+        assert!(
+            new_total >= parts,
+            "cannot rescale {parts} parts into {new_total} cells"
+        );
+        let old_total: usize = self.sizes.iter().sum();
+        if old_total == new_total {
+            return self.clone();
+        }
+        let spare = new_total - parts;
+        let mut sizes = vec![1usize; parts];
+        if spare > 0 && old_total > 0 {
+            // Largest remainder over exact shares spare·k_j / old_total.
+            let mut remainders: Vec<(usize, usize)> = Vec::with_capacity(parts);
+            let mut assigned = 0usize;
+            for (j, &k) in self.sizes.iter().enumerate() {
+                let num = spare * k;
+                sizes[j] += num / old_total;
+                assigned += num / old_total;
+                remainders.push((num % old_total, j));
+            }
+            // Larger remainder first; equal remainders resolve to the
+            // lower core index.
+            remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for &(_, j) in remainders.iter().take(spare - assigned) {
+                sizes[j] += 1;
+            }
+        }
+        Partition { sizes }
+    }
+
     /// Check the partition against a cache size and core count.
     pub fn validate(&self, cache_size: usize, cores: usize) -> Result<(), PartitionError> {
         if self.sizes.len() != cores {
@@ -180,6 +236,32 @@ mod tests {
             z.validate(4, 2).unwrap_err(),
             PartitionError::EmptyPart { core: 1 }
         );
+    }
+
+    #[test]
+    fn rescaled_preserves_proportions_and_total() {
+        let p = Partition::from_sizes(vec![3, 3, 2]);
+        assert_eq!(p.rescaled(4).sizes(), &[2, 1, 1]);
+        assert_eq!(p.rescaled(8).sizes(), &[3, 3, 2]); // no-op round-trips
+        assert_eq!(p.rescaled(16).sizes(), &[6, 6, 4]);
+        // Every part keeps ≥ 1 cell even when squeezed to the minimum.
+        assert_eq!(p.rescaled(3).sizes(), &[1, 1, 1]);
+        // Sums are exact for awkward totals.
+        for total in 3..=20 {
+            let r = p.rescaled(total);
+            assert_eq!(r.sizes().iter().sum::<usize>(), total, "total={total}");
+            assert!(r.sizes().iter().all(|&k| k >= 1), "total={total}");
+        }
+        // Deterministic tie-break: equal parts, odd spare → lower index.
+        let q = Partition::from_sizes(vec![2, 2]);
+        assert_eq!(q.rescaled(3).sizes(), &[2, 1]);
+        assert_eq!(q.rescaled(5).sizes(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rescale")]
+    fn rescaled_rejects_fewer_cells_than_parts() {
+        Partition::from_sizes(vec![2, 2, 2]).rescaled(2);
     }
 
     #[test]

@@ -70,6 +70,33 @@ impl<P: EvictionPolicy> CacheStrategy for Shared<P> {
     fn on_evict(&mut self, page: PageId, _cell: usize) {
         self.policy.on_remove(page);
     }
+
+    fn shrink_victims(&mut self, need: usize, _time: Time, cache: &Cache) -> Vec<usize> {
+        // A capacity drop needs `need` victims at once. Ask the wrapped
+        // policy one victim at a time — the same `choose_victim_from`
+        // streaming entry the fault path uses — masking out pages already
+        // chosen this round, so the policy's own ordering decides the
+        // whole batch (e.g. LRU sheds its `need` least-recent pages).
+        let mut cells = Vec::with_capacity(need);
+        let mut taken: Vec<PageId> = Vec::with_capacity(need);
+        for _ in 0..need {
+            let mask = &taken;
+            let mut candidates = cache
+                .evictable_cells()
+                .map(|(_, p, _)| p)
+                .filter(|p| !mask.contains(p));
+            let Some(first) = candidates.next() else {
+                break;
+            };
+            let mut candidates = std::iter::once(first).chain(candidates);
+            let victim = self.policy.choose_victim_from(&mut candidates, &|p| {
+                cache.is_evictable_page(p) && !mask.contains(&p)
+            });
+            cells.push(cache.cell_of(victim).expect("victim is resident"));
+            taken.push(victim);
+        }
+        cells
+    }
 }
 
 /// `S_FITF`: shared cache with the furthest-in-the-future heuristic
@@ -200,6 +227,19 @@ impl CacheStrategy for SharedFitf {
     fn on_shared_fetch_miss(&mut self, core: usize, _page: PageId, _time: Time, _cache: &Cache) {
         self.advance(core);
     }
+
+    fn shrink_victims(&mut self, need: usize, _time: Time, cache: &Cache) -> Vec<usize> {
+        // Shed the pages whose next use is furthest in the future — the
+        // FITF rule applied `need` times at once. Cell index breaks
+        // distance ties, matching the fault path.
+        let mut cells: Vec<(u64, usize)> = cache
+            .evictable_cells()
+            .map(|(cell, p, _)| (self.distance(p), cell))
+            .collect();
+        cells.sort_by(|a, b| b.cmp(a));
+        cells.truncate(need);
+        cells.into_iter().map(|(_, cell)| cell).collect()
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +313,27 @@ mod tests {
         let lru = simulate(&w, SimConfig::new(2, 0), Shared::new(Lru::new())).unwrap();
         assert!(fitf.total_faults() >= 3);
         assert!(fitf.total_faults() <= lru.total_faults());
+    }
+
+    #[test]
+    fn shrink_sheds_least_recent_pages_first() {
+        use mcp_core::{CapacitySchedule, SimConfig, Simulator};
+        // K=4, τ=0, single core 1 2 3 4 2 3 4 1; capacity halves at t=5.
+        // At the drop the requested page 2 is pinned; LRU must shed the
+        // two least-recent evictable pages, 1 then 3, via repeated
+        // choose_victim_from.
+        let w = wl(&[&[1, 2, 3, 4, 2, 3, 4, 1]]);
+        let schedule: CapacitySchedule = "4,2@5".parse().unwrap();
+        let (r, trace) =
+            Simulator::with_capacity(&w, SimConfig::new(4, 0), schedule, Shared::new(Lru::new()))
+                .unwrap()
+                .run_with_trace()
+                .unwrap();
+        let drop_step = trace.iter().find(|s| s.time == 5).unwrap();
+        let shed: Vec<PageId> = drop_step.voluntary.iter().map(|&(_, p)| p).collect();
+        assert_eq!(shed, vec![PageId(1), PageId(3)]);
+        assert_eq!(r.total_faults(), 7); // 4 cold + re-faults on 3, 4, 1
+        assert_eq!(r.total_hits(), 1); // only the pinned 2 at the drop
     }
 
     #[test]

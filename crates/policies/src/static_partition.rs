@@ -19,6 +19,11 @@ pub type PolicyFactory<P> = Box<dyn Fn(usize, &Workload, &SimConfig) -> P + Send
 /// core.
 pub struct StaticPartition<P> {
     partition: Partition,
+    /// The partition as configured, before any capacity rescaling. Quota
+    /// rescales always start from here so a capacity dip-and-recover
+    /// restores the original quotas exactly instead of drifting through
+    /// repeated roundings.
+    base: Partition,
     factory: PolicyFactory<P>,
     policies: Vec<P>,
     /// Which core's part each cached page belongs to.
@@ -31,6 +36,7 @@ impl<P: EvictionPolicy> StaticPartition<P> {
     /// Build with an explicit per-core factory.
     pub fn with_factory(partition: Partition, factory: PolicyFactory<P>) -> Self {
         StaticPartition {
+            base: partition.clone(),
             partition,
             factory,
             policies: Vec::new(),
@@ -67,6 +73,7 @@ impl<P: EvictionPolicy> CacheStrategy for StaticPartition<P> {
     }
 
     fn begin(&mut self, workload: &Workload, cfg: &SimConfig) {
+        self.partition = self.base.clone();
         self.partition
             .validate(cfg.cache_size, workload.num_cores())
             .expect("static partition must match cache size and core count");
@@ -125,6 +132,40 @@ impl<P: EvictionPolicy> CacheStrategy for StaticPartition<P> {
             self.policies[part].on_remove(page);
         }
     }
+
+    fn on_capacity_change(&mut self, _time: Time, new_k: usize, _cache: &Cache) {
+        // Rescale quotas from the *configured* partition so the same K
+        // always yields the same quotas, however the schedule got there.
+        self.partition = self.base.rescaled(new_k);
+    }
+
+    fn shrink_victims(&mut self, need: usize, _time: Time, cache: &Cache) -> Vec<usize> {
+        // Shed each part's over-quota pages under that part's own policy;
+        // parts within quota are untouched (the engine falls back to
+        // lowest-index evictable cells only if pinned/in-flight pages
+        // leave the quota sweep short).
+        let mut cells = Vec::with_capacity(need);
+        for core in 0..self.partition.num_parts() {
+            if cells.len() == need {
+                break;
+            }
+            let owned = cache.owned_count(core);
+            let quota = self.partition.size(core);
+            if owned <= quota {
+                continue;
+            }
+            let mut excess = (owned - quota).min(need - cells.len());
+            let mut candidates: Vec<PageId> =
+                cache.evictable_cells_of(core).map(|(_, p)| p).collect();
+            while excess > 0 && !candidates.is_empty() {
+                let victim = self.policies[core].choose_victim(&candidates);
+                candidates.retain(|&p| p != victim);
+                cells.push(cache.cell_of(victim).expect("victim resident"));
+                excess -= 1;
+            }
+        }
+        cells
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +219,52 @@ mod tests {
         assert!(opt.total_faults() < lru.total_faults());
         // Belady faults every other request after warmup: 3 + (27-?)/2-ish.
         assert!(opt.total_faults() <= 16);
+    }
+
+    #[test]
+    fn capacity_drop_rescales_quotas_and_sheds_per_part() {
+        use mcp_core::{CapacitySchedule, PageId, Simulator};
+        // K=4 split [2,2], τ=0; capacity halves at t=5 → quotas become
+        // [1,1] and each part sheds its own LRU page. Both cores then
+        // thrash their 1-cell parts.
+        let w = wl(&[&[1, 2, 1, 2, 1, 2], &[7, 8, 7, 8, 7, 8]]);
+        let schedule: CapacitySchedule = "4,2@5".parse().unwrap();
+        let (r, trace) =
+            Simulator::with_capacity(&w, SimConfig::new(4, 0), schedule, sp_lru(vec![2, 2]))
+                .unwrap()
+                .run_with_trace()
+                .unwrap();
+        let drop_step = trace.iter().find(|s| s.time == 5).unwrap();
+        let shed: Vec<PageId> = drop_step.voluntary.iter().map(|&(_, p)| p).collect();
+        // The t=5 requests (1 and 7) are pinned before the shrink, so each
+        // part sheds its only evictable page: 2 and 8.
+        assert_eq!(shed, vec![PageId(2), PageId(8)]);
+        // Cold faults t=1..2, hits t=3..5 (the drop step still hits its
+        // pinned pages), then the shed pages re-fault at t=6.
+        assert_eq!(r.faults, vec![3, 3]);
+        assert_eq!(r.hits, vec![3, 3]);
+    }
+
+    #[test]
+    fn rescale_restores_base_quotas_on_recovery() {
+        use mcp_core::{CapacitySchedule, Simulator};
+        // Drop 4→2 at t=4, recover 2→4 at t=8: after recovery the quotas
+        // return to the configured [2,2], so both cores re-fill and finish
+        // with hits, exactly as if the partition had never been touched.
+        let w = wl(&[
+            &[1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2],
+            &[7, 8, 7, 8, 7, 8, 7, 8, 7, 8, 7, 8],
+        ]);
+        let schedule: CapacitySchedule = "4,2@4,4@8".parse().unwrap();
+        let r = Simulator::with_capacity(&w, SimConfig::new(4, 0), schedule, sp_lru(vec![2, 2]))
+            .unwrap()
+            .run()
+            .unwrap();
+        // t=1..2 cold, t=3 hit, t=4 drop (the pinned requests still hit),
+        // t=5..7 thrash the 1-cell parts, t=8 recovery refills, t=9..12
+        // all hit again — the restored [2,2] quotas hold both pages.
+        assert_eq!(r.faults, vec![6, 6]);
+        assert_eq!(r.hits, vec![6, 6]);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Metamorphic relations for dynamic capacity schedules, checked across
+//! the whole strategy-family registry:
+//!
+//! 1. **Fixed-schedule identity** — running any family under
+//!    `CapacitySchedule::fixed(K)` is bit-identical (result *and* full
+//!    step trace) to the plain constant-`K` engine. The capacity plumbing
+//!    must be invisible when the schedule never changes.
+//! 2. **Post-final invisibility** — a schedule that equals `K` until after
+//!    the last request is served behaves exactly like `fixed(K)`: changes
+//!    the run never reaches cannot leak into results or traces.
+//! 3. **Pointwise monotonicity for partitioned LRU** — on the sampled
+//!    instances, giving `sP_LRU` pointwise-no-less capacity never costs
+//!    faults. This is a *sampled* relation, not a theorem: the companion
+//!    test pins a concrete instance where pointwise-more capacity yields
+//!    strictly MORE faults for a shared policy, so the suite documents
+//!    that monotonicity must not be assumed in general.
+
+use mcp_core::{CapacitySchedule, SimConfig, SimResult, Simulator, StepReport, Workload};
+use mcp_policies::{build_family, family_applicable, FAMILIES};
+
+fn wl(seqs: &[&[u32]]) -> Workload {
+    Workload::from_u32(seqs.iter().map(|s| s.to_vec())).unwrap()
+}
+
+/// Run `family` under `schedule`, returning the result and full trace.
+fn run_traced(
+    w: &Workload,
+    cfg: SimConfig,
+    schedule: CapacitySchedule,
+    family: &str,
+    seed: u64,
+) -> (SimResult, Vec<StepReport>) {
+    let strategy = build_family(family, w, cfg, seed).unwrap();
+    Simulator::with_capacity(w, cfg, schedule, strategy)
+        .unwrap()
+        .run_with_trace()
+        .unwrap()
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        // Disjoint, mixed reuse distances.
+        wl(&[&[1, 2, 3, 1, 2, 4, 1, 3, 2], &[7, 8, 9, 7, 8, 7, 9, 8, 7]]),
+        // Disjoint, one thrashing core, uneven lengths.
+        wl(&[&[1, 2, 1, 2, 1, 2, 1, 2], &[5, 6, 7, 8, 5, 6]]),
+        // Non-disjoint: cores share pages (exercises shared-fetch misses).
+        wl(&[&[1, 2, 3, 1, 2], &[1, 3, 4, 1, 3]]),
+    ]
+}
+
+#[test]
+fn fixed_schedule_is_bit_identical_for_every_family() {
+    for w in workloads() {
+        for tau in [0u64, 2] {
+            let cfg = SimConfig::new(4, tau);
+            for family in FAMILIES {
+                if !family_applicable(family, &w) {
+                    continue;
+                }
+                let plain = {
+                    let strategy = build_family(family, &w, cfg, 42).unwrap();
+                    Simulator::new(&w, cfg, strategy)
+                        .unwrap()
+                        .run_with_trace()
+                        .unwrap()
+                };
+                let fixed = run_traced(&w, cfg, CapacitySchedule::fixed(4), family, 42);
+                assert_eq!(plain.0, fixed.0, "{family} tau={tau}: result diverged");
+                assert_eq!(plain.1, fixed.1, "{family} tau={tau}: trace diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn post_final_changes_are_invisible_for_every_family() {
+    // Every workload above finishes well before t = 10_000 at these τ.
+    let late: CapacitySchedule = "4,2@10000,6@20000".parse().unwrap();
+    for w in workloads() {
+        for tau in [0u64, 2] {
+            let cfg = SimConfig::new(4, tau);
+            for family in FAMILIES {
+                if !family_applicable(family, &w) {
+                    continue;
+                }
+                let fixed = run_traced(&w, cfg, CapacitySchedule::fixed(4), family, 42);
+                let suffixed = run_traced(&w, cfg, late.clone(), family, 42);
+                assert_eq!(fixed.0, suffixed.0, "{family} tau={tau}: result diverged");
+                assert_eq!(fixed.1, suffixed.1, "{family} tau={tau}: trace diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn pointwise_monotonicity_fails_in_general() {
+    // Pinned counterexample: pointwise-more capacity with MORE faults.
+    // Belady's anomaly under FIFO (the classic 12-request instance),
+    // phrased as two capacity schedules with fixed(4)(t) ≥ fixed(3)(t)
+    // for every t. This is why the monotonicity relation above is only
+    // asserted for partitioned LRU (a per-part stack algorithm) and only
+    // on sampled instances.
+    let w = wl(&[&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]]);
+    let small = run_traced(
+        &w,
+        SimConfig::new(3, 0),
+        CapacitySchedule::fixed(3),
+        "fifo",
+        42,
+    )
+    .0;
+    let large = run_traced(
+        &w,
+        SimConfig::new(4, 0),
+        CapacitySchedule::fixed(4),
+        "fifo",
+        42,
+    )
+    .0;
+    assert_eq!(small.total_faults(), 9);
+    assert_eq!(large.total_faults(), 10);
+    assert!(large.total_faults() > small.total_faults());
+}
+
+#[test]
+fn partitioned_lru_is_pointwise_monotone_on_sampled_instances() {
+    // Schedule pairs with s_more(t) ≥ s_less(t) for all t.
+    let pairs: &[(&str, &str)] = &[
+        ("4,2@4", "4"),
+        ("4,2@4,4@9", "4"),
+        ("4,2@3", "4,3@3"),
+        ("4,2@5,3@9", "6,4@5"),
+    ];
+    for w in workloads() {
+        for tau in [0u64, 2] {
+            for (less, more) in pairs {
+                let s_less: CapacitySchedule = less.parse().unwrap();
+                let s_more: CapacitySchedule = more.parse().unwrap();
+                let cfg_less = SimConfig::new(s_less.initial_k(), tau);
+                let cfg_more = SimConfig::new(s_more.initial_k(), tau);
+                let a = run_traced(&w, cfg_less, s_less, "partition", 42).0;
+                let b = run_traced(&w, cfg_more, s_more, "partition", 42).0;
+                assert!(
+                    b.total_faults() <= a.total_faults(),
+                    "sP_LRU lost monotonicity on {less} vs {more} tau={tau}: \
+                     {} faults with more capacity, {} with less",
+                    b.total_faults(),
+                    a.total_faults()
+                );
+            }
+        }
+    }
+}

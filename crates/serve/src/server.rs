@@ -81,6 +81,11 @@ pub struct ServeConfig {
     pub snapshot_every: Option<Duration>,
     /// Where to write the admitted log on shutdown.
     pub replay_log: Option<PathBuf>,
+    /// Dynamic cache capacity `K(t)` (`None`: fixed at `sim.cache_size`).
+    /// The replay contract extends verbatim: the finished result is
+    /// bit-identical to `mcp_core::sim::simulate_with_capacity` on the
+    /// admitted log under the same schedule.
+    pub capacity: Option<mcp_core::CapacitySchedule>,
 }
 
 impl ServeConfig {
@@ -95,6 +100,7 @@ impl ServeConfig {
             batch: 256,
             snapshot_every: None,
             replay_log: None,
+            capacity: None,
         }
     }
 }
@@ -142,7 +148,11 @@ impl<S: CacheStrategy> Server<S> {
             return Err(ServeError::Config("batch must be at least 1".into()));
         }
         let strategy_name = strategy.name();
-        let engine = OnlineSimulator::new(cfg.cores, cfg.sim, strategy)?;
+        let schedule = cfg
+            .capacity
+            .clone()
+            .unwrap_or_else(|| mcp_core::CapacitySchedule::fixed(cfg.sim.cache_size));
+        let engine = OnlineSimulator::with_capacity(cfg.cores, cfg.sim, schedule, strategy)?;
         let (queues, consumer) = QueueSet::new(cfg.discipline, cfg.cores, cfg.depth);
         Ok(Server {
             cfg,

@@ -23,7 +23,7 @@ fn every_paper_claim_confirms_at_quick_scale() {
 #[test]
 fn registry_is_complete_and_well_formed() {
     let experiments = registry();
-    assert_eq!(experiments.len(), 19, "E01..E15 plus X01..X04");
+    assert_eq!(experiments.len(), 21, "E01..E15 plus X01..X06");
     let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
     let sorted = {
         let mut s = ids.clone();
@@ -32,7 +32,7 @@ fn registry_is_complete_and_well_formed() {
     };
     assert_eq!(ids, sorted, "registry must be in id order");
     ids.dedup();
-    assert_eq!(ids.len(), 19, "ids must be unique");
+    assert_eq!(ids.len(), 21, "ids must be unique");
     for e in &experiments {
         assert!(!e.title().is_empty());
         assert!(!e.claim().is_empty());
